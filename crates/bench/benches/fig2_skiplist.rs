@@ -1,0 +1,29 @@
+//! Figure 2 (a–e): skip list throughput under the five U−C−RQ mixes.
+
+use std::time::Duration;
+
+use bench::{bench_threads, prefilled, run_window};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::{StructureKind, WorkloadMix};
+
+fn fig2_skiplist(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("fig2_skiplist");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for mix in WorkloadMix::FIGURE2 {
+        for kind in [StructureKind::SkipListBundle, StructureKind::SkipListUnsafe] {
+            let s = prefilled(kind, threads);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), mix.label()),
+                &mix,
+                |b, &mix| b.iter(|| run_window(&s, threads, mix, 50)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_skiplist);
+criterion_main!(benches);

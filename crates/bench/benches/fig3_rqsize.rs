@@ -1,0 +1,35 @@
+//! Figure 3: 50−0−50 workload at increasing range query sizes, skip list
+//! and Citrus tree, bundled vs Unsafe.
+
+use std::time::Duration;
+
+use bench::{bench_threads, prefilled, run_window};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::{StructureKind, WorkloadMix};
+
+fn fig3_rqsize(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("fig3_rqsize");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for kind in [
+        StructureKind::SkipListBundle,
+        StructureKind::SkipListUnsafe,
+        StructureKind::CitrusBundle,
+        StructureKind::CitrusUnsafe,
+    ] {
+        let s = prefilled(kind, threads);
+        for rq_size in [1u64, 50, 500] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), rq_size),
+                &rq_size,
+                |b, &rq| b.iter(|| run_window(&s, threads, WorkloadMix::HALF_UPDATES_HALF_RQ, rq)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_rqsize);
+criterion_main!(benches);

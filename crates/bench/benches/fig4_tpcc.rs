@@ -1,0 +1,40 @@
+//! Figure 4: TPC-C index-operation throughput with bundled vs Unsafe
+//! indexes (skip list and Citrus tree).
+
+use std::time::Duration;
+
+use bench::bench_threads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsim::{run_tpcc, DynIndex, TpccConfig};
+use workloads::StructureKind;
+
+fn fig4_tpcc(c: &mut Criterion) {
+    let threads = bench_threads();
+    let cfg = TpccConfig {
+        warehouses: 2,
+        customers_per_district: 50,
+        items: 200,
+        initial_orders_per_district: 50,
+    };
+    let mut group = c.benchmark_group("fig4_tpcc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in [
+        StructureKind::SkipListBundle,
+        StructureKind::SkipListUnsafe,
+        StructureKind::CitrusBundle,
+        StructureKind::CitrusUnsafe,
+    ] {
+        group.bench_with_input(BenchmarkId::new(kind.name(), threads), &kind, |b, &kind| {
+            b.iter(|| {
+                let factory = move |t: usize| -> DynIndex { workloads::make_structure(kind, t) };
+                run_tpcc(cfg, &factory, threads, 25).index_ops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_tpcc);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 5 (Appendix A): relaxed timestamping thresholds on the bundled
+//! skip list under a 50−0−50 workload.
+
+use std::time::Duration;
+
+use bench::{bench_threads, run_window, BENCH_KEY_RANGE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::registry::make_relaxed_structure;
+use workloads::{StructureKind, WorkloadMix};
+
+fn fig5_relaxation(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("fig5_relaxation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for t in [1u64, 5, 50, 0] {
+        let label = if t == 0 { "inf".to_string() } else { t.to_string() };
+        let s = make_relaxed_structure(StructureKind::SkipListBundle, threads + 1, t);
+        workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
+        group.bench_with_input(BenchmarkId::new("threshold", label), &t, |b, _| {
+            b.iter(|| run_window(&s, threads, WorkloadMix::HALF_UPDATES_HALF_RQ, 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_relaxation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! §8.1 "Linked Lists": bundled lazy list vs Unsafe lazy list on the
+//! Figure 2 mixes (the paper reports relative throughput in prose).
+
+use std::time::Duration;
+
+use bench::{bench_threads, prefilled, run_window};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::{StructureKind, WorkloadMix};
+
+fn list_relative(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mut group = c.benchmark_group("list_relative");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for mix in [WorkloadMix::new(10, 80, 10), WorkloadMix::new(90, 0, 10)] {
+        for kind in [StructureKind::ListBundle, StructureKind::ListUnsafe] {
+            let s = prefilled(kind, threads);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), mix.label()),
+                &mix,
+                |b, &mix| b.iter(|| run_window(&s, threads, mix, 50)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, list_relative);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 (Appendix B): cost of enabling memory reclamation (EBR nodes +
+//! background bundle recycling) on the bundled skip list.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{bench_threads, run_window, BENCH_KEY_RANGE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebr::ReclaimMode;
+use skiplist::BundledSkipList;
+use workloads::registry::DynSet;
+use workloads::WorkloadMix;
+
+fn table1_reclamation(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mix = WorkloadMix::new(50, 40, 10);
+    let mut group = c.benchmark_group("table1_reclamation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    // Leaky: the paper's default configuration.
+    {
+        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(threads + 2, ReclaimMode::Leaky));
+        let s: Arc<DynSet> = s;
+        workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
+        group.bench_function(BenchmarkId::new("leaky", "none"), |b| {
+            b.iter(|| run_window(&s, threads, mix, 50))
+        });
+    }
+    // Reclaiming with a background recycler at different delays.
+    for delay_ms in [0u64, 10] {
+        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(threads + 2, ReclaimMode::Reclaim));
+        let recycler = s.spawn_recycler(threads + 1, Duration::from_millis(delay_ms));
+        let dyn_s: Arc<DynSet> = s;
+        workloads::driver::prefill(dyn_s.as_ref(), BENCH_KEY_RANGE);
+        group.bench_function(BenchmarkId::new("reclaim", format!("d={delay_ms}ms")), |b| {
+            b.iter(|| run_window(&dyn_s, threads, mix, 50))
+        });
+        drop(recycler);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_reclamation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared helpers for the per-figure Criterion benches.
+//!
+//! Each bench regenerates one table or figure of the paper (see
+//! `DESIGN.md`'s experiment index). The benches use deliberately small
+//! durations and key ranges so `cargo bench` completes on a laptop-class
+//! machine; set `BUNDLE_THREADS` / `BUNDLE_DURATION_MS` and re-run the
+//! `workloads` binaries for fuller sweeps.
+
+use std::sync::Arc;
+
+use workloads::registry::DynSet;
+use workloads::{make_structure, run_workload, RunConfig, StructureKind, WorkloadMix};
+
+/// Key range used by the benches (scaled down from the paper's 100k so that
+/// per-iteration prefill stays cheap).
+pub const BENCH_KEY_RANGE: u64 = 10_000;
+/// Per-iteration measurement window in milliseconds.
+pub const BENCH_WINDOW_MS: u64 = 25;
+
+/// Build and prefill a structure once, for reuse across bench iterations.
+pub fn prefilled(kind: StructureKind, threads: usize) -> Arc<DynSet> {
+    let s = make_structure(kind, threads + 1);
+    workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
+    s
+}
+
+/// Run one short mixed-workload window against an already prefilled
+/// structure and return the operation count (so Criterion measures
+/// wall-clock per fixed-size window).
+pub fn run_window(s: &Arc<DynSet>, threads: usize, mix: WorkloadMix, rq_size: u64) -> u64 {
+    let cfg = RunConfig {
+        threads,
+        duration_ms: BENCH_WINDOW_MS,
+        key_range: BENCH_KEY_RANGE,
+        rq_size,
+        mix,
+        prefill: false,
+    };
+    run_workload(s, &cfg).total_ops
+}
+
+/// The default bench thread count (kept tiny: the reference machine for
+/// this reproduction has a single core).
+pub fn bench_threads() -> usize {
+    std::env::var("BUNDLE_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}

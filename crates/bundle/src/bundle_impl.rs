@@ -1,0 +1,498 @@
+//! The bundle itself: a history of link values tagged with timestamps.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use ebr::Guard;
+
+/// Timestamp value marking a bundle entry that has been prepared but whose
+/// update has not yet been finalized (Algorithm 2, `PENDING_TS`).
+pub const PENDING_TS: u64 = u64::MAX;
+
+/// One record of a link's history: the pointer value and the global
+/// timestamp at which that value was installed (Listing 1, `BundleEntry`).
+struct BundleEntry<T> {
+    ptr: *mut T,
+    ts: AtomicU64,
+    next: AtomicPtr<BundleEntry<T>>,
+}
+
+impl<T> BundleEntry<T> {
+    fn boxed(ptr: *mut T, ts: u64) -> *mut BundleEntry<T> {
+        Box::into_raw(Box::new(BundleEntry {
+            ptr,
+            ts: AtomicU64::new(ts),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// A bundled reference: the history of one link in a concurrent linked data
+/// structure (Listing 1, `Bundle`).
+///
+/// Entries are kept newest-first and are strictly sorted by timestamp
+/// because updates tag entries with a monotonically increasing global
+/// timestamp while holding the *pending* slot at the head.
+///
+/// The data structure that owns this bundle keeps its own "newest" raw
+/// pointer (the paper's `newestNextPtr`) next to it, so primitive operations
+/// never touch the bundle at all.
+pub struct Bundle<T> {
+    head: AtomicPtr<BundleEntry<T>>,
+}
+
+// Safety: the bundle only stores raw pointers; it never dereferences the
+// `T`s it points to. Sharing it across threads is exactly its purpose: all
+// mutation goes through atomics with the pending protocol below.
+unsafe impl<T: Send + Sync> Send for Bundle<T> {}
+unsafe impl<T: Send + Sync> Sync for Bundle<T> {}
+
+impl<T> Default for Bundle<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Bundle<T> {
+    /// An empty bundle (no history yet).
+    pub fn new() -> Self {
+        Bundle {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Install the initial entry of a link created while the structure (or
+    /// node) is still private to one thread — e.g. the sentinel link of an
+    /// empty list, timestamped with the initial `globalTs` value.
+    pub fn init(&self, ptr: *mut T, ts: u64) {
+        let e = BundleEntry::boxed(ptr, ts);
+        self.head.store(e, Ordering::Release);
+    }
+
+    /// Returns `true` if the bundle has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Number of entries currently in the bundle (diagnostic; O(n)).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = self.head.load(Ordering::Acquire);
+        while !curr.is_null() {
+            n += 1;
+            curr = unsafe { &*curr }.next.load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// Algorithm 2, `PrepareBundle`: atomically prepend a new entry in the
+    /// pending state, waiting for any other update's pending entry to be
+    /// finalized first so that entries stay ordered by timestamp.
+    pub fn prepare(&self, ptr: *mut T) {
+        let e = BundleEntry::boxed(ptr, PENDING_TS);
+        loop {
+            let expected = self.head.load(Ordering::Acquire);
+            if !expected.is_null() {
+                // Wait until the current head is finalized; a pending head
+                // belongs to a concurrent update that has already passed its
+                // timestamp acquisition and will finish promptly.
+                while unsafe { &*expected }.ts.load(Ordering::Acquire) == PENDING_TS {
+                    std::hint::spin_loop();
+                }
+            }
+            unsafe { &*e }.next.store(expected, Ordering::Relaxed);
+            if self
+                .head
+                .compare_exchange(expected, e, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Algorithm 1, `FinalizeBundle`: publish the timestamp of the entry
+    /// prepared by the same operation. Must be called exactly once after
+    /// [`Bundle::prepare`] by the same logical update.
+    pub fn finalize(&self, ts: u64) {
+        let head = self.head.load(Ordering::Acquire);
+        debug_assert!(!head.is_null(), "finalize without prepare");
+        let entry = unsafe { &*head };
+        debug_assert_eq!(
+            entry.ts.load(Ordering::Acquire),
+            PENDING_TS,
+            "finalize must target the pending entry installed by prepare"
+        );
+        entry.ts.store(ts, Ordering::Release);
+    }
+
+    /// `DereferenceBundle` (§3.3): return the link value that was current at
+    /// logical time `ts`, i.e. the newest entry whose timestamp is `<= ts`.
+    ///
+    /// Blocks (spins) while the head entry is pending, so a range query
+    /// never misses an update that linearized before the query started but
+    /// whose bundles were not yet finalized.
+    ///
+    /// Returns `None` when no entry satisfies `ts`, which tells the range
+    /// query that its optimistic traversal landed on a node inserted after
+    /// its snapshot and that it must restart (Algorithm 3, line 7).
+    pub fn dereference(&self, ts: u64) -> Option<*mut T> {
+        let head = self.head.load(Ordering::Acquire);
+        if head.is_null() {
+            return None;
+        }
+        // Only the head can be pending.
+        while unsafe { &*head }.ts.load(Ordering::Acquire) == PENDING_TS {
+            std::hint::spin_loop();
+        }
+        let mut curr = head;
+        while !curr.is_null() {
+            let e = unsafe { &*curr };
+            if e.ts.load(Ordering::Acquire) <= ts {
+                return Some(e.ptr);
+            }
+            curr = e.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// The most recent (finalized or pending) link value recorded in the
+    /// bundle, if any. Primarily a diagnostic: structures keep their own
+    /// `newest` pointer outside the bundle.
+    pub fn newest(&self) -> Option<*mut T> {
+        let head = self.head.load(Ordering::Acquire);
+        if head.is_null() {
+            None
+        } else {
+            Some(unsafe { &*head }.ptr)
+        }
+    }
+
+    /// Timestamp of the newest finalized entry (diagnostic).
+    pub fn newest_ts(&self) -> Option<u64> {
+        let head = self.head.load(Ordering::Acquire);
+        if head.is_null() {
+            return None;
+        }
+        let ts = unsafe { &*head }.ts.load(Ordering::Acquire);
+        if ts == PENDING_TS {
+            None
+        } else {
+            Some(ts)
+        }
+    }
+
+    /// Iterate over `(ptr, ts)` pairs, newest first (diagnostic / tests).
+    pub fn iter(&self) -> BundleIter<'_, T> {
+        BundleIter {
+            curr: self.head.load(Ordering::Acquire),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reclaim entries that no active range query can need (Appendix B,
+    /// "Freeing Bundle Entries").
+    ///
+    /// Keeps every entry newer than `oldest_active` plus the first entry
+    /// that satisfies `oldest_active`; everything older is detached and
+    /// retired through the supplied EBR guard so that range queries that
+    /// already hold a pointer into the chain remain safe.
+    ///
+    /// Concurrency contract: at most one thread may run cleanup on a given
+    /// bundle at a time (the structures delegate this to a single
+    /// [`crate::Recycler`] thread or to the thread holding the node lock).
+    /// Cleanup is safe to run concurrently with `prepare`/`finalize`/
+    /// `dereference` because it never modifies the head pointer, only the
+    /// `next` field of an already-satisfying (hence finalized) entry.
+    ///
+    /// Returns the number of entries retired.
+    pub fn reclaim_up_to(&self, oldest_active: u64, guard: &Guard<'_>) -> usize {
+        let mut curr = self.head.load(Ordering::Acquire);
+        // Find the first entry that satisfies the oldest active range query.
+        while !curr.is_null() {
+            let e = unsafe { &*curr };
+            let ts = e.ts.load(Ordering::Acquire);
+            if ts != PENDING_TS && ts <= oldest_active {
+                break;
+            }
+            curr = e.next.load(Ordering::Acquire);
+        }
+        if curr.is_null() {
+            return 0;
+        }
+        // Everything *after* `curr` is unreachable for present and future
+        // range queries; detach the tail and retire it.
+        let keeper = unsafe { &*curr };
+        let mut tail = keeper.next.swap(ptr::null_mut(), Ordering::AcqRel);
+        let mut retired = 0;
+        while !tail.is_null() {
+            let next = unsafe { &*tail }.next.load(Ordering::Acquire);
+            // Safety: the entry has been unlinked from the bundle and is
+            // only reachable by range queries that pinned before now; EBR
+            // defers the free past their guards.
+            unsafe { guard.retire(tail) };
+            retired += 1;
+            tail = next;
+        }
+        retired
+    }
+}
+
+impl<T> Drop for Bundle<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the entry chain (the pointed-to nodes are
+        // owned by the data structure, not by the bundle).
+        let mut curr = *self.head.get_mut();
+        while !curr.is_null() {
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Bundle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries: Vec<(usize, u64)> = self
+            .iter()
+            .map(|(p, ts)| (p as usize, ts))
+            .collect();
+        f.debug_struct("Bundle").field("entries", &entries).finish()
+    }
+}
+
+/// Iterator over the `(ptr, ts)` entries of a bundle, newest first.
+pub struct BundleIter<'a, T> {
+    curr: *mut BundleEntry<T>,
+    _marker: std::marker::PhantomData<&'a Bundle<T>>,
+}
+
+impl<'a, T> Iterator for BundleIter<'a, T> {
+    type Item = (*mut T, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.curr.is_null() {
+            return None;
+        }
+        let e = unsafe { &*self.curr };
+        let item = (e.ptr, e.ts.load(Ordering::Acquire));
+        self.curr = e.next.load(Ordering::Acquire);
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebr::{Collector, ReclaimMode};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn leak(v: u64) -> *mut u64 {
+        Box::into_raw(Box::new(v))
+    }
+    unsafe fn free(p: *mut u64) {
+        drop(Box::from_raw(p));
+    }
+
+    /// Raw pointers are not `Send`; tests move them into threads as `usize`.
+    #[derive(Clone, Copy)]
+    struct SendPtr(usize);
+    impl SendPtr {
+        fn new(p: *mut u64) -> Self {
+            SendPtr(p as usize)
+        }
+        fn get(self) -> *mut u64 {
+            self.0 as *mut u64
+        }
+    }
+
+    #[test]
+    fn init_and_dereference() {
+        let b: Bundle<u64> = Bundle::new();
+        assert!(b.is_empty());
+        assert_eq!(b.dereference(10), None);
+        let p = leak(7);
+        b.init(p, 0);
+        assert_eq!(b.dereference(0), Some(p));
+        assert_eq!(b.dereference(100), Some(p));
+        assert_eq!(b.len(), 1);
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn entries_sorted_and_satisfying_entry_selected() {
+        let b: Bundle<u64> = Bundle::new();
+        let p0 = leak(0);
+        let p1 = leak(1);
+        let p2 = leak(2);
+        b.init(p0, 0);
+        b.prepare(p1);
+        b.finalize(3);
+        b.prepare(p2);
+        b.finalize(7);
+        // Newest first, timestamps strictly decreasing along the chain.
+        let ts: Vec<u64> = b.iter().map(|(_, t)| t).collect();
+        assert_eq!(ts, vec![7, 3, 0]);
+        assert_eq!(b.dereference(0), Some(p0));
+        assert_eq!(b.dereference(2), Some(p0));
+        assert_eq!(b.dereference(3), Some(p1));
+        assert_eq!(b.dereference(6), Some(p1));
+        assert_eq!(b.dereference(7), Some(p2));
+        assert_eq!(b.dereference(u64::MAX - 1), Some(p2));
+        assert_eq!(b.newest(), Some(p2));
+        assert_eq!(b.newest_ts(), Some(7));
+        unsafe {
+            free(p0);
+            free(p1);
+            free(p2);
+        }
+    }
+
+    #[test]
+    fn dereference_returns_none_for_too_old_snapshot() {
+        let b: Bundle<u64> = Bundle::new();
+        let p = leak(9);
+        b.init(p, 5);
+        // A snapshot taken before the link existed must not see it.
+        assert_eq!(b.dereference(4), None);
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn dereference_blocks_until_pending_finalized() {
+        let b: Arc<Bundle<u64>> = Arc::new(Bundle::new());
+        let p0 = leak(0);
+        b.init(p0, 0);
+        let p1 = leak(1);
+        b.prepare(p1);
+
+        let released = Arc::new(AtomicBool::new(false));
+        let p1s = SendPtr::new(p1);
+        let reader = {
+            let b = Arc::clone(&b);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                // This dereference must not return until finalize happens.
+                let got = b.dereference(1);
+                assert!(
+                    released.load(Ordering::SeqCst),
+                    "dereference returned while the head entry was still pending"
+                );
+                assert_eq!(got, Some(p1s.get()));
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        released.store(true, Ordering::SeqCst);
+        b.finalize(1);
+        reader.join().unwrap();
+        unsafe {
+            free(p0);
+            free(p1);
+        }
+    }
+
+    #[test]
+    fn prepare_blocks_other_prepares_until_finalize() {
+        let b: Arc<Bundle<u64>> = Arc::new(Bundle::new());
+        let p0 = leak(0);
+        b.init(p0, 0);
+        let p1 = leak(1);
+        let p2 = leak(2);
+        b.prepare(p1);
+        let released = Arc::new(AtomicBool::new(false));
+        let p2s = SendPtr::new(p2);
+        let other = {
+            let b = Arc::clone(&b);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                let p2 = p2s.get();
+                b.prepare(p2);
+                assert!(
+                    released.load(Ordering::SeqCst),
+                    "second prepare completed while first entry was pending"
+                );
+                b.finalize(2);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        released.store(true, Ordering::SeqCst);
+        b.finalize(1);
+        other.join().unwrap();
+        let ts: Vec<u64> = b.iter().map(|(_, t)| t).collect();
+        assert_eq!(ts, vec![2, 1, 0], "entries remain ordered by timestamp");
+        unsafe {
+            free(p0);
+            free(p1);
+            free(p2);
+        }
+    }
+
+    #[test]
+    fn reclaim_keeps_entry_needed_by_oldest_range_query() {
+        let collector = Collector::new(1, ReclaimMode::Reclaim);
+        let b: Bundle<u64> = Bundle::new();
+        let ptrs: Vec<*mut u64> = (0..5).map(leak).collect();
+        b.init(ptrs[0], 0);
+        for (i, &p) in ptrs.iter().enumerate().skip(1) {
+            b.prepare(p);
+            b.finalize(i as u64 * 10);
+        }
+        assert_eq!(b.len(), 5);
+        let guard = collector.pin(0);
+        // Oldest active range query started at ts=25: entries 40, 30, 20 must
+        // stay (20 satisfies it); 10 and 0 can go.
+        let retired = b.reclaim_up_to(25, &guard);
+        assert_eq!(retired, 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dereference(25), Some(ptrs[2]));
+        assert_eq!(b.dereference(40), Some(ptrs[4]));
+        // A second pass is a no-op.
+        assert_eq!(b.reclaim_up_to(25, &guard), 0);
+        drop(guard);
+        for p in ptrs {
+            unsafe { free(p) };
+        }
+    }
+
+    #[test]
+    fn reclaim_with_all_entries_newer_is_a_noop() {
+        let collector = Collector::new(1, ReclaimMode::Reclaim);
+        let b: Bundle<u64> = Bundle::new();
+        let p = leak(1);
+        b.init(p, 50);
+        let guard = collector.pin(0);
+        assert_eq!(b.reclaim_up_to(10, &guard), 0);
+        assert_eq!(b.len(), 1);
+        drop(guard);
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn concurrent_prepares_keep_bundle_sorted() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 200;
+        let b: Arc<Bundle<u64>> = Arc::new(Bundle::new());
+        let clock = Arc::new(crate::GlobalTimestamp::new(THREADS));
+        b.init(std::ptr::null_mut(), 0);
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let b = Arc::clone(&b);
+            let clock = Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    b.prepare(std::ptr::null_mut());
+                    let ts = clock.advance(tid);
+                    b.finalize(ts);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ts: Vec<u64> = b.iter().map(|(_, t)| t).collect();
+        assert_eq!(ts.len(), THREADS * PER_THREAD + 1);
+        let mut sorted = ts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ts, sorted, "bundle entries must be sorted newest-first");
+    }
+}

@@ -1,0 +1,73 @@
+//! # Bundled references
+//!
+//! This crate is the core contribution of the PPoPP 2021 paper *"Bundled
+//! References: An Abstraction for Highly-Concurrent Linearizable Range
+//! Queries"* (Nelson, Hassan, Palmieri), reproduced in Rust.
+//!
+//! A **bundle** augments a link between two data structure nodes with the
+//! history of the values that link has held, each entry tagged with the
+//! (logical) time at which the link was installed. Update operations
+//! totally order themselves through a [`GlobalTimestamp`]; a range query
+//! reads the timestamp once at its outset (its linearization point) and then
+//! traverses the structure strictly through bundle entries whose timestamp
+//! does not exceed that snapshot — visiting exactly the nodes that belong to
+//! its atomic snapshot and nothing else.
+//!
+//! The building blocks exported here are data-structure agnostic and are the
+//! pieces named in the paper's pseudocode:
+//!
+//! * [`GlobalTimestamp`] — `globalTs`, including the relaxed (threshold-`T`)
+//!   variant evaluated in Appendix A,
+//! * [`Bundle`] / `BundleEntry` — Listing 1, with the *pending entry*
+//!   protocol of Algorithm 2 and the `DereferenceBundle` operation,
+//! * [`linearize_update`] — Algorithm 1 (`LinearizeUpdateOperation`),
+//! * [`RqTracker`] — the `activeRqTsArray` used for bundle-entry
+//!   reclamation (Appendix B),
+//! * [`Recycler`] — a background cleanup thread with a configurable delay,
+//!   matching the Table 1 experiment,
+//! * [`api`] — the `ConcurrentSet` / `RangeQuerySet` traits implemented by
+//!   every data structure (bundled or competitor) in this workspace.
+//!
+//! The concrete bundled data structures live in the `lazylist`, `skiplist`
+//! and `citrus` crates of this workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use bundle::{Bundle, GlobalTimestamp, linearize_update};
+//!
+//! // A toy "structure": one link protected by a bundle.
+//! let ts = GlobalTimestamp::new(1);
+//! let bundle: Bundle<u64> = Bundle::new();
+//! let a = Box::into_raw(Box::new(1u64));
+//! bundle.init(a, ts.read());
+//!
+//! // An update installs a new target for the link.
+//! let b = Box::into_raw(Box::new(2u64));
+//! let when = linearize_update(&ts, 0, &[(&bundle, b)], || {
+//!     // linearization point of the update (e.g. a pointer store)
+//! });
+//!
+//! // A range query that started before the update keeps seeing `a`,
+//! // one that starts now sees `b`.
+//! assert_eq!(bundle.dereference(when - 1), Some(a));
+//! assert_eq!(bundle.dereference(when), Some(b));
+//! # unsafe { drop(Box::from_raw(a)); drop(Box::from_raw(b)); }
+//! ```
+
+pub mod api;
+mod bundle_impl;
+mod linearize;
+mod recycler;
+mod tracker;
+mod ts;
+
+pub use bundle_impl::{Bundle, BundleIter, PENDING_TS};
+pub use linearize::linearize_update;
+pub use recycler::Recycler;
+pub use tracker::{RqTracker, RQ_INACTIVE, RQ_PENDING};
+pub use ts::GlobalTimestamp;
+
+/// Maximum number of threads supported by the per-thread state in this
+/// crate's trackers and timestamps (same bound as [`ebr::DEFAULT_MAX_THREADS`]).
+pub const DEFAULT_MAX_THREADS: usize = ebr::DEFAULT_MAX_THREADS;

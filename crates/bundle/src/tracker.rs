@@ -1,0 +1,191 @@
+//! `activeRqTsArray`: the registry of active range queries used to decide
+//! which bundle entries (and nodes) may be reclaimed (Appendix B).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::ts::GlobalTimestamp;
+
+/// Slot value for a thread with no active range query.
+pub const RQ_INACTIVE: u64 = u64::MAX;
+/// Slot value published while a thread is between reading the global
+/// timestamp and announcing it (the same pending trick used for bundles, so
+/// the cleanup pass cannot miss a range query that has read `globalTs` but
+/// not yet published its snapshot).
+pub const RQ_PENDING: u64 = u64::MAX - 1;
+
+/// One cache-padded announcement slot per registered thread.
+///
+/// A range query brackets its execution with [`RqTracker::start`] /
+/// [`RqTracker::finish`]; the cleanup machinery calls
+/// [`RqTracker::oldest_active`] to find the oldest snapshot that still needs
+/// to be reconstructible.
+pub struct RqTracker {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl RqTracker {
+    /// Create a tracker for `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        let slots = (0..max_threads.max(1))
+            .map(|_| CachePadded::new(AtomicU64::new(RQ_INACTIVE)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RqTracker { slots }
+    }
+
+    /// Number of announcement slots.
+    pub fn max_threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Begin a range query on thread `tid`: atomically (with respect to the
+    /// cleanup scan) read the global timestamp and announce it.
+    ///
+    /// Returns the snapshot timestamp — the range query's linearization
+    /// point.
+    #[inline]
+    pub fn start(&self, tid: usize, clock: &GlobalTimestamp) -> u64 {
+        let slot = &self.slots[tid];
+        slot.store(RQ_PENDING, Ordering::SeqCst);
+        let ts = clock.read();
+        slot.store(ts, Ordering::SeqCst);
+        ts
+    }
+
+    /// End the range query previously started on `tid`.
+    #[inline]
+    pub fn finish(&self, tid: usize) {
+        self.slots[tid].store(RQ_INACTIVE, Ordering::Release);
+    }
+
+    /// Snapshot timestamp currently announced by `tid`, if any.
+    pub fn announced(&self, tid: usize) -> Option<u64> {
+        match self.slots[tid].load(Ordering::Acquire) {
+            RQ_INACTIVE => None,
+            v => Some(v),
+        }
+    }
+
+    /// The oldest snapshot any active range query may still need.
+    ///
+    /// `current` is the present value of the global timestamp; it is
+    /// returned when no range query is active (everything older than "now"
+    /// but newer than the newest satisfying entry can then be reclaimed).
+    ///
+    /// A slot found in the pending state is waited on briefly (the owner is
+    /// between two adjacent stores); if it stays pending longer than the
+    /// bounded spin we conservatively treat it as timestamp 0, which only
+    /// delays reclamation, never compromises safety.
+    pub fn oldest_active(&self, current: u64) -> u64 {
+        let mut oldest = current;
+        for slot in self.slots.iter() {
+            let mut v = slot.load(Ordering::SeqCst);
+            let mut spins = 0;
+            while v == RQ_PENDING {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins > 10_000 {
+                    // Owner descheduled mid-announcement: be conservative.
+                    v = 0;
+                    break;
+                }
+                v = slot.load(Ordering::SeqCst);
+            }
+            if v != RQ_INACTIVE && v < oldest {
+                oldest = v;
+            }
+        }
+        oldest
+    }
+}
+
+impl std::fmt::Debug for RqTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let active: Vec<(usize, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s.load(Ordering::Relaxed) {
+                RQ_INACTIVE => None,
+                v => Some((i, v)),
+            })
+            .collect();
+        f.debug_struct("RqTracker").field("active", &active).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn start_announces_snapshot_and_finish_clears_it() {
+        let clock = GlobalTimestamp::new(2);
+        let tracker = RqTracker::new(2);
+        clock.advance(0);
+        clock.advance(0);
+        let ts = tracker.start(1, &clock);
+        assert_eq!(ts, 2);
+        assert_eq!(tracker.announced(1), Some(2));
+        assert_eq!(tracker.announced(0), None);
+        tracker.finish(1);
+        assert_eq!(tracker.announced(1), None);
+    }
+
+    #[test]
+    fn oldest_active_is_minimum_of_announced_snapshots() {
+        let clock = GlobalTimestamp::new(4);
+        let tracker = RqTracker::new(4);
+        for _ in 0..10 {
+            clock.advance(0);
+        }
+        assert_eq!(tracker.oldest_active(clock.read()), 10);
+        let t_a = tracker.start(1, &clock); // 10
+        for _ in 0..5 {
+            clock.advance(0);
+        }
+        let t_b = tracker.start(2, &clock); // 15
+        assert_eq!(t_a, 10);
+        assert_eq!(t_b, 15);
+        assert_eq!(tracker.oldest_active(clock.read()), 10);
+        tracker.finish(1);
+        assert_eq!(tracker.oldest_active(clock.read()), 15);
+        tracker.finish(2);
+        assert_eq!(tracker.oldest_active(clock.read()), 15);
+    }
+
+    #[test]
+    fn concurrent_ranges_never_report_future_snapshots() {
+        let clock = Arc::new(GlobalTimestamp::new(4));
+        let tracker = Arc::new(RqTracker::new(4));
+        let updater = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                for _ in 0..50_000 {
+                    clock.advance(0);
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for tid in 1..4 {
+            let clock = Arc::clone(&clock);
+            let tracker = Arc::clone(&tracker);
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let ts = tracker.start(tid, &clock);
+                    let oldest = tracker.oldest_active(clock.read());
+                    assert!(oldest <= clock.read());
+                    assert!(ts <= clock.read());
+                    tracker.finish(tid);
+                }
+            }));
+        }
+        updater.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The global timestamp (`globalTs`) that totally orders update operations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// The logical clock shared by all update and range-query operations of one
+/// bundled data structure.
+///
+/// * Update operations call [`GlobalTimestamp::advance`] after preparing
+///   their bundles; the returned value tags the new bundle entries.
+/// * Range queries call [`GlobalTimestamp::read`] once, at their outset,
+///   which is their linearization point.
+///
+/// # Relaxed linearizability (Appendix A)
+///
+/// The paper evaluates a relaxation where a thread only increments
+/// `globalTs` every `T`-th update, trading snapshot freshness for lower
+/// contention on the shared counter. [`GlobalTimestamp::with_threshold`]
+/// builds such a clock: `threshold == 1` is the linearizable default,
+/// larger values update the counter every `T` operations, and
+/// `threshold == 0` stands for `T = ∞` (never increment — the most extreme
+/// relaxation shown in Figure 5).
+pub struct GlobalTimestamp {
+    ts: CachePadded<AtomicU64>,
+    threshold: u64,
+    /// Per-thread update counters used only when `threshold > 1`.
+    counters: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl GlobalTimestamp {
+    /// A linearizable clock (every update increments the timestamp).
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_threshold(max_threads, 1)
+    }
+
+    /// A clock whose threads only increment every `threshold`-th update.
+    ///
+    /// `threshold == 0` means "never increment" (`T = ∞` in the paper).
+    pub fn with_threshold(max_threads: usize, threshold: u64) -> Self {
+        let counters = (0..max_threads.max(1))
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        GlobalTimestamp {
+            ts: CachePadded::new(AtomicU64::new(0)),
+            threshold,
+            counters,
+        }
+    }
+
+    /// The relaxation threshold `T` (1 = linearizable, 0 = never increment).
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Read the current timestamp. Used by range queries to fix their
+    /// snapshot (their linearization point) and by relaxed updates.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        // SeqCst: the read must be ordered after any update's fetch_add that
+        // precedes it in real time, so a range query never misses an update
+        // that was linearized before it started (§3.3 correctness argument).
+        self.ts.load(Ordering::SeqCst)
+    }
+
+    /// Obtain the timestamp for an update operation performed by `tid`.
+    ///
+    /// With the linearizable default this is `fetch_add(1) + 1`
+    /// (Algorithm 1, line 4). With a relaxation threshold the shared counter
+    /// is only bumped every `T`-th call from this thread; other calls reuse
+    /// the current value, which weakens the freshness of range queries but
+    /// never their internal consistency (bundle entries remain sorted).
+    #[inline]
+    pub fn advance(&self, tid: usize) -> u64 {
+        match self.threshold {
+            1 => self.ts.fetch_add(1, Ordering::SeqCst) + 1,
+            0 => self.ts.load(Ordering::SeqCst),
+            t => {
+                let c = self.counters[tid].fetch_add(1, Ordering::Relaxed) + 1;
+                if c % t == 0 {
+                    self.ts.fetch_add(1, Ordering::SeqCst) + 1
+                } else {
+                    self.ts.load(Ordering::SeqCst)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GlobalTimestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalTimestamp")
+            .field("value", &self.read())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn linearizable_clock_increments_every_advance() {
+        let ts = GlobalTimestamp::new(2);
+        assert_eq!(ts.read(), 0);
+        assert_eq!(ts.advance(0), 1);
+        assert_eq!(ts.advance(1), 2);
+        assert_eq!(ts.read(), 2);
+    }
+
+    #[test]
+    fn relaxed_clock_increments_every_t_updates() {
+        let ts = GlobalTimestamp::with_threshold(1, 5);
+        let mut increments = 0;
+        let mut last = 0;
+        for _ in 0..25 {
+            let v = ts.advance(0);
+            if v > last {
+                increments += 1;
+                last = v;
+            }
+        }
+        assert_eq!(increments, 5, "25 updates with T=5 => 5 increments");
+        assert_eq!(ts.read(), 5);
+    }
+
+    #[test]
+    fn infinite_threshold_never_increments() {
+        let ts = GlobalTimestamp::with_threshold(1, 0);
+        for _ in 0..100 {
+            assert_eq!(ts.advance(0), 0);
+        }
+        assert_eq!(ts.read(), 0);
+    }
+
+    #[test]
+    fn advances_are_unique_under_contention() {
+        let ts = Arc::new(GlobalTimestamp::new(4));
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let ts = Arc::clone(&ts);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| ts.advance(tid)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "every linearizable advance is unique");
+        assert_eq!(ts.read(), 4000);
+    }
+
+    #[test]
+    fn monotonic_reads() {
+        let ts = Arc::new(GlobalTimestamp::new(2));
+        let reader = {
+            let ts = Arc::clone(&ts);
+            std::thread::spawn(move || {
+                let mut prev = 0;
+                for _ in 0..10_000 {
+                    let v = ts.read();
+                    assert!(v >= prev);
+                    prev = v;
+                }
+            })
+        };
+        for _ in 0..5_000 {
+            ts.advance(0);
+        }
+        reader.join().unwrap();
+    }
+}

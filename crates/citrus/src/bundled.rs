@@ -1,0 +1,706 @@
+//! The bundled Citrus-style binary search tree (§6).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqTracker};
+use ebr::{Collector, Guard, ReclaimMode};
+
+use crate::{LEFT, RIGHT};
+
+struct Node<K, V> {
+    key: K,
+    val: Option<V>,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    child: [AtomicPtr<Node<K, V>>; 2],
+    /// One bundled reference per child link (§6: "replacing each child link
+    /// of the search tree with a bundled reference").
+    bundle: [Bundle<Node<K, V>>; 2],
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, val: Option<V>) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            child: [AtomicPtr::new(ptr::null_mut()), AtomicPtr::new(ptr::null_mut())],
+            bundle: [Bundle::new(), Bundle::new()],
+        }))
+    }
+}
+
+/// Unbalanced internal BST (Citrus-style) with bundled child references and
+/// linearizable range queries.
+///
+/// The root is a sentinel whose key is never compared: the entire tree hangs
+/// off its left child, which plays the role of Citrus' infinite-key root.
+pub struct BundledCitrusTree<K, V> {
+    root: *mut Node<K, V>,
+    clock: GlobalTimestamp,
+    tracker: RqTracker,
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for BundledCitrusTree<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BundledCitrusTree<K, V> {}
+
+impl<K, V> BundledCitrusTree<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Create a tree supporting `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_mode(max_threads, ReclaimMode::Reclaim)
+    }
+
+    /// Create a tree with an explicit reclamation mode.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        let root = Node::new(K::default(), None);
+        unsafe {
+            // The sentinel's left link starts empty at timestamp 0.
+            (*root).bundle[LEFT].init(ptr::null_mut(), 0);
+            (*root).bundle[RIGHT].init(ptr::null_mut(), 0);
+        }
+        BundledCitrusTree {
+            root,
+            clock: GlobalTimestamp::new(max_threads),
+            tracker: RqTracker::new(max_threads),
+            collector: Collector::new(max_threads, mode),
+        }
+    }
+
+    /// Tree whose global timestamp only advances every `t`-th update per
+    /// thread (Appendix A relaxation; `t = 0` means never).
+    pub fn with_relaxation(max_threads: usize, t: u64) -> Self {
+        let mut tree = Self::with_mode(max_threads, ReclaimMode::Reclaim);
+        tree.clock = GlobalTimestamp::with_threshold(max_threads, t);
+        tree
+    }
+
+    /// The structure's epoch collector (diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The structure's global timestamp (diagnostics).
+    pub fn clock(&self) -> &GlobalTimestamp {
+        &self.clock
+    }
+
+    fn pin(&self, tid: usize) -> Guard<'_> {
+        self.collector.pin(tid)
+    }
+
+    /// Wait-free search: returns `(pred, dir, curr)` where `curr` is the
+    /// node holding `key` (or null) and `pred.child[dir]` was the link
+    /// followed to reach it. The sentinel root's key is never compared.
+    fn search(&self, key: &K) -> (*mut Node<K, V>, usize, *mut Node<K, V>) {
+        let mut pred = self.root;
+        let mut dir = LEFT;
+        let mut curr = unsafe { &*pred }.child[LEFT].load(Ordering::Acquire);
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if c.key == *key {
+                break;
+            }
+            dir = if *key < c.key { LEFT } else { RIGHT };
+            pred = curr;
+            curr = c.child[dir].load(Ordering::Acquire);
+        }
+        (pred, dir, curr)
+    }
+
+    /// Total number of bundle entries over all reachable nodes (diagnostic).
+    pub fn bundle_entries(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut stack = vec![self.root];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let node = unsafe { &*p };
+            n += node.bundle[LEFT].len() + node.bundle[RIGHT].len();
+            stack.push(node.child[LEFT].load(Ordering::Acquire));
+            stack.push(node.child[RIGHT].load(Ordering::Acquire));
+        }
+        n
+    }
+
+    /// One cleanup pass pruning stale bundle entries (Appendix B).
+    pub fn cleanup_bundles(&self, tid: usize) -> usize {
+        let guard = self.pin(tid);
+        let oldest = self.tracker.oldest_active(self.clock.read());
+        let mut reclaimed = 0;
+        let mut stack = vec![self.root];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let node = unsafe { &*p };
+            reclaimed += node.bundle[LEFT].reclaim_up_to(oldest, &guard);
+            reclaimed += node.bundle[RIGHT].reclaim_up_to(oldest, &guard);
+            stack.push(node.child[LEFT].load(Ordering::Acquire));
+            stack.push(node.child[RIGHT].load(Ordering::Acquire));
+        }
+        self.collector.try_advance();
+        reclaimed
+    }
+
+    /// Spawn a background recycler running [`Self::cleanup_bundles`] every
+    /// `delay` on thread slot `tid`.
+    pub fn spawn_recycler(self: &std::sync::Arc<Self>, tid: usize, delay: Duration) -> Recycler
+    where
+        K: 'static,
+        V: 'static,
+    {
+        let tree = std::sync::Arc::clone(self);
+        Recycler::spawn(delay, move || {
+            tree.cleanup_bundles(tid);
+        })
+    }
+}
+
+impl<K, V> ConcurrentSet<K, V> for BundledCitrusTree<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, tid: usize, key: K, value: V) -> bool {
+        let _guard = self.pin(tid);
+        loop {
+            let (pred, dir, curr) = self.search(&key);
+            if !curr.is_null() {
+                let c = unsafe { &*curr };
+                if !c.marked.load(Ordering::Acquire) {
+                    return false;
+                }
+                // Key found but node is being removed: retry until the
+                // removal's physical unlink makes it unreachable.
+                std::hint::spin_loop();
+                continue;
+            }
+            let pred_ref = unsafe { &*pred };
+            let _lock = pred_ref.lock.lock();
+            // Validate: predecessor still live and the slot still empty.
+            if pred_ref.marked.load(Ordering::Acquire)
+                || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
+            {
+                continue;
+            }
+            let node = Node::new(key, Some(value));
+            let node_ref = unsafe { &*node };
+            // A new leaf contributes entries for both of its (null)
+            // children so that snapshot traversals entering it always find
+            // a satisfying entry, plus the predecessor's changed link.
+            let bundles = [
+                (&node_ref.bundle[LEFT], ptr::null_mut()),
+                (&node_ref.bundle[RIGHT], ptr::null_mut()),
+                (&pred_ref.bundle[dir], node),
+            ];
+            linearize_update(&self.clock, tid, &bundles, || {
+                pred_ref.child[dir].store(node, Ordering::SeqCst);
+            });
+            return true;
+        }
+    }
+
+    fn remove(&self, tid: usize, key: &K) -> bool {
+        let guard = self.pin(tid);
+        loop {
+            let (pred, dir, curr) = self.search(key);
+            if curr.is_null() {
+                return false;
+            }
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            // Blocking lock only for the first acquisition; everything else
+            // is try-locked with full release on failure, so no deadlock.
+            let pred_lock = pred_ref.lock.lock();
+            let curr_lock = match curr_ref.lock.try_lock() {
+                Some(g) => g,
+                None => {
+                    drop(pred_lock);
+                    continue;
+                }
+            };
+            if pred_ref.marked.load(Ordering::Acquire)
+                || curr_ref.marked.load(Ordering::Acquire)
+                || pred_ref.child[dir].load(Ordering::Acquire) != curr
+                || curr_ref.key != *key
+            {
+                continue;
+            }
+            let left = curr_ref.child[LEFT].load(Ordering::Acquire);
+            let right = curr_ref.child[RIGHT].load(Ordering::Acquire);
+
+            if left.is_null() || right.is_null() {
+                // Cases 1 & 2: zero or one child — splice the child (or
+                // null) into the predecessor.
+                let repl = if left.is_null() { right } else { left };
+                let bundles = [(&pred_ref.bundle[dir], repl)];
+                linearize_update(&self.clock, tid, &bundles, || {
+                    curr_ref.marked.store(true, Ordering::SeqCst);
+                    pred_ref.child[dir].store(repl, Ordering::SeqCst);
+                });
+                drop(curr_lock);
+                drop(pred_lock);
+                unsafe { guard.retire(curr) };
+                return true;
+            }
+
+            // Case 3: two children — replace `curr` by an RCU-style copy of
+            // its successor (the leftmost node of the right subtree).
+            let mut succ_parent = curr;
+            let mut succ = right;
+            loop {
+                let l = unsafe { &*succ }.child[LEFT].load(Ordering::Acquire);
+                if l.is_null() {
+                    break;
+                }
+                succ_parent = succ;
+                succ = l;
+            }
+            let succ_ref = unsafe { &*succ };
+            let sp_lock = if succ_parent != curr {
+                match unsafe { &*succ_parent }.lock.try_lock() {
+                    Some(g) => Some(g),
+                    None => {
+                        drop(curr_lock);
+                        drop(pred_lock);
+                        continue;
+                    }
+                }
+            } else {
+                None
+            };
+            let succ_lock = match succ_ref.lock.try_lock() {
+                Some(g) => g,
+                None => {
+                    drop(sp_lock);
+                    drop(curr_lock);
+                    drop(pred_lock);
+                    continue;
+                }
+            };
+            let sp_ref = unsafe { &*succ_parent };
+            let succ_still_leftmost = if succ_parent == curr {
+                curr_ref.child[RIGHT].load(Ordering::Acquire) == succ
+            } else {
+                sp_ref.child[LEFT].load(Ordering::Acquire) == succ
+            };
+            if succ_ref.marked.load(Ordering::Acquire)
+                || sp_ref.marked.load(Ordering::Acquire)
+                || !succ_ref.child[LEFT].load(Ordering::Acquire).is_null()
+                || !succ_still_leftmost
+            {
+                drop(succ_lock);
+                drop(sp_lock);
+                drop(curr_lock);
+                drop(pred_lock);
+                continue;
+            }
+            let succ_right = succ_ref.child[RIGHT].load(Ordering::Acquire);
+            // The copy takes curr's position, key/value of the successor,
+            // curr's left child, and the appropriate right child.
+            let new_node = Node::new(succ_ref.key, succ_ref.val.clone());
+            let new_ref = unsafe { &*new_node };
+            let new_right = if succ == right { succ_right } else { right };
+            new_ref.child[LEFT].store(left, Ordering::Relaxed);
+            new_ref.child[RIGHT].store(new_right, Ordering::Relaxed);
+
+            let mut bundles: Vec<(&Bundle<Node<K, V>>, *mut Node<K, V>)> = vec![
+                (&new_ref.bundle[LEFT], left),
+                (&new_ref.bundle[RIGHT], new_right),
+                (&pred_ref.bundle[dir], new_node),
+            ];
+            if succ != right {
+                // The successor is physically moved out of its old slot.
+                bundles.push((&sp_ref.bundle[LEFT], succ_right));
+            }
+            linearize_update(&self.clock, tid, &bundles, || {
+                curr_ref.marked.store(true, Ordering::SeqCst);
+                succ_ref.marked.store(true, Ordering::SeqCst);
+                pred_ref.child[dir].store(new_node, Ordering::SeqCst);
+                if succ != right {
+                    sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
+                }
+            });
+            drop(succ_lock);
+            drop(sp_lock);
+            drop(curr_lock);
+            drop(pred_lock);
+            unsafe {
+                guard.retire(curr);
+                guard.retire(succ);
+            }
+            return true;
+        }
+    }
+
+    fn contains(&self, tid: usize, key: &K) -> bool {
+        let _guard = self.pin(tid);
+        let (_, _, curr) = self.search(key);
+        !curr.is_null() && !unsafe { &*curr }.marked.load(Ordering::Acquire)
+    }
+
+    fn get(&self, tid: usize, key: &K) -> Option<V> {
+        let _guard = self.pin(tid);
+        let (_, _, curr) = self.search(key);
+        if !curr.is_null() && !unsafe { &*curr }.marked.load(Ordering::Acquire) {
+            unsafe { &*curr }.val.clone()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut stack = vec![unsafe { &*self.root }.child[LEFT].load(Ordering::Acquire)];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let node = unsafe { &*p };
+            n += 1;
+            stack.push(node.child[LEFT].load(Ordering::Acquire));
+            stack.push(node.child[RIGHT].load(Ordering::Acquire));
+        }
+        n
+    }
+}
+
+impl<K, V> RangeQuerySet<K, V> for BundledCitrusTree<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        let _guard = self.pin(tid);
+        let mut stack: Vec<*mut Node<K, V>> = Vec::new();
+        'restart: loop {
+            out.clear();
+            stack.clear();
+            let ts = self.tracker.start(tid, &self.clock);
+
+            // Phase 1 (GetFirstNodeInRange): optimistic descent using the
+            // newest pointers to the last node *outside* the range — its
+            // child in direction `dir` roots the subtree containing every
+            // key of the range.
+            let mut pred = self.root;
+            let mut dir = LEFT;
+            let mut curr = unsafe { &*pred }.child[LEFT].load(Ordering::Acquire);
+            while !curr.is_null() {
+                let c = unsafe { &*curr };
+                if c.key < *low {
+                    pred = curr;
+                    dir = RIGHT;
+                    curr = c.child[RIGHT].load(Ordering::Acquire);
+                } else if c.key > *high {
+                    pred = curr;
+                    dir = LEFT;
+                    curr = c.child[LEFT].load(Ordering::Acquire);
+                } else {
+                    break;
+                }
+            }
+
+            // Phase 2: enter the snapshot through the predecessor's bundle
+            // and run a depth-first traversal strictly over bundles.
+            let entry = match unsafe { &*pred }.bundle[dir].dereference(ts) {
+                Some(p) => p,
+                None => {
+                    self.tracker.finish(tid);
+                    continue 'restart;
+                }
+            };
+            stack.push(entry);
+            while let Some(p) = stack.pop() {
+                if p.is_null() {
+                    continue;
+                }
+                let node = unsafe { &*p };
+                let k = node.key;
+                let follow = |d: usize,
+                              stack: &mut Vec<*mut Node<K, V>>|
+                 -> bool {
+                    match node.bundle[d].dereference(ts) {
+                        Some(c) => {
+                            stack.push(c);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                let ok = if k < *low {
+                    follow(RIGHT, &mut stack)
+                } else if k > *high {
+                    follow(LEFT, &mut stack)
+                } else {
+                    out.push((k, node.val.clone().expect("data node has a value")));
+                    follow(LEFT, &mut stack) && follow(RIGHT, &mut stack)
+                };
+                if !ok {
+                    self.tracker.finish(tid);
+                    continue 'restart;
+                }
+            }
+            self.tracker.finish(tid);
+            // The DFS visits keys in tree order, not sorted order.
+            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            return out.len();
+        }
+    }
+}
+
+impl<K, V> Drop for BundledCitrusTree<K, V> {
+    fn drop(&mut self) {
+        let mut stack = vec![self.root];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let node = unsafe { &*p };
+            stack.push(node.child[LEFT].load(Ordering::Relaxed));
+            stack.push(node.child[RIGHT].load(Ordering::Relaxed));
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    type Tree = BundledCitrusTree<u64, u64>;
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = Tree::new(1);
+        assert!(!t.contains(0, &1));
+        assert!(!t.remove(0, &1));
+        assert_eq!(t.len(0), 0);
+        let mut out = Vec::new();
+        assert_eq!(t.range_query(0, &0, &100, &mut out), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let t = Tree::new(1);
+        for k in [50u64, 30, 70, 20, 40, 60, 80] {
+            assert!(t.insert(0, k, k + 1));
+        }
+        assert!(!t.insert(0, 40, 0));
+        assert_eq!(t.len(0), 7);
+        assert!(t.contains(0, &60));
+        assert_eq!(t.get(0, &80), Some(81));
+        // Remove a leaf, a one-child node and a two-children node.
+        assert!(t.remove(0, &20)); // leaf
+        assert!(t.remove(0, &30)); // now has a single child (40)
+        assert!(t.remove(0, &50)); // root of subtree with two children
+        assert!(!t.remove(0, &50));
+        assert_eq!(t.len(0), 4);
+        for k in [40u64, 60, 70, 80] {
+            assert!(t.contains(0, &k), "{k} must survive restructuring");
+        }
+        for k in [20u64, 30, 50] {
+            assert!(!t.contains(0, &k));
+        }
+    }
+
+    #[test]
+    fn range_query_returns_sorted_snapshot() {
+        let t = Tree::new(1);
+        // Insert in shuffled order to get a non-degenerate tree.
+        let mut keys: Vec<u64> = (0..200).map(|i| (i * 37) % 500).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        let mut seed = 7u64;
+        for i in (1..shuffled.len()).rev() {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            shuffled.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+        for &k in &shuffled {
+            t.insert(0, k, k);
+        }
+        let mut out = Vec::new();
+        t.range_query(0, &100, &400, &mut out);
+        let expected: Vec<(u64, u64)> = keys
+            .iter()
+            .filter(|&&k| (100..=400).contains(&k))
+            .map(|&k| (k, k))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn matches_btreemap_model_sequentially() {
+        let t = Tree::new(1);
+        let mut model = BTreeMap::new();
+        let mut seed = 0xabcdefu64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..4000 {
+            let k = next() % 512;
+            match next() % 3 {
+                0 => assert_eq!(t.insert(0, k, k), model.insert(k, k).is_none()),
+                1 => assert_eq!(t.remove(0, &k), model.remove(&k).is_some()),
+                _ => assert_eq!(t.contains(0, &k), model.contains_key(&k)),
+            }
+        }
+        assert_eq!(t.len(0), model.len());
+        let mut out = Vec::new();
+        t.range_query(0, &64, &256, &mut out);
+        let expected: Vec<(u64, u64)> = model.range(64..=256).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn concurrent_mixed_operations_preserve_integrity() {
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        let t = Arc::new(Tree::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut seed = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                    let mut out = Vec::new();
+                    for _ in 0..OPS {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let k = seed % 512;
+                        match seed % 4 {
+                            0 => {
+                                t.insert(tid, k, k);
+                            }
+                            1 => {
+                                t.remove(tid, &k);
+                            }
+                            2 => {
+                                t.contains(tid, &k);
+                            }
+                            _ => {
+                                let lo = k.saturating_sub(64);
+                                t.range_query(tid, &lo, &k, &mut out);
+                                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                                assert!(out.iter().all(|(x, _)| *x >= lo && *x <= k));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        t.range_query(0, &0, &(u64::MAX - 2), &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.len(), t.len(0));
+    }
+
+    #[test]
+    fn range_query_prefix_insertion_has_no_gaps() {
+        const MAX: u64 = 2_000;
+        let t = Arc::new(Tree::new(2));
+        let writer = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                // Interleave low/high keys so the unbalanced tree does not
+                // degenerate into a single path.
+                for i in 0..MAX {
+                    let k = if i % 2 == 0 { i / 2 } else { MAX - 1 - i / 2 };
+                    assert!(t.insert(0, k, i));
+                }
+            })
+        };
+        let reader = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for _ in 0..200 {
+                    // Snapshot consistency: sorted, deduplicated keys.
+                    t.range_query(1, &0, &MAX, &mut out);
+                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(t.len(0), MAX as usize);
+    }
+
+    #[test]
+    fn successor_move_keeps_snapshot_consistent() {
+        // Exercise case 3 of remove repeatedly while a reader scans.
+        let t = Arc::new(Tree::new(2));
+        for k in 0..200u64 {
+            t.insert(0, k, k);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    t.range_query(1, &0, &200, &mut out);
+                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "duplicate key observed");
+                }
+            })
+        };
+        for _ in 0..20 {
+            // Removing interior nodes with two children triggers the copy.
+            for k in (10..190u64).step_by(7) {
+                t.remove(0, &k);
+            }
+            for k in (10..190u64).step_by(7) {
+                t.insert(0, k, k);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(t.len(0), 200);
+    }
+
+    #[test]
+    fn cleanup_prunes_stale_bundle_entries() {
+        let t = Tree::new(2);
+        for k in 0..64u64 {
+            t.insert(0, k * 3 % 64, k);
+        }
+        for _ in 0..5 {
+            for k in 0..64u64 {
+                t.remove(0, &k);
+                t.insert(0, k, k);
+            }
+        }
+        let before = t.bundle_entries(0);
+        let reclaimed = t.cleanup_bundles(1);
+        assert!(reclaimed > 0);
+        assert_eq!(t.bundle_entries(0), before - reclaimed);
+        let mut out = Vec::new();
+        t.range_query(0, &0, &63, &mut out);
+        assert_eq!(out.len(), 64);
+    }
+}

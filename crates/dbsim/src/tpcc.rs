@@ -1,0 +1,464 @@
+//! TPC-C tables, population, and the three transaction profiles used in
+//! §8.2 (NEW_ORDER 50%, PAYMENT 45%, DELIVERY 5%).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use bundle::api::RangeQuerySet;
+
+use crate::keys::{
+    customer_key, customer_name_key, last_name_hash, new_order_key, order_key, stock_key,
+    DISTRICTS_PER_WAREHOUSE,
+};
+
+/// A dynamically dispatched ordered index over `u64 -> u64` (value = row id).
+pub type DynIndex = Arc<dyn RangeQuerySet<u64, u64> + Send + Sync>;
+
+/// Factory building one index instance; called once per index of the
+/// database so that every index uses the structure under evaluation.
+pub type IndexFactory = dyn Fn(usize) -> DynIndex + Send + Sync;
+
+/// Scale configuration. The TPC-C spec sizes (3000 customers, 100k items)
+/// are reachable but the defaults are scaled down so the substrate stays
+/// usable on small machines; the access *pattern* is unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Number of warehouses (the paper uses 10).
+    pub warehouses: u64,
+    /// Customers per district.
+    pub customers_per_district: u64,
+    /// Number of distinct items.
+    pub items: u64,
+    /// Orders pre-loaded per district.
+    pub initial_orders_per_district: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 10,
+            customers_per_district: 300,
+            items: 1_000,
+            initial_orders_per_district: 200,
+        }
+    }
+}
+
+/// Customer row (only the fields the measured transactions touch).
+#[derive(Debug, Default, Clone)]
+pub struct Customer {
+    pub c_id: u64,
+    pub last_name: String,
+    pub balance: f64,
+    pub payment_cnt: u64,
+}
+
+/// Order row.
+#[derive(Debug, Default, Clone)]
+pub struct Order {
+    pub o_id: u64,
+    pub c_id: u64,
+    pub ol_cnt: u64,
+    pub carrier_id: Option<u64>,
+}
+
+/// Per-transaction-profile counters.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    pub new_order: AtomicU64,
+    pub payment: AtomicU64,
+    pub delivery: AtomicU64,
+    /// Total operations issued against the indexes (what Figure 4 reports).
+    pub index_ops: AtomicU64,
+}
+
+/// Transaction profiles of the evaluated mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    Delivery,
+}
+
+impl TxnKind {
+    /// Sample the paper's mix: 50% NEW_ORDER, 45% PAYMENT, 5% DELIVERY.
+    pub fn sample(rng: &mut SmallRng) -> TxnKind {
+        match rng.gen_range(0..100u32) {
+            0..=49 => TxnKind::NewOrder,
+            50..=94 => TxnKind::Payment,
+            _ => TxnKind::Delivery,
+        }
+    }
+}
+
+/// The in-memory database: row arenas plus the secondary indexes backed by
+/// the structure under evaluation.
+pub struct TpccDb {
+    pub cfg: TpccConfig,
+    /// Customer rows; index into the vector is the row id stored in indexes.
+    customers: Vec<Mutex<Customer>>,
+    /// Order rows, appended as NEW_ORDER transactions execute.
+    orders: Mutex<Vec<Order>>,
+    /// Next order id per (warehouse, district).
+    next_o_id: Vec<AtomicU64>,
+    /// Stock quantity per (warehouse, item) row.
+    stock_qty: Vec<AtomicU64>,
+
+    /// Customer primary index: `customer_key -> customer row id`.
+    pub customer_index: DynIndex,
+    /// Customer last-name index: `customer_name_key -> customer row id`.
+    pub customer_name_index: DynIndex,
+    /// Order index: `order_key -> order row id`.
+    pub order_index: DynIndex,
+    /// New-order index: `new_order_key -> order row id` (pending deliveries).
+    pub new_order_index: DynIndex,
+    /// Item index: `item id -> item row id` (read-only after load).
+    pub item_index: DynIndex,
+    /// Stock index: `stock_key -> stock row id`.
+    pub stock_index: DynIndex,
+
+    /// Aggregate statistics.
+    pub stats: TxnStats,
+}
+
+impl TpccDb {
+    /// Build and populate a database whose six indexes are created by
+    /// `factory` (with `max_threads` registered threads each).
+    pub fn new(cfg: TpccConfig, factory: &IndexFactory, max_threads: usize) -> Self {
+        let db = TpccDb {
+            cfg,
+            customers: Vec::new(),
+            orders: Mutex::new(Vec::new()),
+            next_o_id: (0..cfg.warehouses * DISTRICTS_PER_WAREHOUSE)
+                .map(|_| AtomicU64::new(cfg.initial_orders_per_district))
+                .collect(),
+            stock_qty: (0..cfg.warehouses * cfg.items)
+                .map(|_| AtomicU64::new(100))
+                .collect(),
+            customer_index: factory(max_threads),
+            customer_name_index: factory(max_threads),
+            order_index: factory(max_threads),
+            new_order_index: factory(max_threads),
+            item_index: factory(max_threads),
+            stock_index: factory(max_threads),
+            stats: TxnStats::default(),
+        };
+        let mut db = db;
+        db.populate();
+        db
+    }
+
+    fn bump_index_ops(&self, n: u64) {
+        self.stats.index_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One of the TPC-C last names, cycled per customer id.
+    fn last_name(c_id: u64) -> String {
+        const SYLLABLES: [&str; 10] = [
+            "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+        ];
+        let mut n = c_id % 1000;
+        let mut s = String::new();
+        for _ in 0..3 {
+            s.push_str(SYLLABLES[(n % 10) as usize]);
+            n /= 10;
+        }
+        s
+    }
+
+    fn populate(&mut self) {
+        let cfg = self.cfg;
+        // Items and stock.
+        for i in 0..cfg.items {
+            self.item_index.insert(0, i, i);
+            for w in 0..cfg.warehouses {
+                self.stock_index.insert(0, stock_key(w, i), w * cfg.items + i);
+            }
+        }
+        // Customers.
+        for w in 0..cfg.warehouses {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                for c in 0..cfg.customers_per_district {
+                    let row_id = self.customers.len() as u64;
+                    let name = Self::last_name(c);
+                    self.customers.push(Mutex::new(Customer {
+                        c_id: c,
+                        last_name: name.clone(),
+                        balance: -10.0,
+                        payment_cnt: 0,
+                    }));
+                    self.customer_index.insert(0, customer_key(w, d, c), row_id);
+                    self.customer_name_index.insert(
+                        0,
+                        customer_name_key(w, d, last_name_hash(&name), c),
+                        row_id,
+                    );
+                }
+            }
+        }
+        // Initial orders awaiting delivery.
+        let mut orders = self.orders.lock();
+        for w in 0..cfg.warehouses {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                for o in 0..cfg.initial_orders_per_district {
+                    let row_id = orders.len() as u64;
+                    orders.push(Order {
+                        o_id: o,
+                        c_id: o % cfg.customers_per_district,
+                        ol_cnt: 5,
+                        carrier_id: None,
+                    });
+                    self.order_index.insert(0, order_key(w, d, o), row_id);
+                    self.new_order_index.insert(0, new_order_key(w, d, o), row_id);
+                }
+            }
+        }
+    }
+
+    /// Total number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.stats.new_order.load(Ordering::Relaxed)
+            + self.stats.payment.load(Ordering::Relaxed)
+            + self.stats.delivery.load(Ordering::Relaxed)
+    }
+
+    /// NEW_ORDER: insert an order with 5–15 lines, reading the item and
+    /// stock indexes and inserting into the order and new-order indexes.
+    pub fn new_order(&self, tid: usize, rng: &mut SmallRng) {
+        let cfg = self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let c = rng.gen_range(0..cfg.customers_per_district);
+        let ol_cnt = rng.gen_range(5..=15u64);
+        let mut index_ops = 0u64;
+
+        let o_id = self.next_o_id[(w * DISTRICTS_PER_WAREHOUSE + d) as usize]
+            .fetch_add(1, Ordering::Relaxed);
+
+        for _ in 0..ol_cnt {
+            let item = rng.gen_range(0..cfg.items);
+            // Item lookup.
+            let _ = self.item_index.get(tid, &item);
+            index_ops += 1;
+            // Stock lookup + quantity update (row update, not an index op).
+            if let Some(stock_row) = self.stock_index.get(tid, &stock_key(w, item)) {
+                let qty = &self.stock_qty[stock_row as usize];
+                let mut q = qty.load(Ordering::Relaxed);
+                if q < 10 {
+                    q += 91;
+                }
+                qty.store(q.saturating_sub(rng.gen_range(1..=10)), Ordering::Relaxed);
+            }
+            index_ops += 1;
+        }
+
+        let row_id = {
+            let mut orders = self.orders.lock();
+            let row_id = orders.len() as u64;
+            orders.push(Order {
+                o_id,
+                c_id: c,
+                ol_cnt,
+                carrier_id: None,
+            });
+            row_id
+        };
+        self.order_index.insert(tid, order_key(w, d, o_id), row_id);
+        self.new_order_index.insert(tid, new_order_key(w, d, o_id), row_id);
+        index_ops += 2;
+
+        self.bump_index_ops(index_ops);
+        self.stats.new_order.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// PAYMENT: update a customer's balance; with 60% probability the
+    /// customer is looked up by last name through a range query over the
+    /// customer-name index, otherwise by primary key.
+    pub fn payment(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) {
+        let cfg = self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let mut index_ops = 0u64;
+
+        let row_id = if rng.gen_range(0..100) < 60 {
+            // Lookup by last name: range query over the contiguous block of
+            // customers sharing the name hash, pick the middle one (TPC-C
+            // picks the median by first name).
+            let c = rng.gen_range(0..cfg.customers_per_district);
+            let h = last_name_hash(&Self::last_name(c));
+            let low = customer_name_key(w, d, h, 0);
+            let high = customer_name_key(w, d, h, (1 << 20) - 1);
+            self.customer_name_index.range_query(tid, &low, &high, scratch);
+            index_ops += 1;
+            if scratch.is_empty() {
+                None
+            } else {
+                Some(scratch[scratch.len() / 2].1)
+            }
+        } else {
+            let c = rng.gen_range(0..cfg.customers_per_district);
+            index_ops += 1;
+            self.customer_index.get(tid, &customer_key(w, d, c))
+        };
+
+        if let Some(row) = row_id {
+            if let Some(cust) = self.customers.get(row as usize) {
+                let mut cust = cust.lock();
+                let amount = rng.gen_range(1.0..5000.0);
+                cust.balance -= amount;
+                cust.payment_cnt += 1;
+            }
+        }
+        self.bump_index_ops(index_ops);
+        self.stats.payment.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// DELIVERY: for each district of a warehouse, range-query the
+    /// new-order index over the last 100 orders, select the oldest, delete
+    /// it from the new-order index and stamp the carrier on the order row.
+    pub fn delivery(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) {
+        let cfg = self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let carrier = rng.gen_range(1..=10u64);
+        let mut index_ops = 0u64;
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            let next = self.next_o_id[(w * DISTRICTS_PER_WAREHOUSE + d) as usize]
+                .load(Ordering::Relaxed);
+            let low_o = next.saturating_sub(100);
+            let low = new_order_key(w, d, low_o);
+            let high = new_order_key(w, d, next);
+            self.new_order_index.range_query(tid, &low, &high, scratch);
+            index_ops += 1;
+            if let Some(&(oldest_key, order_row)) = scratch.first() {
+                // Delete so the next DELIVERY does not re-deliver it.
+                if self.new_order_index.remove(tid, &oldest_key) {
+                    index_ops += 1;
+                    let mut orders = self.orders.lock();
+                    if let Some(o) = orders.get_mut(order_row as usize) {
+                        o.carrier_id = Some(carrier);
+                    }
+                }
+            }
+        }
+        self.bump_index_ops(index_ops);
+        self.stats.delivery.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Execute one transaction of the paper's mix.
+    pub fn run_txn(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) -> TxnKind {
+        let kind = TxnKind::sample(rng);
+        match kind {
+            TxnKind::NewOrder => self.new_order(tid, rng),
+            TxnKind::Payment => self.payment(tid, rng, scratch),
+            TxnKind::Delivery => self.delivery(tid, rng, scratch),
+        }
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use skiplist::BundledSkipList;
+
+    fn small_cfg() -> TpccConfig {
+        TpccConfig {
+            warehouses: 2,
+            customers_per_district: 30,
+            items: 50,
+            initial_orders_per_district: 20,
+        }
+    }
+
+    fn make_db(threads: usize) -> TpccDb {
+        let factory = |t: usize| -> DynIndex { Arc::new(BundledSkipList::<u64, u64>::new(t)) };
+        TpccDb::new(small_cfg(), &factory, threads)
+    }
+
+    #[test]
+    fn population_fills_all_indexes() {
+        let db = make_db(1);
+        let cfg = db.cfg;
+        assert_eq!(db.item_index.len(0) as u64, cfg.items);
+        assert_eq!(
+            db.customer_index.len(0) as u64,
+            cfg.warehouses * DISTRICTS_PER_WAREHOUSE * cfg.customers_per_district
+        );
+        assert_eq!(
+            db.new_order_index.len(0) as u64,
+            cfg.warehouses * DISTRICTS_PER_WAREHOUSE * cfg.initial_orders_per_district
+        );
+        assert_eq!(db.order_index.len(0), db.new_order_index.len(0));
+    }
+
+    #[test]
+    fn new_order_grows_order_indexes() {
+        let db = make_db(1);
+        let before = db.order_index.len(0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            db.new_order(0, &mut rng);
+        }
+        assert_eq!(db.order_index.len(0), before + 20);
+        assert_eq!(db.stats.new_order.load(Ordering::Relaxed), 20);
+        assert!(db.stats.index_ops.load(Ordering::Relaxed) >= 20 * (2 + 2 * 5));
+    }
+
+    #[test]
+    fn delivery_consumes_pending_orders() {
+        let db = make_db(1);
+        let before = db.new_order_index.len(0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut scratch = Vec::new();
+        for _ in 0..5 {
+            db.delivery(0, &mut rng, &mut scratch);
+        }
+        let after = db.new_order_index.len(0);
+        assert!(after < before, "deliveries must remove pending orders");
+        assert_eq!(db.stats.delivery.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn payment_updates_customer_balance() {
+        let db = make_db(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut scratch = Vec::new();
+        for _ in 0..50 {
+            db.payment(0, &mut rng, &mut scratch);
+        }
+        assert_eq!(db.stats.payment.load(Ordering::Relaxed), 50);
+        let touched = db
+            .customers
+            .iter()
+            .filter(|c| c.lock().payment_cnt > 0)
+            .count();
+        assert!(touched > 0, "some customer must have received a payment");
+    }
+
+    #[test]
+    fn mixed_transactions_run_concurrently() {
+        let db = Arc::new(make_db(4));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(100 + tid as u64);
+                    let mut scratch = Vec::new();
+                    for _ in 0..200 {
+                        db.run_txn(tid, &mut rng, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.committed(), 800);
+        assert!(db.stats.index_ops.load(Ordering::Relaxed) > 800);
+    }
+}

@@ -1,0 +1,112 @@
+//! A type-erased retired allocation awaiting reclamation.
+
+/// A pointer that has been unlinked from a data structure and handed to the
+/// collector, together with the function that knows how to drop it.
+///
+/// `Retired` erases the concrete type so that a single limbo list can hold
+/// nodes, bundle entries, and any other allocation a data structure retires.
+pub struct Retired {
+    ptr: *mut u8,
+    dtor: unsafe fn(*mut u8),
+    epoch: u64,
+}
+
+// A `Retired` is only ever touched by the thread that owns the limbo list it
+// sits in (or by the collector during its own teardown), so moving it across
+// threads is sound as long as the underlying object is `Send`. The unsafe
+// `retire` constructors require exactly that.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Wrap a heap allocation produced by `Box::into_raw`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by `Box::into_raw` for a `T`, must not
+    /// be dropped elsewhere, and must not be dereferenced after the grace
+    /// period expires.
+    pub unsafe fn from_box<T>(ptr: *mut T, epoch: u64) -> Self {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            drop(Box::from_raw(p.cast::<T>()));
+        }
+        Retired {
+            ptr: ptr.cast(),
+            dtor: drop_box::<T>,
+            epoch,
+        }
+    }
+
+    /// Wrap an arbitrary pointer with a caller-provided destructor.
+    ///
+    /// # Safety
+    ///
+    /// `dtor` must be safe to call exactly once on `ptr` after the grace
+    /// period expires, and `ptr` must not be used afterwards.
+    pub unsafe fn with_dtor(ptr: *mut u8, dtor: unsafe fn(*mut u8), epoch: u64) -> Self {
+        Retired { ptr, dtor, epoch }
+    }
+
+    /// The epoch during which this object was retired.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reclaim the allocation.
+    ///
+    /// # Safety
+    ///
+    /// May only be called once no thread can still hold a reference obtained
+    /// while the object was reachable (i.e. after a grace period).
+    pub(crate) unsafe fn reclaim(self) {
+        (self.dtor)(self.ptr);
+        // Do not run Drop for `self` (there is nothing else to do).
+        std::mem::forget(self);
+    }
+}
+
+impl std::fmt::Debug for Retired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Retired")
+            .field("ptr", &self.ptr)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Tracked;
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn from_box_runs_destructor_on_reclaim() {
+        DROPS.store(0, Ordering::SeqCst);
+        let p = Box::into_raw(Box::new(Tracked));
+        let r = unsafe { Retired::from_box(p, 7) };
+        assert_eq!(r.epoch(), 7);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        unsafe { r.reclaim() };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn with_dtor_invokes_custom_destructor() {
+        static CUSTOM: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn bump(_p: *mut u8) {
+            CUSTOM.fetch_add(1, Ordering::SeqCst);
+        }
+        let mut x = 5u32;
+        let r = unsafe { Retired::with_dtor((&mut x as *mut u32).cast(), bump, 1) };
+        unsafe { r.reclaim() };
+        assert_eq!(CUSTOM.load(Ordering::SeqCst), 1);
+    }
+}

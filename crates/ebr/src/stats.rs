@@ -1,0 +1,73 @@
+//! Reclamation statistics, used by the Table 1 experiment and by tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the collector's activity.
+///
+/// All counters are monotonically increasing and updated with `Relaxed`
+/// ordering: they are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Stats {
+    retired: AtomicU64,
+    freed: AtomicU64,
+    epochs_advanced: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_retire(&self) {
+        self.retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_free(&self, n: u64) {
+        self.freed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_advance(&self) {
+        self.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of objects handed to the collector.
+    pub fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Total number of objects whose memory has actually been released.
+    pub fn freed(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    /// Number of successful global epoch advances.
+    pub fn epochs_advanced(&self) -> u64 {
+        self.epochs_advanced.load(Ordering::Relaxed)
+    }
+
+    /// Objects retired but not yet freed.
+    pub fn pending(&self) -> u64 {
+        self.retired().saturating_sub(self.freed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        assert_eq!(s.retired(), 0);
+        assert_eq!(s.freed(), 0);
+        assert_eq!(s.pending(), 0);
+        s.on_retire();
+        s.on_retire();
+        s.on_free(1);
+        s.on_advance();
+        assert_eq!(s.retired(), 2);
+        assert_eq!(s.freed(), 1);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.epochs_advanced(), 1);
+    }
+}

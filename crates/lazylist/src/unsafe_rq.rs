@@ -1,0 +1,285 @@
+//! The *Unsafe* lazy list baseline (§8): linearizable primitive operations,
+//! range queries that simply walk the current pointers with no consistency
+//! guarantee. It is the performance reference line in Figures 2 and 3.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use parking_lot::Mutex;
+
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use ebr::{Collector, Guard, ReclaimMode};
+
+struct Node<K, V> {
+    key: K,
+    val: Option<V>,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    next: AtomicPtr<Node<K, V>>,
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, val: Option<V>) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// The lazy sorted linked list exactly as published by Heller et al., with a
+/// naive (non-linearizable) range query — the paper's `Unsafe` baseline.
+pub struct UnsafeLazyList<K, V> {
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
+    collector: Collector,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for UnsafeLazyList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for UnsafeLazyList<K, V> {}
+
+impl<K, V> UnsafeLazyList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Create a list supporting `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_mode(max_threads, ReclaimMode::Reclaim)
+    }
+
+    /// Create a list with an explicit reclamation mode.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        let tail = Node::new(K::default(), None);
+        let head = Node::new(K::default(), None);
+        unsafe { (*head).next.store(tail, Ordering::Release) };
+        UnsafeLazyList {
+            head,
+            tail,
+            collector: Collector::new(max_threads, mode),
+        }
+    }
+
+    /// The structure's epoch collector (diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    fn pin(&self, tid: usize) -> Guard<'_> {
+        self.collector.pin(tid)
+    }
+
+    fn traverse(&self, target: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        let mut pred = self.head;
+        let mut curr = unsafe { &*pred }.next.load(Ordering::Acquire);
+        while curr != self.tail && unsafe { &*curr }.key < *target {
+            pred = curr;
+            curr = unsafe { &*curr }.next.load(Ordering::Acquire);
+        }
+        (pred, curr)
+    }
+
+    fn validate(&self, pred: *mut Node<K, V>, curr: *mut Node<K, V>) -> bool {
+        let p = unsafe { &*pred };
+        !p.marked.load(Ordering::Acquire) && p.next.load(Ordering::Acquire) == curr
+    }
+}
+
+impl<K, V> ConcurrentSet<K, V> for UnsafeLazyList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, tid: usize, key: K, value: V) -> bool {
+        let _guard = self.pin(tid);
+        loop {
+            let (pred, curr) = self.traverse(&key);
+            let pred_ref = unsafe { &*pred };
+            let _lock = pred_ref.lock.lock();
+            if !self.validate(pred, curr) {
+                continue;
+            }
+            if curr != self.tail && unsafe { &*curr }.key == key {
+                return false;
+            }
+            let node = Node::new(key, Some(value));
+            unsafe { &*node }.next.store(curr, Ordering::Relaxed);
+            pred_ref.next.store(node, Ordering::Release);
+            return true;
+        }
+    }
+
+    fn remove(&self, tid: usize, key: &K) -> bool {
+        let guard = self.pin(tid);
+        loop {
+            let (pred, curr) = self.traverse(key);
+            if curr == self.tail || unsafe { &*curr }.key != *key {
+                return false;
+            }
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            let _pred_lock = pred_ref.lock.lock();
+            let _curr_lock = curr_ref.lock.lock();
+            if !self.validate(pred, curr) || curr_ref.marked.load(Ordering::Acquire) {
+                continue;
+            }
+            let next = curr_ref.next.load(Ordering::Acquire);
+            curr_ref.marked.store(true, Ordering::Release);
+            pred_ref.next.store(next, Ordering::Release);
+            unsafe { guard.retire(curr) };
+            return true;
+        }
+    }
+
+    fn contains(&self, tid: usize, key: &K) -> bool {
+        let _guard = self.pin(tid);
+        let (_, curr) = self.traverse(key);
+        curr != self.tail
+            && unsafe { &*curr }.key == *key
+            && !unsafe { &*curr }.marked.load(Ordering::Acquire)
+    }
+
+    fn get(&self, tid: usize, key: &K) -> Option<V> {
+        let _guard = self.pin(tid);
+        let (_, curr) = self.traverse(key);
+        if curr != self.tail
+            && unsafe { &*curr }.key == *key
+            && !unsafe { &*curr }.marked.load(Ordering::Acquire)
+        {
+            unsafe { &*curr }.val.clone()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut curr = unsafe { &*self.head }.next.load(Ordering::Acquire);
+        while curr != self.tail {
+            n += 1;
+            curr = unsafe { &*curr }.next.load(Ordering::Acquire);
+        }
+        n
+    }
+}
+
+impl<K, V> RangeQuerySet<K, V> for UnsafeLazyList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Non-linearizable scan over the current pointers: concurrent updates
+    /// may be partially observed. This is exactly the paper's `Unsafe`
+    /// reference implementation.
+    fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        let _guard = self.pin(tid);
+        out.clear();
+        let (_, mut curr) = self.traverse(low);
+        while curr != self.tail && unsafe { &*curr }.key <= *high {
+            let n = unsafe { &*curr };
+            if !n.marked.load(Ordering::Acquire) {
+                out.push((n.key, n.val.clone().expect("data node has a value")));
+            }
+            curr = n.next.load(Ordering::Acquire);
+        }
+        out.len()
+    }
+}
+
+impl<K, V> Drop for UnsafeLazyList<K, V> {
+    fn drop(&mut self) {
+        let mut curr = self.head;
+        while !curr.is_null() {
+            let next = unsafe { &*curr }.next.load(Ordering::Relaxed);
+            unsafe { drop(Box::from_raw(curr)) };
+            if curr == self.tail {
+                break;
+            }
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    type List = UnsafeLazyList<u64, u64>;
+
+    #[test]
+    fn basic_set_semantics() {
+        let l = List::new(1);
+        assert!(l.insert(0, 3, 30));
+        assert!(l.insert(0, 1, 10));
+        assert!(l.insert(0, 2, 20));
+        assert!(!l.insert(0, 2, 99));
+        assert!(l.contains(0, &1));
+        assert_eq!(l.get(0, &3), Some(30));
+        assert!(l.remove(0, &1));
+        assert!(!l.contains(0, &1));
+        assert_eq!(l.len(0), 2);
+        let mut out = Vec::new();
+        l.range_query(0, &0, &10, &mut out);
+        assert_eq!(out, vec![(2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn matches_btreemap_model_sequentially() {
+        let l = List::new(1);
+        let mut model = BTreeMap::new();
+        let mut seed = 42u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..2000 {
+            let k = next() % 64;
+            match next() % 3 {
+                0 => assert_eq!(l.insert(0, k, k), model.insert(k, k).is_none()),
+                1 => assert_eq!(l.remove(0, &k), model.remove(&k).is_some()),
+                _ => assert_eq!(l.contains(0, &k), model.contains_key(&k)),
+            }
+        }
+        assert_eq!(l.len(0), model.len());
+    }
+
+    #[test]
+    fn concurrent_updates_preserve_structure() {
+        const THREADS: usize = 4;
+        let l = Arc::new(List::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    let mut seed = (tid as u64 + 1) * 7919;
+                    for _ in 0..2000 {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let k = seed % 128;
+                        if seed % 2 == 0 {
+                            l.insert(tid, k, k);
+                        } else {
+                            l.remove(tid, &k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        l.range_query(0, &0, &(u64::MAX - 1), &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.len(), l.len(0));
+    }
+}

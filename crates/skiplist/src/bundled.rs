@@ -1,0 +1,666 @@
+//! The bundled lazy skip list (§5).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Mutex, MutexGuard};
+
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqTracker};
+use ebr::{Collector, Guard, ReclaimMode};
+
+use crate::MAX_LEVEL;
+
+struct Node<K, V> {
+    key: K,
+    val: Option<V>,
+    top_level: usize,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: [AtomicPtr<Node<K, V>>; MAX_LEVEL],
+    /// Bundled reference for the bottom (data) layer link only — the
+    /// paper's optimization: index layers are never consulted by in-range
+    /// traversals, so they are left unbundled.
+    bundle: Bundle<Node<K, V>>,
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, val: Option<V>, top_level: usize) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            top_level,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            bundle: Bundle::new(),
+        }))
+    }
+}
+
+/// Lazy skip list with bundled references on the data layer, providing
+/// linearizable range queries (§5 of the paper).
+pub struct BundledSkipList<K, V> {
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
+    clock: GlobalTimestamp,
+    tracker: RqTracker,
+    collector: Collector,
+    seeds: Box<[CachePadded<AtomicU64>]>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for BundledSkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BundledSkipList<K, V> {}
+
+impl<K, V> BundledSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Create a skip list supporting `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_mode(max_threads, ReclaimMode::Reclaim)
+    }
+
+    /// Create a skip list with an explicit reclamation mode.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        let tail = Node::new(K::default(), None, MAX_LEVEL - 1);
+        let head = Node::new(K::default(), None, MAX_LEVEL - 1);
+        unsafe {
+            for lvl in 0..MAX_LEVEL {
+                (*head).next[lvl].store(tail, Ordering::Release);
+            }
+            (*head).fully_linked.store(true, Ordering::Release);
+            (*tail).fully_linked.store(true, Ordering::Release);
+            (*head).bundle.init(tail, 0);
+        }
+        let seeds = (0..max_threads.max(1))
+            .map(|i| CachePadded::new(AtomicU64::new(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BundledSkipList {
+            head,
+            tail,
+            clock: GlobalTimestamp::new(max_threads),
+            tracker: RqTracker::new(max_threads),
+            collector: Collector::new(max_threads, mode),
+            seeds,
+        }
+    }
+
+    /// Skip list whose global timestamp only advances every `t`-th update
+    /// per thread (Appendix A relaxation; `t = 0` means never).
+    pub fn with_relaxation(max_threads: usize, t: u64) -> Self {
+        let mut sl = Self::with_mode(max_threads, ReclaimMode::Reclaim);
+        sl.clock = GlobalTimestamp::with_threshold(max_threads, t);
+        sl
+    }
+
+    /// The structure's epoch collector (diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The structure's global timestamp (diagnostics).
+    pub fn clock(&self) -> &GlobalTimestamp {
+        &self.clock
+    }
+
+    fn pin(&self, tid: usize) -> Guard<'_> {
+        self.collector.pin(tid)
+    }
+
+    /// Geometric (p = 1/2) tower height from a per-thread xorshift PRNG.
+    fn random_level(&self, tid: usize) -> usize {
+        let slot = &self.seeds[tid % self.seeds.len()];
+        let mut x = slot.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        slot.store(x, Ordering::Relaxed);
+        ((x.trailing_ones()) as usize).min(MAX_LEVEL - 1)
+    }
+
+    /// Standard skip list search: fill `preds`/`succs` at every level and
+    /// return the highest level at which `key` was found.
+    fn find(
+        &self,
+        key: &K,
+        preds: &mut [*mut Node<K, V>; MAX_LEVEL],
+        succs: &mut [*mut Node<K, V>; MAX_LEVEL],
+    ) -> Option<usize> {
+        let mut lfound = None;
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            while curr != self.tail && unsafe { &*curr }.key < *key {
+                pred = curr;
+                curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            }
+            if lfound.is_none() && curr != self.tail && unsafe { &*curr }.key == *key {
+                lfound = Some(lvl);
+            }
+            preds[lvl] = pred;
+            succs[lvl] = curr;
+        }
+        lfound
+    }
+
+    /// Total number of bundle entries on the data layer (diagnostic).
+    pub fn bundle_entries(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut curr = self.head;
+        while !curr.is_null() {
+            let node = unsafe { &*curr };
+            n += node.bundle.len();
+            if curr == self.tail {
+                break;
+            }
+            curr = node.next[0].load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// One cleanup pass pruning stale bundle entries (Appendix B).
+    pub fn cleanup_bundles(&self, tid: usize) -> usize {
+        let guard = self.pin(tid);
+        let oldest = self.tracker.oldest_active(self.clock.read());
+        let mut reclaimed = 0;
+        let mut curr = self.head;
+        while !curr.is_null() && curr != self.tail {
+            let node = unsafe { &*curr };
+            reclaimed += node.bundle.reclaim_up_to(oldest, &guard);
+            curr = node.next[0].load(Ordering::Acquire);
+        }
+        self.collector.try_advance();
+        reclaimed
+    }
+
+    /// Spawn a background recycler running [`Self::cleanup_bundles`] every
+    /// `delay` on thread slot `tid`.
+    pub fn spawn_recycler(self: &std::sync::Arc<Self>, tid: usize, delay: Duration) -> Recycler
+    where
+        K: 'static,
+        V: 'static,
+    {
+        let sl = std::sync::Arc::clone(self);
+        Recycler::spawn(delay, move || {
+            sl.cleanup_bundles(tid);
+        })
+    }
+
+    /// Lock `preds[0..=top]`, skipping duplicates, and validate that every
+    /// level still links `pred -> succ` with both unmarked. Returns the
+    /// guards on success (dropping them releases the locks).
+    fn lock_and_validate<'a>(
+        &self,
+        preds: &[*mut Node<K, V>; MAX_LEVEL],
+        succs: &[*mut Node<K, V>; MAX_LEVEL],
+        top: usize,
+        expect_succ: Option<*mut Node<K, V>>,
+    ) -> Option<Vec<MutexGuard<'a, ()>>> {
+        let mut guards: Vec<MutexGuard<'_, ()>> = Vec::with_capacity(top + 1);
+        let mut prev: *mut Node<K, V> = ptr::null_mut();
+        let mut valid = true;
+        for lvl in 0..=top {
+            let pred = preds[lvl];
+            let succ = expect_succ.unwrap_or(succs[lvl]);
+            if pred != prev {
+                // Safety: the node is reachable (we hold an EBR guard) and
+                // stays allocated while the guard is live, so the lock
+                // outlives the returned guards.
+                let lock: MutexGuard<'a, ()> = unsafe { &*pred }.lock.lock();
+                guards.push(lock);
+                prev = pred;
+            }
+            let p = unsafe { &*pred };
+            let s_marked = if succ == self.tail {
+                false
+            } else {
+                unsafe { &*succ }.marked.load(Ordering::Acquire)
+            };
+            valid = !p.marked.load(Ordering::Acquire)
+                && !s_marked
+                && p.next[lvl].load(Ordering::Acquire) == succ;
+            if !valid {
+                break;
+            }
+        }
+        if valid {
+            Some(guards)
+        } else {
+            None
+        }
+    }
+}
+
+impl<K, V> ConcurrentSet<K, V> for BundledSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, tid: usize, key: K, value: V) -> bool {
+        let _guard = self.pin(tid);
+        let top = self.random_level(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            if let Some(l) = self.find(&key, &mut preds, &mut succs) {
+                let found = succs[l];
+                let f = unsafe { &*found };
+                if !f.marked.load(Ordering::Acquire) {
+                    // Wait until the concurrent inserter finishes linking.
+                    while !f.fully_linked.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    return false;
+                }
+                // Found but being removed: retry.
+                continue;
+            }
+            let guards = match self.lock_and_validate(&preds, &succs, top, None) {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = Node::new(key, Some(value), top);
+            let node_ref = unsafe { &*node };
+            for lvl in 0..=top {
+                node_ref.next[lvl].store(succs[lvl], Ordering::Relaxed);
+            }
+            // Physically link bottom-up (traversals tolerate partially
+            // linked towers; `fullyLinked` is the linearization point).
+            for lvl in 0..=top {
+                unsafe { &*preds[lvl] }.next[lvl].store(node, Ordering::SeqCst);
+            }
+            // Bundles affected: the new node's data-layer link and the
+            // data-layer predecessor's link.
+            let bundles = [
+                (&node_ref.bundle, succs[0]),
+                (&unsafe { &*preds[0] }.bundle, node),
+            ];
+            linearize_update(&self.clock, tid, &bundles, || {
+                node_ref.fully_linked.store(true, Ordering::SeqCst);
+            });
+            drop(guards);
+            return true;
+        }
+    }
+
+    fn remove(&self, tid: usize, key: &K) -> bool {
+        let guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            let lfound = self.find(key, &mut preds, &mut succs);
+            let (victim, level) = match lfound {
+                Some(l) => (succs[l], l),
+                None => return false,
+            };
+            let v = unsafe { &*victim };
+            // Candidate check (Herlihy et al.): fully linked at its full
+            // height and not already logically deleted.
+            if !(v.fully_linked.load(Ordering::Acquire)
+                && v.top_level == level
+                && !v.marked.load(Ordering::Acquire))
+            {
+                return false;
+            }
+            let top = v.top_level;
+            let victim_lock = v.lock.lock();
+            if v.marked.load(Ordering::Acquire) {
+                return false;
+            }
+            let guards = match self.lock_and_validate(&preds, &succs, top, Some(victim)) {
+                Some(g) => g,
+                None => {
+                    drop(victim_lock);
+                    continue;
+                }
+            };
+            // Only the data-layer predecessor's bundle changes; the victim's
+            // own bundle keeps describing the pre-removal physical state.
+            let bundles = [(
+                &unsafe { &*preds[0] }.bundle,
+                v.next[0].load(Ordering::Acquire),
+            )];
+            linearize_update(&self.clock, tid, &bundles, || {
+                // Linearization point: the logical delete (§5).
+                v.marked.store(true, Ordering::SeqCst);
+            });
+            // Physical unlink, top-down, within the same critical section.
+            for lvl in (0..=top).rev() {
+                unsafe { &*preds[lvl] }.next[lvl]
+                    .store(v.next[lvl].load(Ordering::Acquire), Ordering::SeqCst);
+            }
+            drop(guards);
+            drop(victim_lock);
+            unsafe { guard.retire(victim) };
+            return true;
+        }
+    }
+
+    fn contains(&self, tid: usize, key: &K) -> bool {
+        let _guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs) {
+            Some(l) => {
+                let n = unsafe { &*succs[l] };
+                n.fully_linked.load(Ordering::Acquire) && !n.marked.load(Ordering::Acquire)
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, tid: usize, key: &K) -> Option<V> {
+        let _guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs) {
+            Some(l) => {
+                let n = unsafe { &*succs[l] };
+                if n.fully_linked.load(Ordering::Acquire) && !n.marked.load(Ordering::Acquire) {
+                    n.val.clone()
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn len(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut curr = unsafe { &*self.head }.next[0].load(Ordering::Acquire);
+        while curr != self.tail {
+            let node = unsafe { &*curr };
+            if node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire) {
+                n += 1;
+            }
+            curr = node.next[0].load(Ordering::Acquire);
+        }
+        n
+    }
+}
+
+impl<K, V> RangeQuerySet<K, V> for BundledSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        let _guard = self.pin(tid);
+        'restart: loop {
+            out.clear();
+            let ts = self.tracker.start(tid, &self.clock);
+
+            // Phase 1 (GetFirstNodeInRange): descend through the index
+            // layers using the newest pointers to reach the data-layer node
+            // preceding the range.
+            let mut pred = self.head;
+            for lvl in (0..MAX_LEVEL).rev() {
+                let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+                while curr != self.tail && unsafe { &*curr }.key < *low {
+                    pred = curr;
+                    curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+                }
+            }
+
+            // Phase 2: enter and traverse the range strictly through the
+            // data-layer bundles.
+            let mut node = match unsafe { &*pred }.bundle.dereference(ts) {
+                Some(p) => p,
+                None => {
+                    self.tracker.finish(tid);
+                    continue 'restart;
+                }
+            };
+            while node != self.tail && unsafe { &*node }.key < *low {
+                node = match unsafe { &*node }.bundle.dereference(ts) {
+                    Some(p) => p,
+                    None => {
+                        self.tracker.finish(tid);
+                        continue 'restart;
+                    }
+                };
+            }
+            while node != self.tail && unsafe { &*node }.key <= *high {
+                let n = unsafe { &*node };
+                out.push((n.key, n.val.clone().expect("data node has a value")));
+                node = match n.bundle.dereference(ts) {
+                    Some(p) => p,
+                    None => {
+                        self.tracker.finish(tid);
+                        continue 'restart;
+                    }
+                };
+            }
+            self.tracker.finish(tid);
+            return out.len();
+        }
+    }
+}
+
+impl<K, V> Drop for BundledSkipList<K, V> {
+    fn drop(&mut self) {
+        let mut curr = self.head;
+        while !curr.is_null() {
+            let next = unsafe { &*curr }.next[0].load(Ordering::Relaxed);
+            unsafe { drop(Box::from_raw(curr)) };
+            if curr == self.tail {
+                break;
+            }
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    type Sl = BundledSkipList<u64, u64>;
+
+    #[test]
+    fn empty_skiplist_behaviour() {
+        let s = Sl::new(1);
+        assert!(!s.contains(0, &1));
+        assert!(!s.remove(0, &1));
+        assert_eq!(s.get(0, &1), None);
+        assert_eq!(s.len(0), 0);
+        let mut out = Vec::new();
+        assert_eq!(s.range_query(0, &0, &100, &mut out), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let s = Sl::new(1);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(s.insert(0, k, k * 2));
+        }
+        assert!(!s.insert(0, 5, 0));
+        assert_eq!(s.len(0), 5);
+        assert!(s.contains(0, &3));
+        assert_eq!(s.get(0, &9), Some(18));
+        assert!(s.remove(0, &3));
+        assert!(!s.remove(0, &3));
+        assert!(!s.contains(0, &3));
+        assert_eq!(s.len(0), 4);
+    }
+
+    #[test]
+    fn range_query_returns_sorted_snapshot() {
+        let s = Sl::new(1);
+        for k in 0..200u64 {
+            s.insert(0, k * 3, k);
+        }
+        let mut out = Vec::new();
+        s.range_query(0, &30, &90, &mut out);
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u64> = (10..=30).map(|k| k * 3).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn matches_btreemap_model_sequentially() {
+        let s = Sl::new(1);
+        let mut model = BTreeMap::new();
+        let mut seed = 0xdeadbeefu64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..3000 {
+            let k = next() % 512;
+            match next() % 3 {
+                0 => assert_eq!(s.insert(0, k, k), model.insert(k, k).is_none()),
+                1 => assert_eq!(s.remove(0, &k), model.remove(&k).is_some()),
+                _ => assert_eq!(s.contains(0, &k), model.contains_key(&k)),
+            }
+        }
+        assert_eq!(s.len(0), model.len());
+        let mut out = Vec::new();
+        s.range_query(0, &100, &300, &mut out);
+        let expected: Vec<(u64, u64)> = model.range(100..=300).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn concurrent_mixed_operations_preserve_integrity() {
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        let s = Arc::new(Sl::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut seed = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                    let mut out = Vec::new();
+                    for _ in 0..OPS {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let k = seed % 512;
+                        match seed % 4 {
+                            0 => {
+                                s.insert(tid, k, k);
+                            }
+                            1 => {
+                                s.remove(tid, &k);
+                            }
+                            2 => {
+                                s.contains(tid, &k);
+                            }
+                            _ => {
+                                let lo = k.saturating_sub(64);
+                                s.range_query(tid, &lo, &k, &mut out);
+                                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                                assert!(out.iter().all(|(x, _)| *x >= lo && *x <= k));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        s.range_query(0, &0, &(u64::MAX - 2), &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.len(), s.len(0));
+    }
+
+    #[test]
+    fn range_query_prefix_insertion_has_no_gaps() {
+        const MAX: u64 = 3_000;
+        let s = Arc::new(Sl::new(2));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for k in 0..MAX {
+                    assert!(s.insert(0, k, k));
+                }
+            })
+        };
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for _ in 0..200 {
+                    s.range_query(1, &0, &MAX, &mut out);
+                    for (i, (k, _)) in out.iter().enumerate() {
+                        assert_eq!(*k, i as u64, "range query observed a gap");
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(s.len(0), MAX as usize);
+    }
+
+    #[test]
+    fn cleanup_prunes_stale_bundle_entries() {
+        let s = Sl::new(2);
+        for k in 0..50u64 {
+            s.insert(0, k, k);
+        }
+        for _ in 0..5 {
+            for k in 0..50u64 {
+                s.remove(0, &k);
+                s.insert(0, k, k);
+            }
+        }
+        let before = s.bundle_entries(0);
+        let reclaimed = s.cleanup_bundles(1);
+        assert!(reclaimed > 0);
+        assert_eq!(s.bundle_entries(0), before - reclaimed);
+        assert_eq!(s.len(0), 50);
+        let mut out = Vec::new();
+        s.range_query(0, &0, &49, &mut out);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn relaxed_clock_still_produces_consistent_ranges() {
+        let s = BundledSkipList::<u64, u64>::with_relaxation(2, 50);
+        for k in 0..500u64 {
+            s.insert(0, k, k);
+        }
+        let mut out = Vec::new();
+        s.range_query(1, &100, &200, &mut out);
+        assert_eq!(out.len(), 101);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn towers_span_multiple_levels() {
+        // Statistical sanity for random_level: with 2000 inserts we expect
+        // towers above level 0 (probability of all-zero heights ~ 2^-2000).
+        let s = Sl::new(1);
+        for k in 0..2000u64 {
+            s.insert(0, k, k);
+        }
+        let mut has_tall = false;
+        unsafe {
+            let mut curr = (*s.head).next[1].load(Ordering::Acquire);
+            if curr != s.tail {
+                has_tall = true;
+            }
+            let _ = &mut curr;
+        }
+        assert!(has_tall, "index layers should be populated");
+        assert_eq!(s.len(0), 2000);
+    }
+}

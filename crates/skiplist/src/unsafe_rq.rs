@@ -1,0 +1,412 @@
+//! The *Unsafe* skip list baseline: the lazy skip list with a naive,
+//! non-linearizable range scan over the data layer (the paper's reference
+//! line in Figures 2 and 3).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Mutex, MutexGuard};
+
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use ebr::{Collector, Guard, ReclaimMode};
+
+use crate::MAX_LEVEL;
+
+struct Node<K, V> {
+    key: K,
+    val: Option<V>,
+    top_level: usize,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: [AtomicPtr<Node<K, V>>; MAX_LEVEL],
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, val: Option<V>, top_level: usize) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            top_level,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }))
+    }
+}
+
+/// The optimistic lazy skip list with non-linearizable range queries.
+pub struct UnsafeSkipList<K, V> {
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
+    collector: Collector,
+    seeds: Box<[CachePadded<AtomicU64>]>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for UnsafeSkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for UnsafeSkipList<K, V> {}
+
+impl<K, V> UnsafeSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Create a skip list supporting `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_mode(max_threads, ReclaimMode::Reclaim)
+    }
+
+    /// Create a skip list with an explicit reclamation mode.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        let tail = Node::new(K::default(), None, MAX_LEVEL - 1);
+        let head = Node::new(K::default(), None, MAX_LEVEL - 1);
+        unsafe {
+            for lvl in 0..MAX_LEVEL {
+                (*head).next[lvl].store(tail, Ordering::Release);
+            }
+            (*head).fully_linked.store(true, Ordering::Release);
+            (*tail).fully_linked.store(true, Ordering::Release);
+        }
+        let seeds = (0..max_threads.max(1))
+            .map(|i| CachePadded::new(AtomicU64::new(0x2545f4914f6cdd1du64.wrapping_mul(i as u64 + 1))))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        UnsafeSkipList {
+            head,
+            tail,
+            collector: Collector::new(max_threads, mode),
+            seeds,
+        }
+    }
+
+    /// The structure's epoch collector (diagnostics).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    fn pin(&self, tid: usize) -> Guard<'_> {
+        self.collector.pin(tid)
+    }
+
+    fn random_level(&self, tid: usize) -> usize {
+        let slot = &self.seeds[tid % self.seeds.len()];
+        let mut x = slot.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        slot.store(x, Ordering::Relaxed);
+        ((x.trailing_ones()) as usize).min(MAX_LEVEL - 1)
+    }
+
+    fn find(
+        &self,
+        key: &K,
+        preds: &mut [*mut Node<K, V>; MAX_LEVEL],
+        succs: &mut [*mut Node<K, V>; MAX_LEVEL],
+    ) -> Option<usize> {
+        let mut lfound = None;
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            while curr != self.tail && unsafe { &*curr }.key < *key {
+                pred = curr;
+                curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            }
+            if lfound.is_none() && curr != self.tail && unsafe { &*curr }.key == *key {
+                lfound = Some(lvl);
+            }
+            preds[lvl] = pred;
+            succs[lvl] = curr;
+        }
+        lfound
+    }
+
+    fn lock_and_validate<'a>(
+        &self,
+        preds: &[*mut Node<K, V>; MAX_LEVEL],
+        succs: &[*mut Node<K, V>; MAX_LEVEL],
+        top: usize,
+        expect_succ: Option<*mut Node<K, V>>,
+    ) -> Option<Vec<MutexGuard<'a, ()>>> {
+        let mut guards: Vec<MutexGuard<'a, ()>> = Vec::with_capacity(top + 1);
+        let mut prev: *mut Node<K, V> = ptr::null_mut();
+        let mut valid = true;
+        for lvl in 0..=top {
+            let pred = preds[lvl];
+            let succ = expect_succ.unwrap_or(succs[lvl]);
+            if pred != prev {
+                let lock: MutexGuard<'a, ()> = unsafe { &*pred }.lock.lock();
+                guards.push(lock);
+                prev = pred;
+            }
+            let p = unsafe { &*pred };
+            let s_marked = if succ == self.tail {
+                false
+            } else {
+                unsafe { &*succ }.marked.load(Ordering::Acquire)
+            };
+            valid = !p.marked.load(Ordering::Acquire)
+                && !s_marked
+                && p.next[lvl].load(Ordering::Acquire) == succ;
+            if !valid {
+                break;
+            }
+        }
+        if valid {
+            Some(guards)
+        } else {
+            None
+        }
+    }
+}
+
+impl<K, V> ConcurrentSet<K, V> for UnsafeSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, tid: usize, key: K, value: V) -> bool {
+        let _guard = self.pin(tid);
+        let top = self.random_level(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            if let Some(l) = self.find(&key, &mut preds, &mut succs) {
+                let f = unsafe { &*succs[l] };
+                if !f.marked.load(Ordering::Acquire) {
+                    while !f.fully_linked.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    return false;
+                }
+                continue;
+            }
+            let guards = match self.lock_and_validate(&preds, &succs, top, None) {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = Node::new(key, Some(value), top);
+            let node_ref = unsafe { &*node };
+            for lvl in 0..=top {
+                node_ref.next[lvl].store(succs[lvl], Ordering::Relaxed);
+            }
+            for lvl in 0..=top {
+                unsafe { &*preds[lvl] }.next[lvl].store(node, Ordering::Release);
+            }
+            node_ref.fully_linked.store(true, Ordering::Release);
+            drop(guards);
+            return true;
+        }
+    }
+
+    fn remove(&self, tid: usize, key: &K) -> bool {
+        let guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            let lfound = self.find(key, &mut preds, &mut succs);
+            let (victim, level) = match lfound {
+                Some(l) => (succs[l], l),
+                None => return false,
+            };
+            let v = unsafe { &*victim };
+            if !(v.fully_linked.load(Ordering::Acquire)
+                && v.top_level == level
+                && !v.marked.load(Ordering::Acquire))
+            {
+                return false;
+            }
+            let top = v.top_level;
+            let victim_lock = v.lock.lock();
+            if v.marked.load(Ordering::Acquire) {
+                return false;
+            }
+            let guards = match self.lock_and_validate(&preds, &succs, top, Some(victim)) {
+                Some(g) => g,
+                None => {
+                    drop(victim_lock);
+                    continue;
+                }
+            };
+            v.marked.store(true, Ordering::Release);
+            for lvl in (0..=top).rev() {
+                unsafe { &*preds[lvl] }.next[lvl]
+                    .store(v.next[lvl].load(Ordering::Acquire), Ordering::Release);
+            }
+            drop(guards);
+            drop(victim_lock);
+            unsafe { guard.retire(victim) };
+            return true;
+        }
+    }
+
+    fn contains(&self, tid: usize, key: &K) -> bool {
+        let _guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs) {
+            Some(l) => {
+                let n = unsafe { &*succs[l] };
+                n.fully_linked.load(Ordering::Acquire) && !n.marked.load(Ordering::Acquire)
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, tid: usize, key: &K) -> Option<V> {
+        let _guard = self.pin(tid);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs) {
+            Some(l) => {
+                let n = unsafe { &*succs[l] };
+                if n.fully_linked.load(Ordering::Acquire) && !n.marked.load(Ordering::Acquire) {
+                    n.val.clone()
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn len(&self, tid: usize) -> usize {
+        let _guard = self.pin(tid);
+        let mut n = 0;
+        let mut curr = unsafe { &*self.head }.next[0].load(Ordering::Acquire);
+        while curr != self.tail {
+            let node = unsafe { &*curr };
+            if node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire) {
+                n += 1;
+            }
+            curr = node.next[0].load(Ordering::Acquire);
+        }
+        n
+    }
+}
+
+impl<K, V> RangeQuerySet<K, V> for UnsafeSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Non-linearizable scan: descend the index layers, then walk the data
+    /// layer collecting unmarked nodes.
+    fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        let _guard = self.pin(tid);
+        out.clear();
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            while curr != self.tail && unsafe { &*curr }.key < *low {
+                pred = curr;
+                curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            }
+        }
+        let mut curr = unsafe { &*pred }.next[0].load(Ordering::Acquire);
+        while curr != self.tail && unsafe { &*curr }.key <= *high {
+            let n = unsafe { &*curr };
+            if n.key >= *low && !n.marked.load(Ordering::Acquire) {
+                out.push((n.key, n.val.clone().expect("data node has a value")));
+            }
+            curr = n.next[0].load(Ordering::Acquire);
+        }
+        out.len()
+    }
+}
+
+impl<K, V> Drop for UnsafeSkipList<K, V> {
+    fn drop(&mut self) {
+        let mut curr = self.head;
+        while !curr.is_null() {
+            let next = unsafe { &*curr }.next[0].load(Ordering::Relaxed);
+            unsafe { drop(Box::from_raw(curr)) };
+            if curr == self.tail {
+                break;
+            }
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    type Sl = UnsafeSkipList<u64, u64>;
+
+    #[test]
+    fn basic_set_semantics() {
+        let s = Sl::new(1);
+        for k in [8u64, 2, 6, 4] {
+            assert!(s.insert(0, k, k));
+        }
+        assert!(!s.insert(0, 6, 0));
+        assert!(s.contains(0, &2));
+        assert_eq!(s.get(0, &8), Some(8));
+        assert!(s.remove(0, &2));
+        assert!(!s.contains(0, &2));
+        assert_eq!(s.len(0), 3);
+        let mut out = Vec::new();
+        s.range_query(0, &0, &10, &mut out);
+        assert_eq!(out, vec![(4, 4), (6, 6), (8, 8)]);
+    }
+
+    #[test]
+    fn matches_btreemap_model_sequentially() {
+        let s = Sl::new(1);
+        let mut model = BTreeMap::new();
+        let mut seed = 99u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..3000 {
+            let k = next() % 512;
+            match next() % 3 {
+                0 => assert_eq!(s.insert(0, k, k), model.insert(k, k).is_none()),
+                1 => assert_eq!(s.remove(0, &k), model.remove(&k).is_some()),
+                _ => assert_eq!(s.contains(0, &k), model.contains_key(&k)),
+            }
+        }
+        assert_eq!(s.len(0), model.len());
+    }
+
+    #[test]
+    fn concurrent_updates_preserve_structure() {
+        const THREADS: usize = 4;
+        let s = Arc::new(Sl::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut seed = (tid as u64 + 1).wrapping_mul(0xa24baed4963ee407);
+                    for _ in 0..2000 {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let k = seed % 256;
+                        if seed % 2 == 0 {
+                            s.insert(tid, k, k);
+                        } else {
+                            s.remove(tid, &k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        s.range_query(0, &0, &(u64::MAX - 2), &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.len(), s.len(0));
+    }
+}

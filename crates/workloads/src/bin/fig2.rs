@@ -1,0 +1,53 @@
+//! Figure 2: throughput (Mops/s) of the skip list (a–e) and Citrus tree
+//! (f–j) under the five `U − C − RQ` workload mixes, as a function of the
+//! number of threads.
+//!
+//! Usage: `cargo run --release -p workloads --bin fig2 [-- skiplist|citrus]`
+//! Thread counts come from `BUNDLE_THREADS`, duration from
+//! `BUNDLE_DURATION_MS`.
+
+use std::sync::Arc;
+
+use workloads::{
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
+    Point, RunConfig, StructureKind, WorkloadMix,
+};
+
+fn sweep(label: &str, kinds: &[StructureKind], key_range: u64) {
+    for mix in WorkloadMix::FIGURE2 {
+        let mut points = Vec::new();
+        for &threads in &thread_counts() {
+            for &kind in kinds {
+                let s = make_structure(kind, threads);
+                let cfg = RunConfig::new(threads, duration_ms(), key_range, mix);
+                let t = run_workload(&Arc::clone(&s), &cfg);
+                points.push(Point {
+                    series: kind.name().to_string(),
+                    x: threads.to_string(),
+                    y: t.mops(),
+                });
+            }
+        }
+        let title = format!("Figure 2 [{label}] workload {}", mix.label());
+        print_series_table(&title, "threads", "Mops/s", &points);
+        write_csv(&format!("fig2_{label}_{}", mix.label()), "threads", "mops", &points);
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    if which == "skiplist" || which == "both" {
+        sweep(
+            "skiplist",
+            &[StructureKind::SkipListBundle, StructureKind::SkipListUnsafe],
+            RunConfig::TREE_KEY_RANGE,
+        );
+    }
+    if which == "citrus" || which == "both" {
+        sweep(
+            "citrus",
+            &[StructureKind::CitrusBundle, StructureKind::CitrusUnsafe],
+            RunConfig::TREE_KEY_RANGE,
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 3: throughput relative to Unsafe for increasing range query sizes
+//! (1, 10, 50, 100, 250, 500) under a `50−0−50` mix, for the skip list
+//! (top) and Citrus tree (bottom).
+
+use std::sync::Arc;
+
+use workloads::{
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
+    Point, RunConfig, StructureKind, WorkloadMix,
+};
+
+const RQ_SIZES: [u64; 6] = [1, 10, 50, 100, 250, 500];
+
+fn sweep(label: &str, bundle: StructureKind) {
+    let unsafe_kind = bundle.unsafe_counterpart();
+    let mut points = Vec::new();
+    for &rq_size in &RQ_SIZES {
+        for &threads in &thread_counts() {
+            let mut cfg = RunConfig::new(
+                threads,
+                duration_ms(),
+                RunConfig::TREE_KEY_RANGE,
+                WorkloadMix::HALF_UPDATES_HALF_RQ,
+            );
+            cfg.rq_size = rq_size;
+            let reference = {
+                let s = make_structure(unsafe_kind, threads);
+                run_workload(&Arc::clone(&s), &cfg).mops()
+            };
+            let measured = {
+                let s = make_structure(bundle, threads);
+                run_workload(&Arc::clone(&s), &cfg).mops()
+            };
+            points.push(Point {
+                series: format!("{} t={}", bundle.name(), threads),
+                x: rq_size.to_string(),
+                y: if reference > 0.0 { measured / reference } else { 0.0 },
+            });
+        }
+    }
+    let title = format!("Figure 3 [{label}] relative throughput vs Unsafe (50-0-50)");
+    print_series_table(&title, "rq size", "ratio", &points);
+    write_csv(&format!("fig3_{label}"), "rq_size", "relative_throughput", &points);
+}
+
+fn main() {
+    sweep("skiplist", StructureKind::SkipListBundle);
+    sweep("citrus", StructureKind::CitrusBundle);
+}

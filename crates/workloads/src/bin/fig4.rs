@@ -1,0 +1,41 @@
+//! Figure 4: index-operation throughput (Mops/s) of DBx1000-style TPC-C
+//! (NEW_ORDER 50%, PAYMENT 45%, DELIVERY 5%, 10 warehouses) with the
+//! bundled skip list (a) and bundled Citrus tree (b) as the database
+//! indexes, compared against their Unsafe baselines.
+
+use std::sync::Arc;
+
+use dbsim::{run_tpcc, DynIndex, TpccConfig};
+use workloads::{
+    duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind,
+};
+
+fn factory_for(kind: StructureKind) -> Box<dyn Fn(usize) -> DynIndex + Send + Sync> {
+    Box::new(move |threads: usize| workloads::make_structure(kind, threads))
+}
+
+fn main() {
+    let cfg = TpccConfig::default();
+    let pairs = [
+        ("skiplist", StructureKind::SkipListBundle, StructureKind::SkipListUnsafe),
+        ("citrus", StructureKind::CitrusBundle, StructureKind::CitrusUnsafe),
+    ];
+    for (label, bundled, unsafe_kind) in pairs {
+        let mut points = Vec::new();
+        for &threads in &thread_counts() {
+            for kind in [bundled, unsafe_kind] {
+                let factory = factory_for(kind);
+                let t = run_tpcc(cfg, factory.as_ref(), threads, duration_ms());
+                points.push(Point {
+                    series: kind.name().to_string(),
+                    x: threads.to_string(),
+                    y: t.index_mops(),
+                });
+            }
+        }
+        let title = format!("Figure 4 [{label}] TPC-C index throughput");
+        print_series_table(&title, "threads", "index Mops/s", &points);
+        write_csv(&format!("fig4_{label}"), "threads", "index_mops", &points);
+    }
+    let _ = Arc::new(());
+}

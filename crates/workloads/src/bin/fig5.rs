@@ -1,0 +1,48 @@
+//! Figure 5 (Appendix A): weakening linearizability — throughput of the
+//! bundled skip list relative to the linearizable (T = 1) configuration for
+//! relaxation thresholds T ∈ {1, 2, 5, 10, 50, ∞}, under different update
+//! percentages (the range query share is fixed at 50%, as in the 50−0−50
+//! experiment the appendix builds on).
+
+use std::sync::Arc;
+
+use workloads::registry::make_relaxed_structure;
+use workloads::{
+    duration_ms, print_series_table, run_workload, thread_counts, write_csv, Point, RunConfig,
+    StructureKind, WorkloadMix,
+};
+
+/// 0 encodes T = ∞ (never advance the clock).
+const THRESHOLDS: [u64; 6] = [1, 2, 5, 10, 50, 0];
+const UPDATE_PCTS: [u32; 4] = [0, 10, 50, 90];
+
+fn main() {
+    let threads = *thread_counts().last().unwrap_or(&2);
+    let mut points = Vec::new();
+    for &u in &UPDATE_PCTS {
+        let rq = 100 - u.min(50).max(0); // keep a large RQ share as in Appendix A
+        let mix = WorkloadMix::new(u, 100 - u - rq.min(100 - u), rq.min(100 - u));
+        let cfg = RunConfig::new(threads, duration_ms(), RunConfig::TREE_KEY_RANGE, mix);
+        let baseline = {
+            let s = make_relaxed_structure(StructureKind::SkipListBundle, threads, 1);
+            run_workload(&Arc::clone(&s), &cfg).mops()
+        };
+        for &t in &THRESHOLDS {
+            let s = make_relaxed_structure(StructureKind::SkipListBundle, threads, t);
+            let m = run_workload(&Arc::clone(&s), &cfg).mops();
+            let label = if t == 0 { "inf".to_string() } else { t.to_string() };
+            points.push(Point {
+                series: format!("{}% updates", u),
+                x: format!("T={label}"),
+                y: if baseline > 0.0 { m / baseline } else { 0.0 },
+            });
+        }
+    }
+    print_series_table(
+        "Figure 5: relaxed timestamps, skip list, relative to T=1",
+        "threshold",
+        "ratio",
+        &points,
+    );
+    write_csv("fig5_relaxation", "threshold", "relative_throughput", &points);
+}

@@ -1,0 +1,40 @@
+//! §8.1 "Linked Lists": relative throughput of the bundled lazy list versus
+//! the Unsafe lazy list for the five Figure 2 mixes (key range 10,000).
+//! The paper reports that the best techniques (Bundle included) stay close
+//! to Unsafe because traversal time dominates.
+
+use std::sync::Arc;
+
+use workloads::{
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
+    Point, RunConfig, StructureKind, WorkloadMix,
+};
+
+fn main() {
+    let mut points = Vec::new();
+    for mix in WorkloadMix::FIGURE2 {
+        for &threads in &thread_counts() {
+            let cfg = RunConfig::new(threads, duration_ms(), RunConfig::LIST_KEY_RANGE, mix);
+            let unsafe_mops = {
+                let s = make_structure(StructureKind::ListUnsafe, threads);
+                run_workload(&Arc::clone(&s), &cfg).mops()
+            };
+            let bundle_mops = {
+                let s = make_structure(StructureKind::ListBundle, threads);
+                run_workload(&Arc::clone(&s), &cfg).mops()
+            };
+            points.push(Point {
+                series: format!("t={threads}"),
+                x: mix.label(),
+                y: if unsafe_mops > 0.0 { bundle_mops / unsafe_mops } else { 0.0 },
+            });
+        }
+    }
+    print_series_table(
+        "Lazy list: bundled throughput relative to Unsafe",
+        "workload",
+        "ratio",
+        &points,
+    );
+    write_csv("list_relative", "workload", "relative_throughput", &points);
+}

@@ -1,0 +1,67 @@
+//! Table 1 (Appendix B): % throughput overhead of enabling memory
+//! reclamation (node EBR + bundle-entry recycling with a background cleanup
+//! thread) relative to the leaky configuration, for cleanup delays
+//! d ∈ {0, 1, 10, 100} ms and update percentages {0, 10, 50, 90, 100}.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ebr::ReclaimMode;
+use skiplist::BundledSkipList;
+use workloads::{
+    duration_ms, print_series_table, run_workload, thread_counts, write_csv, Point, RunConfig,
+    WorkloadMix,
+};
+
+const DELAYS_MS: [u64; 4] = [0, 1, 10, 100];
+const UPDATE_PCTS: [u32; 5] = [0, 10, 50, 90, 100];
+
+fn mix_for(update_pct: u32) -> WorkloadMix {
+    // Keep 10% range queries where possible, contains fill the rest, as in
+    // the paper's mixed workloads.
+    let rq = if update_pct == 100 { 0 } else { 10 };
+    WorkloadMix::new(update_pct, 100 - update_pct - rq, rq)
+}
+
+fn run(mode: ReclaimMode, delay: Option<Duration>, threads: usize, mix: WorkloadMix) -> f64 {
+    let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(threads + 1, mode));
+    let recycler = delay.map(|d| s.spawn_recycler(threads, d));
+    let cfg = RunConfig::new(threads, duration_ms(), RunConfig::TREE_KEY_RANGE, mix);
+    let t = run_workload(&s, &cfg);
+    drop(recycler);
+    t.mops()
+}
+
+fn main() {
+    let threads = *thread_counts().last().unwrap_or(&2);
+    let mut points = Vec::new();
+    for &u in &UPDATE_PCTS {
+        let mix = mix_for(u);
+        let leaky = run(ReclaimMode::Leaky, None, threads, mix);
+        for &d in &DELAYS_MS {
+            let reclaiming = run(
+                ReclaimMode::Reclaim,
+                Some(Duration::from_millis(d)),
+                threads,
+                mix,
+            );
+            let overhead_pct = if leaky > 0.0 {
+                ((leaky - reclaiming) / leaky * 100.0).max(0.0)
+            } else {
+                0.0
+            };
+            points.push(Point {
+                series: format!("d={d}ms"),
+                x: format!("{u}% upd"),
+                y: overhead_pct,
+            });
+        }
+    }
+    print_series_table(
+        "Table 1: % overhead of enabling memory reclamation (bundled skip list)",
+        "update %",
+        "% overhead",
+        &points,
+    );
+    write_csv("table1_reclamation", "update_pct", "overhead_pct", &points);
+}

@@ -1,0 +1,107 @@
+//! Workload configuration: the paper's `U − C − RQ` mixes and run settings.
+
+/// An operation mix, written `U − C − RQ` in the paper: percentages of
+/// update, contains and range-query operations (summing to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Percentage of updates (split evenly between inserts and removes).
+    pub update_pct: u32,
+    /// Percentage of single-key contains operations.
+    pub contains_pct: u32,
+    /// Percentage of range queries.
+    pub rq_pct: u32,
+}
+
+impl WorkloadMix {
+    /// Build a mix, asserting the percentages sum to 100.
+    pub const fn new(update_pct: u32, contains_pct: u32, rq_pct: u32) -> Self {
+        assert!(update_pct + contains_pct + rq_pct == 100);
+        WorkloadMix {
+            update_pct,
+            contains_pct,
+            rq_pct,
+        }
+    }
+
+    /// The five mixes of Figure 2: `2−88−10`, `10−80−10`, `50−40−10`,
+    /// `90−0−10`, `0−90−10`.
+    pub const FIGURE2: [WorkloadMix; 5] = [
+        WorkloadMix::new(2, 88, 10),
+        WorkloadMix::new(10, 80, 10),
+        WorkloadMix::new(50, 40, 10),
+        WorkloadMix::new(90, 0, 10),
+        WorkloadMix::new(0, 90, 10),
+    ];
+
+    /// The `50−0−50` mix used by Figure 3 and the Appendix A experiment.
+    pub const HALF_UPDATES_HALF_RQ: WorkloadMix = WorkloadMix::new(50, 0, 50);
+
+    /// Label in the paper's `U − C − RQ` notation.
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.update_pct, self.contains_pct, self.rq_pct)
+    }
+}
+
+/// A complete run configuration for [`crate::run_workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of the measurement in milliseconds.
+    pub duration_ms: u64,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Number of keys in a range query (`[k, k + rq_size)`).
+    pub rq_size: u64,
+    /// Operation mix.
+    pub mix: WorkloadMix,
+    /// Prefill the structure with `key_range / 2` keys before measuring
+    /// (the paper's initialization).
+    pub prefill: bool,
+}
+
+impl RunConfig {
+    /// A configuration with the paper's defaults for the given structure
+    /// size: 10% range queries of 50 keys over a `key_range` keyspace.
+    pub fn new(threads: usize, duration_ms: u64, key_range: u64, mix: WorkloadMix) -> Self {
+        RunConfig {
+            threads,
+            duration_ms,
+            key_range,
+            rq_size: 50,
+            mix,
+            prefill: true,
+        }
+    }
+
+    /// Paper default key range for the skip list and Citrus tree (100,000).
+    pub const TREE_KEY_RANGE: u64 = 100_000;
+    /// Paper default key range for the lazy list (10,000).
+    pub const LIST_KEY_RANGE: u64 = 10_000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_mixes_match_paper() {
+        let labels: Vec<String> = WorkloadMix::FIGURE2.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["2-88-10", "10-80-10", "50-40-10", "90-0-10", "0-90-10"]
+        );
+        for m in WorkloadMix::FIGURE2 {
+            assert_eq!(m.update_pct + m.contains_pct + m.rq_pct, 100);
+        }
+    }
+
+    #[test]
+    fn run_config_defaults() {
+        let cfg = RunConfig::new(4, 100, RunConfig::TREE_KEY_RANGE, WorkloadMix::new(50, 40, 10));
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.key_range, 100_000);
+        assert_eq!(cfg.rq_size, 50);
+        assert!(cfg.prefill);
+    }
+}

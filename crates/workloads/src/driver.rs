@@ -1,0 +1,183 @@
+//! The measurement loop: prefill, spawn workers, run the mix, report.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bundle::api::RangeQuerySet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::RunConfig;
+
+/// Result of one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Total completed operations across all threads.
+    pub total_ops: u64,
+    /// Updates / contains / range queries individually.
+    pub updates: u64,
+    /// Completed contains operations.
+    pub contains: u64,
+    /// Completed range queries.
+    pub range_queries: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Prefill the structure with half of the keys in the key range, as the
+/// paper does before every experiment ("the data structure is first
+/// initialized with half of the keys in the key range").
+pub fn prefill<S>(structure: &S, key_range: u64)
+where
+    S: RangeQuerySet<u64, u64> + ?Sized,
+{
+    let mut rng = SmallRng::seed_from_u64(0xb0_0b1e5);
+    let mut inserted = 0u64;
+    let target = key_range / 2;
+    while inserted < target {
+        let k = rng.gen_range(0..key_range);
+        if structure.insert(0, k, k) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Run the given workload mix against `structure` and return the measured
+/// throughput. Thread `i` uses registered thread id `i`; the structure must
+/// therefore have been created with `max_threads >= cfg.threads`.
+pub fn run_workload<S>(structure: &Arc<S>, cfg: &RunConfig) -> Throughput
+where
+    S: RangeQuerySet<u64, u64> + Send + Sync + 'static + ?Sized,
+{
+    if cfg.prefill {
+        prefill(structure.as_ref(), cfg.key_range);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let updates = Arc::new(AtomicU64::new(0));
+    let contains = Arc::new(AtomicU64::new(0));
+    let rqs = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::with_capacity(cfg.threads);
+    for tid in 0..cfg.threads {
+        let structure = Arc::clone(structure);
+        let stop = Arc::clone(&stop);
+        let updates = Arc::clone(&updates);
+        let contains = Arc::clone(&contains);
+        let rqs = Arc::clone(&rqs);
+        let cfg = *cfg;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0x5eed ^ (tid as u64 + 1).wrapping_mul(0x9e37));
+            let mut out = Vec::with_capacity(cfg.rq_size as usize + 8);
+            let mut local_u = 0u64;
+            let mut local_c = 0u64;
+            let mut local_r = 0u64;
+            let mut insert_next = true;
+            while !stop.load(Ordering::Relaxed) {
+                // A small batch between stop-flag checks keeps the check off
+                // the hot path without delaying shutdown noticeably.
+                for _ in 0..64 {
+                    let op = rng.gen_range(0..100u32);
+                    let key = rng.gen_range(0..cfg.key_range);
+                    if op < cfg.mix.update_pct {
+                        // Alternate inserts and removes (the paper splits
+                        // updates evenly to keep the size stable).
+                        if insert_next {
+                            structure.insert(tid, key, key);
+                        } else {
+                            structure.remove(tid, &key);
+                        }
+                        insert_next = !insert_next;
+                        local_u += 1;
+                    } else if op < cfg.mix.update_pct + cfg.mix.contains_pct {
+                        structure.contains(tid, &key);
+                        local_c += 1;
+                    } else {
+                        let high = key.saturating_add(cfg.rq_size.saturating_sub(1));
+                        structure.range_query(tid, &key, &high, &mut out);
+                        local_r += 1;
+                    }
+                }
+            }
+            updates.fetch_add(local_u, Ordering::Relaxed);
+            contains.fetch_add(local_c, Ordering::Relaxed);
+            rqs.fetch_add(local_r, Ordering::Relaxed);
+        }));
+    }
+
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(cfg.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let elapsed = start.elapsed();
+    let u = updates.load(Ordering::Relaxed);
+    let c = contains.load(Ordering::Relaxed);
+    let r = rqs.load(Ordering::Relaxed);
+    Throughput {
+        total_ops: u + c + r,
+        updates: u,
+        contains: c,
+        range_queries: r,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadMix;
+    use crate::registry::{make_structure, StructureKind};
+
+    #[test]
+    fn prefill_reaches_half_of_key_range() {
+        let s = make_structure(StructureKind::SkipListBundle, 1);
+        prefill(s.as_ref(), 1000);
+        assert_eq!(s.len(0), 500);
+    }
+
+    #[test]
+    fn run_workload_executes_all_operation_classes() {
+        let s = make_structure(StructureKind::ListBundle, 2);
+        let cfg = RunConfig {
+            threads: 2,
+            duration_ms: 50,
+            key_range: 256,
+            rq_size: 16,
+            mix: WorkloadMix::new(40, 30, 30),
+            prefill: true,
+        };
+        let t = run_workload(&s, &cfg);
+        assert!(t.total_ops > 0);
+        assert!(t.updates > 0);
+        assert!(t.contains > 0);
+        assert!(t.range_queries > 0);
+        assert!(t.mops() > 0.0);
+        assert_eq!(t.total_ops, t.updates + t.contains + t.range_queries);
+    }
+
+    #[test]
+    fn pure_range_query_mix_never_updates() {
+        let s = make_structure(StructureKind::CitrusBundle, 1);
+        let cfg = RunConfig {
+            threads: 1,
+            duration_ms: 30,
+            key_range: 128,
+            rq_size: 8,
+            mix: WorkloadMix::new(0, 0, 100),
+            prefill: true,
+        };
+        let before = s.len(0);
+        let t = run_workload(&s, &cfg);
+        assert_eq!(t.updates, 0);
+        assert_eq!(before, s.len(0), "pure RQ workload must not change the set");
+    }
+}

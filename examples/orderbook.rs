@@ -1,0 +1,91 @@
+//! A price-level order book built on the bundled Citrus tree.
+//!
+//! Market-data threads add and cancel orders at random price levels while a
+//! strategy thread repeatedly takes *consistent* top-of-book snapshots (a
+//! range query over the best N price levels). With a non-linearizable scan
+//! the strategy could see a bid above the best ask that never coexisted;
+//! the bundled range query rules that out.
+//!
+//! Run with: `cargo run --release --example orderbook`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bundled_refs::prelude::*;
+
+/// Price levels 0..=9_999 are bids, 10_000..=19_999 are asks; the value is
+/// the resting quantity at that level.
+const ASK_BASE: u64 = 10_000;
+
+fn main() {
+    const MAKERS: usize = 3;
+    const STRATEGY_TID: usize = MAKERS;
+
+    let book = Arc::new(BundledCitrusTree::<u64, u64>::new(MAKERS + 1));
+    // Seed the book: bids below 5_000, asks above 15_000 (spread in between).
+    for p in 0..2_000u64 {
+        book.insert(0, 4_999 - p, 10);
+        book.insert(0, ASK_BASE + 5_000 + p, 10);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let makers: Vec<_> = (0..MAKERS)
+        .map(|tid| {
+            let book = Arc::clone(&book);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seed = 0x5eed_0000 + tid as u64;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    // Tighten or widen the spread around the mid randomly,
+                    // but never let bids (< 5_000+x) cross asks (> 15_000-x).
+                    let level = seed % 5_000;
+                    if seed % 2 == 0 {
+                        book.insert(tid, level, 5 + seed % 100);
+                        book.remove(tid, &(ASK_BASE + 19_999 - level));
+                    } else {
+                        book.insert(tid, ASK_BASE + 10_000 + level, 5 + seed % 100);
+                        book.remove(tid, &(4_999 - level % 4_999));
+                    }
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+
+    // Strategy: take top-of-book snapshots and check bid/ask invariant.
+    let strategy = {
+        let book = Arc::clone(&book);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut bids = Vec::new();
+            let mut asks = Vec::new();
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                book.range_query(STRATEGY_TID, &0, &(ASK_BASE - 1), &mut bids);
+                book.range_query(STRATEGY_TID, &ASK_BASE, &(2 * ASK_BASE), &mut asks);
+                let best_bid = bids.last().map(|(p, _)| *p).unwrap_or(0);
+                let best_ask = asks.first().map(|(p, _)| *p - ASK_BASE).unwrap_or(u64::MAX);
+                assert!(
+                    best_bid < best_ask,
+                    "crossed book observed: bid {best_bid} >= ask {best_ask}"
+                );
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(500));
+    stop.store(true, Ordering::Relaxed);
+    let maker_ops: u64 = makers.into_iter().map(|h| h.join().unwrap()).sum();
+    let snapshots = strategy.join().unwrap();
+    println!("makers applied {maker_ops} order-book updates");
+    println!("strategy took {snapshots} consistent top-of-book snapshots");
+    println!("book now holds {} price levels", book.len(0));
+}

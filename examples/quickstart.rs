@@ -1,0 +1,66 @@
+//! Quickstart: a bundled skip list shared by writers and a range-query
+//! reader, demonstrating linearizable snapshots under concurrent updates.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bundled_refs::prelude::*;
+
+fn main() {
+    const WRITERS: usize = 3;
+    const READER_TID: usize = WRITERS;
+    const KEYS_PER_WRITER: u64 = 20_000;
+
+    // One slot per worker thread (writers + reader).
+    let set = Arc::new(BundledSkipList::<u64, u64>::new(WRITERS + 1));
+
+    let start = Instant::now();
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|tid| {
+            let set = Arc::clone(&set);
+            std::thread::spawn(move || {
+                // Each writer owns a disjoint key slice and inserts it in
+                // increasing order.
+                let base = tid as u64 * KEYS_PER_WRITER;
+                for k in base..base + KEYS_PER_WRITER {
+                    set.insert(tid, k, k * 10);
+                }
+            })
+        })
+        .collect();
+
+    // The reader repeatedly takes atomic snapshots while writers insert.
+    let reader = {
+        let set = Arc::clone(&set);
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut snapshots = 0u64;
+            loop {
+                set.range_query(READER_TID, &0, &(WRITERS as u64 * KEYS_PER_WRITER), &mut out);
+                snapshots += 1;
+                // Snapshot sanity: sorted and duplicate free.
+                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                if out.len() == (WRITERS as usize) * KEYS_PER_WRITER as usize {
+                    return snapshots;
+                }
+            }
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    let snapshots = reader.join().unwrap();
+    println!(
+        "inserted {} keys from {} writers in {:?}",
+        set.len(0),
+        WRITERS,
+        start.elapsed()
+    );
+    println!("reader took {snapshots} linearizable snapshots while writers ran");
+
+    let sample = set.range_query_vec(0, &100, &110);
+    println!("snapshot of [100, 110]: {sample:?}");
+}

@@ -1,0 +1,43 @@
+//! Run the DBx1000-style TPC-C workload (§8.2) on bundled skip list
+//! indexes and print transaction / index-operation throughput.
+//!
+//! Run with: `cargo run --release --example tpcc_demo`
+
+use std::sync::Arc;
+
+use bundled_refs::dbsim::{run_tpcc, DynIndex, TpccConfig};
+use bundled_refs::prelude::*;
+
+fn main() {
+    let threads = std::env::var("BUNDLE_THREADS")
+        .ok()
+        .and_then(|s| s.split(',').last().and_then(|t| t.parse().ok()))
+        .unwrap_or(4usize);
+    let cfg = TpccConfig::default();
+
+    println!(
+        "TPC-C: {} warehouses, {} customers/district, {} items, {} threads",
+        cfg.warehouses, cfg.customers_per_district, cfg.items, threads
+    );
+
+    fn skiplist_factory(t: usize) -> DynIndex {
+        Arc::new(BundledSkipList::<u64, u64>::new(t))
+    }
+    fn citrus_factory(t: usize) -> DynIndex {
+        Arc::new(BundledCitrusTree::<u64, u64>::new(t))
+    }
+    type Factory = fn(usize) -> DynIndex;
+
+    for (name, factory) in [
+        ("bundled skip list", skiplist_factory as Factory),
+        ("bundled citrus tree", citrus_factory as Factory),
+    ] {
+        let result = run_tpcc(cfg, &factory, threads, 1_000);
+        println!(
+            "{name:>22}: {:>8.0} txn/s, {:>7.3} index Mops/s ({} transactions committed)",
+            result.tps(),
+            result.index_mops(),
+            result.transactions
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # bundled-refs
+//!
+//! Rust reproduction of *"Bundled References: An Abstraction for
+//! Highly-Concurrent Linearizable Range Queries"* (Nelson, Hassan,
+//! Palmieri — PPoPP 2021).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`bundle`] — the bundled-reference building block (global timestamp,
+//!   bundles, `LinearizeUpdateOperation`, range-query tracker, recycler)
+//!   and the [`bundle::api`] traits.
+//! * [`ebr`] — DEBRA-style epoch-based reclamation.
+//! * [`lazylist`], [`skiplist`], [`citrus`] — the three bundled data
+//!   structures of the paper plus their `Unsafe` baselines.
+//! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2.
+//! * [`workloads`] — the benchmark harness regenerating every figure and
+//!   table of the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bundled_refs::prelude::*;
+//!
+//! // A bundled skip list shared by up to 4 registered threads.
+//! let set = BundledSkipList::<u64, u64>::new(4);
+//! set.insert(0, 10, 100);
+//! set.insert(0, 20, 200);
+//! set.insert(0, 30, 300);
+//! assert!(set.contains(0, &20));
+//!
+//! // A linearizable range query: an atomic snapshot of [10, 25].
+//! let snapshot = set.range_query_vec(0, &10, &25);
+//! assert_eq!(snapshot, vec![(10, 100), (20, 200)]);
+//! ```
+
+pub use bundle;
+pub use citrus;
+pub use dbsim;
+pub use ebr;
+pub use lazylist;
+pub use skiplist;
+pub use workloads;
+
+/// Convenient glob-importable set of the most commonly used items.
+pub mod prelude {
+    pub use bundle::api::{ConcurrentSet, RangeQuerySet};
+    pub use bundle::{Bundle, GlobalTimestamp, Recycler, RqTracker};
+    pub use citrus::{BundledCitrusTree, UnsafeCitrusTree};
+    pub use ebr::{Collector, ReclaimMode};
+    pub use lazylist::{BundledLazyList, UnsafeLazyList};
+    pub use skiplist::{BundledSkipList, UnsafeSkipList};
+}

@@ -1,0 +1,85 @@
+//! The bundled structures and their Unsafe counterparts must agree with a
+//! `BTreeMap` model (and therefore with each other) on any sequential
+//! history — property-based, via proptest.
+
+use std::collections::BTreeMap;
+
+use bundled_refs::workloads::{make_structure, StructureKind, ALL_KINDS};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Contains(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Contains),
+        (0u64..64).prop_map(Op::Get),
+        (0u64..64, 0u64..64).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn check_kind(kind: StructureKind, ops: &[Op]) {
+    let s = make_structure(kind, 1);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                // Set semantics: inserting an existing key fails and leaves
+                // the original value untouched (model mirrors that).
+                let was_absent = !model.contains_key(&k);
+                assert_eq!(s.insert(0, k, v), was_absent, "{kind:?} insert {k}");
+                if was_absent {
+                    model.insert(k, v);
+                }
+                assert_eq!(s.get(0, &k), model.get(&k).copied(), "{kind:?} value after insert {k}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(s.remove(0, &k), model.remove(&k).is_some(), "{kind:?} remove {k}")
+            }
+            Op::Contains(k) => {
+                assert_eq!(s.contains(0, &k), model.contains_key(&k), "{kind:?} contains {k}")
+            }
+            Op::Get(k) => assert_eq!(s.get(0, &k), model.get(&k).copied(), "{kind:?} get {k}"),
+            Op::Range(lo, hi) => {
+                s.range_query(0, &lo, &hi, &mut out);
+                let expected: Vec<(u64, u64)> =
+                    model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(out, expected, "{kind:?} range [{lo}, {hi}]");
+            }
+        }
+    }
+    assert_eq!(s.len(0), model.len(), "{kind:?} final size");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn all_variants_match_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        // Sequence semantics must hold for every variant, bundled or not.
+        for kind in ALL_KINDS {
+            check_kind(kind, &ops);
+        }
+    }
+}
+
+/// Wait: a failed insert must keep the original value (set semantics), on
+/// every variant.
+#[test]
+fn duplicate_insert_preserves_original_value() {
+    for kind in ALL_KINDS {
+        let s = make_structure(kind, 1);
+        assert!(s.insert(0, 7, 70));
+        assert!(!s.insert(0, 7, 99));
+        assert_eq!(s.get(0, &7), Some(70), "{kind:?}");
+    }
+}

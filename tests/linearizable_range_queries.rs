@@ -1,0 +1,148 @@
+//! Cross-crate linearizability checks: every bundled structure must deliver
+//! atomic range-query snapshots while being updated concurrently.
+
+use std::sync::Arc;
+
+use bundled_refs::prelude::*;
+use bundled_refs::workloads::{make_structure, StructureKind};
+
+/// With a single writer inserting keys in increasing order, a linearizable
+/// range query can only ever observe a gap-free prefix.
+fn prefix_check(kind: StructureKind) {
+    const MAX: u64 = 2_000;
+    let s = make_structure(kind, 2);
+    let writer = {
+        let s = Arc::clone(&s);
+        std::thread::spawn(move || {
+            for k in 0..MAX {
+                assert!(s.insert(0, k, k + 1));
+            }
+        })
+    };
+    let reader = {
+        let s = Arc::clone(&s);
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            for _ in 0..150 {
+                s.range_query(1, &0, &MAX, &mut out);
+                for (i, (k, v)) in out.iter().enumerate() {
+                    assert_eq!(*k, i as u64, "{kind:?}: observed a gap");
+                    assert_eq!(*v, *k + 1);
+                }
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    assert_eq!(s.len(0), MAX as usize);
+}
+
+#[test]
+fn bundled_list_snapshots_are_prefixes() {
+    prefix_check(StructureKind::ListBundle);
+}
+
+#[test]
+fn bundled_skiplist_snapshots_are_prefixes() {
+    prefix_check(StructureKind::SkipListBundle);
+}
+
+#[test]
+fn bundled_citrus_snapshots_are_prefixes() {
+    prefix_check(StructureKind::CitrusBundle);
+}
+
+/// Concurrent churn (remove + reinsert of the same key set) must never make
+/// a snapshot show fewer than `N - writers` or more than `N` keys.
+fn churn_bounds_check(kind: StructureKind) {
+    const N: u64 = 500;
+    const WRITERS: usize = 2;
+    let s = make_structure(kind, WRITERS + 1);
+    for k in 0..N {
+        s.insert(0, k, k);
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|tid| {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seed = tid as u64 + 1;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let k = seed % N;
+                    // Remove then immediately reinsert the same key.
+                    if s.remove(tid, &k) {
+                        s.insert(tid, k, k);
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        s.range_query(WRITERS, &0, &N, &mut out);
+        assert!(
+            out.len() as u64 >= N - WRITERS as u64 && out.len() as u64 <= N,
+            "{kind:?}: snapshot size {} outside [{}, {N}]",
+            out.len(),
+            N - WRITERS as u64
+        );
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "{kind:?}: unsorted/duplicate");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(s.len(0), N as usize);
+}
+
+#[test]
+fn bundled_list_churn_snapshot_bounds() {
+    churn_bounds_check(StructureKind::ListBundle);
+}
+
+#[test]
+fn bundled_skiplist_churn_snapshot_bounds() {
+    churn_bounds_check(StructureKind::SkipListBundle);
+}
+
+#[test]
+fn bundled_citrus_churn_snapshot_bounds() {
+    churn_bounds_check(StructureKind::CitrusBundle);
+}
+
+/// The pending-entry protocol (§3.3 example): once a contains() observes a
+/// key, a subsequent range query by the same thread must also observe it.
+#[test]
+fn range_query_not_older_than_prior_contains() {
+    let s: Arc<BundledSkipList<u64, u64>> = Arc::new(BundledSkipList::new(2));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                s.insert(0, k, k);
+                k += 1;
+            }
+            k
+        })
+    };
+    let mut out = Vec::new();
+    for probe in 0..2_000u64 {
+        if s.contains(1, &probe) {
+            s.range_query(1, &probe, &probe, &mut out);
+            assert_eq!(
+                out.len(),
+                1,
+                "key {probe} was visible to contains() but missing from the snapshot"
+            );
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}

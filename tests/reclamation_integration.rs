@@ -1,0 +1,99 @@
+//! End-to-end reclamation: background bundle recycling and EBR node
+//! reclamation running underneath a live mixed workload (Appendix B).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bundled_refs::prelude::*;
+
+#[test]
+fn recycler_reclaims_while_workload_runs() {
+    const THREADS: usize = 2;
+    let list = Arc::new(BundledSkipList::<u64, u64>::with_mode(
+        THREADS + 1,
+        ReclaimMode::Reclaim,
+    ));
+    for k in 0..400u64 {
+        list.insert(0, k, k);
+    }
+    let recycler = list.spawn_recycler(THREADS, Duration::from_millis(1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for round in 0..30u64 {
+                    for k in 0..400u64 {
+                        if (k + round) % 3 == 0 {
+                            list.remove(tid, &k);
+                            list.insert(tid, k, k + round);
+                        }
+                    }
+                    list.range_query(tid, &0, &400, &mut out);
+                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Give the recycler a few more passes in quiescence, then verify the
+    // bundles have been pruned down and memory has actually been freed.
+    std::thread::sleep(Duration::from_millis(50));
+    let passes = recycler.passes();
+    recycler.stop();
+    assert!(passes > 0, "recycler must have run");
+    let entries = list.bundle_entries(0);
+    // In quiescence each reachable bundle needs at most one entry, plus the
+    // head sentinel's. Allow slack for the last unreclaimed round.
+    assert!(
+        entries <= list.len(0) * 2 + 2,
+        "bundles not pruned: {entries} entries for {} nodes",
+        list.len(0)
+    );
+    assert!(
+        list.collector().stats().freed() > 0,
+        "EBR should have freed retired nodes"
+    );
+    assert_eq!(list.len(0), 400);
+}
+
+#[test]
+fn leaky_mode_matches_paper_default_and_counts_retires() {
+    let list = BundledLazyList::<u64, u64>::with_mode(1, ReclaimMode::Leaky);
+    for k in 0..100u64 {
+        list.insert(0, k, k);
+    }
+    for k in 0..100u64 {
+        assert!(list.remove(0, &k));
+    }
+    assert_eq!(list.collector().stats().retired(), 100);
+    assert_eq!(list.collector().stats().freed(), 0);
+    assert!(list.is_empty(0));
+}
+
+#[test]
+fn relaxed_structures_remain_correct_sets() {
+    // Appendix A: relaxation weakens range query freshness, not set
+    // correctness. Run a quick mixed workload on a heavily relaxed clock.
+    let s = Arc::new(BundledCitrusTree::<u64, u64>::with_relaxation(3, 50));
+    let handles: Vec<_> = (0..2)
+        .map(|tid| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for k in 0..2_000u64 {
+                    let key = k * 2 + tid as u64;
+                    s.insert(tid, key, key);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(s.len(0), 4_000);
+    let mut out = Vec::new();
+    s.range_query(2, &0, &4_000, &mut out);
+    assert_eq!(out.len(), 4_000 - 1 + 1);
+}
