@@ -15,7 +15,11 @@ fn fig5_relaxation(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(800));
     for t in [1u64, 5, 50, 0] {
-        let label = if t == 0 { "inf".to_string() } else { t.to_string() };
+        let label = if t == 0 {
+            "inf".to_string()
+        } else {
+            t.to_string()
+        };
         let s = make_relaxed_structure(StructureKind::SkipListBundle, threads + 1, t);
         workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
         group.bench_with_input(BenchmarkId::new("threshold", label), &t, |b, _| {

@@ -1,0 +1,52 @@
+//! Sharded store: mixed-workload throughput by shard count, with the
+//! unsharded bundled skip list as the reference point.
+
+use std::time::Duration;
+
+use bench::{bench_threads, run_window, BENCH_KEY_RANGE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::registry::DynSet;
+use workloads::{make_store_structure, make_structure, StructureKind, WorkloadMix};
+
+fn prefilled_store(shards: usize, threads: usize) -> std::sync::Arc<DynSet> {
+    let s = make_store_structure(
+        StructureKind::StoreSkipList,
+        threads + 1,
+        shards,
+        BENCH_KEY_RANGE,
+    );
+    workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
+    s
+}
+
+fn store_shards(c: &mut Criterion) {
+    let threads = bench_threads();
+    let mix = WorkloadMix::new(50, 40, 10);
+    let mut group = c.benchmark_group("store_shards");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    // Reference: the raw bundled skip list without the store layer.
+    let baseline = {
+        let s = make_structure(StructureKind::SkipListBundle, threads + 1);
+        workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
+        s
+    };
+    group.bench_with_input(
+        BenchmarkId::new("unsharded", "baseline"),
+        &mix,
+        |b, &mix| b.iter(|| run_window(&baseline, threads, mix, 50)),
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let s = prefilled_store(shards, threads);
+        group.bench_with_input(BenchmarkId::new("store", shards), &mix, |b, &mix| {
+            b.iter(|| run_window(&s, threads, mix, 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, store_shards);
+criterion_main!(benches);

@@ -21,7 +21,10 @@ fn table1_reclamation(c: &mut Criterion) {
 
     // Leaky: the paper's default configuration.
     {
-        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(threads + 2, ReclaimMode::Leaky));
+        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(
+            threads + 2,
+            ReclaimMode::Leaky,
+        ));
         let s: Arc<DynSet> = s;
         workloads::driver::prefill(s.as_ref(), BENCH_KEY_RANGE);
         group.bench_function(BenchmarkId::new("leaky", "none"), |b| {
@@ -30,13 +33,17 @@ fn table1_reclamation(c: &mut Criterion) {
     }
     // Reclaiming with a background recycler at different delays.
     for delay_ms in [0u64, 10] {
-        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(threads + 2, ReclaimMode::Reclaim));
+        let s = Arc::new(BundledSkipList::<u64, u64>::with_mode(
+            threads + 2,
+            ReclaimMode::Reclaim,
+        ));
         let recycler = s.spawn_recycler(threads + 1, Duration::from_millis(delay_ms));
         let dyn_s: Arc<DynSet> = s;
         workloads::driver::prefill(dyn_s.as_ref(), BENCH_KEY_RANGE);
-        group.bench_function(BenchmarkId::new("reclaim", format!("d={delay_ms}ms")), |b| {
-            b.iter(|| run_window(&dyn_s, threads, mix, 50))
-        });
+        group.bench_function(
+            BenchmarkId::new("reclaim", format!("d={delay_ms}ms")),
+            |b| b.iter(|| run_window(&dyn_s, threads, mix, 50)),
+        );
         drop(recycler);
     }
     group.finish();

@@ -19,16 +19,20 @@ pub trait ConcurrentSet<K, V>: Send + Sync {
     fn remove(&self, tid: usize, key: &K) -> bool;
 
     /// Wait-free membership test.
+    #[must_use]
     fn contains(&self, tid: usize, key: &K) -> bool;
 
     /// Lookup returning a copy of the value.
+    #[must_use]
     fn get(&self, tid: usize, key: &K) -> Option<V>;
 
     /// Number of elements, counted by a full (non-linearizable) traversal.
     /// Intended for tests and initialization sanity checks, not hot paths.
+    #[must_use]
     fn len(&self, tid: usize) -> usize;
 
     /// `true` when [`ConcurrentSet::len`] would be 0.
+    #[must_use]
     fn is_empty(&self, tid: usize) -> bool {
         self.len(tid) == 0
     }
@@ -47,6 +51,7 @@ pub trait RangeQuerySet<K, V>: ConcurrentSet<K, V> {
     fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize;
 
     /// Convenience wrapper allocating a fresh result vector.
+    #[must_use]
     fn range_query_vec(&self, tid: usize, low: &K, high: &K) -> Vec<(K, V)> {
         let mut out = Vec::new();
         self.range_query(tid, low, high, &mut out);
@@ -77,5 +82,11 @@ impl<K, V, T: ConcurrentSet<K, V> + ?Sized> ConcurrentSet<K, V> for std::sync::A
 impl<K, V, T: RangeQuerySet<K, V> + ?Sized> RangeQuerySet<K, V> for std::sync::Arc<T> {
     fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
         (**self).range_query(tid, low, high, out)
+    }
+    // Forwarded explicitly: the trait's default would allocate and traverse
+    // through the blanket impl, bypassing any specialized `range_query_vec`
+    // the underlying structure provides.
+    fn range_query_vec(&self, tid: usize, low: &K, high: &K) -> Vec<(K, V)> {
+        (**self).range_query_vec(tid, low, high)
     }
 }

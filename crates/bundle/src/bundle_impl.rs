@@ -252,10 +252,7 @@ impl<T> Drop for Bundle<T> {
 
 impl<T> std::fmt::Debug for Bundle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let entries: Vec<(usize, u64)> = self
-            .iter()
-            .map(|(p, ts)| (p as usize, ts))
-            .collect();
+        let entries: Vec<(usize, u64)> = self.iter().map(|(p, ts)| (p as usize, ts)).collect();
         f.debug_struct("Bundle").field("entries", &entries).finish()
     }
 }

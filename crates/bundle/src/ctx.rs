@@ -1,0 +1,158 @@
+//! A shareable linearization context: one [`GlobalTimestamp`] and one
+//! [`RqTracker`] that several bundled structures can use *together*.
+//!
+//! The paper gives each structure its own `globalTs`; that makes range
+//! queries linearizable *per structure*. A store that shards its keyspace
+//! across many structures needs more: a range query spanning shards must
+//! correspond to a single atomic snapshot of the **whole** store. The
+//! classic way to get that — and what [`RqContext`] packages — is to make
+//! every shard order its updates through the *same* timestamp and announce
+//! range queries in the *same* tracker:
+//!
+//! * updates on any shard call `advance` on the shared clock, so all
+//!   updates across all shards are totally ordered;
+//! * a cross-shard range query reads the shared clock **once** and
+//!   traverses every shard at that one timestamp — each shard serves the
+//!   fragment of the same atomic snapshot;
+//! * the shared tracker makes bundle-entry reclamation on every shard
+//!   respect the oldest snapshot any cross-shard query still needs.
+//!
+//! The context is cheap to clone (two `Arc`s) and a structure built from
+//! its own private context behaves exactly like the paper's original
+//! design, so the single-structure path pays nothing.
+
+use std::sync::Arc;
+
+use crate::tracker::RqTracker;
+use crate::ts::GlobalTimestamp;
+
+/// A cloneable handle to a (possibly shared) global timestamp and
+/// range-query tracker.
+///
+/// Two structures built from clones of the same `RqContext` order all of
+/// their updates on one clock, which is what makes cross-structure range
+/// queries linearizable (see the module docs and the `store` crate).
+#[derive(Clone, Debug)]
+pub struct RqContext {
+    clock: Arc<GlobalTimestamp>,
+    tracker: Arc<RqTracker>,
+}
+
+impl RqContext {
+    /// A linearizable context supporting `max_threads` registered threads.
+    pub fn new(max_threads: usize) -> Self {
+        RqContext {
+            clock: Arc::new(GlobalTimestamp::new(max_threads)),
+            tracker: Arc::new(RqTracker::new(max_threads)),
+        }
+    }
+
+    /// A context whose clock only advances every `threshold`-th update per
+    /// thread (Appendix A relaxation; `0` means never).
+    pub fn with_threshold(max_threads: usize, threshold: u64) -> Self {
+        RqContext {
+            clock: Arc::new(GlobalTimestamp::with_threshold(max_threads, threshold)),
+            tracker: Arc::new(RqTracker::new(max_threads)),
+        }
+    }
+
+    /// Build a context from already-shared parts.
+    pub fn from_parts(clock: Arc<GlobalTimestamp>, tracker: Arc<RqTracker>) -> Self {
+        RqContext { clock, tracker }
+    }
+
+    /// The shared clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<GlobalTimestamp> {
+        &self.clock
+    }
+
+    /// The shared range-query tracker.
+    #[must_use]
+    pub fn tracker(&self) -> &Arc<RqTracker> {
+        &self.tracker
+    }
+
+    /// Number of registered thread slots (the tracker's bound).
+    #[must_use]
+    pub fn max_threads(&self) -> usize {
+        self.tracker.max_threads()
+    }
+
+    /// `true` if `other` shares this context's clock and tracker (i.e.
+    /// range queries across structures built from both are linearizable).
+    #[must_use]
+    pub fn same_as(&self, other: &RqContext) -> bool {
+        Arc::ptr_eq(&self.clock, &other.clock) && Arc::ptr_eq(&self.tracker, &other.tracker)
+    }
+
+    /// Read the clock without announcing anything (diagnostics).
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        self.clock.read()
+    }
+
+    /// Begin a range query on `tid`: atomically read the shared clock and
+    /// announce the snapshot. Returns the snapshot timestamp — the
+    /// linearization point of everything traversed under it.
+    #[inline]
+    pub fn start_rq(&self, tid: usize) -> u64 {
+        self.tracker.start(tid, &self.clock)
+    }
+
+    /// End the range query previously started on `tid`.
+    #[inline]
+    pub fn finish_rq(&self, tid: usize) {
+        self.tracker.finish(tid);
+    }
+
+    /// The oldest snapshot any active range query (on *any* structure
+    /// sharing this context) may still need.
+    #[must_use]
+    pub fn oldest_active(&self) -> u64 {
+        self.tracker.oldest_active(self.clock.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_clock_and_tracker() {
+        let ctx = RqContext::new(4);
+        let other = ctx.clone();
+        assert!(ctx.same_as(&other));
+        assert_eq!(ctx.max_threads(), 4);
+        // An update ordered through one handle is visible through the other.
+        other.clock().advance(0);
+        assert_eq!(ctx.read(), 1);
+        // A snapshot announced through one handle pins reclamation for all.
+        let ts = ctx.start_rq(1);
+        assert_eq!(ts, 1);
+        other.clock().advance(0);
+        assert_eq!(other.oldest_active(), 1);
+        ctx.finish_rq(1);
+        assert_eq!(other.oldest_active(), 2);
+    }
+
+    #[test]
+    fn independent_contexts_are_distinct() {
+        let a = RqContext::new(2);
+        let b = RqContext::new(2);
+        assert!(!a.same_as(&b));
+        a.clock().advance(0);
+        assert_eq!(a.read(), 1);
+        assert_eq!(b.read(), 0);
+    }
+
+    #[test]
+    fn from_parts_and_threshold() {
+        let relaxed = RqContext::with_threshold(1, 0);
+        relaxed.clock().advance(0);
+        assert_eq!(relaxed.read(), 0, "T=inf never increments");
+        let rebuilt =
+            RqContext::from_parts(Arc::clone(relaxed.clock()), Arc::clone(relaxed.tracker()));
+        assert!(rebuilt.same_as(&relaxed));
+    }
+}

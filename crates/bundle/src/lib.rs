@@ -25,6 +25,10 @@
 //!   reclamation (Appendix B),
 //! * [`Recycler`] — a background cleanup thread with a configurable delay,
 //!   matching the Table 1 experiment,
+//! * [`RqContext`] — a cloneable clock + tracker handle that several
+//!   structures can *share*, extending the paper's per-structure guarantee
+//!   to linearizable range queries **across** structures (the basis of the
+//!   sharded `store` crate),
 //! * [`api`] — the `ConcurrentSet` / `RangeQuerySet` traits implemented by
 //!   every data structure (bundled or competitor) in this workspace.
 //!
@@ -57,12 +61,14 @@
 
 pub mod api;
 mod bundle_impl;
+mod ctx;
 mod linearize;
 mod recycler;
 mod tracker;
 mod ts;
 
 pub use bundle_impl::{Bundle, BundleIter, PENDING_TS};
+pub use ctx::RqContext;
 pub use linearize::linearize_update;
 pub use recycler::Recycler;
 pub use tracker::{RqTracker, RQ_INACTIVE, RQ_PENDING};

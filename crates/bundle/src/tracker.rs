@@ -112,7 +112,9 @@ impl std::fmt::Debug for RqTracker {
                 v => Some((i, v)),
             })
             .collect();
-        f.debug_struct("RqTracker").field("active", &active).finish()
+        f.debug_struct("RqTracker")
+            .field("active", &active)
+            .finish()
     }
 }
 

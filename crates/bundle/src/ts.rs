@@ -78,7 +78,7 @@ impl GlobalTimestamp {
             0 => self.ts.load(Ordering::SeqCst),
             t => {
                 let c = self.counters[tid].fetch_add(1, Ordering::Relaxed) + 1;
-                if c % t == 0 {
+                if c.is_multiple_of(t) {
                     self.ts.fetch_add(1, Ordering::SeqCst) + 1
                 } else {
                     self.ts.load(Ordering::SeqCst)

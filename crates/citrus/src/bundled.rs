@@ -2,15 +2,19 @@
 
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqTracker};
+use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
 use ebr::{Collector, Guard, ReclaimMode};
 
 use crate::{LEFT, RIGHT};
+
+/// Pending bundle updates of one operation: `(bundle, new link value)`.
+type BundleUpdates<'a, K, V> = Vec<(&'a Bundle<Node<K, V>>, *mut Node<K, V>)>;
 
 struct Node<K, V> {
     key: K,
@@ -30,7 +34,10 @@ impl<K, V> Node<K, V> {
             val,
             lock: Mutex::new(()),
             marked: AtomicBool::new(false),
-            child: [AtomicPtr::new(ptr::null_mut()), AtomicPtr::new(ptr::null_mut())],
+            child: [
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+            ],
             bundle: [Bundle::new(), Bundle::new()],
         }))
     }
@@ -43,8 +50,10 @@ impl<K, V> Node<K, V> {
 /// off its left child, which plays the role of Citrus' infinite-key root.
 pub struct BundledCitrusTree<K, V> {
     root: *mut Node<K, V>,
-    clock: GlobalTimestamp,
-    tracker: RqTracker,
+    /// Possibly shared with other structures (see [`RqContext`]); a tree
+    /// built through [`Self::new`] owns a private clock, matching the paper.
+    clock: Arc<GlobalTimestamp>,
+    tracker: Arc<RqTracker>,
     collector: Collector,
 }
 
@@ -63,6 +72,18 @@ where
 
     /// Create a tree with an explicit reclamation mode.
     pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        Self::with_context(max_threads, mode, &RqContext::new(max_threads))
+    }
+
+    /// Create a tree ordering its updates through a possibly *shared*
+    /// linearization context.
+    ///
+    /// Structures built from clones of the same [`RqContext`] totally order
+    /// their updates on one clock, so a caller that fixes a snapshot
+    /// timestamp once can traverse all of them atomically with
+    /// [`Self::range_query_at`] — the basis of the sharded store's
+    /// cross-shard linearizable range queries.
+    pub fn with_context(max_threads: usize, mode: ReclaimMode, ctx: &RqContext) -> Self {
         let root = Node::new(K::default(), None);
         unsafe {
             // The sentinel's left link starts empty at timestamp 0.
@@ -71,8 +92,8 @@ where
         }
         BundledCitrusTree {
             root,
-            clock: GlobalTimestamp::new(max_threads),
-            tracker: RqTracker::new(max_threads),
+            clock: Arc::clone(ctx.clock()),
+            tracker: Arc::clone(ctx.tracker()),
             collector: Collector::new(max_threads, mode),
         }
     }
@@ -80,9 +101,11 @@ where
     /// Tree whose global timestamp only advances every `t`-th update per
     /// thread (Appendix A relaxation; `t = 0` means never).
     pub fn with_relaxation(max_threads: usize, t: u64) -> Self {
-        let mut tree = Self::with_mode(max_threads, ReclaimMode::Reclaim);
-        tree.clock = GlobalTimestamp::with_threshold(max_threads, t);
-        tree
+        Self::with_context(
+            max_threads,
+            ReclaimMode::Reclaim,
+            &RqContext::with_threshold(max_threads, t),
+        )
     }
 
     /// The structure's epoch collector (diagnostics).
@@ -93,6 +116,12 @@ where
     /// The structure's global timestamp (diagnostics).
     pub fn clock(&self) -> &GlobalTimestamp {
         &self.clock
+    }
+
+    /// A handle to the linearization context this tree uses (shared with
+    /// every other structure built from the same context).
+    pub fn context(&self) -> RqContext {
+        RqContext::from_parts(Arc::clone(&self.clock), Arc::clone(&self.tracker))
     }
 
     fn pin(&self, tid: usize) -> Guard<'_> {
@@ -167,7 +196,131 @@ where
             tree.cleanup_bundles(tid);
         })
     }
+
+    /// One optimistic attempt to collect the snapshot at `ts`: optimistic
+    /// descent over the newest pointers to the subtree containing the
+    /// range, then a depth-first traversal strictly over bundles.
+    ///
+    /// `None` means a node created after the snapshot was reached and the
+    /// caller must retry. The caller holds the EBR guard. Results are in
+    /// DFS order; the caller sorts.
+    fn try_collect_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> Option<usize> {
+        out.clear();
+        // Phase 1 (GetFirstNodeInRange): optimistic descent using the
+        // newest pointers to the last node *outside* the range — its child
+        // in direction `dir` roots the subtree containing every key of the
+        // range.
+        let mut pred = self.root;
+        let mut dir = LEFT;
+        let mut curr = unsafe { &*pred }.child[LEFT].load(Ordering::Acquire);
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if c.key < *low {
+                pred = curr;
+                dir = RIGHT;
+                curr = c.child[RIGHT].load(Ordering::Acquire);
+            } else if c.key > *high {
+                pred = curr;
+                dir = LEFT;
+                curr = c.child[LEFT].load(Ordering::Acquire);
+            } else {
+                break;
+            }
+        }
+
+        // Phase 2: enter the snapshot through the predecessor's bundle and
+        // run a depth-first traversal strictly over bundles.
+        let entry = unsafe { &*pred }.bundle[dir].dereference(ts)?;
+        self.dfs_collect_at(entry, ts, low, high, out)
+    }
+
+    /// Bundle-only DFS from `entry` at snapshot `ts`, pruning by key.
+    /// `None` if any dereference fails (only possible when `entry` itself
+    /// was reached optimistically).
+    fn dfs_collect_at(
+        &self,
+        entry: *mut Node<K, V>,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+    ) -> Option<usize> {
+        let mut stack: Vec<*mut Node<K, V>> = vec![entry];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let node = unsafe { &*p };
+            let k = node.key;
+            let follow = |d: usize, stack: &mut Vec<*mut Node<K, V>>| -> bool {
+                match node.bundle[d].dereference(ts) {
+                    Some(c) => {
+                        stack.push(c);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            let ok = if k < *low {
+                follow(RIGHT, &mut stack)
+            } else if k > *high {
+                follow(LEFT, &mut stack)
+            } else {
+                out.push((k, node.val.clone().expect("data node has a value")));
+                follow(LEFT, &mut stack) && follow(RIGHT, &mut stack)
+            };
+            if !ok {
+                return None;
+            }
+        }
+        Some(out.len())
+    }
+
+    /// Range query at a *caller-fixed* snapshot timestamp.
+    ///
+    /// Used by multi-structure callers (the sharded store): read the shared
+    /// clock once, announce it in the shared tracker, then call this on
+    /// every structure — together the results form one atomic snapshot.
+    ///
+    /// Contract: `ts` must be announced in this structure's [`RqTracker`]
+    /// (e.g. via [`bundle::RqContext::start_rq`]) for the whole call, so
+    /// bundle cleanup cannot reclaim entries the traversal needs; `ts` must
+    /// also not exceed the shared clock's current value.
+    pub fn range_query_at(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+    ) -> usize {
+        let _guard = self.pin(tid);
+        // Optimistic attempts descend over the newest pointers; the fixed
+        // timestamp cannot be refreshed on failure, so fall back to a
+        // bundle-only DFS from the sentinel root, which always succeeds
+        // (the sentinel's bundles are initialized at timestamp 0 and
+        // cleanup keeps every entry the oldest announced snapshot needs).
+        for _ in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            if let Some(n) = self.try_collect_at(ts, low, high, out) {
+                out.sort_unstable_by_key(|a| a.0);
+                return n;
+            }
+        }
+        out.clear();
+        let entry = unsafe { &*self.root }.bundle[LEFT]
+            .dereference(ts)
+            .expect("root bundle must satisfy an announced snapshot");
+        let n = self
+            .dfs_collect_at(entry, ts, low, high, out)
+            .expect("snapshot DFS must stay satisfiable");
+        out.sort_unstable_by_key(|a| a.0);
+        n
+    }
 }
+
+/// Optimistic entry attempts a fixed-timestamp range query makes before
+/// falling back to the guaranteed bundle-only traversal.
+const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 
 impl<K, V> ConcurrentSet<K, V> for BundledCitrusTree<K, V>
 where
@@ -317,7 +470,7 @@ where
             new_ref.child[LEFT].store(left, Ordering::Relaxed);
             new_ref.child[RIGHT].store(new_right, Ordering::Relaxed);
 
-            let mut bundles: Vec<(&Bundle<Node<K, V>>, *mut Node<K, V>)> = vec![
+            let mut bundles: BundleUpdates<'_, K, V> = vec![
                 (&new_ref.bundle[LEFT], left),
                 (&new_ref.bundle[RIGHT], new_right),
                 (&pred_ref.bundle[dir], new_node),
@@ -386,78 +539,18 @@ where
 {
     fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
         let _guard = self.pin(tid);
-        let mut stack: Vec<*mut Node<K, V>> = Vec::new();
-        'restart: loop {
-            out.clear();
-            stack.clear();
+        loop {
+            // Linearization point: fix the snapshot timestamp and announce
+            // it for the bundle recycler. On a failed optimistic attempt
+            // restart with a fresh timestamp.
             let ts = self.tracker.start(tid, &self.clock);
-
-            // Phase 1 (GetFirstNodeInRange): optimistic descent using the
-            // newest pointers to the last node *outside* the range — its
-            // child in direction `dir` roots the subtree containing every
-            // key of the range.
-            let mut pred = self.root;
-            let mut dir = LEFT;
-            let mut curr = unsafe { &*pred }.child[LEFT].load(Ordering::Acquire);
-            while !curr.is_null() {
-                let c = unsafe { &*curr };
-                if c.key < *low {
-                    pred = curr;
-                    dir = RIGHT;
-                    curr = c.child[RIGHT].load(Ordering::Acquire);
-                } else if c.key > *high {
-                    pred = curr;
-                    dir = LEFT;
-                    curr = c.child[LEFT].load(Ordering::Acquire);
-                } else {
-                    break;
-                }
-            }
-
-            // Phase 2: enter the snapshot through the predecessor's bundle
-            // and run a depth-first traversal strictly over bundles.
-            let entry = match unsafe { &*pred }.bundle[dir].dereference(ts) {
-                Some(p) => p,
-                None => {
-                    self.tracker.finish(tid);
-                    continue 'restart;
-                }
-            };
-            stack.push(entry);
-            while let Some(p) = stack.pop() {
-                if p.is_null() {
-                    continue;
-                }
-                let node = unsafe { &*p };
-                let k = node.key;
-                let follow = |d: usize,
-                              stack: &mut Vec<*mut Node<K, V>>|
-                 -> bool {
-                    match node.bundle[d].dereference(ts) {
-                        Some(c) => {
-                            stack.push(c);
-                            true
-                        }
-                        None => false,
-                    }
-                };
-                let ok = if k < *low {
-                    follow(RIGHT, &mut stack)
-                } else if k > *high {
-                    follow(LEFT, &mut stack)
-                } else {
-                    out.push((k, node.val.clone().expect("data node has a value")));
-                    follow(LEFT, &mut stack) && follow(RIGHT, &mut stack)
-                };
-                if !ok {
-                    self.tracker.finish(tid);
-                    continue 'restart;
-                }
-            }
+            let collected = self.try_collect_at(ts, low, high, out);
             self.tracker.finish(tid);
-            // The DFS visits keys in tree order, not sorted order.
-            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            return out.len();
+            if let Some(n) = collected {
+                // The DFS visits keys in tree order, not sorted order.
+                out.sort_unstable_by_key(|a| a.0);
+                return n;
+            }
         }
     }
 }
@@ -597,7 +690,7 @@ mod tests {
                                 t.remove(tid, &k);
                             }
                             2 => {
-                                t.contains(tid, &k);
+                                let _ = t.contains(tid, &k);
                             }
                             _ => {
                                 let lo = k.saturating_sub(64);
@@ -665,7 +758,10 @@ mod tests {
                 let mut out = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     t.range_query(1, &0, &200, &mut out);
-                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "duplicate key observed");
+                    assert!(
+                        out.windows(2).all(|w| w[0].0 < w[1].0),
+                        "duplicate key observed"
+                    );
                 }
             })
         };
@@ -681,6 +777,41 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         reader.join().unwrap();
         assert_eq!(t.len(0), 200);
+    }
+
+    #[test]
+    fn range_query_at_respects_fixed_snapshot() {
+        let t = Tree::new(2);
+        for k in [50u64, 25, 75, 10, 60, 90, 30] {
+            t.insert(0, k, k);
+        }
+        let ts = t.clock().read();
+        t.remove(0, &25);
+        t.insert(0, 99, 99);
+        let mut out = Vec::new();
+        // At the fixed snapshot the removal and late insert are invisible.
+        t.range_query_at(1, ts, &0, &100, &mut out);
+        assert_eq!(
+            out.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 25, 30, 50, 60, 75, 90]
+        );
+        // A current snapshot sees the new state.
+        t.range_query_at(1, t.clock().read(), &0, &100, &mut out);
+        assert_eq!(
+            out.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 30, 50, 60, 75, 90, 99]
+        );
+    }
+
+    #[test]
+    fn shared_context_spans_structures() {
+        let ctx = bundle::RqContext::new(1);
+        let a = BundledCitrusTree::<u64, u64>::with_context(1, ReclaimMode::Reclaim, &ctx);
+        let b = BundledCitrusTree::<u64, u64>::with_context(1, ReclaimMode::Reclaim, &ctx);
+        a.insert(0, 1, 1);
+        b.insert(0, 2, 2);
+        assert_eq!(ctx.read(), 2, "both trees advance the one clock");
+        assert!(a.context().same_as(&b.context()));
     }
 
     #[test]

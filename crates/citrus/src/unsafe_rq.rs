@@ -26,7 +26,10 @@ impl<K, V> Node<K, V> {
             val,
             lock: Mutex::new(()),
             marked: AtomicBool::new(false),
-            child: [AtomicPtr::new(ptr::null_mut()), AtomicPtr::new(ptr::null_mut())],
+            child: [
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+            ],
         }))
     }
 }
@@ -284,7 +287,7 @@ where
                 stack.push(node.child[RIGHT].load(Ordering::Acquire));
             }
         }
-        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out.sort_unstable_by_key(|a| a.0);
         out.len()
     }
 }
@@ -326,7 +329,10 @@ mod tests {
         assert_eq!(t.len(0), 5);
         let mut out = Vec::new();
         t.range_query(0, &2, &8, &mut out);
-        assert_eq!(out.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![2, 3, 7, 8]);
+        assert_eq!(
+            out.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2, 3, 7, 8]
+        );
     }
 
     #[test]
@@ -365,7 +371,7 @@ mod tests {
                         seed ^= seed >> 7;
                         seed ^= seed << 17;
                         let k = seed % 256;
-                        if seed % 2 == 0 {
+                        if seed.is_multiple_of(2) {
                             t.insert(tid, k, k);
                         } else {
                             t.remove(tid, &k);

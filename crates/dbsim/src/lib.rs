@@ -26,6 +26,8 @@ mod keys;
 mod tpcc;
 mod workload;
 
-pub use keys::{customer_key, customer_name_key, new_order_key, order_key, stock_key, DISTRICTS_PER_WAREHOUSE};
-pub use tpcc::{DynIndex, IndexFactory, TpccConfig, TpccDb, TxnKind, TxnStats};
+pub use keys::{
+    customer_key, customer_name_key, new_order_key, order_key, stock_key, DISTRICTS_PER_WAREHOUSE,
+};
+pub use tpcc::{Customer, DynIndex, IndexFactory, Order, TpccConfig, TpccDb, TxnKind, TxnStats};
 pub use workload::{run_tpcc, TpccThroughput};

@@ -176,7 +176,8 @@ impl TpccDb {
         for i in 0..cfg.items {
             self.item_index.insert(0, i, i);
             for w in 0..cfg.warehouses {
-                self.stock_index.insert(0, stock_key(w, i), w * cfg.items + i);
+                self.stock_index
+                    .insert(0, stock_key(w, i), w * cfg.items + i);
             }
         }
         // Customers.
@@ -213,7 +214,8 @@ impl TpccDb {
                         carrier_id: None,
                     });
                     self.order_index.insert(0, order_key(w, d, o), row_id);
-                    self.new_order_index.insert(0, new_order_key(w, d, o), row_id);
+                    self.new_order_index
+                        .insert(0, new_order_key(w, d, o), row_id);
                 }
             }
         }
@@ -268,7 +270,8 @@ impl TpccDb {
             row_id
         };
         self.order_index.insert(tid, order_key(w, d, o_id), row_id);
-        self.new_order_index.insert(tid, new_order_key(w, d, o_id), row_id);
+        self.new_order_index
+            .insert(tid, new_order_key(w, d, o_id), row_id);
         index_ops += 2;
 
         self.bump_index_ops(index_ops);
@@ -292,7 +295,8 @@ impl TpccDb {
             let h = last_name_hash(&Self::last_name(c));
             let low = customer_name_key(w, d, h, 0);
             let high = customer_name_key(w, d, h, (1 << 20) - 1);
-            self.customer_name_index.range_query(tid, &low, &high, scratch);
+            self.customer_name_index
+                .range_query(tid, &low, &high, scratch);
             index_ops += 1;
             if scratch.is_empty() {
                 None
@@ -326,8 +330,8 @@ impl TpccDb {
         let carrier = rng.gen_range(1..=10u64);
         let mut index_ops = 0u64;
         for d in 0..DISTRICTS_PER_WAREHOUSE {
-            let next = self.next_o_id[(w * DISTRICTS_PER_WAREHOUSE + d) as usize]
-                .load(Ordering::Relaxed);
+            let next =
+                self.next_o_id[(w * DISTRICTS_PER_WAREHOUSE + d) as usize].load(Ordering::Relaxed);
             let low_o = next.saturating_sub(100);
             let low = new_order_key(w, d, low_o);
             let high = new_order_key(w, d, next);
@@ -349,7 +353,12 @@ impl TpccDb {
     }
 
     /// Execute one transaction of the paper's mix.
-    pub fn run_txn(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) -> TxnKind {
+    pub fn run_txn(
+        &self,
+        tid: usize,
+        rng: &mut SmallRng,
+        scratch: &mut Vec<(u64, u64)>,
+    ) -> TxnKind {
         let kind = TxnKind::sample(rng);
         match kind {
             TxnKind::NewOrder => self.new_order(tid, rng),

@@ -90,7 +90,10 @@ mod tests {
             |t: usize| -> DynIndex { Arc::new(BundledSkipList::<u64, u64>::new(t)) };
         let citrus_factory =
             |t: usize| -> DynIndex { Arc::new(BundledCitrusTree::<u64, u64>::new(t)) };
-        for factory in [&skiplist_factory as &IndexFactory, &citrus_factory as &IndexFactory] {
+        for factory in [
+            &skiplist_factory as &IndexFactory,
+            &citrus_factory as &IndexFactory,
+        ] {
             let t = run_tpcc(cfg, factory, 2, 50);
             assert!(t.transactions > 0);
             assert!(t.index_ops > t.transactions);

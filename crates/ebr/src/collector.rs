@@ -219,6 +219,7 @@ impl Collector {
         self.stats.on_retire();
         if self.mode == ReclaimMode::Leaky {
             // Intentionally leak: the paper's primary experiments never free.
+            #[allow(clippy::forget_non_drop)]
             std::mem::forget(retired);
             return;
         }

@@ -59,7 +59,9 @@ impl Retired {
     /// while the object was reachable (i.e. after a grace period).
     pub(crate) unsafe fn reclaim(self) {
         (self.dtor)(self.ptr);
-        // Do not run Drop for `self` (there is nothing else to do).
+        // Nothing else to do for `self`; spelled as forget to document that
+        // ownership of the pointee ended with the dtor call above.
+        #[allow(clippy::forget_non_drop)]
         std::mem::forget(self);
     }
 }

@@ -2,12 +2,13 @@
 
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqTracker};
+use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
 use ebr::{Collector, Guard, ReclaimMode};
 
 /// A node of the bundled lazy list (Listing 2 of the paper).
@@ -53,8 +54,10 @@ impl<K, V> Node<K, V> {
 pub struct BundledLazyList<K, V> {
     head: *mut Node<K, V>,
     tail: *mut Node<K, V>,
-    clock: GlobalTimestamp,
-    tracker: RqTracker,
+    /// Possibly shared with other structures (see [`RqContext`]); a list
+    /// built through [`Self::new`] owns a private clock, matching the paper.
+    clock: Arc<GlobalTimestamp>,
+    tracker: Arc<RqTracker>,
     collector: Collector,
 }
 
@@ -76,6 +79,18 @@ where
     /// matches the paper's primary experimental configuration (no memory is
     /// ever freed while the structure is live).
     pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        Self::with_context(max_threads, mode, &RqContext::new(max_threads))
+    }
+
+    /// Create a list ordering its updates through a possibly *shared*
+    /// linearization context.
+    ///
+    /// Structures built from clones of the same [`RqContext`] totally order
+    /// their updates on one clock, so a caller that fixes a snapshot
+    /// timestamp once can traverse all of them atomically with
+    /// [`Self::range_query_at`] — the basis of the sharded store's
+    /// cross-shard linearizable range queries.
+    pub fn with_context(max_threads: usize, mode: ReclaimMode, ctx: &RqContext) -> Self {
         let tail = Node::new(K::default(), None);
         let head = Node::new(K::default(), None);
         unsafe {
@@ -87,8 +102,8 @@ where
         BundledLazyList {
             head,
             tail,
-            clock: GlobalTimestamp::new(max_threads),
-            tracker: RqTracker::new(max_threads),
+            clock: Arc::clone(ctx.clock()),
+            tracker: Arc::clone(ctx.tracker()),
             collector: Collector::new(max_threads, mode),
         }
     }
@@ -96,9 +111,11 @@ where
     /// Create a list whose global timestamp only advances every `t`-th
     /// update per thread (the Appendix A relaxation; `t = 0` means never).
     pub fn with_relaxation(max_threads: usize, t: u64) -> Self {
-        let mut list = Self::with_mode(max_threads, ReclaimMode::Reclaim);
-        list.clock = GlobalTimestamp::with_threshold(max_threads, t);
-        list
+        Self::with_context(
+            max_threads,
+            ReclaimMode::Reclaim,
+            &RqContext::with_threshold(max_threads, t),
+        )
     }
 
     /// The structure's epoch collector (for diagnostics and tests).
@@ -109,6 +126,12 @@ where
     /// The structure's global timestamp (for diagnostics and tests).
     pub fn clock(&self) -> &GlobalTimestamp {
         &self.clock
+    }
+
+    /// A handle to the linearization context this list uses (shared with
+    /// every other structure built from the same context).
+    pub fn context(&self) -> RqContext {
+        RqContext::from_parts(Arc::clone(&self.clock), Arc::clone(&self.tracker))
     }
 
     fn pin(&self, tid: usize) -> Guard<'_> {
@@ -183,7 +206,104 @@ where
             list.cleanup_bundles(tid);
         })
     }
+
+    /// One optimistic attempt to collect the snapshot at `ts`: traverse the
+    /// newest pointers up to the range, then hop strictly through bundles.
+    ///
+    /// `None` means the optimistic entry phase landed on a node created
+    /// after the snapshot (Algorithm 3, line 7) and the caller must retry.
+    /// The caller holds the EBR guard.
+    fn try_collect_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> Option<usize> {
+        out.clear();
+        // Phase 1 (GetFirstNodeInRange, first half): optimistic traversal
+        // over the newest pointers up to the node preceding the range.
+        let mut pred = self.head;
+        let mut curr = unsafe { &*pred }.next.load(Ordering::Acquire);
+        while curr != self.tail && unsafe { &*curr }.key < *low {
+            pred = curr;
+            curr = unsafe { &*curr }.next.load(Ordering::Acquire);
+        }
+
+        // Phase 2: enter the range strictly through bundles.
+        let mut node = unsafe { &*pred }.bundle.dereference(ts)?;
+        // Skip nodes below the range (possible when nodes were removed
+        // after the snapshot was fixed).
+        while node != self.tail && unsafe { &*node }.key < *low {
+            node = unsafe { &*node }.bundle.dereference(ts)?;
+        }
+        // Collect the snapshot (GetNext): every hop goes through the
+        // bundle, so only nodes belonging to the snapshot are visited.
+        while node != self.tail && unsafe { &*node }.key <= *high {
+            let n = unsafe { &*node };
+            out.push((n.key, n.val.clone().expect("data node has a value")));
+            node = n.bundle.dereference(ts)?;
+        }
+        Some(out.len())
+    }
+
+    /// Guaranteed snapshot collection at `ts`: walk from the head sentinel
+    /// strictly through bundles. Never restarts — every node reachable
+    /// through bundle hops at `ts` belongs to the snapshot, and the head's
+    /// bundle always has a satisfying entry (it is initialized at timestamp
+    /// 0 and cleanup keeps the entry the oldest announced snapshot needs).
+    fn collect_snapshot_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        out.clear();
+        let mut node = unsafe { &*self.head }
+            .bundle
+            .dereference(ts)
+            .expect("head bundle must satisfy an announced snapshot");
+        while node != self.tail && unsafe { &*node }.key < *low {
+            node = unsafe { &*node }
+                .bundle
+                .dereference(ts)
+                .expect("snapshot path must stay satisfiable");
+        }
+        while node != self.tail && unsafe { &*node }.key <= *high {
+            let n = unsafe { &*node };
+            out.push((n.key, n.val.clone().expect("data node has a value")));
+            node = n
+                .bundle
+                .dereference(ts)
+                .expect("snapshot path must stay satisfiable");
+        }
+        out.len()
+    }
+
+    /// Range query at a *caller-fixed* snapshot timestamp.
+    ///
+    /// Used by multi-structure callers (the sharded store): read the shared
+    /// clock once, announce it in the shared tracker, then call this on
+    /// every structure — together the results form one atomic snapshot.
+    ///
+    /// Contract: `ts` must be announced in this structure's [`RqTracker`]
+    /// (e.g. via [`bundle::RqContext::start_rq`]) for the whole call, so
+    /// bundle cleanup cannot reclaim entries the traversal needs; `ts` must
+    /// also not exceed the shared clock's current value.
+    pub fn range_query_at(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+    ) -> usize {
+        let _guard = self.pin(tid);
+        // A few optimistic attempts first: they enter the range directly.
+        // Unlike `range_query` the timestamp cannot be refreshed, so under
+        // sustained churn near the range boundary fall back to the
+        // bundle-only walk, which always succeeds.
+        for _ in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            if let Some(n) = self.try_collect_at(ts, low, high, out) {
+                return n;
+            }
+        }
+        self.collect_snapshot_at(ts, low, high, out)
+    }
 }
+
+/// Optimistic entry attempts a fixed-timestamp range query makes before
+/// falling back to the guaranteed bundle-only traversal.
+const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 
 impl<K, V> ConcurrentSet<K, V> for BundledLazyList<K, V>
 where
@@ -293,59 +413,16 @@ where
 {
     fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
         let _guard = self.pin(tid);
-        'restart: loop {
-            out.clear();
+        loop {
             // Linearization point: fix the snapshot timestamp and announce
-            // it for the bundle recycler.
+            // it for the bundle recycler. On a failed optimistic attempt
+            // restart with a fresh timestamp (Algorithm 3, line 7).
             let ts = self.tracker.start(tid, &self.clock);
-
-            // Phase 1 (GetFirstNodeInRange, first half): optimistic
-            // traversal over the newest pointers up to the node preceding
-            // the range.
-            let mut pred = self.head;
-            let mut curr = unsafe { &*pred }.next.load(Ordering::Acquire);
-            while curr != self.tail && unsafe { &*curr }.key < *low {
-                pred = curr;
-                curr = unsafe { &*curr }.next.load(Ordering::Acquire);
-            }
-
-            // Phase 2: enter the range strictly through bundles. If the
-            // predecessor has no entry satisfying `ts` it was created after
-            // the snapshot: restart with a fresh timestamp (Algorithm 3,
-            // line 7).
-            let mut node = match unsafe { &*pred }.bundle.dereference(ts) {
-                Some(p) => p,
-                None => {
-                    self.tracker.finish(tid);
-                    continue 'restart;
-                }
-            };
-            // Skip nodes below the range (possible when nodes were removed
-            // after the snapshot was fixed).
-            while node != self.tail && unsafe { &*node }.key < *low {
-                node = match unsafe { &*node }.bundle.dereference(ts) {
-                    Some(p) => p,
-                    None => {
-                        self.tracker.finish(tid);
-                        continue 'restart;
-                    }
-                };
-            }
-            // Collect the snapshot (GetNext): every hop goes through the
-            // bundle, so only nodes belonging to the snapshot are visited.
-            while node != self.tail && unsafe { &*node }.key <= *high {
-                let n = unsafe { &*node };
-                out.push((n.key, n.val.clone().expect("data node has a value")));
-                node = match n.bundle.dereference(ts) {
-                    Some(p) => p,
-                    None => {
-                        self.tracker.finish(tid);
-                        continue 'restart;
-                    }
-                };
-            }
+            let collected = self.try_collect_at(ts, low, high, out);
             self.tracker.finish(tid);
-            return out.len();
+            if let Some(n) = collected {
+                return n;
+            }
         }
     }
 }
@@ -432,10 +509,13 @@ mod tests {
         let mut out = Vec::new();
         // A range query started now (ts=4) sees {10, 30}.
         l.range_query(0, &0, &100, &mut out);
-        assert_eq!(out.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 30]);
+        assert_eq!(
+            out.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 30]
+        );
         // The historical path for ts=3 ({10,20,30}) is still present in the
         // bundles (dereference on the head bundle at ts=0 sees the tail).
-        assert_eq!(l.bundle_entries(0) > 4, true);
+        assert!(l.bundle_entries(0) > 4);
     }
 
     #[test]
@@ -497,7 +577,7 @@ mod tests {
                             l.remove(tid, &k);
                         }
                         2 => {
-                            l.contains(tid, &k);
+                            let _ = l.contains(tid, &k);
                         }
                         _ => {
                             let lo = k.saturating_sub(32);
@@ -606,6 +686,50 @@ mod tests {
         l.range_query(1, &10, &20, &mut out);
         assert_eq!(out.len(), 11);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn shared_context_orders_updates_across_lists() {
+        // Two lists on one context: updates interleave on one clock, and a
+        // fixed-timestamp query over both sees one atomic cut.
+        let ctx = bundle::RqContext::new(2);
+        let a = BundledLazyList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        let b = BundledLazyList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        assert!(a.context().same_as(&b.context()));
+        a.insert(0, 1, 1); // ts 1
+        b.insert(0, 2, 2); // ts 2
+        a.insert(0, 3, 3); // ts 3
+        assert_eq!(ctx.read(), 3);
+
+        // Snapshot fixed between the two `a` inserts: sees {1} and {2}.
+        let ts = 2;
+        let tid = 1;
+        let announced = ctx.start_rq(tid);
+        assert_eq!(announced, 3);
+        let mut out = Vec::new();
+        a.range_query_at(tid, ts, &0, &10, &mut out);
+        assert_eq!(out, vec![(1, 1)], "a at ts=2 must not include ts=3 insert");
+        b.range_query_at(tid, ts, &0, &10, &mut out);
+        assert_eq!(out, vec![(2, 2)]);
+        ctx.finish_rq(tid);
+    }
+
+    #[test]
+    fn range_query_at_fallback_matches_optimistic() {
+        let l = List::new(1);
+        for k in 0..100u64 {
+            l.insert(0, k, k * 2);
+        }
+        let ts = l.clock().read();
+        let mut opt = Vec::new();
+        let mut snap = Vec::new();
+        assert_eq!(l.range_query_at(0, ts, &10, &20, &mut opt), 11);
+        // The guaranteed bundle-only walk must produce the same snapshot.
+        let _guard = l.pin(0);
+        l.collect_snapshot_at(ts, &10, &20, &mut snap);
+        assert_eq!(opt, snap);
+        // An ancient snapshot sees the empty list.
+        assert_eq!(l.range_query_at(0, 0, &0, &1000, &mut opt), 0);
     }
 
     #[test]

@@ -265,7 +265,7 @@ mod tests {
                         seed ^= seed >> 7;
                         seed ^= seed << 17;
                         let k = seed % 128;
-                        if seed % 2 == 0 {
+                        if seed.is_multiple_of(2) {
                             l.insert(tid, k, k);
                         } else {
                             l.remove(tid, &k);

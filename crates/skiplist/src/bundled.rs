@@ -2,13 +2,14 @@
 
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqTracker};
+use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
 use ebr::{Collector, Guard, ReclaimMode};
 
 use crate::MAX_LEVEL;
@@ -47,8 +48,10 @@ impl<K, V> Node<K, V> {
 pub struct BundledSkipList<K, V> {
     head: *mut Node<K, V>,
     tail: *mut Node<K, V>,
-    clock: GlobalTimestamp,
-    tracker: RqTracker,
+    /// Possibly shared with other structures (see [`RqContext`]); a list
+    /// built through [`Self::new`] owns a private clock, matching the paper.
+    clock: Arc<GlobalTimestamp>,
+    tracker: Arc<RqTracker>,
     collector: Collector,
     seeds: Box<[CachePadded<AtomicU64>]>,
 }
@@ -68,6 +71,18 @@ where
 
     /// Create a skip list with an explicit reclamation mode.
     pub fn with_mode(max_threads: usize, mode: ReclaimMode) -> Self {
+        Self::with_context(max_threads, mode, &RqContext::new(max_threads))
+    }
+
+    /// Create a skip list ordering its updates through a possibly *shared*
+    /// linearization context.
+    ///
+    /// Structures built from clones of the same [`RqContext`] totally order
+    /// their updates on one clock, so a caller that fixes a snapshot
+    /// timestamp once can traverse all of them atomically with
+    /// [`Self::range_query_at`] — the basis of the sharded store's
+    /// cross-shard linearizable range queries.
+    pub fn with_context(max_threads: usize, mode: ReclaimMode, ctx: &RqContext) -> Self {
         let tail = Node::new(K::default(), None, MAX_LEVEL - 1);
         let head = Node::new(K::default(), None, MAX_LEVEL - 1);
         unsafe {
@@ -79,14 +94,18 @@ where
             (*head).bundle.init(tail, 0);
         }
         let seeds = (0..max_threads.max(1))
-            .map(|i| CachePadded::new(AtomicU64::new(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                CachePadded::new(AtomicU64::new(
+                    0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1),
+                ))
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         BundledSkipList {
             head,
             tail,
-            clock: GlobalTimestamp::new(max_threads),
-            tracker: RqTracker::new(max_threads),
+            clock: Arc::clone(ctx.clock()),
+            tracker: Arc::clone(ctx.tracker()),
             collector: Collector::new(max_threads, mode),
             seeds,
         }
@@ -95,9 +114,11 @@ where
     /// Skip list whose global timestamp only advances every `t`-th update
     /// per thread (Appendix A relaxation; `t = 0` means never).
     pub fn with_relaxation(max_threads: usize, t: u64) -> Self {
-        let mut sl = Self::with_mode(max_threads, ReclaimMode::Reclaim);
-        sl.clock = GlobalTimestamp::with_threshold(max_threads, t);
-        sl
+        Self::with_context(
+            max_threads,
+            ReclaimMode::Reclaim,
+            &RqContext::with_threshold(max_threads, t),
+        )
     }
 
     /// The structure's epoch collector (diagnostics).
@@ -108,6 +129,12 @@ where
     /// The structure's global timestamp (diagnostics).
     pub fn clock(&self) -> &GlobalTimestamp {
         &self.clock
+    }
+
+    /// A handle to the linearization context this skip list uses (shared
+    /// with every other structure built from the same context).
+    pub fn context(&self) -> RqContext {
+        RqContext::from_parts(Arc::clone(&self.clock), Arc::clone(&self.tracker))
     }
 
     fn pin(&self, tid: usize) -> Guard<'_> {
@@ -194,6 +221,98 @@ where
         })
     }
 
+    /// One optimistic attempt to collect the snapshot at `ts`: descend the
+    /// index layers over the newest pointers, then hop strictly through the
+    /// data-layer bundles.
+    ///
+    /// `None` means the optimistic entry landed on a node created after the
+    /// snapshot and the caller must retry. The caller holds the EBR guard.
+    fn try_collect_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> Option<usize> {
+        out.clear();
+        // Phase 1 (GetFirstNodeInRange): descend through the index layers
+        // using the newest pointers to reach the data-layer node preceding
+        // the range.
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            while curr != self.tail && unsafe { &*curr }.key < *low {
+                pred = curr;
+                curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            }
+        }
+
+        // Phase 2: enter and traverse the range strictly through the
+        // data-layer bundles.
+        let mut node = unsafe { &*pred }.bundle.dereference(ts)?;
+        while node != self.tail && unsafe { &*node }.key < *low {
+            node = unsafe { &*node }.bundle.dereference(ts)?;
+        }
+        while node != self.tail && unsafe { &*node }.key <= *high {
+            let n = unsafe { &*node };
+            out.push((n.key, n.val.clone().expect("data node has a value")));
+            node = n.bundle.dereference(ts)?;
+        }
+        Some(out.len())
+    }
+
+    /// Guaranteed snapshot collection at `ts`: walk the data layer from the
+    /// head sentinel strictly through bundles (no index layers). Never
+    /// restarts — the head's bundle is initialized at timestamp 0 and
+    /// cleanup keeps every entry the oldest announced snapshot needs.
+    fn collect_snapshot_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        out.clear();
+        let mut node = unsafe { &*self.head }
+            .bundle
+            .dereference(ts)
+            .expect("head bundle must satisfy an announced snapshot");
+        while node != self.tail && unsafe { &*node }.key < *low {
+            node = unsafe { &*node }
+                .bundle
+                .dereference(ts)
+                .expect("snapshot path must stay satisfiable");
+        }
+        while node != self.tail && unsafe { &*node }.key <= *high {
+            let n = unsafe { &*node };
+            out.push((n.key, n.val.clone().expect("data node has a value")));
+            node = n
+                .bundle
+                .dereference(ts)
+                .expect("snapshot path must stay satisfiable");
+        }
+        out.len()
+    }
+
+    /// Range query at a *caller-fixed* snapshot timestamp.
+    ///
+    /// Used by multi-structure callers (the sharded store): read the shared
+    /// clock once, announce it in the shared tracker, then call this on
+    /// every structure — together the results form one atomic snapshot.
+    ///
+    /// Contract: `ts` must be announced in this structure's [`RqTracker`]
+    /// (e.g. via [`bundle::RqContext::start_rq`]) for the whole call, so
+    /// bundle cleanup cannot reclaim entries the traversal needs; `ts` must
+    /// also not exceed the shared clock's current value.
+    pub fn range_query_at(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+    ) -> usize {
+        let _guard = self.pin(tid);
+        // Optimistic attempts use the index layers to enter the range
+        // directly; the fixed timestamp cannot be refreshed on failure, so
+        // fall back to the bundle-only data-layer walk, which always
+        // succeeds (at the cost of an O(n) entry).
+        for _ in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            if let Some(n) = self.try_collect_at(ts, low, high, out) {
+                return n;
+            }
+        }
+        self.collect_snapshot_at(ts, low, high, out)
+    }
+
     /// Lock `preds[0..=top]`, skipping duplicates, and validate that every
     /// level still links `pred -> succ` with both unmarked. Returns the
     /// guards on success (dropping them releases the locks).
@@ -224,7 +343,17 @@ where
             } else {
                 unsafe { &*succ }.marked.load(Ordering::Acquire)
             };
+            // `fully_linked` on the predecessor is load-bearing for the
+            // bundles, not just the tower: an insert publishes its node's
+            // data-layer pointers *before* preparing its bundle (only
+            // `fullyLinked` is the linearization point). Using such a
+            // half-linked node as a predecessor would write our bundle
+            // entry into its still-empty bundle; the insert would then
+            // finalize its own entry with a larger timestamp, reordering
+            // history so snapshots resurrect our removed successor (a
+            // use-after-free once the successor's memory is reclaimed).
             valid = !p.marked.load(Ordering::Acquire)
+                && p.fully_linked.load(Ordering::Acquire)
                 && !s_marked
                 && p.next[lvl].load(Ordering::Acquire) == succ;
             if !valid {
@@ -269,13 +398,13 @@ where
             };
             let node = Node::new(key, Some(value), top);
             let node_ref = unsafe { &*node };
-            for lvl in 0..=top {
-                node_ref.next[lvl].store(succs[lvl], Ordering::Relaxed);
+            for (lvl, &succ) in succs.iter().enumerate().take(top + 1) {
+                node_ref.next[lvl].store(succ, Ordering::Relaxed);
             }
             // Physically link bottom-up (traversals tolerate partially
             // linked towers; `fullyLinked` is the linearization point).
-            for lvl in 0..=top {
-                unsafe { &*preds[lvl] }.next[lvl].store(node, Ordering::SeqCst);
+            for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
+                unsafe { &*pred }.next[lvl].store(node, Ordering::SeqCst);
             }
             // Bundles affected: the new node's data-layer link and the
             // data-layer predecessor's link.
@@ -396,56 +525,23 @@ where
 {
     fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
         let _guard = self.pin(tid);
-        'restart: loop {
-            out.clear();
+        loop {
+            // Linearization point: fix the snapshot timestamp and announce
+            // it for the bundle recycler. On a failed optimistic attempt
+            // restart with a fresh timestamp (Algorithm 3, line 7).
             let ts = self.tracker.start(tid, &self.clock);
-
-            // Phase 1 (GetFirstNodeInRange): descend through the index
-            // layers using the newest pointers to reach the data-layer node
-            // preceding the range.
-            let mut pred = self.head;
-            for lvl in (0..MAX_LEVEL).rev() {
-                let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
-                while curr != self.tail && unsafe { &*curr }.key < *low {
-                    pred = curr;
-                    curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
-                }
-            }
-
-            // Phase 2: enter and traverse the range strictly through the
-            // data-layer bundles.
-            let mut node = match unsafe { &*pred }.bundle.dereference(ts) {
-                Some(p) => p,
-                None => {
-                    self.tracker.finish(tid);
-                    continue 'restart;
-                }
-            };
-            while node != self.tail && unsafe { &*node }.key < *low {
-                node = match unsafe { &*node }.bundle.dereference(ts) {
-                    Some(p) => p,
-                    None => {
-                        self.tracker.finish(tid);
-                        continue 'restart;
-                    }
-                };
-            }
-            while node != self.tail && unsafe { &*node }.key <= *high {
-                let n = unsafe { &*node };
-                out.push((n.key, n.val.clone().expect("data node has a value")));
-                node = match n.bundle.dereference(ts) {
-                    Some(p) => p,
-                    None => {
-                        self.tracker.finish(tid);
-                        continue 'restart;
-                    }
-                };
-            }
+            let collected = self.try_collect_at(ts, low, high, out);
             self.tracker.finish(tid);
-            return out.len();
+            if let Some(n) = collected {
+                return n;
+            }
         }
     }
 }
+
+/// Optimistic entry attempts a fixed-timestamp range query makes before
+/// falling back to the guaranteed bundle-only traversal.
+const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 
 impl<K, V> Drop for BundledSkipList<K, V> {
     fn drop(&mut self) {
@@ -559,7 +655,7 @@ mod tests {
                                 s.remove(tid, &k);
                             }
                             2 => {
-                                s.contains(tid, &k);
+                                let _ = s.contains(tid, &k);
                             }
                             _ => {
                                 let lo = k.saturating_sub(64);
@@ -611,6 +707,69 @@ mod tests {
     }
 
     #[test]
+    fn reclaiming_churn_never_resurrects_removed_nodes() {
+        // Regression test: an insert publishes its data-layer pointers
+        // before preparing its bundle; a remove that accepted such a
+        // half-linked node as predecessor would write its skip-entry into
+        // the empty bundle, and the insert's later (larger-timestamp)
+        // finalize would make snapshots traverse the removed successor —
+        // freed memory once EBR reclaims it. `lock_and_validate` requiring
+        // `fully_linked` predecessors closes the race; this churn keeps
+        // insert/remove/range-query interleavings running with
+        // reclamation enabled to catch any regression.
+        use std::sync::atomic::AtomicBool;
+        const THREADS: usize = 4;
+        let s = Arc::new(Sl::with_mode(THREADS, ReclaimMode::Reclaim));
+        for k in (0..4_096u64).step_by(2) {
+            s.insert(0, k, k);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seed = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                    let mut out = Vec::new();
+                    let mut insert_next = true;
+                    while !stop.load(Ordering::Relaxed) {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let k = seed % 4_096;
+                        match seed % 8 {
+                            0..=3 => {
+                                if insert_next {
+                                    s.insert(tid, k, k);
+                                } else {
+                                    s.remove(tid, &k);
+                                }
+                                insert_next = !insert_next;
+                            }
+                            4..=6 => {
+                                let _ = s.contains(tid, &k);
+                            }
+                            _ => {
+                                let hi = k.saturating_add(63);
+                                s.range_query(tid, &k, &hi, &mut out);
+                                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(800));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        s.range_query(0, &0, &4_096, &mut out);
+        assert_eq!(out.len(), s.len(0));
+    }
+
+    #[test]
     fn cleanup_prunes_stale_bundle_entries() {
         let s = Sl::new(2);
         for k in 0..50u64 {
@@ -642,6 +801,44 @@ mod tests {
         s.range_query(1, &100, &200, &mut out);
         assert_eq!(out.len(), 101);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_query_at_respects_fixed_snapshot() {
+        let s = Sl::new(2);
+        for k in 0..50u64 {
+            s.insert(0, k, k);
+        }
+        let ts = s.clock().read();
+        for k in 50..100u64 {
+            s.insert(0, k, k);
+        }
+        let mut out = Vec::new();
+        // At the fixed snapshot only the first 50 keys exist.
+        assert_eq!(s.range_query_at(1, ts, &0, &200, &mut out), 50);
+        assert!(out.iter().all(|(k, _)| *k < 50));
+        // A current-timestamp query sees everything.
+        assert_eq!(
+            s.range_query_at(1, s.clock().read(), &0, &200, &mut out),
+            100
+        );
+        // The bundle-only fallback agrees with the optimistic path.
+        let _guard = s.pin(1);
+        let mut snap = Vec::new();
+        s.collect_snapshot_at(ts, &0, &200, &mut snap);
+        assert_eq!(snap.len(), 50);
+        assert!(out.len() == 100 && snap.iter().all(|(k, _)| *k < 50));
+    }
+
+    #[test]
+    fn shared_context_spans_structures() {
+        let ctx = bundle::RqContext::new(1);
+        let a = BundledSkipList::<u64, u64>::with_context(1, ReclaimMode::Reclaim, &ctx);
+        let b = BundledSkipList::<u64, u64>::with_context(1, ReclaimMode::Reclaim, &ctx);
+        a.insert(0, 1, 1);
+        b.insert(0, 2, 2);
+        assert_eq!(ctx.read(), 2, "both structures advance the one clock");
+        assert!(a.context().same_as(&b.context()));
     }
 
     #[test]

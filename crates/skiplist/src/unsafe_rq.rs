@@ -70,7 +70,11 @@ where
             (*tail).fully_linked.store(true, Ordering::Release);
         }
         let seeds = (0..max_threads.max(1))
-            .map(|i| CachePadded::new(AtomicU64::new(0x2545f4914f6cdd1du64.wrapping_mul(i as u64 + 1))))
+            .map(|i| {
+                CachePadded::new(AtomicU64::new(
+                    0x2545f4914f6cdd1du64.wrapping_mul(i as u64 + 1),
+                ))
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         UnsafeSkipList {
@@ -189,11 +193,11 @@ where
             };
             let node = Node::new(key, Some(value), top);
             let node_ref = unsafe { &*node };
-            for lvl in 0..=top {
-                node_ref.next[lvl].store(succs[lvl], Ordering::Relaxed);
+            for (lvl, &succ) in succs.iter().enumerate().take(top + 1) {
+                node_ref.next[lvl].store(succ, Ordering::Relaxed);
             }
-            for lvl in 0..=top {
-                unsafe { &*preds[lvl] }.next[lvl].store(node, Ordering::Release);
+            for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
+                unsafe { &*pred }.next[lvl].store(node, Ordering::Release);
             }
             node_ref.fully_linked.store(true, Ordering::Release);
             drop(guards);
@@ -392,7 +396,7 @@ mod tests {
                         seed ^= seed >> 7;
                         seed ^= seed << 17;
                         let k = seed % 256;
-                        if seed % 2 == 0 {
+                        if seed.is_multiple_of(2) {
                             s.insert(tid, k, k);
                         } else {
                             s.remove(tid, &k);

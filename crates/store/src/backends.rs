@@ -1,0 +1,127 @@
+//! The backend contract a structure must satisfy to serve as one shard of
+//! a [`crate::BundledStore`], and its implementations for the three
+//! bundled workspace structures.
+
+use bundle::api::RangeQuerySet;
+use bundle::RqContext;
+use ebr::ReclaimMode;
+
+/// A bundled structure that can back one shard of a sharded store.
+///
+/// Beyond the ordinary [`RangeQuerySet`] operations, a shard must support
+/// the two things that make *cross*-shard linearizability possible:
+///
+/// 1. **construction over a shared [`RqContext`]** — every shard orders
+///    its updates through the store's single clock, so updates across the
+///    whole store are totally ordered, and
+/// 2. **a range query at a caller-fixed snapshot timestamp**
+///    ([`Self::range_query_at`]) — the store reads the shared clock once
+///    and traverses every overlapping shard at that one timestamp.
+///
+/// The bundle-maintenance hooks (`cleanup`, `bundle_entries`) let the
+/// store run one recycler over all shards.
+pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
+    /// Build a shard ordering its updates through `ctx` (shared with every
+    /// other shard of the store).
+    fn build(max_threads: usize, mode: ReclaimMode, ctx: &RqContext) -> Self;
+
+    /// Pin this shard's epoch collector for `tid`.
+    ///
+    /// A cross-shard range query MUST pin every shard it will traverse
+    /// *before* fixing its snapshot timestamp: a node removed with a
+    /// timestamp newer than the snapshot necessarily retires after the
+    /// clock read, so a pin taken before the read protects every node the
+    /// fixed-timestamp traversal can visit. (Pins are reentrant, so the
+    /// shard's own internal pin in [`Self::range_query_at`] just nests.)
+    fn pin(&self, tid: usize) -> ebr::Guard<'_>;
+
+    /// Collect `low ..= high` into `out` (cleared first) as of snapshot
+    /// `ts`, which the caller has read from the shared clock and announced
+    /// in the shared tracker for the duration of the call.
+    fn range_query_at(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+    ) -> usize;
+
+    /// One pass pruning bundle entries no active snapshot needs; returns
+    /// the number of entries retired.
+    fn cleanup(&self, tid: usize) -> usize;
+
+    /// Total bundle entries currently held (space diagnostic).
+    fn bundle_entries(&self, tid: usize) -> usize;
+}
+
+macro_rules! impl_shard_backend {
+    ($ty:path) => {
+        impl<K, V> ShardBackend<K, V> for $ty
+        where
+            K: Copy + Ord + Default + Send + Sync,
+            V: Clone + Send + Sync,
+        {
+            fn build(max_threads: usize, mode: ReclaimMode, ctx: &RqContext) -> Self {
+                Self::with_context(max_threads, mode, ctx)
+            }
+
+            fn pin(&self, tid: usize) -> ebr::Guard<'_> {
+                self.collector().pin(tid)
+            }
+
+            fn range_query_at(
+                &self,
+                tid: usize,
+                ts: u64,
+                low: &K,
+                high: &K,
+                out: &mut Vec<(K, V)>,
+            ) -> usize {
+                Self::range_query_at(self, tid, ts, low, high, out)
+            }
+
+            fn cleanup(&self, tid: usize) -> usize {
+                self.cleanup_bundles(tid)
+            }
+
+            fn bundle_entries(&self, tid: usize) -> usize {
+                Self::bundle_entries(self, tid)
+            }
+        }
+    };
+}
+
+impl_shard_backend!(skiplist::BundledSkipList<K, V>);
+impl_shard_backend!(lazylist::BundledLazyList<K, V>);
+impl_shard_backend!(citrus::BundledCitrusTree<K, V>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: ShardBackend<u64, u64>>() {
+        let ctx = RqContext::new(2);
+        let shard = S::build(2, ReclaimMode::Reclaim, &ctx);
+        assert!(shard.insert(0, 7, 70));
+        let before = ctx.read();
+        assert!(shard.insert(0, 9, 90));
+        let mut out = Vec::new();
+        // Fixed-timestamp query: the second insert is invisible at `before`.
+        let announced = ctx.start_rq(1);
+        assert!(announced >= before);
+        shard.range_query_at(1, before, &0, &100, &mut out);
+        ctx.finish_rq(1);
+        assert_eq!(out, vec![(7, 70)]);
+        assert!(shard.bundle_entries(0) > 0);
+        let _ = shard.cleanup(1);
+        assert!(shard.contains(0, &9));
+    }
+
+    #[test]
+    fn all_three_backends_satisfy_the_contract() {
+        exercise::<skiplist::BundledSkipList<u64, u64>>();
+        exercise::<lazylist::BundledLazyList<u64, u64>>();
+        exercise::<citrus::BundledCitrusTree<u64, u64>>();
+    }
+}

@@ -1,0 +1,77 @@
+//! # store — a sharded, backend-generic KV store with linearizable
+//! cross-shard range queries
+//!
+//! The paper's bundled references give a *single* structure linearizable
+//! range queries by ordering every update through one global timestamp.
+//! This crate scales that guarantee out: a [`BundledStore`] partitions the
+//! keyspace into N contiguous **range shards**, each backed by any bundled
+//! workspace structure ([`skiplist::BundledSkipList`],
+//! [`lazylist::BundledLazyList`], [`citrus::BundledCitrusTree`]), while
+//! every shard orders its updates through **one shared**
+//! [`bundle::RqContext`] (clock + range-query tracker).
+//!
+//! Because all shards share the clock, a cross-shard [`range_query`] can
+//! read the clock *once*, announce that snapshot, and then traverse each
+//! overlapping shard at that fixed timestamp
+//! ([`ShardBackend::range_query_at`]). Every shard serves its fragment of
+//! the *same* atomic snapshot — there is no shard skew, and the whole-store
+//! range query is linearizable at the moment the clock was read. Sharding
+//! meanwhile spreads update traffic over N independent lock domains and N
+//! smaller structures, which is what lets the design serve update-heavy
+//! traffic (the direction contention-adapting trees and MTASet pursue, here
+//! built on bundles).
+//!
+//! [`range_query`]: bundle::api::RangeQuerySet::range_query
+//!
+//! ## Pieces
+//!
+//! * [`BundledStore`] — the store: `get` / `insert` / `remove` /
+//!   `multi_get` / `multi_put` plus the linearizable cross-shard
+//!   `range_query`. Implements the workspace [`ConcurrentSet`] /
+//!   [`RangeQuerySet`] traits, so the whole benchmark harness can drive it
+//!   like any single structure.
+//! * [`ShardBackend`] — what a structure must provide to back a shard:
+//!   construction over a shared [`bundle::RqContext`] and a range query at
+//!   a caller-fixed snapshot timestamp. Implemented for all three bundled
+//!   structures.
+//! * [`StoreHandle`] / [`BundledStore::register`] — a session API that
+//!   manages the dense thread-id registration the underlying structures
+//!   (EBR collectors, trackers) require: register once, operate without
+//!   threading `tid` everywhere, slot returns to the pool on drop.
+//!
+//! [`ConcurrentSet`]: bundle::api::ConcurrentSet
+//! [`RangeQuerySet`]: bundle::api::RangeQuerySet
+//!
+//! ## Example
+//!
+//! ```
+//! use store::{uniform_splits, SkipListStore};
+//! use bundle::api::{ConcurrentSet, RangeQuerySet};
+//! use std::sync::Arc;
+//!
+//! // 4 shards over the keyspace [0, 40_000), up to 2 registered threads.
+//! let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(4, 40_000)));
+//! let h = store.register();
+//! h.insert(5, 50);
+//! h.insert(15_000, 150);
+//! h.insert(35_000, 350);
+//!
+//! // One atomic snapshot spanning three shards.
+//! let snap = h.range_query_vec(&0, &40_000);
+//! assert_eq!(snap, vec![(5, 50), (15_000, 150), (35_000, 350)]);
+//! ```
+
+mod backends;
+mod handle;
+mod sharded;
+
+pub use backends::ShardBackend;
+pub use handle::StoreHandle;
+pub use sharded::{uniform_splits, BundledStore};
+
+/// A store sharded over bundled lazy skip lists (§5 structures).
+pub type SkipListStore<K, V> = BundledStore<K, V, skiplist::BundledSkipList<K, V>>;
+/// A store sharded over bundled lazy linked lists (§4 structures).
+pub type LazyListStore<K, V> = BundledStore<K, V, lazylist::BundledLazyList<K, V>>;
+/// A store sharded over bundled Citrus-style BSTs (§6 structures).
+pub type CitrusStore<K, V> = BundledStore<K, V, citrus::BundledCitrusTree<K, V>>;

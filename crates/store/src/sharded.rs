@@ -1,0 +1,497 @@
+//! The sharded store itself.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use bundle::{Recycler, RqContext};
+use ebr::ReclaimMode;
+
+use crate::backends::ShardBackend;
+use crate::handle::StoreHandle;
+
+/// Evenly spaced shard boundaries for a `u64` keyspace `[0, key_range)`:
+/// `shards - 1` split points producing `shards` contiguous range shards.
+/// Keys at or above `key_range` all land in the last shard.
+#[must_use]
+pub fn uniform_splits(shards: usize, key_range: u64) -> Vec<u64> {
+    assert!(shards > 0, "a store needs at least one shard");
+    (1..shards as u64)
+        .map(|i| i * (key_range / shards as u64).max(1))
+        .collect()
+}
+
+/// A concurrent KV store sharding a totally ordered keyspace across N
+/// bundled structures while preserving the paper's headline guarantee
+/// *across* shards: every range query is one atomic snapshot of the whole
+/// store.
+///
+/// * Shard `0` holds keys `< splits[0]`, shard `i` holds
+///   `splits[i-1] <= k < splits[i]`, the last shard holds the rest.
+/// * All shards are built over one shared [`RqContext`], so updates on any
+///   shard are totally ordered by the one clock and a snapshot timestamp
+///   is meaningful store-wide.
+/// * Single-key operations route to one shard and are exactly as fast as
+///   the underlying structure; different shards never contend on locks or
+///   structure memory (the clock is the only shared word, identical to a
+///   single structure of the same total size).
+///
+/// Thread identifiers: the store supports `max_threads` dense thread ids,
+/// passed through to every shard (each shard's EBR collector registers the
+/// same id space). Use [`BundledStore::register`] for managed allocation.
+pub struct BundledStore<K, V, S> {
+    shards: Box<[S]>,
+    /// Strictly increasing shard boundaries (`len == shards.len() - 1`).
+    splits: Box<[K]>,
+    ctx: RqContext,
+    max_threads: usize,
+    /// Dense-tid session allocator (see [`StoreHandle`]): next-never-used
+    /// counter plus a free list of dropped slots.
+    next_tid: AtomicUsize,
+    free_tids: std::sync::Mutex<Vec<usize>>,
+    _values: std::marker::PhantomData<V>,
+}
+
+impl<K, V, S> BundledStore<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// A store with `splits.len() + 1` range shards supporting
+    /// `max_threads` registered threads, reclaiming memory through EBR.
+    ///
+    /// `splits` must be strictly increasing.
+    pub fn new(max_threads: usize, splits: Vec<K>) -> Self {
+        Self::with_mode(max_threads, ReclaimMode::Reclaim, splits)
+    }
+
+    /// A store with an explicit reclamation mode for every shard.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode, splits: Vec<K>) -> Self {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "shard boundaries must be strictly increasing"
+        );
+        let ctx = RqContext::new(max_threads);
+        let shards = (0..=splits.len())
+            .map(|_| S::build(max_threads, mode, &ctx))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BundledStore {
+            shards,
+            splits: splits.into_boxed_slice(),
+            ctx,
+            max_threads,
+            next_tid: AtomicUsize::new(0),
+            free_tids: std::sync::Mutex::new(Vec::new()),
+            _values: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of range shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of dense thread ids the store (and every shard) supports.
+    #[must_use]
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// The linearization context shared by every shard. Structures built
+    /// from clones of this context join the store's snapshot domain.
+    #[must_use]
+    pub fn context(&self) -> RqContext {
+        self.ctx.clone()
+    }
+
+    /// Index of the shard owning `key`.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.splits.partition_point(|s| s <= key)
+    }
+
+    /// Direct access to shard `i` (diagnostics and tests).
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &S {
+        &self.shards[i]
+    }
+
+    /// Register a session: allocates the lowest free dense thread id and
+    /// wraps the store so operations need no explicit `tid`.
+    ///
+    /// Panics when all `max_threads` slots are in use.
+    pub fn register(self: &Arc<Self>) -> StoreHandle<K, V, S> {
+        let tid = self.acquire_tid();
+        StoreHandle::new(Arc::clone(self), tid)
+    }
+
+    /// Look up several keys. The result vector is keyed by position. Each
+    /// lookup is individually linearizable (this is a batch convenience,
+    /// not an atomic multi-read; use a range query for snapshot reads).
+    #[must_use]
+    pub fn multi_get(&self, tid: usize, keys: &[K]) -> Vec<Option<V>> {
+        keys.iter()
+            .map(|k| self.shards[self.shard_of(k)].get(tid, k))
+            .collect()
+    }
+
+    /// Insert several pairs, returning how many were newly inserted.
+    /// Each insert is individually linearizable (batch convenience).
+    pub fn multi_put(&self, tid: usize, pairs: &[(K, V)]) -> usize {
+        pairs
+            .iter()
+            .filter(|(k, v)| self.shards[self.shard_of(k)].insert(tid, *k, v.clone()))
+            .count()
+    }
+
+    /// One bundle-cleanup pass over every shard (Appendix B, store-wide):
+    /// prunes entries no active snapshot — on *any* shard — still needs.
+    pub fn cleanup_bundles(&self, tid: usize) -> usize {
+        self.shards.iter().map(|s| s.cleanup(tid)).sum()
+    }
+
+    /// Total bundle entries across all shards (space diagnostic).
+    #[must_use]
+    pub fn bundle_entries(&self, tid: usize) -> usize {
+        self.shards.iter().map(|s| s.bundle_entries(tid)).sum()
+    }
+
+    /// Spawn one background recycler sweeping every shard with the given
+    /// delay between passes, on reserved thread slot `tid`.
+    pub fn spawn_recycler(self: &Arc<Self>, tid: usize, delay: Duration) -> Recycler
+    where
+        K: 'static,
+        V: 'static,
+        S: 'static,
+    {
+        let store = Arc::clone(self);
+        Recycler::spawn(delay, move || {
+            store.cleanup_bundles(tid);
+        })
+    }
+}
+
+// Deliberately unbounded: `StoreHandle`'s `Drop` (which has no bounds)
+// must be able to return its tid.
+impl<K, V, S> BundledStore<K, V, S> {
+    pub(crate) fn acquire_tid(&self) -> usize {
+        let freed = self
+            .free_tids
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop();
+        if let Some(tid) = freed {
+            return tid;
+        }
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            tid < self.max_threads,
+            "store supports only {} registered threads",
+            self.max_threads
+        );
+        tid
+    }
+
+    pub(crate) fn release_tid(&self, tid: usize) {
+        self.free_tids
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(tid);
+    }
+}
+
+impl<K, V, S> ConcurrentSet<K, V> for BundledStore<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    fn insert(&self, tid: usize, key: K, value: V) -> bool {
+        self.shards[self.shard_of(&key)].insert(tid, key, value)
+    }
+
+    fn remove(&self, tid: usize, key: &K) -> bool {
+        self.shards[self.shard_of(key)].remove(tid, key)
+    }
+
+    fn contains(&self, tid: usize, key: &K) -> bool {
+        self.shards[self.shard_of(key)].contains(tid, key)
+    }
+
+    fn get(&self, tid: usize, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].get(tid, key)
+    }
+
+    fn len(&self, tid: usize) -> usize {
+        self.shards.iter().map(|s| s.len(tid)).sum()
+    }
+}
+
+impl<K, V, S> RangeQuerySet<K, V> for BundledStore<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// Linearizable **cross-shard** range query.
+    ///
+    /// Reads the shared clock once (the query's linearization point),
+    /// announces that snapshot in the shared tracker — pinning bundle
+    /// reclamation on *every* shard — and then collects each overlapping
+    /// shard's fragment at that fixed timestamp. Shards partition the
+    /// keyspace in key order, so concatenating the fragments yields the
+    /// snapshot in ascending key order with no shard skew: an update
+    /// linearized before the clock read is visible in every fragment, one
+    /// linearized after it in none.
+    fn range_query(&self, tid: usize, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        out.clear();
+        if low > high {
+            return 0;
+        }
+        let first = self.shard_of(low);
+        let last = self.shard_of(high);
+        // Pin every shard we will traverse BEFORE fixing the snapshot: a
+        // node removed with a timestamp newer than the snapshot retires
+        // only after the clock read below, so these pins keep every node
+        // (and bundle entry) the fixed-timestamp traversals can touch
+        // alive across the whole multi-shard collection.
+        let _guards: Vec<ebr::Guard<'_>> = self.shards[first..=last]
+            .iter()
+            .map(|s| s.pin(tid))
+            .collect();
+        // Linearization point: one clock read for the whole store.
+        let ts = self.ctx.start_rq(tid);
+        if first == last {
+            self.shards[first].range_query_at(tid, ts, low, high, out);
+        } else {
+            let mut scratch = Vec::new();
+            for shard in &self.shards[first..=last] {
+                // Shards only hold keys inside their boundary range, so the
+                // unclamped bounds are correct for every fragment.
+                shard.range_query_at(tid, ts, low, high, &mut scratch);
+                out.append(&mut scratch);
+            }
+        }
+        self.ctx.finish_rq(tid);
+        out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CitrusStore, LazyListStore, SkipListStore};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn uniform_splits_partition_evenly() {
+        assert_eq!(uniform_splits(1, 100), vec![]);
+        assert_eq!(uniform_splits(4, 100), vec![25, 50, 75]);
+        assert_eq!(uniform_splits(3, 9), vec![3, 6]);
+    }
+
+    #[test]
+    fn keys_route_to_expected_shards() {
+        let s = SkipListStore::<u64, u64>::new(1, uniform_splits(4, 100));
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.shard_of(&0), 0);
+        assert_eq!(s.shard_of(&24), 0);
+        assert_eq!(s.shard_of(&25), 1);
+        assert_eq!(s.shard_of(&74), 2);
+        assert_eq!(s.shard_of(&75), 3);
+        assert_eq!(
+            s.shard_of(&1_000_000),
+            3,
+            "overflow keys land in the last shard"
+        );
+        for k in [0u64, 24, 25, 74, 75, 99, 1_000_000] {
+            assert!(s.insert(0, k, k));
+        }
+        // Each key is only in its own shard.
+        assert_eq!(s.shard(0).len(0), 2);
+        assert_eq!(s.shard(3).len(0), 3);
+        assert_eq!(s.len(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_splits_are_rejected() {
+        let _ = SkipListStore::<u64, u64>::new(1, vec![10, 10]);
+    }
+
+    fn basic_ops<S: ShardBackend<u64, u64>>(splits: Vec<u64>) {
+        let s = BundledStore::<u64, u64, S>::new(2, splits);
+        let mut model = BTreeMap::new();
+        let mut seed = 0x5eed_u64;
+        for _ in 0..4000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 300;
+            match seed % 3 {
+                0 => assert_eq!(s.insert(0, k, k), model.insert(k, k).is_none()),
+                1 => assert_eq!(s.remove(0, &k), model.remove(&k).is_some()),
+                _ => assert_eq!(s.get(0, &k), model.get(&k).copied()),
+            }
+        }
+        assert_eq!(s.len(0), model.len());
+        let mut out = Vec::new();
+        s.range_query(1, &40, &260, &mut out);
+        let expected: Vec<(u64, u64)> = model.range(40..=260).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(out, expected, "cross-shard range must equal the model");
+    }
+
+    #[test]
+    fn model_equivalence_on_all_backends() {
+        basic_ops::<skiplist::BundledSkipList<u64, u64>>(uniform_splits(4, 300));
+        basic_ops::<lazylist::BundledLazyList<u64, u64>>(uniform_splits(3, 300));
+        basic_ops::<citrus::BundledCitrusTree<u64, u64>>(uniform_splits(5, 300));
+        // Degenerate single-shard store must also behave.
+        basic_ops::<skiplist::BundledSkipList<u64, u64>>(vec![]);
+    }
+
+    #[test]
+    fn multi_get_and_multi_put() {
+        let s = LazyListStore::<u64, u64>::new(1, uniform_splits(3, 90));
+        assert_eq!(s.multi_put(0, &[(1, 10), (40, 400), (80, 800), (1, 99)]), 3);
+        assert_eq!(
+            s.multi_get(0, &[1, 40, 80, 7]),
+            vec![Some(10), Some(400), Some(800), None]
+        );
+        assert_eq!(s.len(0), 3);
+    }
+
+    #[test]
+    fn handles_allocate_and_recycle_tids() {
+        let s = Arc::new(CitrusStore::<u64, u64>::new(2, uniform_splits(2, 100)));
+        let h0 = s.register();
+        assert_eq!(h0.tid(), 0);
+        {
+            let h1 = s.register();
+            assert_eq!(h1.tid(), 1);
+            h1.insert(60, 6);
+        }
+        // Dropped handle's slot is reused.
+        let h1b = s.register();
+        assert_eq!(h1b.tid(), 1);
+        h0.insert(10, 1);
+        assert_eq!(h1b.get(&10), Some(1));
+        assert_eq!(h0.range_query_vec(&0, &100), vec![(10, 1), (60, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered threads")]
+    fn register_beyond_capacity_panics() {
+        let s = Arc::new(SkipListStore::<u64, u64>::new(1, vec![]));
+        let _a = s.register();
+        let _b = s.register();
+    }
+
+    /// The signature cross-shard atomicity check: one writer inserts keys
+    /// in an order that cycles through the shards on *every* insert, so two
+    /// consecutive writes always land on different shards. A linearizable
+    /// snapshot must contain a prefix of the write order; a snapshot with a
+    /// later write but not an earlier one proves shard skew.
+    fn no_shard_skew<S: ShardBackend<u64, u64> + 'static>(shards: usize) {
+        const PER_SHARD: u64 = 500;
+        let span = PER_SHARD; // shard i covers [i*span, (i+1)*span)
+        let n = shards as u64;
+        let splits: Vec<u64> = (1..n).map(|i| i * span).collect();
+        let s = Arc::new(BundledStore::<u64, u64, S>::new(3, splits));
+        // Write order: (base 0 of every shard), (base 1 of every shard), ...
+        // Key sh*span + base has write index base*n + sh.
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for base in 0..PER_SHARD {
+                    for sh in 0..n {
+                        assert!(s.insert(0, sh * span + base, base));
+                    }
+                }
+            })
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut idx = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    s.range_query(1, &0, &(n * span), &mut out);
+                    // Map each observed key back to its write index; a
+                    // linearizable snapshot is a gap-free prefix of writes.
+                    idx.clear();
+                    idx.extend(out.iter().map(|(k, _)| (k % span) * n + k / span));
+                    idx.sort_unstable();
+                    for (i, v) in idx.iter().enumerate() {
+                        assert_eq!(
+                            *v, i as u64,
+                            "snapshot misses an earlier write: shard skew in cross-shard range query"
+                        );
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(s.len(0), (PER_SHARD * n) as usize);
+    }
+
+    #[test]
+    fn cross_shard_snapshots_have_no_skew() {
+        no_shard_skew::<skiplist::BundledSkipList<u64, u64>>(2);
+        no_shard_skew::<skiplist::BundledSkipList<u64, u64>>(7);
+        no_shard_skew::<lazylist::BundledLazyList<u64, u64>>(3);
+        no_shard_skew::<citrus::BundledCitrusTree<u64, u64>>(4);
+    }
+
+    #[test]
+    fn recycler_prunes_across_shards_under_load() {
+        let s = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(4, 400)));
+        for k in 0..400u64 {
+            s.insert(0, k, k);
+        }
+        for _ in 0..5 {
+            for k in 0..400u64 {
+                s.remove(0, &k);
+                s.insert(0, k, k);
+            }
+        }
+        let before = s.bundle_entries(0);
+        let recycler = s.spawn_recycler(2, Duration::from_millis(1));
+        // Concurrent queries while the recycler runs.
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            s.range_query(1, &0, &400, &mut out);
+            assert_eq!(out.len(), 400);
+        }
+        while recycler.passes() < 3 {
+            std::thread::yield_now();
+        }
+        recycler.stop();
+        let after = s.bundle_entries(0);
+        assert!(
+            after < before,
+            "recycler must prune stale entries ({before} -> {after})"
+        );
+        s.range_query(1, &0, &400, &mut out);
+        assert_eq!(out.len(), 400);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let s = SkipListStore::<u64, u64>::new(1, uniform_splits(4, 100));
+        let mut out = vec![(1u64, 1u64)];
+        assert_eq!(s.range_query(0, &50, &40, &mut out), 0);
+        assert!(out.is_empty(), "inverted range clears the output");
+        assert_eq!(s.range_query(0, &0, &99, &mut out), 0);
+    }
+}

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use workloads::{
-    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
-    Point, RunConfig, StructureKind, WorkloadMix,
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv, Point,
+    RunConfig, StructureKind, WorkloadMix,
 };
 
 fn sweep(label: &str, kinds: &[StructureKind], key_range: u64) {
@@ -30,7 +30,12 @@ fn sweep(label: &str, kinds: &[StructureKind], key_range: u64) {
         }
         let title = format!("Figure 2 [{label}] workload {}", mix.label());
         print_series_table(&title, "threads", "Mops/s", &points);
-        write_csv(&format!("fig2_{label}_{}", mix.label()), "threads", "mops", &points);
+        write_csv(
+            &format!("fig2_{label}_{}", mix.label()),
+            "threads",
+            "mops",
+            &points,
+        );
     }
 }
 

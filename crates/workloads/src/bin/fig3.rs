@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use workloads::{
-    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
-    Point, RunConfig, StructureKind, WorkloadMix,
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv, Point,
+    RunConfig, StructureKind, WorkloadMix,
 };
 
 const RQ_SIZES: [u64; 6] = [1, 10, 50, 100, 250, 500];
@@ -34,13 +34,22 @@ fn sweep(label: &str, bundle: StructureKind) {
             points.push(Point {
                 series: format!("{} t={}", bundle.name(), threads),
                 x: rq_size.to_string(),
-                y: if reference > 0.0 { measured / reference } else { 0.0 },
+                y: if reference > 0.0 {
+                    measured / reference
+                } else {
+                    0.0
+                },
             });
         }
     }
     let title = format!("Figure 3 [{label}] relative throughput vs Unsafe (50-0-50)");
     print_series_table(&title, "rq size", "ratio", &points);
-    write_csv(&format!("fig3_{label}"), "rq_size", "relative_throughput", &points);
+    write_csv(
+        &format!("fig3_{label}"),
+        "rq_size",
+        "relative_throughput",
+        &points,
+    );
 }
 
 fn main() {

@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use dbsim::{run_tpcc, DynIndex, TpccConfig};
-use workloads::{
-    duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind,
-};
+use workloads::{duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind};
 
 fn factory_for(kind: StructureKind) -> Box<dyn Fn(usize) -> DynIndex + Send + Sync> {
     Box::new(move |threads: usize| workloads::make_structure(kind, threads))
@@ -17,8 +15,16 @@ fn factory_for(kind: StructureKind) -> Box<dyn Fn(usize) -> DynIndex + Send + Sy
 fn main() {
     let cfg = TpccConfig::default();
     let pairs = [
-        ("skiplist", StructureKind::SkipListBundle, StructureKind::SkipListUnsafe),
-        ("citrus", StructureKind::CitrusBundle, StructureKind::CitrusUnsafe),
+        (
+            "skiplist",
+            StructureKind::SkipListBundle,
+            StructureKind::SkipListUnsafe,
+        ),
+        (
+            "citrus",
+            StructureKind::CitrusBundle,
+            StructureKind::CitrusUnsafe,
+        ),
     ];
     for (label, bundled, unsafe_kind) in pairs {
         let mut points = Vec::new();

@@ -20,7 +20,7 @@ fn main() {
     let threads = *thread_counts().last().unwrap_or(&2);
     let mut points = Vec::new();
     for &u in &UPDATE_PCTS {
-        let rq = 100 - u.min(50).max(0); // keep a large RQ share as in Appendix A
+        let rq = 100 - u.min(50); // keep a large RQ share as in Appendix A
         let mix = WorkloadMix::new(u, 100 - u - rq.min(100 - u), rq.min(100 - u));
         let cfg = RunConfig::new(threads, duration_ms(), RunConfig::TREE_KEY_RANGE, mix);
         let baseline = {
@@ -30,7 +30,11 @@ fn main() {
         for &t in &THRESHOLDS {
             let s = make_relaxed_structure(StructureKind::SkipListBundle, threads, t);
             let m = run_workload(&Arc::clone(&s), &cfg).mops();
-            let label = if t == 0 { "inf".to_string() } else { t.to_string() };
+            let label = if t == 0 {
+                "inf".to_string()
+            } else {
+                t.to_string()
+            };
             points.push(Point {
                 series: format!("{}% updates", u),
                 x: format!("T={label}"),
@@ -44,5 +48,10 @@ fn main() {
         "ratio",
         &points,
     );
-    write_csv("fig5_relaxation", "threshold", "relative_throughput", &points);
+    write_csv(
+        "fig5_relaxation",
+        "threshold",
+        "relative_throughput",
+        &points,
+    );
 }

@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use workloads::{
-    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv,
-    Point, RunConfig, StructureKind, WorkloadMix,
+    duration_ms, make_structure, print_series_table, run_workload, thread_counts, write_csv, Point,
+    RunConfig, StructureKind, WorkloadMix,
 };
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
             points.push(Point {
                 series: format!("t={threads}"),
                 x: mix.label(),
-                y: if unsafe_mops > 0.0 { bundle_mops / unsafe_mops } else { 0.0 },
+                y: if unsafe_mops > 0.0 {
+                    bundle_mops / unsafe_mops
+                } else {
+                    0.0
+                },
             });
         }
     }

@@ -98,7 +98,12 @@ mod tests {
 
     #[test]
     fn run_config_defaults() {
-        let cfg = RunConfig::new(4, 100, RunConfig::TREE_KEY_RANGE, WorkloadMix::new(50, 40, 10));
+        let cfg = RunConfig::new(
+            4,
+            100,
+            RunConfig::TREE_KEY_RANGE,
+            WorkloadMix::new(50, 40, 10),
+        );
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.key_range, 100_000);
         assert_eq!(cfg.rq_size, 50);

@@ -97,7 +97,7 @@ where
                         insert_next = !insert_next;
                         local_u += 1;
                     } else if op < cfg.mix.update_pct + cfg.mix.contains_pct {
-                        structure.contains(tid, &key);
+                        let _ = structure.contains(tid, &key);
                         local_c += 1;
                     } else {
                         let high = key.saturating_add(cfg.rq_size.saturating_sub(1));
@@ -173,8 +173,10 @@ mod tests {
             key_range: 128,
             rq_size: 8,
             mix: WorkloadMix::new(0, 0, 100),
-            prefill: true,
+            prefill: false,
         };
+        // Prefill up front so the measured set size is the baseline.
+        prefill(s.as_ref(), cfg.key_range);
         let before = s.len(0);
         let t = run_workload(&s, &cfg);
         assert_eq!(t.updates, 0);

@@ -24,7 +24,9 @@ pub mod report;
 
 pub use config::{RunConfig, WorkloadMix};
 pub use driver::{run_workload, Throughput};
-pub use registry::{make_structure, StructureKind, ALL_KINDS};
+pub use registry::{
+    make_store_structure, make_structure, StructureKind, ALL_KINDS, DEFAULT_STORE_SHARDS,
+};
 pub use report::{print_series_table, write_csv, Point};
 
 /// Thread counts to sweep, from `BUNDLE_THREADS` (default "1,2,4").

@@ -6,6 +6,11 @@ use bundle::api::RangeQuerySet;
 use citrus::{BundledCitrusTree, UnsafeCitrusTree};
 use lazylist::{BundledLazyList, UnsafeLazyList};
 use skiplist::{BundledSkipList, UnsafeSkipList};
+use store::{uniform_splits, CitrusStore, LazyListStore, SkipListStore};
+
+/// Shard count used by the `Store*` registry kinds (the `store_scaling`
+/// binary sweeps other counts explicitly).
+pub const DEFAULT_STORE_SHARDS: usize = 8;
 
 /// A dynamically-dispatched ordered set with range queries over `u64` keys
 /// and values — the interface the whole harness drives.
@@ -29,16 +34,26 @@ pub enum StructureKind {
     ListBundle,
     /// Unsafe lazy linked list baseline.
     ListUnsafe,
+    /// Sharded store over bundled skip lists (`store` crate,
+    /// [`DEFAULT_STORE_SHARDS`] shards, linearizable cross-shard RQs).
+    StoreSkipList,
+    /// Sharded store over bundled Citrus trees.
+    StoreCitrus,
+    /// Sharded store over bundled lazy lists.
+    StoreList,
 }
 
 /// All benchmarkable kinds, in the order the figures report them.
-pub const ALL_KINDS: [StructureKind; 6] = [
+pub const ALL_KINDS: [StructureKind; 9] = [
     StructureKind::SkipListBundle,
     StructureKind::SkipListUnsafe,
     StructureKind::CitrusBundle,
     StructureKind::CitrusUnsafe,
     StructureKind::ListBundle,
     StructureKind::ListUnsafe,
+    StructureKind::StoreSkipList,
+    StructureKind::StoreCitrus,
+    StructureKind::StoreList,
 ];
 
 impl StructureKind {
@@ -51,35 +66,52 @@ impl StructureKind {
             StructureKind::CitrusUnsafe => "citrus-unsafe",
             StructureKind::ListBundle => "list-bundle",
             StructureKind::ListUnsafe => "list-unsafe",
+            StructureKind::StoreSkipList => "store-skiplist",
+            StructureKind::StoreCitrus => "store-citrus",
+            StructureKind::StoreList => "store-list",
         }
     }
 
-    /// `true` for the bundled (linearizable range query) variants.
+    /// `true` for the variants with linearizable range queries (bundled
+    /// structures and the sharded stores built on them).
     pub fn is_bundled(&self) -> bool {
-        matches!(
+        !matches!(
             self,
-            StructureKind::SkipListBundle | StructureKind::CitrusBundle | StructureKind::ListBundle
+            StructureKind::SkipListUnsafe | StructureKind::CitrusUnsafe | StructureKind::ListUnsafe
         )
     }
 
-    /// The `Unsafe` baseline for the same underlying data structure.
+    /// `true` for the sharded-store variants.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            StructureKind::StoreSkipList | StructureKind::StoreCitrus | StructureKind::StoreList
+        )
+    }
+
+    /// The `Unsafe` baseline for the same underlying data structure (for a
+    /// store, the baseline of its per-shard backend).
     pub fn unsafe_counterpart(&self) -> StructureKind {
         match self {
-            StructureKind::SkipListBundle | StructureKind::SkipListUnsafe => {
-                StructureKind::SkipListUnsafe
+            StructureKind::SkipListBundle
+            | StructureKind::SkipListUnsafe
+            | StructureKind::StoreSkipList => StructureKind::SkipListUnsafe,
+            StructureKind::CitrusBundle
+            | StructureKind::CitrusUnsafe
+            | StructureKind::StoreCitrus => StructureKind::CitrusUnsafe,
+            StructureKind::ListBundle | StructureKind::ListUnsafe | StructureKind::StoreList => {
+                StructureKind::ListUnsafe
             }
-            StructureKind::CitrusBundle | StructureKind::CitrusUnsafe => {
-                StructureKind::CitrusUnsafe
-            }
-            StructureKind::ListBundle | StructureKind::ListUnsafe => StructureKind::ListUnsafe,
         }
     }
 
     /// The paper's default key range for this data structure (10k for the
-    /// list, 100k for the skip list and tree).
+    /// list, 100k for the skip list and tree; stores follow their backend).
     pub fn default_key_range(&self) -> u64 {
         match self {
-            StructureKind::ListBundle | StructureKind::ListUnsafe => 10_000,
+            StructureKind::ListBundle | StructureKind::ListUnsafe | StructureKind::StoreList => {
+                10_000
+            }
             _ => 100_000,
         }
     }
@@ -87,6 +119,11 @@ impl StructureKind {
 
 /// Construct a structure of the given kind supporting `max_threads`
 /// registered worker threads.
+///
+/// Store kinds shard the kind's default key range over
+/// [`DEFAULT_STORE_SHARDS`] uniform range shards (keys beyond the range
+/// all land in the last shard); use [`make_store_structure`] to choose the
+/// shard count and key range explicitly.
 pub fn make_structure(kind: StructureKind, max_threads: usize) -> Arc<DynSet> {
     match kind {
         StructureKind::SkipListBundle => Arc::new(BundledSkipList::<u64, u64>::new(max_threads)),
@@ -95,6 +132,33 @@ pub fn make_structure(kind: StructureKind, max_threads: usize) -> Arc<DynSet> {
         StructureKind::CitrusUnsafe => Arc::new(UnsafeCitrusTree::<u64, u64>::new(max_threads)),
         StructureKind::ListBundle => Arc::new(BundledLazyList::<u64, u64>::new(max_threads)),
         StructureKind::ListUnsafe => Arc::new(UnsafeLazyList::<u64, u64>::new(max_threads)),
+        store_kind @ (StructureKind::StoreSkipList
+        | StructureKind::StoreCitrus
+        | StructureKind::StoreList) => make_store_structure(
+            store_kind,
+            max_threads,
+            DEFAULT_STORE_SHARDS,
+            store_kind.default_key_range(),
+        ),
+    }
+}
+
+/// Construct a sharded store with an explicit shard count and key range.
+/// Panics for non-store kinds.
+pub fn make_store_structure(
+    kind: StructureKind,
+    max_threads: usize,
+    shards: usize,
+    key_range: u64,
+) -> Arc<DynSet> {
+    let splits = uniform_splits(shards, key_range);
+    match kind {
+        StructureKind::StoreSkipList => {
+            Arc::new(SkipListStore::<u64, u64>::new(max_threads, splits))
+        }
+        StructureKind::StoreCitrus => Arc::new(CitrusStore::<u64, u64>::new(max_threads, splits)),
+        StructureKind::StoreList => Arc::new(LazyListStore::<u64, u64>::new(max_threads, splits)),
+        other => panic!("{other:?} is not a sharded store kind"),
     }
 }
 
@@ -106,9 +170,10 @@ pub fn make_relaxed_structure(kind: StructureKind, max_threads: usize, t: u64) -
         StructureKind::SkipListBundle => {
             Arc::new(BundledSkipList::<u64, u64>::with_relaxation(max_threads, t))
         }
-        StructureKind::CitrusBundle => {
-            Arc::new(BundledCitrusTree::<u64, u64>::with_relaxation(max_threads, t))
-        }
+        StructureKind::CitrusBundle => Arc::new(BundledCitrusTree::<u64, u64>::with_relaxation(
+            max_threads,
+            t,
+        )),
         StructureKind::ListBundle => {
             Arc::new(BundledLazyList::<u64, u64>::with_relaxation(max_threads, t))
         }
@@ -144,6 +209,32 @@ mod tests {
         }
         assert_eq!(StructureKind::ListBundle.default_key_range(), 10_000);
         assert_eq!(StructureKind::SkipListBundle.default_key_range(), 100_000);
+    }
+
+    #[test]
+    fn store_kinds_construct_with_custom_sharding() {
+        for kind in [
+            StructureKind::StoreSkipList,
+            StructureKind::StoreCitrus,
+            StructureKind::StoreList,
+        ] {
+            assert!(kind.is_store() && kind.is_bundled(), "{kind:?}");
+            assert!(!kind.unsafe_counterpart().is_store());
+            for shards in [1, 3] {
+                let s = make_store_structure(kind, 2, shards, 1_000);
+                for k in (0..1_000u64).step_by(100) {
+                    assert!(s.insert(0, k, k), "{kind:?}/{shards}");
+                }
+                let mut out = Vec::new();
+                assert_eq!(
+                    s.range_query(1, &0, &1_000, &mut out),
+                    10,
+                    "{kind:?}/{shards}"
+                );
+                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+        }
+        assert!(!StructureKind::SkipListBundle.is_store());
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() {
                     // Tighten or widen the spread around the mid randomly,
                     // but never let bids (< 5_000+x) cross asks (> 15_000-x).
                     let level = seed % 5_000;
-                    if seed % 2 == 0 {
+                    if seed.is_multiple_of(2) {
                         book.insert(tid, level, 5 + seed % 100);
                         book.remove(tid, &(ASK_BASE + 19_999 - level));
                     } else {

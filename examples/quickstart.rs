@@ -38,11 +38,16 @@ fn main() {
             let mut out = Vec::new();
             let mut snapshots = 0u64;
             loop {
-                set.range_query(READER_TID, &0, &(WRITERS as u64 * KEYS_PER_WRITER), &mut out);
+                set.range_query(
+                    READER_TID,
+                    &0,
+                    &(WRITERS as u64 * KEYS_PER_WRITER),
+                    &mut out,
+                );
                 snapshots += 1;
                 // Snapshot sanity: sorted and duplicate free.
                 assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
-                if out.len() == (WRITERS as usize) * KEYS_PER_WRITER as usize {
+                if out.len() == WRITERS * KEYS_PER_WRITER as usize {
                     return snapshots;
                 }
             }

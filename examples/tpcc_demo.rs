@@ -11,7 +11,7 @@ use bundled_refs::prelude::*;
 fn main() {
     let threads = std::env::var("BUNDLE_THREADS")
         .ok()
-        .and_then(|s| s.split(',').last().and_then(|t| t.parse().ok()))
+        .and_then(|s| s.split(',').next_back().and_then(|t| t.parse().ok()))
         .unwrap_or(4usize);
     let cfg = TpccConfig::default();
 

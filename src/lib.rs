@@ -13,9 +13,17 @@
 //! * [`ebr`] — DEBRA-style epoch-based reclamation.
 //! * [`lazylist`], [`skiplist`], [`citrus`] — the three bundled data
 //!   structures of the paper plus their `Unsafe` baselines.
+//! * [`store`] — the production-direction subsystem grown on top of the
+//!   paper: a [`store::BundledStore`] shards the keyspace across many
+//!   bundled structures (any backend) that all share one
+//!   [`bundle::RqContext`] clock, preserving linearizable range queries
+//!   **across shards** while spreading update traffic over independent
+//!   lock domains. Includes a tid-managing session API
+//!   ([`store::StoreHandle`]) and batched `multi_get` / `multi_put`.
 //! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2.
 //! * [`workloads`] — the benchmark harness regenerating every figure and
-//!   table of the evaluation.
+//!   table of the evaluation, plus the sharded-store scaling scenario
+//!   (`store_scaling` binary, `Store*` registry kinds).
 //!
 //! ## Quickstart
 //!
@@ -33,6 +41,22 @@
 //! let snapshot = set.range_query_vec(0, &10, &25);
 //! assert_eq!(snapshot, vec![(10, 100), (20, 200)]);
 //! ```
+//!
+//! ## Sharded store
+//!
+//! ```
+//! use bundled_refs::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 4 range shards over [0, 1000), each a bundled Citrus tree, all on
+//! // one shared clock; sessions manage dense thread-id registration.
+//! let store = Arc::new(CitrusStore::<u64, u64>::new(2, uniform_splits(4, 1000)));
+//! let session = store.register();
+//! session.multi_put(&[(10, 1), (400, 2), (900, 3)]);
+//!
+//! // One atomic snapshot spanning three shards.
+//! assert_eq!(session.range_query_vec(&0, &999), vec![(10, 1), (400, 2), (900, 3)]);
+//! ```
 
 pub use bundle;
 pub use citrus;
@@ -40,14 +64,19 @@ pub use dbsim;
 pub use ebr;
 pub use lazylist;
 pub use skiplist;
+pub use store;
 pub use workloads;
 
 /// Convenient glob-importable set of the most commonly used items.
 pub mod prelude {
     pub use bundle::api::{ConcurrentSet, RangeQuerySet};
-    pub use bundle::{Bundle, GlobalTimestamp, Recycler, RqTracker};
+    pub use bundle::{Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
     pub use citrus::{BundledCitrusTree, UnsafeCitrusTree};
     pub use ebr::{Collector, ReclaimMode};
     pub use lazylist::{BundledLazyList, UnsafeLazyList};
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
+    pub use store::{
+        uniform_splits, BundledStore, CitrusStore, LazyListStore, ShardBackend, SkipListStore,
+        StoreHandle,
+    };
 }

@@ -90,7 +90,10 @@ fn churn_bounds_check(kind: StructureKind) {
             out.len(),
             N - WRITERS as u64
         );
-        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "{kind:?}: unsorted/duplicate");
+        assert!(
+            out.windows(2).all(|w| w[0].0 < w[1].0),
+            "{kind:?}: unsorted/duplicate"
+        );
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     for w in writers {
