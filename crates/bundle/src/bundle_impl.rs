@@ -9,10 +9,29 @@ use ebr::Guard;
 /// update has not yet been finalized (Algorithm 2, `PENDING_TS`).
 pub const PENDING_TS: u64 = u64::MAX;
 
+/// Timestamp of an *aborted* entry that no snapshot may ever satisfy.
+///
+/// When a two-phase update ([`Bundle::prepare`] + [`PendingEntry::abort`])
+/// is rolled back on a bundle that had no prior history (the node was
+/// created by the aborted transaction itself), the pending entry cannot be
+/// neutralized by duplicating the previous link value — there is none.
+/// Stamping it with `TOMBSTONE_TS` keeps the entry's timestamp ordering
+/// intact (it is newer than every real timestamp) while guaranteeing
+/// `dereference` never returns it: readers fall through to `None` and
+/// restart on the guaranteed bundle-only path, which cannot reach the
+/// discarded node.
+pub const TOMBSTONE_TS: u64 = u64::MAX - 1;
+
 /// One record of a link's history: the pointer value and the global
 /// timestamp at which that value was installed (Listing 1, `BundleEntry`).
+///
+/// `ptr` is atomic so the *owner* of a still-pending entry can restage the
+/// link value (transaction merge) or neutralize it (abort) before
+/// publishing the timestamp; readers only load `ptr` after observing a
+/// non-pending `ts` with `Acquire`, which orders them after the owner's
+/// final store.
 struct BundleEntry<T> {
-    ptr: *mut T,
+    ptr: AtomicPtr<T>,
     ts: AtomicU64,
     next: AtomicPtr<BundleEntry<T>>,
 }
@@ -20,10 +39,89 @@ struct BundleEntry<T> {
 impl<T> BundleEntry<T> {
     fn boxed(ptr: *mut T, ts: u64) -> *mut BundleEntry<T> {
         Box::into_raw(Box::new(BundleEntry {
-            ptr,
+            ptr: AtomicPtr::new(ptr),
             ts: AtomicU64::new(ts),
             next: AtomicPtr::new(ptr::null_mut()),
         }))
+    }
+}
+
+/// Owner token for a pending bundle entry installed by [`Bundle::prepare`].
+///
+/// Exactly one of [`PendingEntry::finalize`] or [`PendingEntry::abort`]
+/// must eventually run for every prepared entry — a forgotten pending
+/// entry blocks every future update and snapshot read of its bundle.
+/// (The single-structure fast path, [`crate::linearize_update`], finalizes
+/// through [`Bundle::finalize`] instead, which targets the same head
+/// entry; the token is how *multi*-bundle transactions carry their
+/// prepared state across structures.)
+///
+/// The token holds a raw pointer to the entry, which stays owned by the
+/// bundle; the caller must keep the node owning the bundle alive (e.g. by
+/// holding its lock) until the token is consumed.
+#[derive(Debug)]
+#[must_use = "a dropped pending entry blocks every future update and \
+              snapshot read of its bundle; finalize or abort it (or use \
+              Bundle::finalize for the single-structure path)"]
+pub struct PendingEntry<T> {
+    entry: *mut BundleEntry<T>,
+}
+
+// Safety: the token is an exclusive capability over one pending entry; the
+// entry itself is only mutated through atomics.
+unsafe impl<T: Send + Sync> Send for PendingEntry<T> {}
+
+impl<T> PendingEntry<T> {
+    /// Restage the link value of the still-pending entry (owner only).
+    ///
+    /// Used when one transaction updates the same link twice: the second
+    /// update merges into the first entry instead of preparing a new one
+    /// (both would finalize with the same timestamp anyway).
+    pub fn set_ptr(&self, ptr: *mut T) {
+        let e = unsafe { &*self.entry };
+        debug_assert_eq!(e.ts.load(Ordering::Acquire), PENDING_TS);
+        e.ptr.store(ptr, Ordering::Relaxed);
+    }
+
+    /// The currently staged link value.
+    #[must_use]
+    pub fn staged_ptr(&self) -> *mut T {
+        unsafe { &*self.entry }.ptr.load(Ordering::Acquire)
+    }
+
+    /// Publish the entry with its commit timestamp, releasing every reader
+    /// and preparer spinning on the pending state.
+    pub fn finalize(self, ts: u64) {
+        let e = unsafe { &*self.entry };
+        debug_assert_eq!(
+            e.ts.load(Ordering::Acquire),
+            PENDING_TS,
+            "finalize must target a pending entry"
+        );
+        e.ts.store(ts, Ordering::Release);
+    }
+
+    /// Roll the entry back: readers behave as if the prepared update never
+    /// happened.
+    ///
+    /// If the bundle has older history the entry becomes a *neutralized
+    /// duplicate* — same pointer and timestamp as the entry beneath it, so
+    /// every `dereference` resolves exactly as before the prepare. If the
+    /// entry is the bundle's first (the node was created by the aborting
+    /// transaction), it is stamped [`TOMBSTONE_TS`], which no snapshot
+    /// satisfies; the caller must also make the node unreachable.
+    pub fn abort(self) {
+        let e = unsafe { &*self.entry };
+        debug_assert_eq!(e.ts.load(Ordering::Acquire), PENDING_TS);
+        let prior = e.next.load(Ordering::Acquire);
+        if prior.is_null() {
+            e.ts.store(TOMBSTONE_TS, Ordering::Release);
+        } else {
+            let p = unsafe { &*prior };
+            e.ptr
+                .store(p.ptr.load(Ordering::Acquire), Ordering::Relaxed);
+            e.ts.store(p.ts.load(Ordering::Acquire), Ordering::Release);
+        }
     }
 }
 
@@ -88,7 +186,12 @@ impl<T> Bundle<T> {
     /// Algorithm 2, `PrepareBundle`: atomically prepend a new entry in the
     /// pending state, waiting for any other update's pending entry to be
     /// finalized first so that entries stay ordered by timestamp.
-    pub fn prepare(&self, ptr: *mut T) {
+    ///
+    /// Returns the owner token; the same logical update must consume it
+    /// with [`PendingEntry::finalize`] / [`PendingEntry::abort`], or call
+    /// [`Bundle::finalize`] (the paper's single-structure path, which
+    /// targets the same head entry).
+    pub fn prepare(&self, ptr: *mut T) -> PendingEntry<T> {
         let e = BundleEntry::boxed(ptr, PENDING_TS);
         loop {
             let expected = self.head.load(Ordering::Acquire);
@@ -106,7 +209,7 @@ impl<T> Bundle<T> {
                 .compare_exchange(expected, e, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                return;
+                return PendingEntry { entry: e };
             }
         }
     }
@@ -149,7 +252,7 @@ impl<T> Bundle<T> {
         while !curr.is_null() {
             let e = unsafe { &*curr };
             if e.ts.load(Ordering::Acquire) <= ts {
-                return Some(e.ptr);
+                return Some(e.ptr.load(Ordering::Acquire));
             }
             curr = e.next.load(Ordering::Acquire);
         }
@@ -164,7 +267,7 @@ impl<T> Bundle<T> {
         if head.is_null() {
             None
         } else {
-            Some(unsafe { &*head }.ptr)
+            Some(unsafe { &*head }.ptr.load(Ordering::Acquire))
         }
     }
 
@@ -271,7 +374,7 @@ impl<'a, T> Iterator for BundleIter<'a, T> {
             return None;
         }
         let e = unsafe { &*self.curr };
-        let item = (e.ptr, e.ts.load(Ordering::Acquire));
+        let item = (e.ptr.load(Ordering::Acquire), e.ts.load(Ordering::Acquire));
         self.curr = e.next.load(Ordering::Acquire);
         Some(item)
     }
@@ -323,9 +426,9 @@ mod tests {
         let p1 = leak(1);
         let p2 = leak(2);
         b.init(p0, 0);
-        b.prepare(p1);
+        let _ = b.prepare(p1);
         b.finalize(3);
-        b.prepare(p2);
+        let _ = b.prepare(p2);
         b.finalize(7);
         // Newest first, timestamps strictly decreasing along the chain.
         let ts: Vec<u64> = b.iter().map(|(_, t)| t).collect();
@@ -361,7 +464,7 @@ mod tests {
         let p0 = leak(0);
         b.init(p0, 0);
         let p1 = leak(1);
-        b.prepare(p1);
+        let _ = b.prepare(p1);
 
         let released = Arc::new(AtomicBool::new(false));
         let p1s = SendPtr::new(p1);
@@ -395,7 +498,7 @@ mod tests {
         b.init(p0, 0);
         let p1 = leak(1);
         let p2 = leak(2);
-        b.prepare(p1);
+        let _ = b.prepare(p1);
         let released = Arc::new(AtomicBool::new(false));
         let p2s = SendPtr::new(p2);
         let other = {
@@ -403,7 +506,7 @@ mod tests {
             let released = Arc::clone(&released);
             std::thread::spawn(move || {
                 let p2 = p2s.get();
-                b.prepare(p2);
+                let _ = b.prepare(p2);
                 assert!(
                     released.load(Ordering::SeqCst),
                     "second prepare completed while first entry was pending"
@@ -431,7 +534,7 @@ mod tests {
         let ptrs: Vec<*mut u64> = (0..5).map(leak).collect();
         b.init(ptrs[0], 0);
         for (i, &p) in ptrs.iter().enumerate().skip(1) {
-            b.prepare(p);
+            let _ = b.prepare(p);
             b.finalize(i as u64 * 10);
         }
         assert_eq!(b.len(), 5);
@@ -465,6 +568,101 @@ mod tests {
     }
 
     #[test]
+    fn pending_entry_token_finalizes_and_merges() {
+        let b: Bundle<u64> = Bundle::new();
+        let p0 = leak(0);
+        let p1 = leak(1);
+        let p2 = leak(2);
+        b.init(p0, 0);
+        let pe = b.prepare(p1);
+        assert_eq!(pe.staged_ptr(), p1);
+        // A second update of the same link by the same transaction merges
+        // into the pending entry instead of preparing a new one.
+        pe.set_ptr(p2);
+        assert_eq!(pe.staged_ptr(), p2);
+        pe.finalize(5);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dereference(5), Some(p2));
+        assert_eq!(b.dereference(4), Some(p0));
+        unsafe {
+            free(p0);
+            free(p1);
+            free(p2);
+        }
+    }
+
+    #[test]
+    fn aborted_entry_with_history_neutralizes_to_prior_value() {
+        let b: Bundle<u64> = Bundle::new();
+        let p0 = leak(0);
+        let p1 = leak(1);
+        b.init(p0, 3);
+        let pe = b.prepare(p1);
+        pe.abort();
+        // Readers at every timestamp resolve exactly as before the prepare.
+        assert_eq!(b.dereference(3), Some(p0));
+        assert_eq!(b.dereference(100), Some(p0));
+        assert_eq!(b.dereference(2), None);
+        // The neutralized duplicate keeps the bundle's timestamp ordering.
+        let ts: Vec<u64> = b.iter().map(|(_, t)| t).collect();
+        assert_eq!(ts, vec![3, 3]);
+        // And a later real update still layers on top normally.
+        let p2 = leak(2);
+        b.prepare(p2).finalize(9);
+        assert_eq!(b.dereference(8), Some(p0));
+        assert_eq!(b.dereference(9), Some(p2));
+        unsafe {
+            free(p0);
+            free(p1);
+            free(p2);
+        }
+    }
+
+    #[test]
+    fn aborted_first_entry_becomes_unsatisfiable_tombstone() {
+        let b: Bundle<u64> = Bundle::new();
+        let p = leak(7);
+        let pe = b.prepare(p);
+        pe.abort();
+        // No snapshot may ever satisfy the tombstone.
+        assert_eq!(b.dereference(0), None);
+        assert_eq!(b.dereference(u64::MAX - 2), None);
+        assert_eq!(b.newest_ts(), Some(TOMBSTONE_TS));
+        unsafe { free(p) };
+    }
+
+    #[test]
+    fn abort_releases_spinning_dereference() {
+        let b: Arc<Bundle<u64>> = Arc::new(Bundle::new());
+        let p0 = leak(0);
+        b.init(p0, 1);
+        let p1 = leak(1);
+        let pe = b.prepare(p1);
+        let released = Arc::new(AtomicBool::new(false));
+        let p0s = SendPtr::new(p0);
+        let reader = {
+            let b = Arc::clone(&b);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                let got = b.dereference(10);
+                assert!(
+                    released.load(Ordering::SeqCst),
+                    "dereference returned while the entry was still pending"
+                );
+                assert_eq!(got, Some(p0s.get()), "aborted update must be invisible");
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        released.store(true, Ordering::SeqCst);
+        pe.abort();
+        reader.join().unwrap();
+        unsafe {
+            free(p0);
+            free(p1);
+        }
+    }
+
+    #[test]
     fn concurrent_prepares_keep_bundle_sorted() {
         const THREADS: usize = 4;
         const PER_THREAD: usize = 200;
@@ -477,7 +675,7 @@ mod tests {
             let clock = Arc::clone(&clock);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..PER_THREAD {
-                    b.prepare(std::ptr::null_mut());
+                    let _ = b.prepare(std::ptr::null_mut());
                     let ts = clock.advance(tid);
                     b.finalize(ts);
                 }

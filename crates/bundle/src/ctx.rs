@@ -92,6 +92,20 @@ impl RqContext {
         self.clock.read()
     }
 
+    /// Acquire an update timestamp from the shared clock.
+    ///
+    /// This is the commit step of a cross-structure transaction: after
+    /// *every* affected bundle on every structure holds a pending entry
+    /// ([`bundle_prepare`]), one `advance` supplies the single timestamp
+    /// all of them finalize with — making the whole write batch one atomic
+    /// cut with respect to every snapshot fixed through this context.
+    ///
+    /// [`bundle_prepare`]: crate::Bundle::prepare
+    #[inline]
+    pub fn advance(&self, tid: usize) -> u64 {
+        self.clock.advance(tid)
+    }
+
     /// Begin a range query on `tid`: atomically read the shared clock and
     /// announce the snapshot. Returns the snapshot timestamp — the
     /// linearization point of everything traversed under it.

@@ -66,13 +66,15 @@ mod linearize;
 mod recycler;
 mod tracker;
 mod ts;
+mod twophase;
 
-pub use bundle_impl::{Bundle, BundleIter, PENDING_TS};
+pub use bundle_impl::{Bundle, BundleIter, PendingEntry, PENDING_TS, TOMBSTONE_TS};
 pub use ctx::RqContext;
-pub use linearize::linearize_update;
+pub use linearize::{finalize_update, linearize_update, prepare_update, Conflict};
 pub use recycler::Recycler;
 pub use tracker::{RqTracker, RQ_INACTIVE, RQ_PENDING};
 pub use ts::GlobalTimestamp;
+pub use twophase::{TwoPhaseState, TXN_LOCK_SPINS};
 
 /// Maximum number of threads supported by the per-thread state in this
 /// crate's trackers and timestamps (same bound as [`ebr::DEFAULT_MAX_THREADS`]).

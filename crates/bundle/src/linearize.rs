@@ -1,7 +1,58 @@
-//! Algorithm 1: `LinearizeUpdateOperation`.
+//! Algorithm 1: `LinearizeUpdateOperation`, plus the split prepare /
+//! finalize surface that multi-structure transactions build on.
 
-use crate::bundle_impl::Bundle;
+use crate::bundle_impl::{Bundle, PendingEntry};
 use crate::ts::GlobalTimestamp;
+
+/// A two-phase update could not acquire a lock it needs without risking a
+/// deadlock; the caller must roll back everything it has prepared so far
+/// (releasing its locks and neutralizing its pending entries) and retry
+/// the whole transaction.
+///
+/// Single-structure updates never conflict — their per-structure lock
+/// disciplines are cycle-free. A cross-structure transaction, however,
+/// holds node locks from earlier keys while acquiring locks for later
+/// ones, so its acquisition order cannot be made globally consistent with
+/// every backend's internal order; bounded `try_lock` plus abort-and-retry
+/// is what keeps the system deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict;
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("two-phase update lost a lock race and must retry")
+    }
+}
+
+/// Step 1 of Algorithm 1, split out: install a pending entry for every
+/// affected bundle and return the owner tokens (in the same order).
+///
+/// The caller must hold the structure-specific locks covering every bundle
+/// and must eventually consume each token with [`PendingEntry::finalize`]
+/// (after acquiring one timestamp from the shared clock) or
+/// [`PendingEntry::abort`]. This is the surface cross-shard transactions
+/// use: prepare on *every* affected structure first, advance the clock
+/// once, then finalize everything with that single timestamp.
+pub fn prepare_update<T>(bundles: &[(&Bundle<T>, *mut T)]) -> Vec<PendingEntry<T>> {
+    bundles.iter().map(|(b, p)| b.prepare(*p)).collect()
+}
+
+/// Steps 2–4 of Algorithm 1, split out: acquire the operation's timestamp,
+/// run the linearization point, and finalize every pending entry with that
+/// timestamp.
+pub fn finalize_update<T, F: FnOnce()>(
+    clock: &GlobalTimestamp,
+    tid: usize,
+    pending: Vec<PendingEntry<T>>,
+    lin: F,
+) -> u64 {
+    let ts = clock.advance(tid);
+    lin();
+    for entry in pending {
+        entry.finalize(ts);
+    }
+    ts
+}
 
 /// Linearize an update operation of a bundled data structure.
 ///
@@ -27,20 +78,9 @@ pub fn linearize_update<T, F: FnOnce()>(
     bundles: &[(&Bundle<T>, *mut T)],
     lin: F,
 ) -> u64 {
-    // Step 1: install pending entries.
-    for (bundle, ptr) in bundles {
-        bundle.prepare(*ptr);
-    }
-    // Step 2: acquire the operation's timestamp.
-    let ts = clock.advance(tid);
-    // Step 3: linearization point (made visible to primitive operations).
-    lin();
-    // Step 4: finalize, releasing range queries blocked on the pending
-    // entries.
-    for (bundle, _) in bundles {
-        bundle.finalize(ts);
-    }
-    ts
+    // Step 1: install pending entries. Steps 2-4: acquire the operation's
+    // timestamp, run the linearization point, finalize every entry.
+    finalize_update(clock, tid, prepare_update(bundles), lin)
 }
 
 #[cfg(test)]
@@ -76,6 +116,56 @@ mod tests {
         unsafe {
             drop(Box::from_raw(p1));
             drop(Box::from_raw(p2));
+        }
+    }
+
+    #[test]
+    fn split_prepare_finalize_spans_structures_with_one_timestamp() {
+        // The transaction pattern: prepare on two independent bundles (as
+        // if they lived on different shards), advance the clock once, and
+        // finalize both with that single timestamp — an atomic cut.
+        let clock = GlobalTimestamp::new(1);
+        let b1: Bundle<u64> = Bundle::new();
+        let b2: Bundle<u64> = Bundle::new();
+        let old = Box::into_raw(Box::new(0u64));
+        b1.init(old, 0);
+        b2.init(old, 0);
+        let p1 = Box::into_raw(Box::new(1u64));
+        let p2 = Box::into_raw(Box::new(2u64));
+
+        let mut pending = prepare_update(&[(&b1, p1)]);
+        pending.extend(prepare_update(&[(&b2, p2)]));
+        let ts = finalize_update(&clock, 0, pending, || {});
+        assert_eq!(ts, 1);
+        assert_eq!(b1.dereference(ts), Some(p1));
+        assert_eq!(b2.dereference(ts), Some(p2));
+        assert_eq!(b1.dereference(ts - 1), Some(old));
+        assert_eq!(b2.dereference(ts - 1), Some(old));
+        unsafe {
+            drop(Box::from_raw(old));
+            drop(Box::from_raw(p1));
+            drop(Box::from_raw(p2));
+        }
+    }
+
+    #[test]
+    fn aborted_prepare_is_invisible_at_every_timestamp() {
+        let clock = GlobalTimestamp::new(1);
+        let b: Bundle<u64> = Bundle::new();
+        let old = Box::into_raw(Box::new(0u64));
+        b.init(old, 0);
+        let p = Box::into_raw(Box::new(1u64));
+        let pending = prepare_update(&[(&b, p)]);
+        for e in pending {
+            e.abort();
+        }
+        // The clock never advanced and the bundle resolves as before.
+        assert_eq!(clock.read(), 0);
+        assert_eq!(b.dereference(0), Some(old));
+        assert_eq!(b.dereference(100), Some(old));
+        unsafe {
+            drop(Box::from_raw(old));
+            drop(Box::from_raw(p));
         }
     }
 

@@ -1,0 +1,248 @@
+//! Structure-agnostic core of a two-phase (transactional) update: the
+//! bookkeeping every bundled structure's `ShardTxn` shares.
+//!
+//! A multi-key transaction on one structure accumulates three kinds of
+//! state while it prepares: the **node locks** it holds (until commit or
+//! abort), the **pending bundle entries** it has installed (all finalized
+//! with one commit timestamp, or neutralized on abort), and the nodes it
+//! has created or unlinked (retired through EBR by the winning path).
+//! That bookkeeping — plus the bounded `try_lock` discipline that keeps
+//! transactions deadlock-free against each structure's own lock order,
+//! and the merge-on-own-pending rule that prevents self-deadlock when one
+//! transaction updates the same link twice — is identical across the lazy
+//! list, skip list, and Citrus tree. [`TwoPhaseState`] implements it
+//! once; the structure crates layer their traversal, validation, and undo
+//! logs on top.
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::bundle_impl::{Bundle, PendingEntry};
+use crate::linearize::Conflict;
+
+/// `try_lock` attempts a two-phase prepare makes on a contended node lock
+/// before declaring [`Conflict`] (the whole transaction then aborts and
+/// retries, which is what keeps mixed transactional/primitive traffic
+/// deadlock-free: the per-structure lock orders cannot be made globally
+/// consistent with key-ordered two-phase locking).
+pub const TXN_LOCK_SPINS: usize = 64;
+
+/// Shared two-phase bookkeeping over nodes of type `N`.
+///
+/// Raw-pointer soundness contract (upheld by the structure crates): every
+/// pointer pushed into the state refers to a node that stays allocated
+/// while the state holds its lock — a locked node can never be retired,
+/// because every remover must acquire its victim's lock first.
+pub struct TwoPhaseState<N> {
+    tid: usize,
+    /// Held node locks in acquisition order. The guards borrow through
+    /// raw node pointers, so their lifetime is unconstrained; see the
+    /// soundness contract above.
+    locks: Vec<(*mut N, MutexGuard<'static, ()>)>,
+    /// Pending bundle entries keyed by bundle address, so a second write
+    /// to the same link merges instead of self-deadlocking on its own
+    /// pending head.
+    pendings: Vec<(usize, PendingEntry<N>)>,
+    /// Nodes unlinked by staged removes; retired on commit.
+    victims: Vec<*mut N>,
+    /// Nodes created by staged inserts; retired on abort.
+    created: Vec<*mut N>,
+}
+
+impl<N> TwoPhaseState<N> {
+    /// Empty state for thread `tid`.
+    pub fn new(tid: usize) -> Self {
+        TwoPhaseState {
+            tid,
+            locks: Vec::new(),
+            pendings: Vec::new(),
+            victims: Vec::new(),
+            created: Vec::new(),
+        }
+    }
+
+    /// The dense thread id the transaction runs as.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// `true` if the transaction already holds `node`'s lock.
+    #[must_use]
+    pub fn holds(&self, node: *mut N) -> bool {
+        self.locks.iter().any(|(n, _)| *n == node)
+    }
+
+    /// Record a lock acquired out-of-band (e.g. the uncontended `lock()`
+    /// of a node the transaction just created).
+    pub fn push_lock(&mut self, node: *mut N, guard: MutexGuard<'static, ()>) {
+        self.locks.push((node, guard));
+    }
+
+    /// Release the `n` most recently acquired locks (failed-validation
+    /// rewind; the popped guards unlock on drop).
+    pub fn unlock_latest(&mut self, n: usize) {
+        for _ in 0..n {
+            self.locks.pop();
+        }
+    }
+
+    /// Acquire `node`'s lock for the transaction unless already held;
+    /// `Ok(true)` = newly acquired (and pushed, so an abort releases it).
+    /// Bounded `try_lock`: contention surfaces as [`Conflict`] instead of
+    /// risking a deadlock cycle with a primitive operation blocked on one
+    /// of our locks.
+    ///
+    /// # Safety
+    ///
+    /// `mutex` must be the lock embedded in `*node`, and `node` must obey
+    /// the state's soundness contract (alive while locked).
+    pub unsafe fn lock(&mut self, node: *mut N, mutex: *const Mutex<()>) -> Result<bool, Conflict> {
+        if self.holds(node) {
+            return Ok(false);
+        }
+        let mutex: &'static Mutex<()> = &*mutex;
+        for _ in 0..TXN_LOCK_SPINS {
+            if let Some(guard) = mutex.try_lock() {
+                self.locks.push((node, guard));
+                return Ok(true);
+            }
+            std::hint::spin_loop();
+        }
+        Err(Conflict)
+    }
+
+    /// Install (or merge into) the transaction's pending entry on
+    /// `bundle`. The caller must hold the lock of the node owning
+    /// `bundle`, which guarantees any pending head already present is this
+    /// transaction's own (primitive updates only touch a bundle under its
+    /// node's lock).
+    pub fn prepare_bundle(&mut self, bundle: &Bundle<N>, ptr: *mut N) {
+        let addr = bundle as *const _ as usize;
+        if let Some((_, pe)) = self.pendings.iter().find(|(a, _)| *a == addr) {
+            pe.set_ptr(ptr);
+        } else {
+            self.pendings.push((addr, bundle.prepare(ptr)));
+        }
+    }
+
+    /// Record a node unlinked by a staged remove (retire on commit).
+    pub fn add_victim(&mut self, node: *mut N) {
+        self.victims.push(node);
+    }
+
+    /// Record a node created by a staged insert (retire on abort).
+    pub fn add_created(&mut self, node: *mut N) {
+        self.created.push(node);
+    }
+
+    /// `true` when nothing has been staged or locked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty() && self.pendings.is_empty()
+    }
+
+    /// Commit half: finalize every pending entry with the transaction's
+    /// single timestamp and release the locks. Returns the victims for
+    /// the caller to retire under its EBR guard.
+    pub fn finalize(self, ts: u64) -> Vec<*mut N> {
+        for (_, pe) in self.pendings {
+            pe.finalize(ts);
+        }
+        drop(self.locks);
+        self.victims
+    }
+
+    /// Abort half: neutralize every pending entry (entries with history
+    /// become invisible duplicates, first entries of created nodes become
+    /// tombstones) and release the locks. The caller must have reverted
+    /// its structural changes *before* calling this — neutralization is
+    /// what releases snapshot readers spinning on the pendings, and they
+    /// must observe the restored physical state. Returns the created
+    /// nodes for the caller to retire under its EBR guard.
+    pub fn abort(self) -> Vec<*mut N> {
+        for (_, pe) in self.pendings {
+            pe.abort();
+        }
+        drop(self.locks);
+        self.created
+    }
+}
+
+impl<N> std::fmt::Debug for TwoPhaseState<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoPhaseState")
+            .field("tid", &self.tid)
+            .field("locks", &self.locks.len())
+            .field("pendings", &self.pendings.len())
+            .field("victims", &self.victims.len())
+            .field("created", &self.created.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Cell {
+        lock: Mutex<()>,
+        bundle: Bundle<Cell>,
+    }
+
+    #[test]
+    fn lock_tracking_and_merge() {
+        let a = Box::into_raw(Box::new(Cell {
+            lock: Mutex::new(()),
+            bundle: Bundle::new(),
+        }));
+        let b = Box::into_raw(Box::new(Cell {
+            lock: Mutex::new(()),
+            bundle: Bundle::new(),
+        }));
+        let mut st: TwoPhaseState<Cell> = TwoPhaseState::new(3);
+        assert_eq!(st.tid(), 3);
+        assert!(st.is_empty());
+        unsafe {
+            assert_eq!(st.lock(a, &(*a).lock), Ok(true));
+            assert_eq!(st.lock(a, &(*a).lock), Ok(false), "re-lock is a no-op");
+            // A contended lock conflicts instead of blocking.
+            let held = (*b).lock.lock();
+            assert_eq!(st.lock(b, &(*b).lock), Err(Conflict));
+            drop(held);
+            assert_eq!(st.lock(b, &(*b).lock), Ok(true));
+        }
+        // Same-bundle prepare merges; distinct bundles stack.
+        let bundle = unsafe { &(*a).bundle };
+        bundle.init(std::ptr::null_mut(), 0);
+        st.prepare_bundle(bundle, a);
+        st.prepare_bundle(bundle, b);
+        assert_eq!(bundle.len(), 2, "merged: init entry + one pending");
+        st.unlock_latest(1);
+        assert!(!st.holds(b));
+        assert!(st.holds(a));
+        let victims = st.finalize(7);
+        assert!(victims.is_empty());
+        assert_eq!(bundle.dereference(7), Some(b), "merged value wins");
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn abort_returns_created_and_neutralizes() {
+        let a = Box::into_raw(Box::new(Cell {
+            lock: Mutex::new(()),
+            bundle: Bundle::new(),
+        }));
+        let mut st: TwoPhaseState<Cell> = TwoPhaseState::new(0);
+        let bundle = unsafe { &(*a).bundle };
+        bundle.init(a, 2);
+        st.prepare_bundle(bundle, std::ptr::null_mut());
+        st.add_created(a);
+        let created = st.abort();
+        assert_eq!(created, vec![a]);
+        assert_eq!(bundle.dereference(5), Some(a), "abort restored history");
+        unsafe { drop(Box::from_raw(a)) };
+    }
+}

@@ -5,10 +5,13 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
+use bundle::{
+    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
+    TwoPhaseState,
+};
 use ebr::{Collector, Guard, ReclaimMode};
 
 use crate::{LEFT, RIGHT};
@@ -321,6 +324,362 @@ where
 /// Optimistic entry attempts a fixed-timestamp range query makes before
 /// falling back to the guaranteed bundle-only traversal.
 const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
+
+/// Accumulated two-phase state of one transaction's writes on this tree:
+/// the shared lock/pending bookkeeping ([`bundle::TwoPhaseState`]) plus
+/// the tree-specific undo log reverting the eager structural changes on
+/// abort. See [`BundledCitrusTree::txn_begin`].
+pub struct ShardTxn<K, V> {
+    core: TwoPhaseState<Node<K, V>>,
+    undo: Vec<CitrusUndo<K, V>>,
+}
+
+enum CitrusUndo<K, V> {
+    /// A staged insert stored `node` into `pred.child[dir]` (previously
+    /// null).
+    Link {
+        pred: *mut Node<K, V>,
+        dir: usize,
+        node: *mut Node<K, V>,
+    },
+    /// A zero/one-child remove spliced `repl` into `pred.child[dir]`,
+    /// marking `curr`.
+    Splice {
+        pred: *mut Node<K, V>,
+        dir: usize,
+        curr: *mut Node<K, V>,
+    },
+    /// A two-children remove replaced `curr` by `new_node` under
+    /// `pred.child[dir]`, marked `curr` and `succ`, and (when the
+    /// successor was not curr's direct right child) moved `succ` out of
+    /// `sp.child[LEFT]`.
+    Replace {
+        pred: *mut Node<K, V>,
+        dir: usize,
+        curr: *mut Node<K, V>,
+        succ: *mut Node<K, V>,
+        new_node: *mut Node<K, V>,
+        sp: *mut Node<K, V>,
+        sp_moved: bool,
+    },
+}
+
+impl<K, V> ShardTxn<K, V> {
+    /// Number of staged write operations.
+    #[must_use]
+    pub fn staged_ops(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// `true` when nothing has been staged or pinned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty() && self.core.is_empty()
+    }
+}
+
+impl<K, V> BundledCitrusTree<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Begin accumulating two-phase writes for thread `tid`.
+    pub fn txn_begin(&self, tid: usize) -> ShardTxn<K, V> {
+        ShardTxn {
+            core: TwoPhaseState::new(tid),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Acquire `node`'s lock for the transaction unless already held;
+    /// `Ok(true)` = newly acquired (see [`TwoPhaseState::lock`]).
+    fn txn_lock(&self, txn: &mut ShardTxn<K, V>, node: *mut Node<K, V>) -> Result<bool, Conflict> {
+        // Safety: `node` is reachable (caller pins EBR) and a locked node
+        // is never retired — every remover must lock its victim first.
+        unsafe { txn.core.lock(node, &(*node).lock) }
+    }
+
+    /// Stage an insert: eager structural link with the affected bundle
+    /// entries left *pending* until the transaction's single commit
+    /// timestamp.
+    ///
+    /// `Ok(false)` = key already present; the present node stays locked so
+    /// the no-op outcome still holds at the commit timestamp.
+    pub fn txn_prepare_put(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        key: K,
+        value: V,
+    ) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        loop {
+            let (pred, dir, curr) = self.search(&key);
+            if !curr.is_null() {
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    // Key found but mid-removal; the remover already holds
+                    // all its locks (mark and unlink share one critical
+                    // section), so the unlink completes without us.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // Pin the no-op: hold the present node's lock until
+                // commit (a remove must acquire it). If it got marked
+                // before we locked it, the remove linearized first —
+                // retry and miss it.
+                let newly = self.txn_lock(txn, curr)?;
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                return Ok(false);
+            }
+            let newly = self.txn_lock(txn, pred)?;
+            let pred_ref = unsafe { &*pred };
+            if pred_ref.marked.load(Ordering::Acquire)
+                || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
+            {
+                if newly {
+                    txn.core.unlock_latest(1);
+                    continue;
+                }
+                // A node we hold locked cannot be invalidated by others.
+                return Err(Conflict);
+            }
+            let node = Node::new(key, Some(value));
+            let node_ref = unsafe { &*node };
+            // Hold the new leaf's lock until commit/abort so primitive
+            // operations block on it instead of building on state we may
+            // roll back.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            txn.core
+                .prepare_bundle(&node_ref.bundle[LEFT], ptr::null_mut());
+            txn.core
+                .prepare_bundle(&node_ref.bundle[RIGHT], ptr::null_mut());
+            txn.core.prepare_bundle(&pred_ref.bundle[dir], node);
+            // Eager linearization effect.
+            pred_ref.child[dir].store(node, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.undo.push(CitrusUndo::Link { pred, dir, node });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove. `Ok(false)` = key absent; the insertion point (the
+    /// node whose `child[dir]` slot the key would occupy) stays locked, so
+    /// the no-op outcome still holds at the commit timestamp (nobody can
+    /// insert the key before the transaction finishes).
+    pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        loop {
+            let (pred, dir, curr) = self.search(key);
+            if curr.is_null() {
+                // Pin the no-op: hold the insertion parent until commit.
+                let newly = self.txn_lock(txn, pred)?;
+                let pred_ref = unsafe { &*pred };
+                if pred_ref.marked.load(Ordering::Acquire)
+                    || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
+                {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                return Ok(false);
+            }
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            let mut newly = 0usize;
+            match self.txn_lock(txn, pred) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => return Err(c),
+            }
+            match self.txn_lock(txn, curr) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => {
+                    txn.core.unlock_latest(newly);
+                    return Err(c);
+                }
+            }
+            if pred_ref.marked.load(Ordering::Acquire)
+                || curr_ref.marked.load(Ordering::Acquire)
+                || pred_ref.child[dir].load(Ordering::Acquire) != curr
+                || curr_ref.key != *key
+            {
+                txn.core.unlock_latest(newly);
+                if newly == 0 {
+                    return Err(Conflict);
+                }
+                continue;
+            }
+            let left = curr_ref.child[LEFT].load(Ordering::Acquire);
+            let right = curr_ref.child[RIGHT].load(Ordering::Acquire);
+
+            if left.is_null() || right.is_null() {
+                // Cases 1 & 2: splice the only child (or null) into pred.
+                let repl = if left.is_null() { right } else { left };
+                txn.core.prepare_bundle(&pred_ref.bundle[dir], repl);
+                curr_ref.marked.store(true, Ordering::SeqCst);
+                pred_ref.child[dir].store(repl, Ordering::SeqCst);
+                txn.core.add_victim(curr);
+                txn.undo.push(CitrusUndo::Splice { pred, dir, curr });
+                drop(guard);
+                return Ok(true);
+            }
+
+            // Case 3: two children — replace `curr` by an RCU-style copy
+            // of its successor.
+            let mut succ_parent = curr;
+            let mut succ = right;
+            loop {
+                let l = unsafe { &*succ }.child[LEFT].load(Ordering::Acquire);
+                if l.is_null() {
+                    break;
+                }
+                succ_parent = succ;
+                succ = l;
+            }
+            let succ_ref = unsafe { &*succ };
+            let sp_ref = unsafe { &*succ_parent };
+            if succ_parent != curr {
+                match self.txn_lock(txn, succ_parent) {
+                    Ok(true) => newly += 1,
+                    Ok(false) => {}
+                    Err(c) => {
+                        txn.core.unlock_latest(newly);
+                        return Err(c);
+                    }
+                }
+            }
+            match self.txn_lock(txn, succ) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => {
+                    txn.core.unlock_latest(newly);
+                    return Err(c);
+                }
+            }
+            let succ_still_leftmost = if succ_parent == curr {
+                curr_ref.child[RIGHT].load(Ordering::Acquire) == succ
+            } else {
+                sp_ref.child[LEFT].load(Ordering::Acquire) == succ
+            };
+            if succ_ref.marked.load(Ordering::Acquire)
+                || sp_ref.marked.load(Ordering::Acquire)
+                || !succ_ref.child[LEFT].load(Ordering::Acquire).is_null()
+                || !succ_still_leftmost
+            {
+                txn.core.unlock_latest(newly);
+                if newly == 0 {
+                    return Err(Conflict);
+                }
+                continue;
+            }
+            let succ_right = succ_ref.child[RIGHT].load(Ordering::Acquire);
+            let new_node = Node::new(succ_ref.key, succ_ref.val.clone());
+            let new_ref = unsafe { &*new_node };
+            let new_right = if succ == right { succ_right } else { right };
+            let new_guard: MutexGuard<'static, ()> = new_ref.lock.lock();
+            txn.core.push_lock(new_node, new_guard);
+            new_ref.child[LEFT].store(left, Ordering::Relaxed);
+            new_ref.child[RIGHT].store(new_right, Ordering::Relaxed);
+
+            txn.core.prepare_bundle(&new_ref.bundle[LEFT], left);
+            txn.core.prepare_bundle(&new_ref.bundle[RIGHT], new_right);
+            txn.core.prepare_bundle(&pred_ref.bundle[dir], new_node);
+            let sp_moved = succ != right;
+            if sp_moved {
+                txn.core.prepare_bundle(&sp_ref.bundle[LEFT], succ_right);
+            }
+            // Eager linearization effect.
+            curr_ref.marked.store(true, Ordering::SeqCst);
+            succ_ref.marked.store(true, Ordering::SeqCst);
+            pred_ref.child[dir].store(new_node, Ordering::SeqCst);
+            if sp_moved {
+                sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
+            }
+            txn.core.add_victim(curr);
+            txn.core.add_victim(succ);
+            txn.core.add_created(new_node);
+            txn.undo.push(CitrusUndo::Replace {
+                pred,
+                dir,
+                curr,
+                succ,
+                new_node,
+                sp: succ_parent,
+                sp_moved,
+            });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Commit: publish every staged bundle entry with the transaction's
+    /// single timestamp, release the locks, retire removed nodes.
+    pub fn txn_finalize(&self, txn: ShardTxn<K, V>, ts: u64) {
+        let tid = txn.core.tid();
+        let victims = txn.core.finalize(ts);
+        let guard = self.pin(tid);
+        for v in victims {
+            // Safety: unlinked by this transaction under the proper locks;
+            // EBR defers the free past concurrent readers.
+            unsafe { guard.retire(v) };
+        }
+    }
+
+    /// Abort: revert the eager structural changes in reverse order, then
+    /// neutralize the pending bundle entries, release the locks, and
+    /// retire the nodes the transaction created.
+    pub fn txn_abort(&self, txn: ShardTxn<K, V>) {
+        let ShardTxn { core, mut undo } = txn;
+        let tid = core.tid();
+        while let Some(op) = undo.pop() {
+            match op {
+                CitrusUndo::Link { pred, dir, node } => {
+                    unsafe { &*node }.marked.store(true, Ordering::SeqCst);
+                    unsafe { &*pred }.child[dir].store(ptr::null_mut(), Ordering::SeqCst);
+                }
+                CitrusUndo::Splice { pred, dir, curr } => {
+                    unsafe { &*curr }.marked.store(false, Ordering::SeqCst);
+                    unsafe { &*pred }.child[dir].store(curr, Ordering::SeqCst);
+                }
+                CitrusUndo::Replace {
+                    pred,
+                    dir,
+                    curr,
+                    succ,
+                    new_node,
+                    sp,
+                    sp_moved,
+                } => {
+                    unsafe { &*new_node }.marked.store(true, Ordering::SeqCst);
+                    if sp_moved {
+                        unsafe { &*sp }.child[LEFT].store(succ, Ordering::SeqCst);
+                    }
+                    unsafe { &*pred }.child[dir].store(curr, Ordering::SeqCst);
+                    unsafe { &*succ }.marked.store(false, Ordering::SeqCst);
+                    unsafe { &*curr }.marked.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        // Only after the physical state is fully reverted: release any
+        // snapshot readers spinning on our pending entries.
+        let created = core.abort();
+        let guard = self.pin(tid);
+        for n in created {
+            // Safety: unlinked above; EBR defers the free.
+            unsafe { guard.retire(n) };
+        }
+    }
+}
 
 impl<K, V> ConcurrentSet<K, V> for BundledCitrusTree<K, V>
 where
@@ -812,6 +1171,90 @@ mod tests {
         b.insert(0, 2, 2);
         assert_eq!(ctx.read(), 2, "both trees advance the one clock");
         assert!(a.context().same_as(&b.context()));
+    }
+
+    #[test]
+    fn txn_commit_is_atomic_under_a_fixed_snapshot() {
+        let ctx = bundle::RqContext::new(2);
+        let t = BundledCitrusTree::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            t.insert(0, k, k);
+        }
+        let before = ctx.read();
+
+        let mut txn = t.txn_begin(0);
+        assert_eq!(t.txn_prepare_put(&mut txn, 26, 260), Ok(true));
+        assert_eq!(t.txn_prepare_put(&mut txn, 27, 270), Ok(true));
+        // Removing 25 exercises the two-children (RCU-copy) path.
+        assert_eq!(t.txn_prepare_remove(&mut txn, &25), Ok(true));
+        assert_eq!(t.txn_prepare_put(&mut txn, 50, 999), Ok(false));
+        assert_eq!(t.txn_prepare_remove(&mut txn, &77), Ok(false));
+        assert_eq!(txn.staged_ops(), 3);
+        let ts = ctx.advance(0);
+        t.txn_finalize(txn, ts);
+
+        let mut out = Vec::new();
+        let announced = ctx.start_rq(1);
+        assert!(announced >= ts);
+        t.range_query_at(1, before, &0, &100, &mut out);
+        let pre: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(pre, vec![10, 25, 30, 50, 60, 75, 90]);
+        t.range_query_at(1, ts, &0, &100, &mut out);
+        let post: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(post, vec![10, 26, 27, 30, 50, 60, 75, 90]);
+        ctx.finish_rq(1);
+    }
+
+    #[test]
+    fn txn_abort_restores_structure_and_snapshots() {
+        let ctx = bundle::RqContext::new(2);
+        let t = BundledCitrusTree::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            t.insert(0, k, k);
+        }
+        let clock_before = ctx.read();
+
+        let mut txn = t.txn_begin(0);
+        assert_eq!(t.txn_prepare_put(&mut txn, 55, 550), Ok(true));
+        // Two-children removal staged and rolled back.
+        assert_eq!(t.txn_prepare_remove(&mut txn, &50), Ok(true));
+        // Leaf removal staged and rolled back.
+        assert_eq!(t.txn_prepare_remove(&mut txn, &10), Ok(true));
+        assert!(t.contains(1, &55));
+        assert!(!t.contains(1, &50));
+        t.txn_abort(txn);
+
+        assert_eq!(ctx.read(), clock_before, "abort never advances the clock");
+        assert!(!t.contains(0, &55));
+        assert!(t.contains(0, &50));
+        assert!(t.contains(0, &10));
+        assert_eq!(t.len(0), 7);
+        let mut out = Vec::new();
+        t.range_query(1, &0, &100, &mut out);
+        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![10, 25, 30, 50, 60, 75, 90]);
+        t.range_query_at(1, clock_before, &0, &100, &mut out);
+        assert_eq!(out.len(), 7);
+        assert!(t.insert(0, 55, 551));
+        assert!(t.remove(0, &50));
+        assert!(t.remove(0, &10));
+        assert_eq!(t.len(0), 6);
+    }
+
+    #[test]
+    fn txn_remove_of_own_staged_insert_nets_out() {
+        let t = Tree::new(1);
+        t.insert(0, 10, 10);
+        let mut txn = t.txn_begin(0);
+        assert_eq!(t.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(t.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let ts = t.clock().advance(0);
+        t.txn_finalize(txn, ts);
+        assert!(!t.contains(0, &5));
+        assert_eq!(t.len(0), 1);
+        let mut out = Vec::new();
+        t.range_query(0, &0, &20, &mut out);
+        assert_eq!(out, vec![(10, 10)]);
     }
 
     #[test]

@@ -40,6 +40,20 @@ pub fn new_order_key(w_id: u64, d_id: u64, o_id: u64) -> u64 {
     order_key(w_id, d_id, o_id)
 }
 
+/// Maximum order lines per order (TPC-C draws 5..=15; 32 leaves headroom).
+pub const MAX_ORDER_LINES: u64 = 32;
+
+/// Order-line index key: `(w, d, o_id, ol_number)` — lines of one order are
+/// contiguous and ordered, orders of one district stay ordered by id.
+pub fn order_line_key(w_id: u64, d_id: u64, o_id: u64, ol_number: u64) -> u64 {
+    debug_assert!(ol_number < MAX_ORDER_LINES);
+    // The multiplied order id must stay inside the 40-bit field below the
+    // district prefix (order ids may use the full 40 bits in `order_key`,
+    // but here they share them with the line number).
+    debug_assert!(o_id < (1 << 40) / MAX_ORDER_LINES);
+    district_prefix(w_id, d_id) | (o_id * MAX_ORDER_LINES) | ol_number
+}
+
 /// Stock index key: `(w, item)`.
 pub fn stock_key(w_id: u64, i_id: u64) -> u64 {
     (w_id << 32) | i_id
@@ -90,5 +104,14 @@ mod tests {
     #[test]
     fn stock_keys_separate_warehouses() {
         assert!(stock_key(1, 99_999) < stock_key(2, 0));
+    }
+
+    #[test]
+    fn order_line_keys_are_ordered_and_grouped_per_order() {
+        let a = order_line_key(3, 4, 100, 0);
+        let b = order_line_key(3, 4, 100, 14);
+        let c = order_line_key(3, 4, 101, 0);
+        let d = order_line_key(3, 5, 0, 0);
+        assert!(a < b && b < c && c < d);
     }
 }

@@ -21,13 +21,24 @@
 //! index-operation throughput (what Figure 4 plots). It is intentionally a
 //! substitution for the original C++ DBx1000 engine — see DESIGN.md — that
 //! preserves the index access pattern the paper measures.
+//!
+//! Beyond the paper's configuration, [`TpccDb::store_backed`] plugs the
+//! sharded `store::BundledStore` in as the index substrate: every index is
+//! a tagged view over one store (one shard per table, one shared clock),
+//! and NEW_ORDER's three-index insert (order, new-order, order-line)
+//! commits as a single cross-shard `txn::WriteTxn` — atomic with respect
+//! to every index range query. The `fig4` binary compares it against the
+//! single-structure indexes.
 
 mod keys;
+mod store_backed;
 mod tpcc;
 mod workload;
 
 pub use keys::{
-    customer_key, customer_name_key, new_order_key, order_key, stock_key, DISTRICTS_PER_WAREHOUSE,
+    customer_key, customer_name_key, new_order_key, order_key, order_line_key, stock_key,
+    DISTRICTS_PER_WAREHOUSE, MAX_ORDER_LINES,
 };
+pub use store_backed::{build_tpcc_store, StoreIndexView, Table, TpccStore, TABLE_SHIFT};
 pub use tpcc::{Customer, DynIndex, IndexFactory, Order, TpccConfig, TpccDb, TxnKind, TxnStats};
-pub use workload::{run_tpcc, TpccThroughput};
+pub use workload::{run_tpcc, run_tpcc_db, TpccThroughput};

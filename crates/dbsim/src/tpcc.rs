@@ -9,11 +9,13 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use bundle::api::RangeQuerySet;
+use txn::WriteTxn;
 
 use crate::keys::{
-    customer_key, customer_name_key, last_name_hash, new_order_key, order_key, stock_key,
-    DISTRICTS_PER_WAREHOUSE,
+    customer_key, customer_name_key, last_name_hash, new_order_key, order_key, order_line_key,
+    stock_key, DISTRICTS_PER_WAREHOUSE,
 };
+use crate::store_backed::{build_tpcc_store, StoreIndexView, Table, TpccStore};
 
 /// A dynamically dispatched ordered index over `u64 -> u64` (value = row id).
 pub type DynIndex = Arc<dyn RangeQuerySet<u64, u64> + Send + Sync>;
@@ -21,6 +23,17 @@ pub type DynIndex = Arc<dyn RangeQuerySet<u64, u64> + Send + Sync>;
 /// Factory building one index instance; called once per index of the
 /// database so that every index uses the structure under evaluation.
 pub type IndexFactory = dyn Fn(usize) -> DynIndex + Send + Sync;
+
+/// How NEW_ORDER's multi-index insert is applied.
+enum WritePath {
+    /// Each index is an independent structure; the three inserts are only
+    /// individually linearizable (the paper's original configuration).
+    PerIndex,
+    /// All indexes are views over one shared sharded store; the three
+    /// inserts commit as a single cross-shard [`WriteTxn`] under one
+    /// timestamp — atomic with respect to every index range query.
+    StoreTxn(Arc<TpccStore>),
+}
 
 /// Scale configuration. The TPC-C spec sizes (3000 customers, 100k items)
 /// are reachable but the defaults are scaled down so the substrate stays
@@ -116,20 +129,27 @@ pub struct TpccDb {
     pub order_index: DynIndex,
     /// New-order index: `new_order_key -> order row id` (pending deliveries).
     pub new_order_index: DynIndex,
+    /// Order-line index: `order_line_key -> order row id`, populated by
+    /// NEW_ORDER (5–15 lines per order).
+    pub order_line_index: DynIndex,
     /// Item index: `item id -> item row id` (read-only after load).
     pub item_index: DynIndex,
     /// Stock index: `stock_key -> stock row id`.
     pub stock_index: DynIndex,
+
+    /// How NEW_ORDER's three-index insert is applied.
+    write_path: WritePath,
 
     /// Aggregate statistics.
     pub stats: TxnStats,
 }
 
 impl TpccDb {
-    /// Build and populate a database whose six indexes are created by
-    /// `factory` (with `max_threads` registered threads each).
+    /// Build and populate a database whose seven indexes are created by
+    /// `factory` (with `max_threads` registered threads each). NEW_ORDER's
+    /// multi-index insert runs as independent per-index operations.
     pub fn new(cfg: TpccConfig, factory: &IndexFactory, max_threads: usize) -> Self {
-        let db = TpccDb {
+        let mut db = TpccDb {
             cfg,
             customers: Vec::new(),
             orders: Mutex::new(Vec::new()),
@@ -143,13 +163,55 @@ impl TpccDb {
             customer_name_index: factory(max_threads),
             order_index: factory(max_threads),
             new_order_index: factory(max_threads),
+            order_line_index: factory(max_threads),
             item_index: factory(max_threads),
             stock_index: factory(max_threads),
+            write_path: WritePath::PerIndex,
             stats: TxnStats::default(),
         };
-        let mut db = db;
         db.populate();
         db
+    }
+
+    /// Build and populate a **store-backed** database: all seven indexes
+    /// are views over one shared [`TpccStore`] (one shard per table, one
+    /// clock), and NEW_ORDER's three-index insert (order, new-order,
+    /// order-line) commits as a single cross-shard [`WriteTxn`] — no index
+    /// range query can ever observe the order without its lines or
+    /// new-order entry.
+    pub fn store_backed(cfg: TpccConfig, max_threads: usize) -> Self {
+        let store = build_tpcc_store(max_threads);
+        let view =
+            |table: Table| -> DynIndex { Arc::new(StoreIndexView::new(Arc::clone(&store), table)) };
+        let mut db = TpccDb {
+            cfg,
+            customers: Vec::new(),
+            orders: Mutex::new(Vec::new()),
+            next_o_id: (0..cfg.warehouses * DISTRICTS_PER_WAREHOUSE)
+                .map(|_| AtomicU64::new(cfg.initial_orders_per_district))
+                .collect(),
+            stock_qty: (0..cfg.warehouses * cfg.items)
+                .map(|_| AtomicU64::new(100))
+                .collect(),
+            customer_index: view(Table::Customer),
+            customer_name_index: view(Table::CustomerName),
+            order_index: view(Table::Order),
+            new_order_index: view(Table::NewOrder),
+            order_line_index: view(Table::OrderLine),
+            item_index: view(Table::Item),
+            stock_index: view(Table::Stock),
+            write_path: WritePath::StoreTxn(store),
+            stats: TxnStats::default(),
+        };
+        db.populate();
+        db
+    }
+
+    /// `true` when NEW_ORDER commits through the cross-shard transaction
+    /// path (store-backed database).
+    #[must_use]
+    pub fn is_store_backed(&self) -> bool {
+        matches!(self.write_path, WritePath::StoreTxn(_))
     }
 
     fn bump_index_ops(&self, n: u64) {
@@ -229,7 +291,13 @@ impl TpccDb {
     }
 
     /// NEW_ORDER: insert an order with 5–15 lines, reading the item and
-    /// stock indexes and inserting into the order and new-order indexes.
+    /// stock indexes and inserting into the order, new-order and
+    /// order-line indexes.
+    ///
+    /// On a store-backed database the three-index insert commits as one
+    /// cross-shard write transaction (a single timestamp for all
+    /// `2 + ol_cnt` keys); otherwise the inserts are independent per-index
+    /// operations.
     pub fn new_order(&self, tid: usize, rng: &mut SmallRng) {
         let cfg = self.cfg;
         let w = rng.gen_range(0..cfg.warehouses);
@@ -269,10 +337,30 @@ impl TpccDb {
             });
             row_id
         };
-        self.order_index.insert(tid, order_key(w, d, o_id), row_id);
-        self.new_order_index
-            .insert(tid, new_order_key(w, d, o_id), row_id);
-        index_ops += 2;
+        match &self.write_path {
+            WritePath::PerIndex => {
+                self.order_index.insert(tid, order_key(w, d, o_id), row_id);
+                self.new_order_index
+                    .insert(tid, new_order_key(w, d, o_id), row_id);
+                for ol in 0..ol_cnt {
+                    self.order_line_index
+                        .insert(tid, order_line_key(w, d, o_id, ol), row_id);
+                }
+            }
+            WritePath::StoreTxn(store) => {
+                // One atomic cut across the order, new-order and
+                // order-line shards: a DELIVERY or order scan either sees
+                // the complete logical insert or none of it.
+                let mut txn = WriteTxn::with_tid(store, tid);
+                txn.put(Table::Order.key(order_key(w, d, o_id)), row_id);
+                txn.put(Table::NewOrder.key(new_order_key(w, d, o_id)), row_id);
+                for ol in 0..ol_cnt {
+                    txn.put(Table::OrderLine.key(order_line_key(w, d, o_id, ol)), row_id);
+                }
+                txn.commit();
+            }
+        }
+        index_ops += 2 + ol_cnt;
 
         self.bump_index_ops(index_ops);
         self.stats.new_order.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +535,93 @@ mod tests {
             .filter(|c| c.lock().payment_cnt > 0)
             .count();
         assert!(touched > 0, "some customer must have received a payment");
+    }
+
+    #[test]
+    fn store_backed_db_populates_and_runs_the_mix() {
+        let db = Arc::new(TpccDb::store_backed(small_cfg(), 2));
+        assert!(db.is_store_backed());
+        let cfg = db.cfg;
+        assert_eq!(db.item_index.len(0) as u64, cfg.items);
+        assert_eq!(
+            db.customer_index.len(0) as u64,
+            cfg.warehouses * DISTRICTS_PER_WAREHOUSE * cfg.customers_per_district
+        );
+        assert_eq!(db.order_index.len(0), db.new_order_index.len(0));
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut scratch = Vec::new();
+        let orders_before = db.order_index.len(0);
+        let lines_before = db.order_line_index.len(0);
+        for _ in 0..30 {
+            db.run_txn(0, &mut rng, &mut scratch);
+        }
+        assert_eq!(db.committed(), 30);
+        let new_orders = db.stats.new_order.load(Ordering::Relaxed) as usize;
+        assert_eq!(db.order_index.len(0), orders_before + new_orders);
+        // Every committed NEW_ORDER inserted 5-15 lines atomically.
+        let lines = db.order_line_index.len(0) - lines_before;
+        assert!(lines >= new_orders * 5 && lines <= new_orders * 15);
+    }
+
+    #[test]
+    fn store_backed_new_order_is_atomic_across_indexes() {
+        // The anomaly the store-backed path eliminates: with independent
+        // per-index inserts a scan of the new-order index can observe an
+        // order whose order-line entries are not inserted yet. Store-backed,
+        // all three index writes share one commit timestamp, so any order
+        // visible in the new-order index must have its order row and its
+        // first order-line visible too.
+        use crate::keys::order_line_key;
+        const WRITERS: usize = 2;
+        let db = Arc::new(TpccDb::store_backed(small_cfg(), WRITERS + 1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(33 + tid as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        db.new_order(tid, &mut rng);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let tid = WRITERS;
+                let cfg = db.cfg;
+                let mut scratch = Vec::new();
+                let mask = (1u64 << 40) - 1;
+                for _ in 0..300 {
+                    for w in 0..cfg.warehouses {
+                        let d = 0;
+                        let low = new_order_key(w, d, cfg.initial_orders_per_district);
+                        let high = new_order_key(w, d, mask);
+                        db.new_order_index
+                            .range_query(tid, &low, &high, &mut scratch);
+                        for (k, _) in &scratch {
+                            let o_id = k & mask;
+                            assert!(
+                                db.order_index.contains(tid, &order_key(w, d, o_id)),
+                                "new-order entry visible without its order row"
+                            );
+                            assert!(
+                                db.order_line_index
+                                    .contains(tid, &order_line_key(w, d, o_id, 0)),
+                                "new-order entry visible without its order lines"
+                            );
+                        }
+                    }
+                }
+            })
+        };
+        reader.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

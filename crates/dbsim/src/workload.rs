@@ -40,7 +40,17 @@ pub fn run_tpcc(
     threads: usize,
     duration_ms: u64,
 ) -> TpccThroughput {
-    let db = Arc::new(TpccDb::new(cfg, factory, threads));
+    run_tpcc_db(
+        Arc::new(TpccDb::new(cfg, factory, threads)),
+        threads,
+        duration_ms,
+    )
+}
+
+/// Run the TPC-C mix against an already-built database (e.g.
+/// [`TpccDb::store_backed`], where NEW_ORDER commits as one cross-shard
+/// write transaction).
+pub fn run_tpcc_db(db: Arc<TpccDb>, threads: usize, duration_ms: u64) -> TpccThroughput {
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::with_capacity(threads);
     for tid in 0..threads {

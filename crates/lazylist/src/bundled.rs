@@ -5,10 +5,13 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
+use bundle::{
+    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
+    TwoPhaseState,
+};
 use ebr::{Collector, Guard, ReclaimMode};
 
 /// A node of the bundled lazy list (Listing 2 of the paper).
@@ -304,6 +307,249 @@ where
 /// Optimistic entry attempts a fixed-timestamp range query makes before
 /// falling back to the guaranteed bundle-only traversal.
 const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
+
+/// Accumulated two-phase state of one transaction's writes on this list:
+/// the shared lock/pending bookkeeping ([`bundle::TwoPhaseState`]) plus
+/// the list-specific undo log that reverts eager structural changes on
+/// abort.
+///
+/// Created by [`BundledLazyList::txn_begin`]; populated by
+/// `txn_prepare_put` / `txn_prepare_remove`; consumed by exactly one of
+/// `txn_finalize` (with the transaction's single commit timestamp) or
+/// `txn_abort`. Dropping a non-empty token without consuming it leaks the
+/// locks and wedges the bundles — the store layer guarantees consumption.
+pub struct ShardTxn<K, V> {
+    core: TwoPhaseState<Node<K, V>>,
+    /// Eager structural changes, reverted in reverse order on abort.
+    undo: Vec<LazyUndo<K, V>>,
+}
+
+enum LazyUndo<K, V> {
+    /// A staged insert physically linked `node` after `pred` (whose next
+    /// previously was `prev_next`).
+    Link {
+        pred: *mut Node<K, V>,
+        node: *mut Node<K, V>,
+        prev_next: *mut Node<K, V>,
+    },
+    /// A staged remove marked and unlinked `curr` (previously
+    /// `pred.next`).
+    Unlink {
+        pred: *mut Node<K, V>,
+        curr: *mut Node<K, V>,
+    },
+}
+
+impl<K, V> ShardTxn<K, V> {
+    /// Number of staged write operations.
+    #[must_use]
+    pub fn staged_ops(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// `true` when nothing has been staged or pinned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty() && self.core.is_empty()
+    }
+}
+
+impl<K, V> BundledLazyList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Begin accumulating two-phase writes for thread `tid`.
+    pub fn txn_begin(&self, tid: usize) -> ShardTxn<K, V> {
+        ShardTxn {
+            core: TwoPhaseState::new(tid),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Acquire `node`'s lock for the transaction unless it is already
+    /// held; `Ok(true)` means newly acquired (see
+    /// [`TwoPhaseState::lock`]).
+    fn txn_lock(&self, txn: &mut ShardTxn<K, V>, node: *mut Node<K, V>) -> Result<bool, Conflict> {
+        // Safety: `node` is reachable (caller pins EBR) and a locked node
+        // is never retired — every remover must lock its victim first.
+        unsafe { txn.core.lock(node, &(*node).lock) }
+    }
+
+    /// Stage an insert: the structural change is applied eagerly (so later
+    /// keys of the same transaction observe it) but every affected bundle
+    /// entry stays *pending* until the transaction's single commit
+    /// timestamp finalizes it — snapshot reads therefore see either all of
+    /// the transaction's writes or none.
+    ///
+    /// `Ok(false)` = key already present. The present node stays locked by
+    /// the transaction, so the no-op outcome still holds at the commit
+    /// timestamp (nobody can remove the key before the transaction
+    /// finishes).
+    pub fn txn_prepare_put(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        key: K,
+        value: V,
+    ) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        loop {
+            let (pred, curr) = self.traverse(&key);
+            if curr != self.tail && unsafe { &*curr }.key == key {
+                // Pin the no-op: hold the present node's lock until
+                // commit. A marked node's remove has already linearized
+                // (mark and unlink share the remover's critical section,
+                // which requires this very lock) — retry and miss it.
+                let newly = self.txn_lock(txn, curr)?;
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                return Ok(false);
+            }
+            let newly = self.txn_lock(txn, pred)?;
+            if !self.validate(pred, curr) {
+                if newly {
+                    txn.core.unlock_latest(1);
+                    continue;
+                }
+                // A node we already hold locked cannot be invalidated by
+                // anyone else; treat the impossible as a conflict so the
+                // transaction retries from scratch rather than spinning.
+                return Err(Conflict);
+            }
+            let pred_ref = unsafe { &*pred };
+            let node = Node::new(key, Some(value));
+            let node_ref = unsafe { &*node };
+            // Hold the new node's lock until commit/abort: any primitive
+            // operation that would adopt it as a predecessor blocks on the
+            // lock instead of spinning on our pending bundle entry (which
+            // we might abort) — and cannot link behind a node we may undo.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            node_ref.next.store(curr, Ordering::Relaxed);
+            txn.core.prepare_bundle(&node_ref.bundle, curr);
+            txn.core.prepare_bundle(&pred_ref.bundle, node);
+            // Eager physical link (the op's linearization effect); commit
+            // order is still decided solely by the bundle timestamps.
+            pred_ref.next.store(node, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.undo.push(LazyUndo::Link {
+                pred,
+                node,
+                prev_next: curr,
+            });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove. `Ok(false)` = key absent; the gap (predecessor
+    /// whose successor skips past `key`) stays locked by the transaction,
+    /// so the no-op outcome still holds at the commit timestamp (nobody
+    /// can insert the key before the transaction finishes).
+    pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        loop {
+            let (pred, curr) = self.traverse(key);
+            if curr == self.tail || unsafe { &*curr }.key != *key {
+                // Pin the no-op: hold the gap's predecessor until commit.
+                let newly = self.txn_lock(txn, pred)?;
+                if !self.validate(pred, curr) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                return Ok(false);
+            }
+            let newly_pred = self.txn_lock(txn, pred)?;
+            let newly_curr = match self.txn_lock(txn, curr) {
+                Ok(n) => n,
+                Err(c) => {
+                    if newly_pred {
+                        txn.core.unlock_latest(1);
+                    }
+                    return Err(c);
+                }
+            };
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            if !self.validate(pred, curr) || curr_ref.marked.load(Ordering::Acquire) {
+                txn.core
+                    .unlock_latest(usize::from(newly_curr) + usize::from(newly_pred));
+                if !newly_pred && !newly_curr {
+                    return Err(Conflict);
+                }
+                continue;
+            }
+            let next = curr_ref.next.load(Ordering::Acquire);
+            txn.core.prepare_bundle(&pred_ref.bundle, next);
+            // Eager logical delete + physical unlink.
+            curr_ref.marked.store(true, Ordering::SeqCst);
+            pred_ref.next.store(next, Ordering::SeqCst);
+            txn.core.add_victim(curr);
+            txn.undo.push(LazyUndo::Unlink { pred, curr });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Commit: publish every staged bundle entry with the transaction's
+    /// single timestamp, release the locks, retire removed nodes.
+    pub fn txn_finalize(&self, txn: ShardTxn<K, V>, ts: u64) {
+        let tid = txn.core.tid();
+        let victims = txn.core.finalize(ts);
+        let guard = self.pin(tid);
+        for v in victims {
+            // Safety: `v` was unlinked by this transaction while holding
+            // the relevant locks; EBR defers the free past concurrent
+            // readers.
+            unsafe { guard.retire(v) };
+        }
+    }
+
+    /// Abort: revert every eager structural change (reverse order), then
+    /// neutralize the pending bundle entries, release the locks, and
+    /// retire the nodes the transaction created.
+    pub fn txn_abort(&self, txn: ShardTxn<K, V>) {
+        let ShardTxn { core, mut undo } = txn;
+        let tid = core.tid();
+        while let Some(op) = undo.pop() {
+            match op {
+                LazyUndo::Link {
+                    pred,
+                    node,
+                    prev_next,
+                } => {
+                    // Mark the stillborn node so a primitive operation
+                    // blocked on its lock re-validates and retries.
+                    unsafe { &*node }.marked.store(true, Ordering::SeqCst);
+                    unsafe { &*pred }.next.store(prev_next, Ordering::SeqCst);
+                }
+                LazyUndo::Unlink { pred, curr } => {
+                    unsafe { &*curr }.marked.store(false, Ordering::SeqCst);
+                    unsafe { &*pred }.next.store(curr, Ordering::SeqCst);
+                }
+            }
+        }
+        // Only after the physical state is fully reverted: release the
+        // snapshot readers spinning on our pending entries (entries with
+        // prior history become neutralized duplicates; first entries of
+        // created, now unreachable, nodes become tombstones).
+        let created = core.abort();
+        let guard = self.pin(tid);
+        for n in created {
+            // Safety: the node was unlinked above (or never committed to
+            // a reachable state); EBR defers the free.
+            unsafe { guard.retire(n) };
+        }
+    }
+}
 
 impl<K, V> ConcurrentSet<K, V> for BundledLazyList<K, V>
 where
@@ -730,6 +976,139 @@ mod tests {
         assert_eq!(opt, snap);
         // An ancient snapshot sees the empty list.
         assert_eq!(l.range_query_at(0, 0, &0, &1000, &mut opt), 0);
+    }
+
+    #[test]
+    fn txn_commit_is_atomic_under_a_fixed_snapshot() {
+        let ctx = bundle::RqContext::new(2);
+        let l = BundledLazyList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        l.insert(0, 5, 5);
+        l.insert(0, 50, 50);
+        let before = ctx.read();
+
+        // Stage a three-key transaction, including two adjacent keys that
+        // share a predecessor (the second merges into the first's pending
+        // entry) and a remove of a pre-existing key.
+        let mut txn = l.txn_begin(0);
+        assert_eq!(l.txn_prepare_put(&mut txn, 10, 100), Ok(true));
+        assert_eq!(l.txn_prepare_put(&mut txn, 11, 110), Ok(true));
+        assert_eq!(l.txn_prepare_remove(&mut txn, &50), Ok(true));
+        assert_eq!(l.txn_prepare_put(&mut txn, 5, 999), Ok(false), "no-op dup");
+        assert_eq!(l.txn_prepare_remove(&mut txn, &77), Ok(false), "no-op miss");
+        assert_eq!(txn.staged_ops(), 3);
+        let ts = ctx.advance(0);
+        l.txn_finalize(txn, ts);
+
+        let mut out = Vec::new();
+        // Pre-commit snapshot: none of the transaction's writes.
+        let announced = ctx.start_rq(1);
+        assert!(announced >= ts);
+        l.range_query_at(1, before, &0, &100, &mut out);
+        assert_eq!(out, vec![(5, 5), (50, 50)]);
+        // Commit snapshot: all of them.
+        l.range_query_at(1, ts, &0, &100, &mut out);
+        assert_eq!(out, vec![(5, 5), (10, 100), (11, 110)]);
+        ctx.finish_rq(1);
+        assert_eq!(l.len(0), 3);
+    }
+
+    #[test]
+    fn txn_abort_restores_structure_and_snapshots() {
+        let ctx = bundle::RqContext::new(2);
+        let l = BundledLazyList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [10u64, 20, 30] {
+            l.insert(0, k, k);
+        }
+        let clock_before = ctx.read();
+
+        let mut txn = l.txn_begin(0);
+        assert_eq!(l.txn_prepare_put(&mut txn, 15, 150), Ok(true));
+        assert_eq!(l.txn_prepare_remove(&mut txn, &20), Ok(true));
+        assert_eq!(l.txn_prepare_put(&mut txn, 16, 160), Ok(true));
+        // Mid-transaction the eager changes are physically visible...
+        assert!(l.contains(1, &15));
+        assert!(!l.contains(1, &20));
+        l.txn_abort(txn);
+
+        // ...but after the abort everything is exactly as before.
+        assert_eq!(ctx.read(), clock_before, "abort never advances the clock");
+        assert!(!l.contains(0, &15));
+        assert!(!l.contains(0, &16));
+        assert!(l.contains(0, &20));
+        assert_eq!(l.len(0), 3);
+        let mut out = Vec::new();
+        l.range_query(1, &0, &100, &mut out);
+        assert_eq!(out, vec![(10, 10), (20, 20), (30, 30)]);
+        // Fixed-timestamp reads across the aborted window agree too.
+        l.range_query_at(1, clock_before, &0, &100, &mut out);
+        assert_eq!(out, vec![(10, 10), (20, 20), (30, 30)]);
+        // And the structure still accepts updates on the touched keys.
+        assert!(l.insert(0, 15, 151));
+        assert!(l.remove(0, &20));
+    }
+
+    #[test]
+    fn txn_remove_of_own_staged_insert_nets_out() {
+        let l = List::new(1);
+        l.insert(0, 1, 1);
+        let mut txn = l.txn_begin(0);
+        assert_eq!(l.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(l.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let ts = l.clock().advance(0);
+        l.txn_finalize(txn, ts);
+        assert!(!l.contains(0, &5));
+        assert_eq!(l.len(0), 1);
+        let mut out = Vec::new();
+        l.range_query(0, &0, &10, &mut out);
+        assert_eq!(out, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn txn_conflicts_surface_instead_of_deadlocking() {
+        // A primitive writer hammers the same keys a transaction stages;
+        // the transaction layer retries on Conflict. This is a smoke test
+        // that the bounded try_lock path terminates.
+        let l = Arc::new(List::new(3));
+        for k in 0..64u64 {
+            l.insert(0, k, k);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let l = Arc::clone(&l);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    l.remove(0, &(k % 64));
+                    l.insert(0, k % 64, k);
+                    k += 1;
+                }
+            })
+        };
+        for round in 0..300u64 {
+            loop {
+                let mut txn = l.txn_begin(1);
+                let a = l.txn_prepare_put(&mut txn, 100 + (round % 8), round);
+                let b = a.and_then(|_| l.txn_prepare_remove(&mut txn, &(round % 64)));
+                match b {
+                    Ok(_) => {
+                        let ts = l.clock().advance(1);
+                        l.txn_finalize(txn, ts);
+                        break;
+                    }
+                    Err(Conflict) => {
+                        l.txn_abort(txn);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            l.remove(1, &(100 + (round % 8)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        let mut out = Vec::new();
+        l.range_query(2, &0, &200, &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

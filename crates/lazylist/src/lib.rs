@@ -21,5 +21,5 @@
 mod bundled;
 mod unsafe_rq;
 
-pub use bundled::BundledLazyList;
+pub use bundled::{BundledLazyList, ShardTxn};
 pub use unsafe_rq::UnsafeLazyList;

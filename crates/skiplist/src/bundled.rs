@@ -9,7 +9,10 @@ use crossbeam_utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{linearize_update, Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
+use bundle::{
+    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
+    TwoPhaseState,
+};
 use ebr::{Collector, Guard, ReclaimMode};
 
 use crate::MAX_LEVEL;
@@ -364,6 +367,317 @@ where
             Some(guards)
         } else {
             None
+        }
+    }
+}
+
+/// Accumulated two-phase state of one transaction's writes on this skip
+/// list: the shared lock/pending bookkeeping ([`bundle::TwoPhaseState`])
+/// plus the skip-list-specific undo log that reverts the eager structural
+/// changes on abort. See [`BundledSkipList::txn_begin`].
+pub struct ShardTxn<K, V> {
+    core: TwoPhaseState<Node<K, V>>,
+    undo: Vec<SkipUndo<K, V>>,
+}
+
+enum SkipUndo<K, V> {
+    Link {
+        node: *mut Node<K, V>,
+        preds: [*mut Node<K, V>; MAX_LEVEL],
+        succs: [*mut Node<K, V>; MAX_LEVEL],
+        top: usize,
+    },
+    Unlink {
+        victim: *mut Node<K, V>,
+        preds: [*mut Node<K, V>; MAX_LEVEL],
+        top: usize,
+    },
+}
+
+impl<K, V> ShardTxn<K, V> {
+    /// Number of staged write operations.
+    #[must_use]
+    pub fn staged_ops(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// `true` when nothing has been staged or pinned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty() && self.core.is_empty()
+    }
+}
+
+impl<K, V> BundledSkipList<K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Begin accumulating two-phase writes for thread `tid`.
+    pub fn txn_begin(&self, tid: usize) -> ShardTxn<K, V> {
+        ShardTxn {
+            core: TwoPhaseState::new(tid),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Acquire `node`'s lock for the transaction unless already held;
+    /// `Ok(true)` = newly acquired (see [`TwoPhaseState::lock`]).
+    fn txn_lock(&self, txn: &mut ShardTxn<K, V>, node: *mut Node<K, V>) -> Result<bool, Conflict> {
+        // Safety: `node` is reachable (caller pins EBR) and a locked node
+        // is never retired — every remover must lock its victim first.
+        unsafe { txn.core.lock(node, &(*node).lock) }
+    }
+
+    /// Transaction-aware variant of `lock_and_validate`: skips locks the
+    /// transaction already holds, uses bounded `try_lock` for the rest.
+    /// `Ok(true)` = locked and valid; `Ok(false)` = validation failed (the
+    /// newly acquired locks were released, caller retries its traversal);
+    /// `Err(Conflict)` = a lock could not be acquired (caller aborts).
+    fn txn_lock_and_validate(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        preds: &[*mut Node<K, V>; MAX_LEVEL],
+        succs: &[*mut Node<K, V>; MAX_LEVEL],
+        top: usize,
+        expect_succ: Option<*mut Node<K, V>>,
+    ) -> Result<bool, Conflict> {
+        let mut newly = 0usize;
+        let mut prev: *mut Node<K, V> = ptr::null_mut();
+        let mut valid = true;
+        for lvl in 0..=top {
+            let pred = preds[lvl];
+            let succ = expect_succ.unwrap_or(succs[lvl]);
+            if pred != prev {
+                match self.txn_lock(txn, pred) {
+                    Ok(true) => newly += 1,
+                    Ok(false) => {}
+                    Err(c) => {
+                        txn.core.unlock_latest(newly);
+                        return Err(c);
+                    }
+                }
+                prev = pred;
+            }
+            let p = unsafe { &*pred };
+            let s_marked = if succ == self.tail {
+                false
+            } else {
+                unsafe { &*succ }.marked.load(Ordering::Acquire)
+            };
+            valid = !p.marked.load(Ordering::Acquire)
+                && p.fully_linked.load(Ordering::Acquire)
+                && !s_marked
+                && p.next[lvl].load(Ordering::Acquire) == succ;
+            if !valid {
+                break;
+            }
+        }
+        if valid {
+            Ok(true)
+        } else {
+            txn.core.unlock_latest(newly);
+            Ok(false)
+        }
+    }
+
+    /// Stage an insert: eager structural link (so later keys of the same
+    /// transaction observe it) with the affected data-layer bundle entries
+    /// left *pending* until the transaction's single commit timestamp.
+    ///
+    /// `Ok(false)` = key already present; the present node stays locked so
+    /// the no-op outcome still holds at the commit timestamp.
+    pub fn txn_prepare_put(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        key: K,
+        value: V,
+    ) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        let top = self.random_level(txn.core.tid());
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            if let Some(l) = self.find(&key, &mut preds, &mut succs) {
+                let found = succs[l];
+                let f = unsafe { &*found };
+                if f.marked.load(Ordering::Acquire) {
+                    continue;
+                }
+                while !f.fully_linked.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // Pin the no-op: hold the present node's lock until
+                // commit (a remove must acquire it, so the key stays
+                // present). If it got marked before we locked it, the
+                // remove linearized first — retry and miss it.
+                let newly = self.txn_lock(txn, found)?;
+                if f.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                return Ok(false);
+            }
+            if !self.txn_lock_and_validate(txn, &preds, &succs, top, None)? {
+                continue;
+            }
+            let node = Node::new(key, Some(value), top);
+            let node_ref = unsafe { &*node };
+            // Hold the new node's lock until commit/abort so primitive
+            // operations that would adopt it as a predecessor block on the
+            // lock instead of building on state we may roll back.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            for (lvl, &succ) in succs.iter().enumerate().take(top + 1) {
+                node_ref.next[lvl].store(succ, Ordering::Relaxed);
+            }
+            for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
+                unsafe { &*pred }.next[lvl].store(node, Ordering::SeqCst);
+            }
+            txn.core.prepare_bundle(&node_ref.bundle, succs[0]);
+            txn.core.prepare_bundle(&unsafe { &*preds[0] }.bundle, node);
+            // Eager linearization effect; snapshot visibility is still
+            // gated on the pending bundle entries' commit timestamp.
+            node_ref.fully_linked.store(true, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.undo.push(SkipUndo::Link {
+                node,
+                preds,
+                succs,
+                top,
+            });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove. `Ok(false)` = key absent; the data-layer gap
+    /// (level-0 predecessor whose successor skips past `key`) stays
+    /// locked, so the no-op outcome still holds at the commit timestamp
+    /// (every insert of `key` must link level 0 through that node).
+    pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
+        let guard = self.pin(txn.core.tid());
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            let lfound = self.find(key, &mut preds, &mut succs);
+            let (victim, level) = match lfound {
+                Some(l) => (succs[l], l),
+                None => {
+                    // Pin the no-op: hold the level-0 gap until commit.
+                    let pred = preds[0];
+                    let newly = self.txn_lock(txn, pred)?;
+                    let p = unsafe { &*pred };
+                    let valid = !p.marked.load(Ordering::Acquire)
+                        && p.fully_linked.load(Ordering::Acquire)
+                        && p.next[0].load(Ordering::Acquire) == succs[0];
+                    if !valid {
+                        if newly {
+                            txn.core.unlock_latest(1);
+                            continue;
+                        }
+                        return Err(Conflict);
+                    }
+                    return Ok(false);
+                }
+            };
+            let v = unsafe { &*victim };
+            if !(v.fully_linked.load(Ordering::Acquire)
+                && v.top_level == level
+                && !v.marked.load(Ordering::Acquire))
+            {
+                // A concurrent update owns the key's fate right now; retry
+                // until the physical state settles (the owner holds all of
+                // its locks and finishes without waiting on us).
+                continue;
+            }
+            let top = v.top_level;
+            let newly_victim = self.txn_lock(txn, victim)?;
+            if v.marked.load(Ordering::Acquire) {
+                if newly_victim {
+                    txn.core.unlock_latest(1);
+                }
+                continue;
+            }
+            match self.txn_lock_and_validate(txn, &preds, &succs, top, Some(victim)) {
+                Ok(true) => {}
+                Ok(false) => {
+                    if newly_victim {
+                        txn.core.unlock_latest(1);
+                    }
+                    continue;
+                }
+                Err(c) => return Err(c),
+            }
+            txn.core.prepare_bundle(
+                &unsafe { &*preds[0] }.bundle,
+                v.next[0].load(Ordering::Acquire),
+            );
+            // Eager logical delete + physical unlink (top-down).
+            v.marked.store(true, Ordering::SeqCst);
+            for lvl in (0..=top).rev() {
+                unsafe { &*preds[lvl] }.next[lvl]
+                    .store(v.next[lvl].load(Ordering::Acquire), Ordering::SeqCst);
+            }
+            txn.core.add_victim(victim);
+            txn.undo.push(SkipUndo::Unlink { victim, preds, top });
+            drop(guard);
+            return Ok(true);
+        }
+    }
+
+    /// Commit: publish every staged bundle entry with the transaction's
+    /// single timestamp, release the locks, retire removed nodes.
+    pub fn txn_finalize(&self, txn: ShardTxn<K, V>, ts: u64) {
+        let tid = txn.core.tid();
+        let victims = txn.core.finalize(ts);
+        let guard = self.pin(tid);
+        for v in victims {
+            // Safety: unlinked by this transaction under the proper locks;
+            // EBR defers the free past concurrent readers.
+            unsafe { guard.retire(v) };
+        }
+    }
+
+    /// Abort: revert the eager structural changes in reverse order, then
+    /// neutralize the pending bundle entries, release the locks, and
+    /// retire the nodes the transaction created.
+    pub fn txn_abort(&self, txn: ShardTxn<K, V>) {
+        let ShardTxn { core, mut undo } = txn;
+        let tid = core.tid();
+        while let Some(op) = undo.pop() {
+            match op {
+                SkipUndo::Link {
+                    node,
+                    preds,
+                    succs,
+                    top,
+                } => {
+                    // Mark the stillborn node so a primitive operation
+                    // blocked on its lock re-validates and retries.
+                    unsafe { &*node }.marked.store(true, Ordering::SeqCst);
+                    for lvl in (0..=top).rev() {
+                        unsafe { &*preds[lvl] }.next[lvl].store(succs[lvl], Ordering::SeqCst);
+                    }
+                }
+                SkipUndo::Unlink { victim, preds, top } => {
+                    for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
+                        unsafe { &*pred }.next[lvl].store(victim, Ordering::SeqCst);
+                    }
+                    unsafe { &*victim }.marked.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        // Only after the physical state is fully reverted: release any
+        // snapshot readers spinning on our pending entries.
+        let created = core.abort();
+        let guard = self.pin(tid);
+        for n in created {
+            // Safety: unlinked above; EBR defers the free.
+            unsafe { guard.retire(n) };
         }
     }
 }
@@ -839,6 +1153,84 @@ mod tests {
         b.insert(0, 2, 2);
         assert_eq!(ctx.read(), 2, "both structures advance the one clock");
         assert!(a.context().same_as(&b.context()));
+    }
+
+    #[test]
+    fn txn_commit_is_atomic_under_a_fixed_snapshot() {
+        let ctx = bundle::RqContext::new(2);
+        let s = BundledSkipList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in (0..100u64).step_by(10) {
+            s.insert(0, k, k);
+        }
+        let before = ctx.read();
+
+        let mut txn = s.txn_begin(0);
+        assert_eq!(s.txn_prepare_put(&mut txn, 15, 150), Ok(true));
+        assert_eq!(s.txn_prepare_put(&mut txn, 16, 160), Ok(true));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &50), Ok(true));
+        assert_eq!(s.txn_prepare_put(&mut txn, 10, 999), Ok(false));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &77), Ok(false));
+        assert_eq!(txn.staged_ops(), 3);
+        let ts = ctx.advance(0);
+        s.txn_finalize(txn, ts);
+
+        let mut out = Vec::new();
+        let announced = ctx.start_rq(1);
+        assert!(announced >= ts);
+        s.range_query_at(1, before, &0, &100, &mut out);
+        let pre: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(pre, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        s.range_query_at(1, ts, &0, &100, &mut out);
+        let post: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(post, vec![0, 10, 15, 16, 20, 30, 40, 60, 70, 80, 90]);
+        ctx.finish_rq(1);
+    }
+
+    #[test]
+    fn txn_abort_restores_structure_and_snapshots() {
+        let ctx = bundle::RqContext::new(2);
+        let s = BundledSkipList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [10u64, 20, 30, 40] {
+            s.insert(0, k, k);
+        }
+        let clock_before = ctx.read();
+
+        let mut txn = s.txn_begin(0);
+        assert_eq!(s.txn_prepare_put(&mut txn, 25, 250), Ok(true));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &30), Ok(true));
+        assert_eq!(s.txn_prepare_put(&mut txn, 26, 260), Ok(true));
+        assert!(s.contains(1, &25));
+        assert!(!s.contains(1, &30));
+        s.txn_abort(txn);
+
+        assert_eq!(ctx.read(), clock_before, "abort never advances the clock");
+        assert!(!s.contains(0, &25));
+        assert!(!s.contains(0, &26));
+        assert!(s.contains(0, &30));
+        assert_eq!(s.len(0), 4);
+        let mut out = Vec::new();
+        s.range_query(1, &0, &100, &mut out);
+        assert_eq!(out, vec![(10, 10), (20, 20), (30, 30), (40, 40)]);
+        s.range_query_at(1, clock_before, &0, &100, &mut out);
+        assert_eq!(out, vec![(10, 10), (20, 20), (30, 30), (40, 40)]);
+        assert!(s.insert(0, 25, 251));
+        assert!(s.remove(0, &30));
+    }
+
+    #[test]
+    fn txn_remove_of_own_staged_insert_nets_out() {
+        let s = Sl::new(1);
+        s.insert(0, 1, 1);
+        let mut txn = s.txn_begin(0);
+        assert_eq!(s.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let ts = s.clock().advance(0);
+        s.txn_finalize(txn, ts);
+        assert!(!s.contains(0, &5));
+        assert_eq!(s.len(0), 1);
+        let mut out = Vec::new();
+        s.range_query(0, &0, &10, &mut out);
+        assert_eq!(out, vec![(1, 1)]);
     }
 
     #[test]

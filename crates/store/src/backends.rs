@@ -3,7 +3,7 @@
 //! bundled workspace structures.
 
 use bundle::api::RangeQuerySet;
-use bundle::RqContext;
+use bundle::{Conflict, RqContext};
 use ebr::ReclaimMode;
 
 /// A bundled structure that can back one shard of a sharded store.
@@ -53,10 +53,50 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
 
     /// Total bundle entries currently held (space diagnostic).
     fn bundle_entries(&self, tid: usize) -> usize;
+
+    /// Accumulated two-phase state of one transaction's writes on this
+    /// shard: held node locks, pending bundle entries, and the undo log
+    /// reverting eager structural changes on abort.
+    type Txn;
+
+    /// Begin accumulating two-phase writes for thread `tid`.
+    ///
+    /// The two-phase commit surface generalizes the paper's
+    /// `LinearizeUpdateOperation` from one structure to N shards: each
+    /// staged write applies its structural change eagerly but leaves every
+    /// affected bundle entry *pending*; the store then reads the shared
+    /// clock **once** and finalizes all entries on all shards with that
+    /// single timestamp, so every snapshot (fixed through the shared
+    /// [`RqContext`]) observes the whole write batch or none of it.
+    ///
+    /// Protocol obligations of the caller:
+    /// * at most one transaction prepares on a given shard at a time (the
+    ///   store's per-shard intent locks enforce this);
+    /// * every begun token is consumed by exactly one of
+    ///   [`Self::txn_finalize`] or [`Self::txn_abort`];
+    /// * on [`Conflict`] from any prepare, *all* shards' tokens are
+    ///   aborted and the whole transaction retries.
+    fn txn_begin(&self, tid: usize) -> Self::Txn;
+
+    /// Stage an insert; `Ok(false)` = key already present (no-op), exactly
+    /// like [`bundle::api::ConcurrentSet::insert`] returning `false`.
+    fn txn_prepare_put(&self, txn: &mut Self::Txn, key: K, value: V) -> Result<bool, Conflict>;
+
+    /// Stage a remove; `Ok(false)` = key absent (no-op).
+    fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict>;
+
+    /// Commit the shard's staged writes with the transaction's single
+    /// timestamp (acquired once from the shared clock *after* every
+    /// shard's prepare phase succeeded).
+    fn txn_finalize(&self, txn: Self::Txn, ts: u64);
+
+    /// Roll back the shard's staged writes: structural changes reverted,
+    /// pending bundle entries neutralized, locks released.
+    fn txn_abort(&self, txn: Self::Txn);
 }
 
 macro_rules! impl_shard_backend {
-    ($ty:path) => {
+    ($ty:path, $txn:path) => {
         impl<K, V> ShardBackend<K, V> for $ty
         where
             K: Copy + Ord + Default + Send + Sync,
@@ -88,13 +128,40 @@ macro_rules! impl_shard_backend {
             fn bundle_entries(&self, tid: usize) -> usize {
                 Self::bundle_entries(self, tid)
             }
+
+            type Txn = $txn;
+
+            fn txn_begin(&self, tid: usize) -> Self::Txn {
+                Self::txn_begin(self, tid)
+            }
+
+            fn txn_prepare_put(
+                &self,
+                txn: &mut Self::Txn,
+                key: K,
+                value: V,
+            ) -> Result<bool, Conflict> {
+                Self::txn_prepare_put(self, txn, key, value)
+            }
+
+            fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict> {
+                Self::txn_prepare_remove(self, txn, key)
+            }
+
+            fn txn_finalize(&self, txn: Self::Txn, ts: u64) {
+                Self::txn_finalize(self, txn, ts)
+            }
+
+            fn txn_abort(&self, txn: Self::Txn) {
+                Self::txn_abort(self, txn)
+            }
         }
     };
 }
 
-impl_shard_backend!(skiplist::BundledSkipList<K, V>);
-impl_shard_backend!(lazylist::BundledLazyList<K, V>);
-impl_shard_backend!(citrus::BundledCitrusTree<K, V>);
+impl_shard_backend!(skiplist::BundledSkipList<K, V>, skiplist::ShardTxn<K, V>);
+impl_shard_backend!(lazylist::BundledLazyList<K, V>, lazylist::ShardTxn<K, V>);
+impl_shard_backend!(citrus::BundledCitrusTree<K, V>, citrus::ShardTxn<K, V>);
 
 #[cfg(test)]
 mod tests {
@@ -118,10 +185,49 @@ mod tests {
         assert!(shard.contains(0, &9));
     }
 
+    fn exercise_txn<S: ShardBackend<u64, u64>>() {
+        let ctx = RqContext::new(2);
+        let shard = S::build(2, ReclaimMode::Reclaim, &ctx);
+        shard.insert(0, 1, 10);
+        let before = ctx.read();
+
+        // Commit path: two staged writes, one timestamp, atomic cut.
+        let mut txn = shard.txn_begin(0);
+        assert_eq!(shard.txn_prepare_put(&mut txn, 2, 20), Ok(true));
+        assert_eq!(shard.txn_prepare_remove(&mut txn, &1), Ok(true));
+        let ts = ctx.advance(0);
+        shard.txn_finalize(txn, ts);
+        let mut out = Vec::new();
+        let announced = ctx.start_rq(1);
+        assert!(announced >= ts);
+        shard.range_query_at(1, before, &0, &100, &mut out);
+        assert_eq!(out, vec![(1, 10)], "pre-commit snapshot unchanged");
+        shard.range_query_at(1, ts, &0, &100, &mut out);
+        assert_eq!(out, vec![(2, 20)], "commit snapshot has both writes");
+        ctx.finish_rq(1);
+
+        // Abort path: nothing changes, the clock never advances.
+        let clock = ctx.read();
+        let mut txn = shard.txn_begin(0);
+        assert_eq!(shard.txn_prepare_put(&mut txn, 3, 30), Ok(true));
+        assert_eq!(shard.txn_prepare_remove(&mut txn, &2), Ok(true));
+        shard.txn_abort(txn);
+        assert_eq!(ctx.read(), clock);
+        shard.range_query_at(1, clock, &0, &100, &mut out);
+        assert_eq!(out, vec![(2, 20)], "aborted writes are invisible");
+    }
+
     #[test]
     fn all_three_backends_satisfy_the_contract() {
         exercise::<skiplist::BundledSkipList<u64, u64>>();
         exercise::<lazylist::BundledLazyList<u64, u64>>();
         exercise::<citrus::BundledCitrusTree<u64, u64>>();
+    }
+
+    #[test]
+    fn all_three_backends_satisfy_the_txn_contract() {
+        exercise_txn::<skiplist::BundledSkipList<u64, u64>>();
+        exercise_txn::<lazylist::BundledLazyList<u64, u64>>();
+        exercise_txn::<citrus::BundledCitrusTree<u64, u64>>();
     }
 }

@@ -84,8 +84,20 @@ where
     }
 
     /// Batched insert; returns how many pairs were newly inserted.
+    ///
+    /// Since the introduction of cross-shard write transactions this is
+    /// **atomic**: the batch commits under one timestamp, so no range
+    /// query or snapshot read ever observes part of it (previously each
+    /// insert was only individually linearizable).
     pub fn multi_put(&self, pairs: &[(K, V)]) -> usize {
         self.store.multi_put(self.tid, pairs)
+    }
+
+    /// Atomically apply a multi-key, multi-shard write batch (sorted by
+    /// key, duplicate-free); see [`BundledStore::apply_txn`]. The `txn`
+    /// crate's `WriteTxn` builder is the ergonomic front-end for this.
+    pub fn apply_txn(&self, ops: &[crate::TxnOp<K, V>]) -> Vec<bool> {
+        self.store.apply_txn(self.tid, ops)
     }
 
     /// Linearizable cross-shard range query into `out` (cleared first).

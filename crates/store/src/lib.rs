@@ -30,14 +30,34 @@
 //!   `range_query`. Implements the workspace [`ConcurrentSet`] /
 //!   [`RangeQuerySet`] traits, so the whole benchmark harness can drive it
 //!   like any single structure.
+//! * [`BundledStore::apply_txn`] / [`TxnOp`] — **atomic cross-shard write
+//!   transactions**: per-shard write intents in shard order (2PL), the
+//!   backends' two-phase prepare (pending bundle entries under node
+//!   locks), one shared-clock advance, one commit timestamp for every
+//!   entry on every shard. The `txn` crate's `WriteTxn` is the ergonomic
+//!   staging front-end.
 //! * [`ShardBackend`] — what a structure must provide to back a shard:
-//!   construction over a shared [`bundle::RqContext`] and a range query at
-//!   a caller-fixed snapshot timestamp. Implemented for all three bundled
+//!   construction over a shared [`bundle::RqContext`], a range query at a
+//!   caller-fixed snapshot timestamp, and the two-phase commit surface
+//!   (`txn_begin` / `txn_prepare_put` / `txn_prepare_remove` /
+//!   `txn_finalize` / `txn_abort`). Implemented for all three bundled
 //!   structures.
 //! * [`StoreHandle`] / [`BundledStore::register`] — a session API that
 //!   manages the dense thread-id registration the underlying structures
 //!   (EBR collectors, trackers) require: register once, operate without
 //!   threading `tid` everywhere, slot returns to the pool on drop.
+//!   Registration **blocks** when all slots are taken
+//!   ([`BundledStore::try_register`] is the non-blocking variant).
+//!
+//! ## Semantics change: `multi_put`
+//!
+//! `multi_put` used to be a per-key-linearizable batch convenience — a
+//! concurrent range query could observe half of a batch. It now routes
+//! through [`BundledStore::apply_txn`], so the whole batch commits under
+//! **one timestamp**: every range query and snapshot read sees all of it
+//! or none of it. (`multi_get` remains a non-atomic read convenience; use
+//! a range query — or the `txn` crate's snapshot gets — for serializable
+//! reads.)
 //!
 //! [`ConcurrentSet`]: bundle::api::ConcurrentSet
 //! [`RangeQuerySet`]: bundle::api::RangeQuerySet
@@ -66,8 +86,9 @@ mod handle;
 mod sharded;
 
 pub use backends::ShardBackend;
+pub use bundle::Conflict;
 pub use handle::StoreHandle;
-pub use sharded::{uniform_splits, BundledStore};
+pub use sharded::{uniform_splits, BundledStore, TxnOp, TxnStats};
 
 /// A store sharded over bundled lazy skip lists (§5 structures).
 pub type SkipListStore<K, V> = BundledStore<K, V, skiplist::BundledSkipList<K, V>>;

@@ -1,15 +1,59 @@
 //! The sharded store itself.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{Recycler, RqContext};
+use bundle::{Conflict, Recycler, RqContext};
 use ebr::ReclaimMode;
 
 use crate::backends::ShardBackend;
 use crate::handle::StoreHandle;
+
+/// One write of a multi-key transaction (see [`BundledStore::apply_txn`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp<K, V> {
+    /// Insert `key -> value`; a no-op if the key is already present
+    /// (set-insert semantics, like [`ConcurrentSet::insert`]).
+    Put(K, V),
+    /// Upsert `key -> value`: replace the current value if the key is
+    /// present, insert otherwise. Staged as a remove-then-insert on the
+    /// owning shard, both finalized with the transaction's single
+    /// timestamp, so no snapshot ever sees the key absent (or half of the
+    /// update).
+    Set(K, V),
+    /// Remove `key`; a no-op if absent.
+    Remove(K),
+}
+
+impl<K, V> TxnOp<K, V> {
+    /// The key this operation targets.
+    pub fn key(&self) -> &K {
+        match self {
+            TxnOp::Put(k, _) => k,
+            TxnOp::Set(k, _) => k,
+            TxnOp::Remove(k) => k,
+        }
+    }
+}
+
+/// Commit/conflict counters of a store's transaction path (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Prepare rounds that lost a lock race, rolled back, and retried.
+    pub conflicts: u64,
+}
+
+/// Dense-tid session allocator state (see [`StoreHandle`]).
+struct TidPool {
+    /// Next never-used slot.
+    next: usize,
+    /// Slots returned by dropped handles.
+    free: Vec<usize>,
+}
 
 /// Evenly spaced shard boundaries for a `u64` keyspace `[0, key_range)`:
 /// `shards - 1` split points producing `shards` contiguous range shards.
@@ -46,10 +90,18 @@ pub struct BundledStore<K, V, S> {
     splits: Box<[K]>,
     ctx: RqContext,
     max_threads: usize,
-    /// Dense-tid session allocator (see [`StoreHandle`]): next-never-used
-    /// counter plus a free list of dropped slots.
-    next_tid: AtomicUsize,
-    free_tids: std::sync::Mutex<Vec<usize>>,
+    /// Dense-tid session allocator (see [`StoreHandle`]); registrations
+    /// block on the condvar when all slots are in use.
+    tids: Mutex<TidPool>,
+    tid_freed: Condvar,
+    /// Per-shard write-intent locks: at most one transaction prepares on a
+    /// shard at a time. Acquired in ascending shard order (2PL, deadlock
+    /// free by ordering); single-key operations never touch them.
+    intents: Box<[Mutex<()>]>,
+    /// Round-robin cursor of the chunked bundle recycler.
+    recycle_cursor: AtomicUsize,
+    txn_commits: AtomicU64,
+    txn_conflicts: AtomicU64,
     _values: std::marker::PhantomData<V>,
 }
 
@@ -78,13 +130,24 @@ where
             .map(|_| S::build(max_threads, mode, &ctx))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let intents = (0..shards.len())
+            .map(|_| Mutex::new(()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         BundledStore {
             shards,
             splits: splits.into_boxed_slice(),
             ctx,
             max_threads,
-            next_tid: AtomicUsize::new(0),
-            free_tids: std::sync::Mutex::new(Vec::new()),
+            tids: Mutex::new(TidPool {
+                next: 0,
+                free: Vec::new(),
+            }),
+            tid_freed: Condvar::new(),
+            intents,
+            recycle_cursor: AtomicUsize::new(0),
+            txn_commits: AtomicU64::new(0),
+            txn_conflicts: AtomicU64::new(0),
             _values: std::marker::PhantomData,
         }
     }
@@ -124,10 +187,19 @@ where
     /// Register a session: allocates the lowest free dense thread id and
     /// wraps the store so operations need no explicit `tid`.
     ///
-    /// Panics when all `max_threads` slots are in use.
+    /// When all `max_threads` slots are in use this **blocks** until
+    /// another session drops (bursty fleets queue instead of crashing);
+    /// use [`BundledStore::try_register`] for a non-blocking variant.
     pub fn register(self: &Arc<Self>) -> StoreHandle<K, V, S> {
         let tid = self.acquire_tid();
         StoreHandle::new(Arc::clone(self), tid)
+    }
+
+    /// Non-blocking [`BundledStore::register`]: `None` when every slot is
+    /// currently in use.
+    pub fn try_register(self: &Arc<Self>) -> Option<StoreHandle<K, V, S>> {
+        let tid = self.try_acquire_tid()?;
+        Some(StoreHandle::new(Arc::clone(self), tid))
     }
 
     /// Look up several keys. The result vector is keyed by position. Each
@@ -140,13 +212,166 @@ where
             .collect()
     }
 
-    /// Insert several pairs, returning how many were newly inserted.
-    /// Each insert is individually linearizable (batch convenience).
+    /// Insert several pairs **atomically**: the whole batch is applied as
+    /// one cross-shard write transaction ([`BundledStore::apply_txn`]), so
+    /// every range query and snapshot read observes either all of the
+    /// batch or none of it. Returns how many pairs were newly inserted.
+    ///
+    /// Duplicate keys keep the first occurrence (set-insert semantics: the
+    /// later duplicates would have failed anyway).
+    ///
+    /// This retires the pre-transactional semantics where each insert was
+    /// only *individually* linearizable and a concurrent range query could
+    /// observe half of a batch.
     pub fn multi_put(&self, tid: usize, pairs: &[(K, V)]) -> usize {
-        pairs
-            .iter()
-            .filter(|(k, v)| self.shards[self.shard_of(k)].insert(tid, *k, v.clone()))
-            .count()
+        let mut sorted: Vec<(K, V)> = pairs.to_vec();
+        sorted.sort_by_key(|a| a.0);
+        sorted.dedup_by(|a, b| a.0 == b.0);
+        let ops: Vec<TxnOp<K, V>> = sorted.into_iter().map(|(k, v)| TxnOp::Put(k, v)).collect();
+        self.apply_txn(tid, &ops).into_iter().filter(|b| *b).count()
+    }
+
+    /// Atomically apply a multi-key, multi-shard write batch.
+    ///
+    /// `ops` may be in any order but must target distinct keys (the
+    /// [`txn` crate's `WriteTxn`] staging buffer deduplicates for you;
+    /// duplicate keys here panic — their combined meaning is ambiguous).
+    /// The per-op results (`true` = the put inserted / the remove removed
+    /// / the set replaced) come back in the caller's op order.
+    ///
+    /// [`txn` crate's `WriteTxn`]: StoreHandle::apply_txn
+    ///
+    /// Protocol (generalizing Algorithm 1 from one structure to N shards):
+    ///
+    /// 1. acquire the affected shards' write-intent locks in ascending
+    ///    shard order (2PL — deadlock-free by ordering, and at most one
+    ///    transaction prepares per shard at a time);
+    /// 2. stage every write through the backend's two-phase surface
+    ///    ([`ShardBackend::txn_prepare_put`] /
+    ///    [`ShardBackend::txn_prepare_remove`]): structural changes apply
+    ///    eagerly under node locks, bundle entries stay *pending*;
+    /// 3. read the shared clock **once** ([`RqContext::advance`]) — the
+    ///    transaction's single linearization timestamp;
+    /// 4. finalize every pending entry on every shard with that timestamp.
+    ///
+    /// A snapshot fixed before step 3 skips every entry (nothing of the
+    /// batch visible); one fixed after waits on the pending entries and
+    /// sees all of them — all-or-nothing with respect to every range
+    /// query. If any prepare hits a lock conflict with a concurrent
+    /// primitive operation, all shards roll back (aborted entries are
+    /// neutralized so no snapshot ever observes them) and the transaction
+    /// retries with backoff.
+    pub fn apply_txn(&self, tid: usize, ops: &[TxnOp<K, V>]) -> Vec<bool> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        // Work in key order regardless of the caller's op order: the
+        // 2PL intent acquisition below is only deadlock-free (and only
+        // visits each shard once) when shards are taken in ascending
+        // order, so an unsorted batch must never reach it. `order` maps
+        // sorted position -> caller position.
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        if !ops.windows(2).all(|w| w[0].key() < w[1].key()) {
+            order.sort_by(|&a, &b| ops[a].key().cmp(ops[b].key()));
+            assert!(
+                order.windows(2).all(|w| ops[w[0]].key() < ops[w[1]].key()),
+                "apply_txn ops must target distinct keys (stage through \
+                 WriteTxn to deduplicate)"
+            );
+        }
+        // Contiguous per-shard runs over the sorted order (shards
+        // partition the keyspace in key order).
+        let mut groups: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (i, &pos) in order.iter().enumerate() {
+            let shard = self.shard_of(ops[pos].key());
+            match groups.last_mut() {
+                Some((s, r)) if *s == shard => r.end = i + 1,
+                _ => groups.push((shard, i..i + 1)),
+            }
+        }
+
+        let mut attempt = 0u32;
+        loop {
+            // Step 1: per-shard write intents, ascending shard order.
+            let _intents: Vec<_> = groups
+                .iter()
+                .map(|(s, _)| self.intents[*s].lock().unwrap_or_else(|p| p.into_inner()))
+                .collect();
+            // Step 2: stage on every shard.
+            let mut prepared: Vec<(usize, S::Txn)> = Vec::with_capacity(groups.len());
+            let mut results = vec![false; ops.len()];
+            let mut conflicted = false;
+            'prepare: for (shard, range) in &groups {
+                let backend = &self.shards[*shard];
+                let mut txn = backend.txn_begin(tid);
+                for &pos in &order[range.clone()] {
+                    let op = &ops[pos];
+                    let staged = match op {
+                        TxnOp::Put(k, v) => backend.txn_prepare_put(&mut txn, *k, v.clone()),
+                        TxnOp::Set(k, v) => {
+                            // Upsert: stage the removal of any current node
+                            // then insert the replacement; both changes
+                            // share the transaction's commit timestamp, so
+                            // every snapshot sees exactly one value for
+                            // the key. Reports whether the key existed.
+                            backend.txn_prepare_remove(&mut txn, k).and_then(|existed| {
+                                backend
+                                    .txn_prepare_put(&mut txn, *k, v.clone())
+                                    .map(|inserted| {
+                                        debug_assert!(
+                                            inserted,
+                                            "upsert re-insert must succeed after staged remove"
+                                        );
+                                        existed
+                                    })
+                            })
+                        }
+                        TxnOp::Remove(k) => backend.txn_prepare_remove(&mut txn, k),
+                    };
+                    match staged {
+                        Ok(applied) => results[pos] = applied,
+                        Err(Conflict) => {
+                            backend.txn_abort(txn);
+                            conflicted = true;
+                            break 'prepare;
+                        }
+                    }
+                }
+                prepared.push((*shard, txn));
+            }
+            if conflicted {
+                // Roll back every shard staged so far (reverse order) and
+                // retry the whole transaction after a bounded backoff.
+                while let Some((s, txn)) = prepared.pop() {
+                    self.shards[s].txn_abort(txn);
+                }
+                drop(_intents);
+                self.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..(1u32 << attempt.min(10)) {
+                    std::hint::spin_loop();
+                }
+                std::thread::yield_now();
+                attempt = attempt.saturating_add(1);
+                continue;
+            }
+            // Step 3: the transaction's single linearization timestamp.
+            let ts = self.ctx.advance(tid);
+            // Step 4: release every snapshot spinning on the pendings.
+            for (s, txn) in prepared {
+                self.shards[s].txn_finalize(txn, ts);
+            }
+            self.txn_commits.fetch_add(1, Ordering::Relaxed);
+            return results;
+        }
+    }
+
+    /// Commit/conflict counters of the transaction path.
+    #[must_use]
+    pub fn txn_stats(&self) -> TxnStats {
+        TxnStats {
+            commits: self.txn_commits.load(Ordering::Relaxed),
+            conflicts: self.txn_conflicts.load(Ordering::Relaxed),
+        }
     }
 
     /// One bundle-cleanup pass over every shard (Appendix B, store-wide):
@@ -155,15 +380,60 @@ where
         self.shards.iter().map(|s| s.cleanup(tid)).sum()
     }
 
+    /// One *chunked* cleanup pass: sweeps the next `chunk` shards after a
+    /// shared round-robin cursor instead of walking all shards
+    /// sequentially. Interleaving short chunks keeps every shard's bundle
+    /// footprint bounded under churn without one long stop-the-shard-scan
+    /// pass, and lets several callers (or recycler ticks) cover disjoint
+    /// chunks.
+    pub fn cleanup_bundles_chunk(&self, tid: usize, chunk: usize) -> usize {
+        let n = self.shards.len();
+        let chunk = chunk.clamp(1, n);
+        let start = self.recycle_cursor.fetch_add(chunk, Ordering::Relaxed) % n;
+        (0..chunk)
+            .map(|i| self.shards[(start + i) % n].cleanup(tid))
+            .sum()
+    }
+
     /// Total bundle entries across all shards (space diagnostic).
     #[must_use]
     pub fn bundle_entries(&self, tid: usize) -> usize {
         self.shards.iter().map(|s| s.bundle_entries(tid)).sum()
     }
 
-    /// Spawn one background recycler sweeping every shard with the given
-    /// delay between passes, on reserved thread slot `tid`.
+    /// Bundle entries held by each shard (space diagnostic, indexed by
+    /// shard). The per-shard breakdown is what makes recycler progress and
+    /// skewed-churn hotspots visible.
+    #[must_use]
+    pub fn per_shard_bundle_entries(&self, tid: usize) -> Vec<usize> {
+        self.shards.iter().map(|s| s.bundle_entries(tid)).collect()
+    }
+
+    /// Spawn one background recycler on reserved thread slot `tid` with
+    /// the given delay between passes. Each pass sweeps a round-robin
+    /// *chunk* of roughly half the shards ([`cleanup_bundles_chunk`]), so
+    /// consecutive passes interleave across the store instead of repeating
+    /// one long sequential scan.
+    ///
+    /// [`cleanup_bundles_chunk`]: BundledStore::cleanup_bundles_chunk
     pub fn spawn_recycler(self: &Arc<Self>, tid: usize, delay: Duration) -> Recycler
+    where
+        K: 'static,
+        V: 'static,
+        S: 'static,
+    {
+        let chunk = self.shards.len().div_ceil(2);
+        self.spawn_recycler_chunked(tid, delay, chunk)
+    }
+
+    /// [`spawn_recycler`](BundledStore::spawn_recycler) with an explicit
+    /// shards-per-pass chunk size.
+    pub fn spawn_recycler_chunked(
+        self: &Arc<Self>,
+        tid: usize,
+        delay: Duration,
+        chunk: usize,
+    ) -> Recycler
     where
         K: 'static,
         V: 'static,
@@ -171,7 +441,7 @@ where
     {
         let store = Arc::clone(self);
         Recycler::spawn(delay, move || {
-            store.cleanup_bundles(tid);
+            store.cleanup_bundles_chunk(tid, chunk);
         })
     }
 }
@@ -179,29 +449,43 @@ where
 // Deliberately unbounded: `StoreHandle`'s `Drop` (which has no bounds)
 // must be able to return its tid.
 impl<K, V, S> BundledStore<K, V, S> {
-    pub(crate) fn acquire_tid(&self) -> usize {
-        let freed = self
-            .free_tids
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .pop();
-        if let Some(tid) = freed {
-            return tid;
+    fn pop_tid(pool: &mut TidPool, cap: usize) -> Option<usize> {
+        if let Some(tid) = pool.free.pop() {
+            return Some(tid);
         }
-        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            tid < self.max_threads,
-            "store supports only {} registered threads",
-            self.max_threads
-        );
-        tid
+        if pool.next < cap {
+            let tid = pool.next;
+            pool.next += 1;
+            return Some(tid);
+        }
+        None
+    }
+
+    /// Blocking allocation: waits on the condvar until a session slot is
+    /// released. Fair enough for bursty fleets — waiters wake one at a
+    /// time as handles drop.
+    pub(crate) fn acquire_tid(&self) -> usize {
+        let mut pool = self.tids.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(tid) = Self::pop_tid(&mut pool, self.max_threads) {
+                return tid;
+            }
+            pool = self.tid_freed.wait(pool).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    pub(crate) fn try_acquire_tid(&self) -> Option<usize> {
+        let mut pool = self.tids.lock().unwrap_or_else(|p| p.into_inner());
+        Self::pop_tid(&mut pool, self.max_threads)
     }
 
     pub(crate) fn release_tid(&self, tid: usize) {
-        self.free_tids
+        self.tids
             .lock()
             .unwrap_or_else(|p| p.into_inner())
+            .free
             .push(tid);
+        self.tid_freed.notify_one();
     }
 }
 
@@ -386,11 +670,239 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered threads")]
-    fn register_beyond_capacity_panics() {
+    fn try_register_returns_none_when_exhausted() {
         let s = Arc::new(SkipListStore::<u64, u64>::new(1, vec![]));
-        let _a = s.register();
-        let _b = s.register();
+        let a = s.try_register().expect("first slot is free");
+        assert_eq!(a.tid(), 0);
+        assert!(s.try_register().is_none(), "pool exhausted");
+        drop(a);
+        assert!(s.try_register().is_some(), "slot returned on drop");
+    }
+
+    #[test]
+    fn register_blocks_until_a_slot_frees_in_a_burst() {
+        // 8 worker threads share a 2-slot session pool: every registration
+        // must eventually succeed by waiting on the condvar (the old
+        // behaviour panicked the whole fleet).
+        const WORKERS: usize = 8;
+        const ROUNDS: usize = 25;
+        let s = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(2, 1_000)));
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        let h = s.register();
+                        assert!(h.tid() < 2, "dense slot discipline");
+                        let k = (w * ROUNDS + r) as u64 % 1_000;
+                        h.insert(k, k);
+                        let _ = h.get(&k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both slots are free again afterwards.
+        let a = s.try_register().unwrap();
+        let b = s.try_register().unwrap();
+        assert!(s.try_register().is_none());
+        drop((a, b));
+    }
+
+    fn txn_roundtrip<S: ShardBackend<u64, u64>>(label: &str) {
+        let s = BundledStore::<u64, u64, S>::new(2, uniform_splits(4, 400));
+        s.insert(0, 10, 10);
+        s.insert(0, 250, 250);
+        // A cross-shard transaction mixing puts, a remove, and no-ops.
+        let ops = vec![
+            TxnOp::Put(5, 50),
+            TxnOp::Remove(10),
+            TxnOp::Put(150, 151),
+            TxnOp::Remove(240),
+            TxnOp::Put(250, 999),
+            TxnOp::Put(399, 390),
+        ];
+        let results = s.apply_txn(0, &ops);
+        assert_eq!(
+            results,
+            vec![true, true, true, false, false, true],
+            "{label}: per-op outcomes"
+        );
+        let mut out = Vec::new();
+        s.range_query(1, &0, &400, &mut out);
+        assert_eq!(
+            out,
+            vec![(5, 50), (150, 151), (250, 250), (399, 390)],
+            "{label}: committed state"
+        );
+        let stats = s.txn_stats();
+        assert_eq!(stats.commits, 1, "{label}");
+        // Empty transactions are free.
+        assert!(s.apply_txn(0, &[]).is_empty());
+        assert_eq!(s.txn_stats().commits, 1, "{label}: empty txn not counted");
+    }
+
+    #[test]
+    fn apply_txn_roundtrip_on_all_backends() {
+        txn_roundtrip::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+        txn_roundtrip::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+        txn_roundtrip::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+    }
+
+    fn txn_set_upserts<S: ShardBackend<u64, u64>>(label: &str) {
+        let s = BundledStore::<u64, u64, S>::new(1, uniform_splits(3, 300));
+        s.insert(0, 10, 1);
+        let ops = vec![
+            TxnOp::Set(10, 2),   // replace existing
+            TxnOp::Set(150, 5),  // insert fresh
+            TxnOp::Put(250, 25), // plain insert alongside
+        ];
+        let results = s.apply_txn(0, &ops);
+        assert_eq!(
+            results,
+            vec![true, false, true],
+            "{label}: Set reports whether the key existed"
+        );
+        assert_eq!(s.get(0, &10), Some(2), "{label}: value replaced");
+        assert_eq!(s.get(0, &150), Some(5));
+        let mut out = Vec::new();
+        s.range_query(0, &0, &300, &mut out);
+        assert_eq!(out, vec![(10, 2), (150, 5), (250, 25)], "{label}");
+    }
+
+    #[test]
+    fn apply_txn_accepts_unsorted_ops_and_keeps_caller_order() {
+        let s = SkipListStore::<u64, u64>::new(1, uniform_splits(4, 400));
+        s.insert(0, 50, 5);
+        // Unsorted, with two keys in the same shard (10 and 50): internal
+        // key-ordering must still take each shard's intent exactly once.
+        let ops = vec![
+            TxnOp::Put(350, 35),
+            TxnOp::Remove(50),
+            TxnOp::Put(10, 1),
+            TxnOp::Put(150, 15),
+        ];
+        let results = s.apply_txn(0, &ops);
+        assert_eq!(results, vec![true, true, true, true], "caller op order");
+        let mut out = Vec::new();
+        s.range_query(0, &0, &400, &mut out);
+        assert_eq!(out, vec![(10, 1), (150, 15), (350, 35)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keys")]
+    fn apply_txn_rejects_duplicate_keys() {
+        let s = SkipListStore::<u64, u64>::new(1, uniform_splits(2, 100));
+        let _ = s.apply_txn(0, &[TxnOp::Put(1, 1), TxnOp::Put(1, 2)]);
+    }
+
+    #[test]
+    fn apply_txn_set_upserts_on_all_backends() {
+        txn_set_upserts::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+        txn_set_upserts::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+        txn_set_upserts::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+    }
+
+    /// The transactional analogue of `no_shard_skew`: a writer commits
+    /// batches that touch every shard; every concurrent snapshot must
+    /// contain each batch entirely or not at all.
+    fn no_partial_batches<S: ShardBackend<u64, u64> + 'static>(shards: usize) {
+        const BATCHES: u64 = 400;
+        let span = 1_000u64;
+        let n = shards as u64;
+        let splits: Vec<u64> = (1..n).map(|i| i * span).collect();
+        let s = Arc::new(BundledStore::<u64, u64, S>::new(3, splits));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for b in 0..BATCHES {
+                    // One key per shard, all tagged with the batch id.
+                    let ops: Vec<TxnOp<u64, u64>> =
+                        (0..n).map(|sh| TxnOp::Put(sh * span + b, b)).collect();
+                    let results = s.apply_txn(0, &ops);
+                    assert!(results.iter().all(|r| *r));
+                }
+            })
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    s.range_query(1, &0, &(n * span), &mut out);
+                    assert!(
+                        out.len().is_multiple_of(shards),
+                        "snapshot holds a partial transaction: {} keys over {shards} shards",
+                        out.len()
+                    );
+                    // Each batch is all-present or all-absent.
+                    let mut per_batch = std::collections::HashMap::new();
+                    for (k, v) in &out {
+                        assert_eq!(k % span, *v);
+                        *per_batch.entry(*v).or_insert(0usize) += 1;
+                    }
+                    for (batch, count) in per_batch {
+                        assert_eq!(count, shards, "batch {batch} partially visible");
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(s.len(0), (BATCHES * n) as usize);
+        assert_eq!(s.txn_stats().commits, BATCHES);
+    }
+
+    #[test]
+    fn cross_shard_transactions_are_never_partially_visible() {
+        no_partial_batches::<skiplist::BundledSkipList<u64, u64>>(3);
+        no_partial_batches::<lazylist::BundledLazyList<u64, u64>>(2);
+        no_partial_batches::<citrus::BundledCitrusTree<u64, u64>>(4);
+    }
+
+    #[test]
+    fn multi_put_is_atomic_and_keeps_first_wins_semantics() {
+        let s = LazyListStore::<u64, u64>::new(2, uniform_splits(3, 90));
+        // Unsorted input with a duplicate: first occurrence wins.
+        assert_eq!(s.multi_put(0, &[(80, 800), (1, 10), (40, 400), (1, 99)]), 3);
+        assert_eq!(s.get(0, &1), Some(10));
+        assert_eq!(s.txn_stats().commits, 1, "one transaction for the batch");
+        // Re-putting existing keys is a no-op transaction.
+        assert_eq!(s.multi_put(0, &[(1, 0), (40, 0), (41, 410)]), 1);
+        assert_eq!(s.get(0, &40), Some(400));
+        assert_eq!(s.len(0), 4);
+    }
+
+    #[test]
+    fn chunked_cleanup_covers_all_shards_round_robin() {
+        let s = SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400));
+        for k in 0..400u64 {
+            s.insert(0, k, k);
+        }
+        for _ in 0..4 {
+            for k in 0..400u64 {
+                s.remove(0, &k);
+                s.insert(0, k, k);
+            }
+        }
+        let before = s.per_shard_bundle_entries(0);
+        assert_eq!(before.len(), 4);
+        // Four chunk-1 passes advance the cursor across every shard.
+        let mut reclaimed = 0;
+        for _ in 0..4 {
+            reclaimed += s.cleanup_bundles_chunk(1, 1);
+        }
+        assert!(reclaimed > 0);
+        let after = s.per_shard_bundle_entries(0);
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            assert!(a < b, "shard {i} was never swept ({b} -> {a})");
+        }
+        assert_eq!(s.bundle_entries(0), after.iter().sum::<usize>());
     }
 
     /// The signature cross-shard atomicity check: one writer inserts keys

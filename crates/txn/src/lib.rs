@@ -1,0 +1,492 @@
+//! # txn — atomic cross-shard write transactions for the bundled store
+//!
+//! The sharded [`store::BundledStore`] already gives *reads* the paper's
+//! headline guarantee across shards: one shared clock, one timestamp per
+//! range query, no shard skew. This crate is the write-side counterpart: a
+//! [`WriteTxn`] stages a multi-key write set and commits it as **one
+//! atomic cut** — every key of the batch becomes visible at a single
+//! timestamp, on every shard, to every range query and snapshot read.
+//!
+//! ## How it works
+//!
+//! `WriteTxn` is a purely local staging buffer (`BTreeMap` of the write
+//! set, giving sorted, duplicate-free keys and read-your-writes lookups).
+//! Nothing touches the store until [`WriteTxn::commit`], which hands the
+//! sorted ops to [`store::BundledStore::apply_txn`]:
+//!
+//! 1. per-shard **write intents** are acquired in shard order (2PL,
+//!    deadlock-free by ordering),
+//! 2. each shard stages its writes through the backend two-phase surface —
+//!    structural changes apply eagerly under node locks, but every
+//!    affected bundle entry is installed *pending* (the paper's Algorithm
+//!    2 state),
+//! 3. the shared clock is advanced **once**, and
+//! 4. every pending entry on every shard is finalized with that single
+//!    timestamp.
+//!
+//! A snapshot fixed before step 3 resolves past the pending entries and
+//! sees none of the batch; one fixed after waits for finalization and sees
+//! all of it. Lock conflicts with concurrent primitive operations roll the
+//! whole transaction back (pending entries are neutralized, structural
+//! changes undone) and retry — aborted writes are invisible at *every*
+//! timestamp.
+//!
+//! ## Reads
+//!
+//! Primitive `get`/`contains` on the store read the newest pointers and
+//! may observe a transaction's eagerly-applied writes before its commit
+//! timestamp is published (read-uncommitted, exactly as fast as before).
+//! For reads that serialize with transactions use [`WriteTxn::get`]
+//! (read-your-writes inside a transaction) or [`StoreTxnExt::snapshot_get`]
+//! / [`TxnStore::get`], which resolve through a single-key snapshot read —
+//! linearizable with every commit.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use store::uniform_splits;
+//! use txn::{SkipListTxnStore, StoreTxnExt};
+//!
+//! let ts = Arc::new(SkipListTxnStore::<u64, u64>::new(2, uniform_splits(4, 1000)));
+//! let session = ts.register();
+//!
+//! // Stage a cross-shard batch and commit it atomically.
+//! let mut txn = session.txn();
+//! txn.put(10, 1).put(400, 2).remove(&900);
+//! assert_eq!(txn.get(&10), Some(1), "read-your-writes");
+//! let receipt = txn.commit();
+//! assert_eq!(receipt.applied_count(), 2);
+//!
+//! // Serializable point read.
+//! assert_eq!(session.snapshot_get(&400), Some(2));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bundle::api::RangeQuerySet;
+use ebr::ReclaimMode;
+use store::{BundledStore, ShardBackend, StoreHandle, TxnOp, TxnStats};
+
+/// One staged write of a [`WriteTxn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Staged<V> {
+    Put(V),
+    Set(V),
+    Remove,
+}
+
+/// Outcome of a committed transaction: for every staged key, whether the
+/// write took effect (`true` = the put inserted a new key / the remove
+/// removed an existing one; `false` = set-semantics no-op).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnReceipt<K> {
+    /// Per-key outcomes in ascending key order.
+    pub applied: Vec<(K, bool)>,
+    /// The store-wide transaction statistics after this commit.
+    pub stats: TxnStats,
+}
+
+impl<K> TxnReceipt<K> {
+    /// Number of writes that took effect.
+    #[must_use]
+    pub fn applied_count(&self) -> usize {
+        self.applied.iter().filter(|(_, ok)| *ok).count()
+    }
+}
+
+/// A multi-key, multi-shard write transaction over a
+/// [`store::BundledStore`].
+///
+/// Writes are staged locally (sorted and deduplicated — the last write per
+/// key wins) and nothing touches the store until [`WriteTxn::commit`]
+/// applies the whole batch under **one** commit timestamp. Dropping the
+/// transaction (or calling [`WriteTxn::rollback`]) discards the staged
+/// writes with zero store-side cleanup.
+pub struct WriteTxn<'a, K, V, S> {
+    store: &'a BundledStore<K, V, S>,
+    tid: usize,
+    writes: BTreeMap<K, Staged<V>>,
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug, S> std::fmt::Debug for WriteTxn<'_, K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTxn")
+            .field("tid", &self.tid)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+impl<'a, K, V, S> WriteTxn<'a, K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// Begin a transaction using an explicitly-managed dense thread id.
+    ///
+    /// The caller is responsible for the usual tid discipline (one thread
+    /// per id at a time); prefer [`StoreTxnExt::txn`] on a registered
+    /// [`StoreHandle`], which owns its id.
+    pub fn with_tid(store: &'a BundledStore<K, V, S>, tid: usize) -> Self {
+        WriteTxn {
+            store,
+            tid,
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Stage `key -> value` (set-insert at commit: a no-op if the key is
+    /// already present). Overwrites any earlier staged write of `key`.
+    pub fn put(&mut self, key: K, value: V) -> &mut Self {
+        self.writes.insert(key, Staged::Put(value));
+        self
+    }
+
+    /// Stage an upsert of `key -> value`: at commit the current value (if
+    /// any) is replaced, under the transaction's single timestamp — no
+    /// snapshot ever sees the key absent or half-updated. Overwrites any
+    /// earlier staged write of `key`.
+    pub fn set(&mut self, key: K, value: V) -> &mut Self {
+        self.writes.insert(key, Staged::Set(value));
+        self
+    }
+
+    /// Stage a removal of `key`. Overwrites any earlier staged write.
+    pub fn remove(&mut self, key: &K) -> &mut Self {
+        self.writes.insert(*key, Staged::Remove);
+        self
+    }
+
+    /// Read-your-writes lookup: staged writes first, then a linearizable
+    /// single-key snapshot read of the store (atomic with respect to every
+    /// committed transaction).
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.writes.get(key) {
+            Some(Staged::Put(v)) | Some(Staged::Set(v)) => Some(v.clone()),
+            Some(Staged::Remove) => None,
+            None => snapshot_get(self.store, self.tid, key),
+        }
+    }
+
+    /// Number of staged writes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// `true` when nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Discard the staged writes. Equivalent to dropping the transaction —
+    /// uncommitted writes never touch the store, so there is nothing to
+    /// undo.
+    pub fn rollback(self) {}
+
+    /// Atomically commit the staged writes: all of them become visible at
+    /// one timestamp, on every shard, or — on internal conflict — the
+    /// commit retries until it succeeds.
+    pub fn commit(self) -> TxnReceipt<K> {
+        let keys: Vec<K> = self.writes.keys().copied().collect();
+        let ops: Vec<TxnOp<K, V>> = self
+            .writes
+            .into_iter()
+            .map(|(k, w)| match w {
+                Staged::Put(v) => TxnOp::Put(k, v),
+                Staged::Set(v) => TxnOp::Set(k, v),
+                Staged::Remove => TxnOp::Remove(k),
+            })
+            .collect();
+        let results = self.store.apply_txn(self.tid, &ops);
+        TxnReceipt {
+            applied: keys.into_iter().zip(results).collect(),
+            stats: self.store.txn_stats(),
+        }
+    }
+}
+
+/// Linearizable single-key read: a degenerate range query `[key, key]`
+/// resolved through the bundles at one shared-clock timestamp, so it
+/// serializes with every committed transaction (unlike the primitive
+/// `get`, which reads newest pointers and may observe uncommitted eager
+/// writes).
+fn snapshot_get<K, V, S>(store: &BundledStore<K, V, S>, tid: usize, key: &K) -> Option<V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    let mut out = Vec::with_capacity(1);
+    store.range_query(tid, key, key, &mut out);
+    out.pop().map(|(_, v)| v)
+}
+
+/// Transaction entry points for a registered [`StoreHandle`] session —
+/// the `StoreHandle::txn()` API.
+pub trait StoreTxnExt<'a, K, V, S> {
+    /// Begin a write transaction bound to this session's thread id.
+    fn txn(&'a self) -> WriteTxn<'a, K, V, S>;
+
+    /// Linearizable single-key read that serializes with transactions.
+    fn snapshot_get(&self, key: &K) -> Option<V>;
+}
+
+impl<'a, K, V, S> StoreTxnExt<'a, K, V, S> for StoreHandle<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    fn txn(&'a self) -> WriteTxn<'a, K, V, S> {
+        WriteTxn::with_tid(self.store(), self.tid())
+    }
+
+    fn snapshot_get(&self, key: &K) -> Option<V> {
+        snapshot_get(self.store(), self.tid(), key)
+    }
+}
+
+/// A [`BundledStore`] wrapper whose read path is transaction-serializable
+/// by default: `get` resolves through snapshot reads, writes go through
+/// [`WriteTxn`] batches (or the inherited single-key operations, which
+/// remain individually linearizable).
+///
+/// Cheap to share (`Arc` inside is exposed via [`TxnStore::inner`] for
+/// interop with code that wants the raw store).
+pub struct TxnStore<K, V, S> {
+    inner: Arc<BundledStore<K, V, S>>,
+}
+
+/// Transactional store over bundled skip-list shards.
+pub type SkipListTxnStore<K, V> = TxnStore<K, V, skiplist::BundledSkipList<K, V>>;
+/// Transactional store over bundled lazy-list shards.
+pub type LazyListTxnStore<K, V> = TxnStore<K, V, lazylist::BundledLazyList<K, V>>;
+/// Transactional store over bundled Citrus-tree shards.
+pub type CitrusTxnStore<K, V> = TxnStore<K, V, citrus::BundledCitrusTree<K, V>>;
+
+impl<K, V, S> TxnStore<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// A transactional store with `splits.len() + 1` range shards and
+    /// `max_threads` session slots (see [`BundledStore::new`]).
+    pub fn new(max_threads: usize, splits: Vec<K>) -> Self {
+        TxnStore {
+            inner: Arc::new(BundledStore::new(max_threads, splits)),
+        }
+    }
+
+    /// A transactional store with an explicit reclamation mode.
+    pub fn with_mode(max_threads: usize, mode: ReclaimMode, splits: Vec<K>) -> Self {
+        TxnStore {
+            inner: Arc::new(BundledStore::with_mode(max_threads, mode, splits)),
+        }
+    }
+
+    /// Wrap an existing store (shares it; transactions and primitive
+    /// operations interoperate).
+    pub fn from_store(inner: Arc<BundledStore<K, V, S>>) -> Self {
+        TxnStore { inner }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn inner(&self) -> &Arc<BundledStore<K, V, S>> {
+        &self.inner
+    }
+
+    /// Register a session (blocking when all slots are in use).
+    pub fn register(&self) -> StoreHandle<K, V, S> {
+        self.inner.register()
+    }
+
+    /// Non-blocking registration; `None` when the pool is exhausted.
+    pub fn try_register(&self) -> Option<StoreHandle<K, V, S>> {
+        self.inner.try_register()
+    }
+
+    /// Begin a write transaction on an explicitly-managed thread id.
+    pub fn txn_with_tid(&self, tid: usize) -> WriteTxn<'_, K, V, S> {
+        WriteTxn::with_tid(&self.inner, tid)
+    }
+
+    /// Linearizable single-key read that serializes with transactions.
+    #[must_use]
+    pub fn get(&self, tid: usize, key: &K) -> Option<V> {
+        snapshot_get(&self.inner, tid, key)
+    }
+
+    /// Commit/conflict counters of the underlying store.
+    #[must_use]
+    pub fn stats(&self) -> TxnStats {
+        self.inner.txn_stats()
+    }
+}
+
+impl<K, V, S> Clone for TxnStore<K, V, S> {
+    fn clone(&self) -> Self {
+        TxnStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bundle::api::ConcurrentSet;
+    use store::{uniform_splits, CitrusStore, LazyListStore, SkipListStore};
+
+    #[test]
+    fn write_txn_stages_commits_and_reports() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        h.insert(10, 10);
+
+        let mut txn = h.txn();
+        assert!(txn.is_empty());
+        txn.put(5, 50).put(250, 251).remove(&10).remove(&77);
+        // Last write per key wins.
+        txn.put(5, 51);
+        assert_eq!(txn.len(), 4);
+        // Read-your-writes.
+        assert_eq!(txn.get(&5), Some(51));
+        assert_eq!(txn.get(&10), None, "staged remove shadows the store");
+        assert_eq!(txn.get(&999), None);
+        let receipt = txn.commit();
+        assert_eq!(
+            receipt.applied,
+            vec![(5, true), (10, true), (77, false), (250, true)]
+        );
+        assert_eq!(receipt.applied_count(), 3);
+        assert_eq!(receipt.stats.commits, 1);
+
+        assert_eq!(h.get(&5), Some(51));
+        assert_eq!(h.snapshot_get(&5), Some(51));
+        assert!(!h.contains(&10));
+        assert_eq!(h.range_query_vec(&0, &400), vec![(5, 51), (250, 251)]);
+    }
+
+    #[test]
+    fn set_upserts_atomically() {
+        let store = Arc::new(CitrusStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        h.insert(10, 1);
+        h.insert(300, 3);
+        let mut txn = h.txn();
+        txn.set(10, 100).set(300, 301).set(200, 2);
+        assert_eq!(txn.get(&10), Some(100), "read-your-writes sees the upsert");
+        let receipt = txn.commit();
+        // Set reports whether the key existed before.
+        assert_eq!(receipt.applied, vec![(10, true), (200, false), (300, true)]);
+        assert_eq!(
+            h.range_query_vec(&0, &400),
+            vec![(10, 100), (200, 2), (300, 301)]
+        );
+    }
+
+    #[test]
+    fn rollback_and_drop_leave_the_store_untouched() {
+        let store = Arc::new(LazyListStore::<u64, u64>::new(1, uniform_splits(3, 90)));
+        let h = store.register();
+        h.insert(1, 1);
+        {
+            let mut txn = h.txn();
+            txn.put(2, 2).remove(&1);
+            txn.rollback();
+        }
+        {
+            let mut txn = h.txn();
+            txn.put(3, 3);
+            // dropped without commit
+        }
+        assert_eq!(h.range_query_vec(&0, &90), vec![(1, 1)]);
+        assert_eq!(store.txn_stats().commits, 0);
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let store = Arc::new(CitrusStore::<u64, u64>::new(1, uniform_splits(2, 100)));
+        let h = store.register();
+        let receipt = h.txn().commit();
+        assert!(receipt.applied.is_empty());
+        assert_eq!(receipt.stats.commits, 0, "empty batch never hits the store");
+    }
+
+    #[test]
+    fn txn_store_wrapper_round_trip() {
+        let ts = SkipListTxnStore::<u64, u64>::new(2, uniform_splits(4, 1_000));
+        let session = ts.register();
+        let mut txn = session.txn();
+        txn.put(10, 1).put(400, 2).put(900, 3);
+        assert_eq!(txn.commit().applied_count(), 3);
+        assert_eq!(ts.get(session.tid(), &400), Some(2));
+        assert_eq!(ts.stats().commits, 1);
+        let cloned = ts.clone();
+        assert_eq!(cloned.inner().len(session.tid()), 3);
+        drop(session);
+        // A raw-tid transaction through the wrapper.
+        let h2 = cloned.try_register().expect("slot free again");
+        let mut txn = cloned.txn_with_tid(h2.tid());
+        txn.remove(&400);
+        assert_eq!(txn.commit().applied_count(), 1);
+        assert_eq!(cloned.get(h2.tid(), &400), None);
+    }
+
+    #[test]
+    fn concurrent_sessions_commit_atomically() {
+        // Several sessions commit multi-shard batches while others take
+        // snapshot reads; every batch is tagged so a torn commit would be
+        // visible as a partial tag group.
+        const WRITERS: usize = 3;
+        const BATCHES: u64 = 120;
+        let ts = Arc::new(LazyListTxnStore::<u64, u64>::new(
+            WRITERS + 1,
+            uniform_splits(4, 4_000),
+        ));
+        let mut joins = Vec::new();
+        for w in 0..WRITERS as u64 {
+            let ts = Arc::clone(&ts);
+            joins.push(std::thread::spawn(move || {
+                let h = ts.register();
+                for b in 0..BATCHES {
+                    let mut txn = h.txn();
+                    for shard in 0..4u64 {
+                        txn.put(shard * 1_000 + w * BATCHES + b, w);
+                    }
+                    assert_eq!(txn.commit().applied_count(), 4);
+                }
+            }));
+        }
+        let reader = {
+            let ts = Arc::clone(&ts);
+            std::thread::spawn(move || {
+                let h = ts.register();
+                let mut out = Vec::new();
+                for _ in 0..200 {
+                    h.range_query(&0, &4_000, &mut out);
+                    assert!(
+                        out.len().is_multiple_of(4),
+                        "torn cross-shard commit observed: {} keys",
+                        out.len()
+                    );
+                }
+            })
+        };
+        for j in joins {
+            j.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(ts.stats().commits, WRITERS as u64 * BATCHES);
+        let h = ts.register();
+        assert_eq!(h.len(), (WRITERS as u64 * BATCHES * 4) as usize);
+    }
+}

@@ -2,10 +2,17 @@
 //! (NEW_ORDER 50%, PAYMENT 45%, DELIVERY 5%, 10 warehouses) with the
 //! bundled skip list (a) and bundled Citrus tree (b) as the database
 //! indexes, compared against their Unsafe baselines.
+//!
+//! Beyond the paper: a third panel compares the **store-backed**
+//! configuration (`store-txn` series — every index a tagged view over one
+//! sharded `BundledStore`, NEW_ORDER's three-index insert committing as a
+//! single cross-shard write transaction) against the same single-structure
+//! bundled skip-list indexes, quantifying what the atomic multi-index
+//! guarantee costs.
 
 use std::sync::Arc;
 
-use dbsim::{run_tpcc, DynIndex, TpccConfig};
+use dbsim::{run_tpcc, run_tpcc_db, DynIndex, TpccConfig, TpccDb};
 use workloads::{duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind};
 
 fn factory_for(kind: StructureKind) -> Box<dyn Fn(usize) -> DynIndex + Send + Sync> {
@@ -26,22 +33,52 @@ fn main() {
             StructureKind::CitrusUnsafe,
         ),
     ];
+    // Panel (a)'s bundled skip-list measurements double as the per-index
+    // baseline of the store panel below — no need to re-run them.
+    let mut skiplist_baseline: Vec<Point> = Vec::new();
     for (label, bundled, unsafe_kind) in pairs {
         let mut points = Vec::new();
         for &threads in &thread_counts() {
             for kind in [bundled, unsafe_kind] {
                 let factory = factory_for(kind);
                 let t = run_tpcc(cfg, factory.as_ref(), threads, duration_ms());
-                points.push(Point {
+                let point = Point {
                     series: kind.name().to_string(),
                     x: threads.to_string(),
                     y: t.index_mops(),
-                });
+                };
+                if kind == StructureKind::SkipListBundle {
+                    skiplist_baseline.push(point.clone());
+                }
+                points.push(point);
             }
         }
         let title = format!("Figure 4 [{label}] TPC-C index throughput");
         print_series_table(&title, "threads", "index Mops/s", &points);
         write_csv(&format!("fig4_{label}"), "threads", "index_mops", &points);
     }
-    let _ = Arc::new(());
+
+    // Store-backed TPC-C: one sharded store behind all indexes, NEW_ORDER
+    // as one atomic cross-shard transaction, vs. the per-index baseline.
+    let mut points = Vec::new();
+    for &threads in &thread_counts() {
+        let t = run_tpcc_db(
+            Arc::new(TpccDb::store_backed(cfg, threads)),
+            threads,
+            duration_ms(),
+        );
+        points.push(Point {
+            series: "store-txn".to_string(),
+            x: threads.to_string(),
+            y: t.index_mops(),
+        });
+    }
+    points.extend(skiplist_baseline);
+    print_series_table(
+        "Figure 4 [store] store-backed TPC-C (atomic NEW_ORDER) vs per-index",
+        "threads",
+        "index Mops/s",
+        &points,
+    );
+    write_csv("fig4_store", "threads", "index_mops", &points);
 }

@@ -1,0 +1,241 @@
+//! Transactional-store scenario: throughput of the sharded store under a
+//! mixed workload of **cross-shard write transactions**, serializable
+//! snapshot gets, and linearizable range queries, for every store backend.
+//!
+//! Each worker registers a `StoreHandle` session and draws from a
+//! `T − G − RQ` mix (txn / snapshot-get / range-query percentages): a txn
+//! stages `BATCH` keys spread uniformly over the keyspace (so it almost
+//! always spans several shards), half puts and half removes, and commits
+//! them under one timestamp through `WriteTxn`. The table reports total
+//! operations/s, committed transactions/s, and the conflict-retry count; a
+//! chunked background recycler sweeps the shards round-robin and the
+//! per-shard bundle-entry stats are printed at the end of each run.
+//!
+//! Usage: `cargo run --release -p workloads --bin store_txn [-- store-skiplist|store-citrus|store-list]`
+//! (default: all three). Thread counts come from `BUNDLE_THREADS`,
+//! duration from `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS`
+//! (single value; default [`workloads::DEFAULT_STORE_SHARDS`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use store::{uniform_splits, BundledStore, ShardBackend};
+use txn::StoreTxnExt;
+use workloads::{
+    duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind,
+    DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+};
+
+/// Keys per transaction (drawn uniformly, so a batch usually spans
+/// several shards).
+const BATCH: usize = 4;
+/// Keys per range query.
+const RQ_SPAN: u64 = 100;
+/// Keyspace.
+const KEY_RANGE: u64 = 100_000;
+
+/// A `T − G − RQ` traffic mix (txn / snapshot-get / range-query percent).
+#[derive(Clone, Copy)]
+struct TxnMix {
+    txn_pct: u64,
+    get_pct: u64,
+}
+
+const MIXES: [(&str, TxnMix); 3] = [
+    (
+        "20-70-10",
+        TxnMix {
+            txn_pct: 20,
+            get_pct: 70,
+        },
+    ),
+    (
+        "50-40-10",
+        TxnMix {
+            txn_pct: 50,
+            get_pct: 40,
+        },
+    ),
+    (
+        "80-0-20",
+        TxnMix {
+            txn_pct: 80,
+            get_pct: 0,
+        },
+    ),
+];
+
+fn shard_count() -> usize {
+    std::env::var("BUNDLE_SHARDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|t| t.trim().parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_STORE_SHARDS)
+}
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+struct MixResult {
+    ops_per_sec: f64,
+    commits_per_sec: f64,
+    conflicts: u64,
+}
+
+fn run_mix<S>(threads: usize, dur: Duration, mix: TxnMix, shards: usize) -> (MixResult, Vec<usize>)
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    // One extra registered slot for the background recycler.
+    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+        threads + 1,
+        uniform_splits(shards, KEY_RANGE),
+    ));
+    // Prefill half the keyspace (the harness convention).
+    {
+        let h = store.register();
+        for k in (0..KEY_RANGE).step_by(2) {
+            h.insert(k, k);
+        }
+    }
+    let recycler = store.spawn_recycler(threads, Duration::from_millis(5));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                let handle = store.register();
+                let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                let mut out = Vec::new();
+                let mut local_ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let dice = xorshift(&mut seed) % 100;
+                    if dice < mix.txn_pct {
+                        let mut txn = handle.txn();
+                        for _ in 0..BATCH {
+                            let k = xorshift(&mut seed) % KEY_RANGE;
+                            if xorshift(&mut seed).is_multiple_of(2) {
+                                txn.put(k, k);
+                            } else {
+                                txn.remove(&k);
+                            }
+                        }
+                        txn.commit();
+                        local_ops += BATCH as u64;
+                    } else if dice < mix.txn_pct + mix.get_pct {
+                        let k = xorshift(&mut seed) % KEY_RANGE;
+                        let _ = handle.snapshot_get(&k);
+                        local_ops += 1;
+                    } else {
+                        let lo = xorshift(&mut seed) % (KEY_RANGE - RQ_SPAN);
+                        handle.range_query(&lo, &(lo + RQ_SPAN), &mut out);
+                        local_ops += 1;
+                    }
+                }
+                ops.fetch_add(local_ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::sleep(dur);
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("store_txn worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    recycler.stop();
+    let stats = store.txn_stats();
+    let per_shard = store.per_shard_bundle_entries(0);
+    (
+        MixResult {
+            ops_per_sec: ops.load(Ordering::Relaxed) as f64 / elapsed,
+            commits_per_sec: stats.commits as f64 / elapsed,
+            conflicts: stats.conflicts,
+        },
+        per_shard,
+    )
+}
+
+fn sweep(kind: StructureKind) {
+    let shards = shard_count();
+    let dur = Duration::from_millis(duration_ms());
+    for (mix_label, mix) in MIXES {
+        let mut points = Vec::new();
+        let mut shard_stats: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &threads in &thread_counts() {
+            let (r, per_shard) = match kind {
+                StructureKind::StoreSkipList => {
+                    run_mix::<skiplist::BundledSkipList<u64, u64>>(threads, dur, mix, shards)
+                }
+                StructureKind::StoreCitrus => {
+                    run_mix::<citrus::BundledCitrusTree<u64, u64>>(threads, dur, mix, shards)
+                }
+                StructureKind::StoreList => {
+                    run_mix::<lazylist::BundledLazyList<u64, u64>>(threads, dur, mix, shards)
+                }
+                other => panic!("{other:?} is not a sharded store kind"),
+            };
+            points.push(Point {
+                series: "ops/s".into(),
+                x: threads.to_string(),
+                y: r.ops_per_sec,
+            });
+            points.push(Point {
+                series: "txn commits/s".into(),
+                x: threads.to_string(),
+                y: r.commits_per_sec,
+            });
+            points.push(Point {
+                series: "txn conflicts".into(),
+                x: threads.to_string(),
+                y: r.conflicts as f64,
+            });
+            shard_stats.push((threads, per_shard));
+        }
+        let title = format!(
+            "store_txn [{}] mix {mix_label} (T-G-RQ), {shards} shards, batch {BATCH}",
+            kind.name()
+        );
+        print_series_table(&title, "threads", "per second", &points);
+        for (threads, per_shard) in shard_stats {
+            println!("  bundle entries/shard @{threads} threads: {per_shard:?}");
+        }
+        write_csv(
+            &format!("store_txn_{}_{mix_label}", kind.name()),
+            "threads",
+            "per_sec",
+            &points,
+        );
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        None => {
+            for kind in TXN_STORE_KINDS {
+                sweep(kind);
+            }
+        }
+        Some(name) => match StructureKind::parse(name) {
+            Some(kind) if kind.is_store() => sweep(kind),
+            _ => {
+                eprintln!(
+                    "unknown store kind {name:?}; expected one of: {}",
+                    TXN_STORE_KINDS.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -26,6 +26,7 @@ pub use config::{RunConfig, WorkloadMix};
 pub use driver::{run_workload, Throughput};
 pub use registry::{
     make_store_structure, make_structure, StructureKind, ALL_KINDS, DEFAULT_STORE_SHARDS,
+    TXN_STORE_KINDS,
 };
 pub use report::{print_series_table, write_csv, Point};
 

@@ -43,6 +43,15 @@ pub enum StructureKind {
     StoreList,
 }
 
+/// The sharded-store kinds the `store_txn` scenario drives with mixed
+/// transactional traffic (cross-shard write transactions / snapshot gets /
+/// range queries).
+pub const TXN_STORE_KINDS: [StructureKind; 3] = [
+    StructureKind::StoreSkipList,
+    StructureKind::StoreCitrus,
+    StructureKind::StoreList,
+];
+
 /// All benchmarkable kinds, in the order the figures report them.
 pub const ALL_KINDS: [StructureKind; 9] = [
     StructureKind::SkipListBundle,
@@ -57,6 +66,12 @@ pub const ALL_KINDS: [StructureKind; 9] = [
 ];
 
 impl StructureKind {
+    /// Look a kind up by its [`StructureKind::name`] (CLI parsing).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<StructureKind> {
+        ALL_KINDS.iter().find(|k| k.name() == name).copied()
+    }
+
     /// Short display name used in tables and CSV output.
     pub fn name(&self) -> &'static str {
         match self {

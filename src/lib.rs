@@ -20,6 +20,11 @@
 //!   **across shards** while spreading update traffic over independent
 //!   lock domains. Includes a tid-managing session API
 //!   ([`store::StoreHandle`]) and batched `multi_get` / `multi_put`.
+//! * [`txn`] — atomic cross-shard **write transactions** over the store:
+//!   [`txn::WriteTxn`] stages a multi-key write set and commits it under
+//!   one shared-clock timestamp (per-shard 2PL intents + the bundle
+//!   pending-entry protocol generalized to N shards), so every range
+//!   query and snapshot read observes the whole batch or none of it.
 //! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2.
 //! * [`workloads`] — the benchmark harness regenerating every figure and
 //!   table of the evaluation, plus the sharded-store scaling scenario
@@ -65,6 +70,7 @@ pub use ebr;
 pub use lazylist;
 pub use skiplist;
 pub use store;
+pub use txn;
 pub use workloads;
 
 /// Convenient glob-importable set of the most commonly used items.
@@ -77,6 +83,7 @@ pub mod prelude {
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
     pub use store::{
         uniform_splits, BundledStore, CitrusStore, LazyListStore, ShardBackend, SkipListStore,
-        StoreHandle,
+        StoreHandle, TxnOp, TxnStats,
     };
+    pub use txn::{StoreTxnExt, TxnReceipt, TxnStore, WriteTxn};
 }

@@ -2,20 +2,25 @@
 //!
 //! Acceptance property: every `BundledStore::range_query` result must
 //! correspond to a single atomic snapshot of the **whole** store — one
-//! shared timestamp, no shard skew — for several shard counts and all
-//! three backends.
+//! shared timestamp, no shard skew, and no *partial transaction* — for
+//! several shard counts and all three backends.
 //!
-//! Method: update operations (insert/remove) are serialized through a
-//! mutex that holds a `BTreeMap` oracle and a versioned log; each update
-//! is applied to the store *inside* the critical section and its result is
-//! checked against the oracle exactly. Range queries run **concurrently
-//! with no serialization**: a query records the log version `v1` before it
-//! starts and `v2` after it finishes (both read under the lock, so
-//! in-flight updates are fully logged), then the result must equal the
-//! oracle's range at *some* version in `[v1, v2]` — i.e. the query result
-//! is a real atomic cut of the serialized update history. A skewed
-//! cross-shard query (shards read at different logical times) matches no
-//! single version and fails.
+//! Method: update operations (single-key inserts/removes and multi-key
+//! `apply_txn` batches) are serialized through a mutex that holds a
+//! `BTreeMap` oracle and a versioned log; each update is applied to the
+//! store *inside* the critical section and its result is checked against
+//! the oracle exactly. One log version is one **atomic batch** (a
+//! singleton for a primitive op, the whole write set for a transaction).
+//! Range queries run **concurrently with no serialization**: a query
+//! records the log version `v1` before it starts and `v2` after it
+//! finishes (both read under the lock, so in-flight updates are fully
+//! logged), then the result must equal the oracle's range at *some*
+//! version in `[v1, v2]` — i.e. the query result is a real atomic cut of
+//! the serialized update history. A skewed cross-shard query (shards read
+//! at different logical times) matches no single version and fails — and
+//! because a committed transaction occupies exactly one version, a
+//! snapshot containing *part* of a transaction's write set matches no
+//! version either (all-or-nothing visibility).
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -30,10 +35,14 @@ enum Op {
     Remove(u64),
 }
 
-/// The serialized update history: current oracle state plus the op log.
+/// One atomic step of the serialized history: a primitive op or a whole
+/// committed transaction.
+type Batch = Vec<Op>;
+
+/// The serialized update history: current oracle state plus the batch log.
 struct History {
     oracle: BTreeMap<u64, u64>,
-    log: Vec<Op>,
+    log: Vec<Batch>,
 }
 
 struct QueryObs {
@@ -52,17 +61,17 @@ fn xorshift(seed: &mut u64) -> u64 {
 }
 
 /// Replay-check: `obs.result` must equal the oracle range at some version
-/// in `[v1, v2]`. `model` has been replayed to exactly `upto` ops.
+/// in `[v1, v2]`. `model` has been replayed to exactly `upto` batches.
 fn matches_some_version(
     obs: &QueryObs,
-    log: &[Op],
+    log: &[Batch],
     model: &mut BTreeMap<u64, u64>,
     upto: &mut usize,
 ) -> bool {
     // Advance the rolling model to v1 (observations are checked in
     // ascending v1 order, so `upto <= v1` always holds).
     while *upto < obs.v1 {
-        apply(model, log[*upto]);
+        apply(model, &log[*upto]);
         *upto += 1;
     }
     let mut probe = model.clone();
@@ -78,23 +87,28 @@ fn matches_some_version(
         if v >= obs.v2 {
             return false;
         }
-        apply(&mut probe, log[v]);
+        apply(&mut probe, &log[v]);
         v += 1;
     }
 }
 
-fn apply(model: &mut BTreeMap<u64, u64>, op: Op) {
-    match op {
-        Op::Insert(k, v) => {
-            model.insert(k, v);
-        }
-        Op::Remove(k) => {
-            model.remove(&k);
+fn apply(model: &mut BTreeMap<u64, u64>, batch: &Batch) {
+    for op in batch {
+        match *op {
+            Op::Insert(k, v) => {
+                model.insert(k, v);
+            }
+            Op::Remove(k) => {
+                model.remove(&k);
+            }
         }
     }
 }
 
-fn run_oracle_stress<S>(shards: usize, label: &'static str)
+/// Drive the oracle with `txn_pct`% multi-key cross-shard transactions
+/// (`apply_txn` batches logged as one atomic version each) and the rest
+/// single-key primitive updates.
+fn run_oracle_stress<S>(shards: usize, txn_pct: u64, label: &'static str)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
@@ -122,6 +136,72 @@ where
                 let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 for _ in 0..OPS_PER_WRITER {
                     let k = xorshift(&mut seed) % KEY_RANGE;
+                    if xorshift(&mut seed) % 100 < txn_pct {
+                        // A multi-key transaction: 2-4 distinct keys spread
+                        // over the keyspace (usually several shards),
+                        // mixing inserts, upserts and removes.
+                        let n = 2 + xorshift(&mut seed) % 3;
+                        let mut ops: Vec<TxnOp<u64, u64>> = Vec::new();
+                        for i in 0..n {
+                            let tk =
+                                (k + i * (KEY_RANGE / 4) + xorshift(&mut seed) % 13) % KEY_RANGE;
+                            if ops.iter().any(|op| *op.key() == tk) {
+                                continue;
+                            }
+                            match xorshift(&mut seed) % 3 {
+                                0 => ops.push(TxnOp::Put(tk, xorshift(&mut seed))),
+                                1 => ops.push(TxnOp::Set(tk, xorshift(&mut seed))),
+                                _ => ops.push(TxnOp::Remove(tk)),
+                            }
+                        }
+                        ops.sort_by_key(|op| *op.key());
+                        let mut h = history.lock().unwrap();
+                        // Inside the lock: the whole transaction's single
+                        // linearization point lies within this log entry's
+                        // window and must agree with the oracle per-op.
+                        let results = store.apply_txn(w, &ops);
+                        let mut batch: Batch = Vec::new();
+                        for (op, applied) in ops.iter().zip(results) {
+                            match op {
+                                TxnOp::Put(tk, v) => {
+                                    assert_eq!(
+                                        applied,
+                                        !h.oracle.contains_key(tk),
+                                        "{label}: store/oracle disagree on txn put({tk})"
+                                    );
+                                    if applied {
+                                        h.oracle.insert(*tk, *v);
+                                        batch.push(Op::Insert(*tk, *v));
+                                    }
+                                }
+                                TxnOp::Set(tk, v) => {
+                                    // Upsert: reports whether the key
+                                    // existed; always leaves tk -> v.
+                                    assert_eq!(
+                                        applied,
+                                        h.oracle.contains_key(tk),
+                                        "{label}: store/oracle disagree on txn set({tk})"
+                                    );
+                                    h.oracle.insert(*tk, *v);
+                                    batch.push(Op::Insert(*tk, *v));
+                                }
+                                TxnOp::Remove(tk) => {
+                                    let oracle_removed = h.oracle.remove(tk).is_some();
+                                    assert_eq!(
+                                        applied, oracle_removed,
+                                        "{label}: store/oracle disagree on txn remove({tk})"
+                                    );
+                                    if applied {
+                                        batch.push(Op::Remove(*tk));
+                                    }
+                                }
+                            }
+                        }
+                        if !batch.is_empty() {
+                            h.log.push(batch);
+                        }
+                        continue;
+                    }
                     let mut h = history.lock().unwrap();
                     if xorshift(&mut seed).is_multiple_of(2) {
                         let v = xorshift(&mut seed);
@@ -137,7 +217,7 @@ where
                         // Set semantics: a failed insert changes nothing.
                         if store_new {
                             h.oracle.insert(k, v);
-                            h.log.push(Op::Insert(k, v));
+                            h.log.push(vec![Op::Insert(k, v)]);
                         }
                     } else {
                         let store_removed = store.remove(w, &k);
@@ -147,7 +227,7 @@ where
                             "{label}: store/oracle disagree on remove({k})"
                         );
                         if store_removed {
-                            h.log.push(Op::Remove(k));
+                            h.log.push(vec![Op::Remove(k)]);
                         }
                     }
                 }
@@ -229,39 +309,62 @@ where
 
 #[test]
 fn skiplist_store_snapshots_are_atomic_2_shards() {
-    run_oracle_stress::<BundledSkipList<u64, u64>>(2, "skiplist/2");
+    run_oracle_stress::<BundledSkipList<u64, u64>>(2, 0, "skiplist/2");
 }
 
 #[test]
 fn skiplist_store_snapshots_are_atomic_5_shards() {
-    run_oracle_stress::<BundledSkipList<u64, u64>>(5, "skiplist/5");
+    run_oracle_stress::<BundledSkipList<u64, u64>>(5, 0, "skiplist/5");
 }
 
 #[test]
 fn lazylist_store_snapshots_are_atomic_2_shards() {
-    run_oracle_stress::<BundledLazyList<u64, u64>>(2, "lazylist/2");
+    run_oracle_stress::<BundledLazyList<u64, u64>>(2, 0, "lazylist/2");
 }
 
 #[test]
 fn lazylist_store_snapshots_are_atomic_6_shards() {
-    run_oracle_stress::<BundledLazyList<u64, u64>>(6, "lazylist/6");
+    run_oracle_stress::<BundledLazyList<u64, u64>>(6, 0, "lazylist/6");
 }
 
 #[test]
 fn citrus_store_snapshots_are_atomic_2_shards() {
-    run_oracle_stress::<BundledCitrusTree<u64, u64>>(2, "citrus/2");
+    run_oracle_stress::<BundledCitrusTree<u64, u64>>(2, 0, "citrus/2");
 }
 
 #[test]
 fn citrus_store_snapshots_are_atomic_5_shards() {
-    run_oracle_stress::<BundledCitrusTree<u64, u64>>(5, "citrus/5");
+    run_oracle_stress::<BundledCitrusTree<u64, u64>>(5, 0, "citrus/5");
+}
+
+// Multi-key transactions mixed with primitive updates: every concurrent
+// snapshot must contain each committed transaction's writes entirely or
+// not at all (a partial batch matches no log version).
+
+#[test]
+fn skiplist_store_txn_snapshots_are_all_or_nothing() {
+    run_oracle_stress::<BundledSkipList<u64, u64>>(5, 40, "skiplist-txn/5");
+}
+
+#[test]
+fn lazylist_store_txn_snapshots_are_all_or_nothing() {
+    run_oracle_stress::<BundledLazyList<u64, u64>>(3, 40, "lazylist-txn/3");
+}
+
+#[test]
+fn citrus_store_txn_snapshots_are_all_or_nothing() {
+    run_oracle_stress::<BundledCitrusTree<u64, u64>>(4, 40, "citrus-txn/4");
 }
 
 /// Sanity for the oracle itself: a deliberately skewed "snapshot" (mixing
 /// two different versions) must be rejected by the checker.
 #[test]
 fn oracle_rejects_skewed_snapshots() {
-    let log = vec![Op::Insert(10, 1), Op::Insert(200, 2), Op::Remove(10)];
+    let log = vec![
+        vec![Op::Insert(10, 1)],
+        vec![Op::Insert(200, 2)],
+        vec![Op::Remove(10)],
+    ];
     // Claimed observation window covers versions 0..=3. A true snapshot
     // sees one of: {}, {10}, {10,200}, {200}. The skewed result {} + {200}
     // at v<=1 — i.e. seeing key 200 (written second) without key 10
@@ -289,4 +392,38 @@ fn oracle_rejects_skewed_snapshots() {
     let mut model = BTreeMap::new();
     let mut upto = 0;
     assert!(matches_some_version(&honest, &log, &mut model, &mut upto));
+}
+
+/// Sanity for the batched oracle: a snapshot containing only *part* of a
+/// committed transaction's write set matches no version, while the full
+/// set and the empty set both do.
+#[test]
+fn oracle_rejects_partial_transactions() {
+    // One committed transaction writing {10, 200} atomically.
+    let log = vec![vec![Op::Insert(10, 1), Op::Insert(200, 2)]];
+    let partial = QueryObs {
+        v1: 0,
+        v2: 1,
+        lo: 0,
+        hi: 240,
+        result: vec![(200, 2)],
+    };
+    let mut model = BTreeMap::new();
+    let mut upto = 0;
+    assert!(
+        !matches_some_version(&partial, &log, &mut model, &mut upto),
+        "a partial transaction must match no atomic cut"
+    );
+    for result in [vec![], vec![(10, 1), (200, 2)]] {
+        let whole = QueryObs {
+            v1: 0,
+            v2: 1,
+            lo: 0,
+            hi: 240,
+            result,
+        };
+        let mut model = BTreeMap::new();
+        let mut upto = 0;
+        assert!(matches_some_version(&whole, &log, &mut model, &mut upto));
+    }
 }
