@@ -126,6 +126,59 @@ impl RqContext {
     pub fn oldest_active(&self) -> u64 {
         self.tracker.oldest_active(self.clock.read())
     }
+
+    /// Lease a read timestamp for `tid`: atomically read the shared clock
+    /// and announce the snapshot in the tracker, exactly like
+    /// [`RqContext::start_rq`], but held across an *arbitrary number of
+    /// reads* instead of one range query. A read-write transaction leases
+    /// once at its first read and answers every subsequent read at the
+    /// leased timestamp — all of its reads observe one atomic snapshot,
+    /// and the announce pins bundle reclamation on every structure sharing
+    /// this context until the lease drops (commit or rollback).
+    ///
+    /// The tracker has one announcement slot per `tid`, so while the lease
+    /// is live the owning thread must not start another range query (or a
+    /// second lease) on the same `tid`.
+    #[must_use]
+    pub fn lease_read(&self, tid: usize) -> ReadLease {
+        let ts = self.start_rq(tid);
+        ReadLease {
+            ctx: self.clone(),
+            tid,
+            ts,
+        }
+    }
+}
+
+/// A leased read timestamp: the snapshot announcement of one read-write
+/// transaction (see [`RqContext::lease_read`]). Dropping the lease ends
+/// the announcement, releasing bundle reclamation.
+#[derive(Debug)]
+pub struct ReadLease {
+    ctx: RqContext,
+    tid: usize,
+    ts: u64,
+}
+
+impl ReadLease {
+    /// The leased snapshot timestamp: the logical time every read of the
+    /// owning transaction is answered at.
+    #[must_use]
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// The dense thread id the lease is announced on.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl Drop for ReadLease {
+    fn drop(&mut self) {
+        self.ctx.finish_rq(self.tid);
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +211,21 @@ mod tests {
         a.clock().advance(0);
         assert_eq!(a.read(), 1);
         assert_eq!(b.read(), 0);
+    }
+
+    #[test]
+    fn read_lease_pins_reclamation_until_dropped() {
+        let ctx = RqContext::new(2);
+        ctx.clock().advance(0);
+        ctx.clock().advance(0);
+        let lease = ctx.lease_read(1);
+        assert_eq!(lease.ts(), 2);
+        assert_eq!(lease.tid(), 1);
+        // Updates committed after the lease do not move the pin.
+        ctx.clock().advance(0);
+        assert_eq!(ctx.oldest_active(), 2, "lease pins its snapshot");
+        drop(lease);
+        assert_eq!(ctx.oldest_active(), 3, "dropped lease releases the pin");
     }
 
     #[test]

@@ -69,12 +69,16 @@ mod ts;
 mod twophase;
 
 pub use bundle_impl::{Bundle, BundleIter, PendingEntry, PENDING_TS, TOMBSTONE_TS};
-pub use ctx::RqContext;
-pub use linearize::{finalize_update, linearize_update, prepare_update, Conflict};
+pub use ctx::{ReadLease, RqContext};
+pub use linearize::{
+    finalize_update, linearize_update, prepare_update, Conflict, TxnValidateError,
+};
 pub use recycler::Recycler;
 pub use tracker::{RqTracker, RQ_INACTIVE, RQ_PENDING};
 pub use ts::GlobalTimestamp;
-pub use twophase::{TwoPhaseState, TXN_LOCK_SPINS};
+pub use twophase::{
+    validate_chain, StagedOutcomes, TwoPhaseState, MAX_VALIDATE_ATTEMPTS, TXN_LOCK_SPINS,
+};
 
 /// Maximum number of threads supported by the per-thread state in this
 /// crate's trackers and timestamps (same bound as [`ebr::DEFAULT_MAX_THREADS`]).

@@ -24,6 +24,47 @@ impl std::fmt::Display for Conflict {
     }
 }
 
+/// Why a read-write transaction's validate phase did not succeed.
+///
+/// The two outcomes demand different recoveries, which is why they are one
+/// enum instead of two layered `Result`s:
+///
+/// * [`TxnValidateError::Conflict`] — a lock race with a concurrent
+///   primitive operation (same meaning as [`Conflict`]). The recorded
+///   reads themselves may still be valid; the *store* retries the whole
+///   prepare/validate round internally after rolling back and backing
+///   off, without involving the application.
+/// * [`TxnValidateError::Invalidated`] — a recorded read is stale: another
+///   update committed to a read key (or into a read range) between the
+///   transaction's leased read timestamp and its validation. No amount of
+///   internal retrying can fix this — the values the application computed
+///   from are outdated — so the abort must propagate to the caller, who
+///   re-runs the transaction body against a fresh snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnValidateError {
+    /// Lock race; the store rolls back and retries internally.
+    Conflict,
+    /// Stale read set; the abort propagates to the application.
+    Invalidated,
+}
+
+impl From<Conflict> for TxnValidateError {
+    fn from(_: Conflict) -> Self {
+        TxnValidateError::Conflict
+    }
+}
+
+impl std::fmt::Display for TxnValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnValidateError::Conflict => Conflict.fmt(f),
+            TxnValidateError::Invalidated => {
+                f.write_str("a validated read went stale before commit; re-run the transaction")
+            }
+        }
+    }
+}
+
 /// Step 1 of Algorithm 1, split out: install a pending entry for every
 /// affected bundle and return the owner tokens (in the same order).
 ///

@@ -45,9 +45,23 @@ impl RqTracker {
     ///
     /// Returns the snapshot timestamp — the range query's linearization
     /// point.
+    ///
+    /// One announcement per `tid` at a time: starting a second range query
+    /// (or taking a snapshot / read lease, which occupy the slot for their
+    /// whole lifetime — see [`crate::RqContext::lease_read`]) on a tid
+    /// whose slot is still announced would silently *clobber* the first
+    /// announcement, un-pinning bundle entries its snapshot still needs.
+    /// Debug builds catch the misuse loudly instead.
     #[inline]
     pub fn start(&self, tid: usize, clock: &GlobalTimestamp) -> u64 {
         let slot = &self.slots[tid];
+        debug_assert_eq!(
+            slot.load(Ordering::Relaxed),
+            RQ_INACTIVE,
+            "tid {tid} started a range query while its tracker slot was \
+             still announced (an open snapshot/read lease, or a missing \
+             finish) — the older snapshot would lose its reclamation pin"
+        );
         slot.store(RQ_PENDING, Ordering::SeqCst);
         let ts = clock.read();
         slot.store(ts, Ordering::SeqCst);

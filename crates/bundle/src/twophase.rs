@@ -17,7 +17,7 @@
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::bundle_impl::{Bundle, PendingEntry};
-use crate::linearize::Conflict;
+use crate::linearize::{Conflict, TxnValidateError};
 
 /// `try_lock` attempts a two-phase prepare makes on a contended node lock
 /// before declaring [`Conflict`] (the whole transaction then aborts and
@@ -168,6 +168,199 @@ impl<N> TwoPhaseState<N> {
     }
 }
 
+/// Per-key pre/post images of one transaction's *staged writes* on one
+/// structure, recorded by the prepare phase and consumed by the validate
+/// phase of a read-write transaction.
+///
+/// Each entry maps a written key to the node that held it just before the
+/// transaction staged anything for it (`pre`, `None` = absent) and the
+/// node that holds it in the *current, eagerly modified* structure (`now`,
+/// `None` = structurally removed). Node addresses are opaque `usize`s so
+/// the bookkeeping is node-type agnostic; the structure crates own the
+/// pointers and keep them alive (prepared nodes are locked until commit,
+/// and the transaction layer holds an EBR guard across its lifetime).
+///
+/// Why validation needs this: reads are answered at a leased snapshot
+/// timestamp *before* the writes prepare, but the validate pass walks the
+/// structure *after* the eager structural changes. `expected_now` bridges
+/// the two views — it projects what the walk should find given that the
+/// recorded read was current, so any difference is a genuine intervening
+/// commit (a stale read), not the transaction tripping over its own
+/// writes. Nodes are immutable once created (updates are staged as
+/// remove-then-insert), so node identity doubles as value identity.
+#[derive(Debug, Default)]
+pub struct StagedOutcomes<K> {
+    /// `(key, pre-txn node, current node)`; at most one entry per key
+    /// (later stagings of the same key update `now`, keep the first
+    /// `pre`).
+    entries: Vec<(K, Option<usize>, Option<usize>)>,
+}
+
+impl<K: Copy + Ord> StagedOutcomes<K> {
+    /// Empty outcome set.
+    pub fn new() -> Self {
+        StagedOutcomes {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one staged write's images. A second staging of the same key
+    /// (e.g. the insert half of an upsert after its remove half) keeps the
+    /// original `pre` and replaces `now`.
+    pub fn record(&mut self, key: K, pre: Option<usize>, now: Option<usize>) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+            e.2 = now;
+        } else {
+            self.entries.push((key, pre, now));
+        }
+    }
+
+    /// Number of distinct staged keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Project the `(key, node)` list a validate-phase walk of the current
+    /// (eagerly modified) structure should find in `low..=high`, given
+    /// that `recorded` — the committed content of that range at the
+    /// transaction's read timestamp — is still current.
+    ///
+    /// For every staged key inside the range, the recorded read and the
+    /// prepare's `pre` image must agree (both saw the key absent, or both
+    /// saw the *same* node); a disagreement means a foreign update
+    /// committed between the read and the prepare, so the read set is
+    /// stale ([`TxnValidateError::Invalidated`]). Agreeing entries are
+    /// substituted by their `now` image.
+    pub fn expected_now(
+        &self,
+        low: &K,
+        high: &K,
+        recorded: &[(K, usize)],
+    ) -> Result<Vec<(K, usize)>, TxnValidateError> {
+        let mut projected: std::collections::BTreeMap<K, usize> =
+            recorded.iter().copied().collect();
+        for (key, pre, now) in &self.entries {
+            if key < low || key > high {
+                continue;
+            }
+            if projected.get(key).copied() != *pre {
+                return Err(TxnValidateError::Invalidated);
+            }
+            match now {
+                Some(n) => {
+                    projected.insert(*key, *n);
+                }
+                None => {
+                    projected.remove(key);
+                }
+            }
+        }
+        Ok(projected.into_iter().collect())
+    }
+}
+
+/// Walk attempts a validation pass makes before conceding a conflict
+/// (each retry re-traverses after a torn observation, e.g. a node removed
+/// between the walk reaching it and locking it).
+pub const MAX_VALIDATE_ATTEMPTS: usize = 8;
+
+/// Shared validate-phase walk over a *chain-shaped* level of a structure
+/// (the lazy list; the skip list's data layer): re-locate the range's gap
+/// predecessor, lock it and every in-range node (bounded `try_lock`
+/// through `core`, so contention surfaces as
+/// [`TxnValidateError::Conflict`]), re-checking linkage under each lock,
+/// and compare the found `(key, node)` list against `expected` (the
+/// recorded read projected through the transaction's [`StagedOutcomes`]).
+/// Torn observations retry up to [`MAX_VALIDATE_ATTEMPTS`] times; a
+/// stable mismatch is a foreign commit inside the range —
+/// [`TxnValidateError::Invalidated`]. On success the acquired locks stay
+/// in `core` (held until finalize/abort), which is what pins the
+/// validated range at the commit timestamp.
+///
+/// The structure supplies its specifics as closures: `locate` returns
+/// `(gap predecessor, first candidate)` for the range's lower bound;
+/// `lock` is the structure's transactional node lock (typically
+/// [`TwoPhaseState::lock`] on the node's embedded mutex); `pred_valid`
+/// re-validates the located pair; `key_of` reads a node's (immutable)
+/// key; `step` checks `curr` is validly linked after `prev` under the
+/// just-acquired lock and yields `(key, next)` — or `None` for a torn
+/// observation.
+///
+/// Safety contract (upheld by the callers): every pointer produced by
+/// `locate`/`step` is reachable while the caller's EBR pin is live, and
+/// `lock` upholds [`TwoPhaseState::lock`]'s contract.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_chain<K, N>(
+    core: &mut TwoPhaseState<N>,
+    expected: &[(K, usize)],
+    high: &K,
+    tail: *mut N,
+    mut locate: impl FnMut() -> (*mut N, *mut N),
+    mut lock: impl FnMut(&mut TwoPhaseState<N>, *mut N) -> Result<bool, Conflict>,
+    mut pred_valid: impl FnMut(*mut N, *mut N) -> bool,
+    mut key_of: impl FnMut(*mut N) -> K,
+    mut step: impl FnMut(*mut N, *mut N) -> Option<(K, *mut N)>,
+) -> Result<(), TxnValidateError>
+where
+    K: Copy + Ord,
+{
+    'attempt: for _ in 0..MAX_VALIDATE_ATTEMPTS {
+        let mut newly = 0usize;
+        let (pred, first) = locate();
+        match lock(core, pred) {
+            Ok(true) => newly += 1,
+            Ok(false) => {}
+            Err(Conflict) => return Err(TxnValidateError::Conflict),
+        }
+        if !pred_valid(pred, first) {
+            core.unlock_latest(newly);
+            if newly == 0 {
+                // A node the transaction already holds cannot be
+                // invalidated by others; surface the impossible as a
+                // conflict instead of spinning.
+                return Err(TxnValidateError::Conflict);
+            }
+            continue;
+        }
+        let mut actual: Vec<(K, usize)> = Vec::new();
+        let mut prev = pred;
+        let mut curr = first;
+        while curr != tail && key_of(curr) <= *high {
+            match lock(core, curr) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(Conflict) => {
+                    core.unlock_latest(newly);
+                    return Err(TxnValidateError::Conflict);
+                }
+            }
+            // Re-check linkage under the lock: a node that got removed
+            // (or whose predecessor link moved) between the walk reaching
+            // it and locking it is a torn observation, not a verdict.
+            let Some((key, next)) = step(prev, curr) else {
+                core.unlock_latest(newly);
+                continue 'attempt;
+            };
+            actual.push((key, curr as usize));
+            prev = curr;
+            curr = next;
+        }
+        if actual != expected {
+            core.unlock_latest(newly);
+            return Err(TxnValidateError::Invalidated);
+        }
+        return Ok(());
+    }
+    Err(TxnValidateError::Conflict)
+}
+
 impl<N> std::fmt::Debug for TwoPhaseState<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TwoPhaseState")
@@ -227,6 +420,43 @@ mod tests {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
         }
+    }
+
+    #[test]
+    fn staged_outcomes_project_and_detect_stale_reads() {
+        let mut st: StagedOutcomes<u64> = StagedOutcomes::new();
+        assert!(st.is_empty());
+        // A put of an absent key (created node 100), a remove of node 200
+        // at key 20, and an upsert of key 30 (remove node 300, insert 301
+        // — two recordings merge into one entry).
+        st.record(10, None, Some(100));
+        st.record(20, Some(200), None);
+        st.record(30, Some(300), None);
+        st.record(30, None, Some(301));
+        assert_eq!(st.len(), 3);
+
+        // Recorded read agrees with every pre image: the projection swaps
+        // in the now images.
+        let recorded = vec![(20, 200), (30, 300), (40, 400)];
+        let expected = st.expected_now(&0, &50, &recorded).unwrap();
+        assert_eq!(expected, vec![(10, 100), (30, 301), (40, 400)]);
+
+        // Staged keys outside the validated range are ignored.
+        let narrow = st.expected_now(&35, &50, &[(40, 400)]).unwrap();
+        assert_eq!(narrow, vec![(40, 400)]);
+
+        // The read saw a *different* node for key 20 than the prepare
+        // removed: a foreign update slipped in between — stale.
+        let stale = vec![(20, 999), (30, 300)];
+        assert_eq!(
+            st.expected_now(&0, &50, &stale),
+            Err(TxnValidateError::Invalidated)
+        );
+        // The read saw key 10 present but the prepare created it: stale.
+        assert_eq!(
+            st.expected_now(&0, &50, &[(10, 100), (20, 200), (30, 300)]),
+            Err(TxnValidateError::Invalidated)
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use parking_lot::{Mutex, MutexGuard};
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{
     linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
-    TwoPhaseState,
+    StagedOutcomes, TwoPhaseState, TxnValidateError,
 };
 use ebr::{Collector, Guard, ReclaimMode};
 
@@ -234,12 +234,14 @@ where
         // Phase 2: enter the snapshot through the predecessor's bundle and
         // run a depth-first traversal strictly over bundles.
         let entry = unsafe { &*pred }.bundle[dir].dereference(ts)?;
-        self.dfs_collect_at(entry, ts, low, high, out)
+        self.dfs_collect_at(entry, ts, low, high, out, None)
     }
 
     /// Bundle-only DFS from `entry` at snapshot `ts`, pruning by key.
     /// `None` if any dereference fails (only possible when `entry` itself
-    /// was reached optimistically).
+    /// was reached optimistically). When `nodes` is supplied, the address
+    /// of every collected node is recorded alongside (in the same DFS
+    /// order as `out`; the caller sorts both).
     fn dfs_collect_at(
         &self,
         entry: *mut Node<K, V>,
@@ -247,6 +249,7 @@ where
         low: &K,
         high: &K,
         out: &mut Vec<(K, V)>,
+        mut nodes: Option<&mut Vec<(K, usize)>>,
     ) -> Option<usize> {
         let mut stack: Vec<*mut Node<K, V>> = vec![entry];
         while let Some(p) = stack.pop() {
@@ -270,6 +273,9 @@ where
                 follow(LEFT, &mut stack)
             } else {
                 out.push((k, node.val.clone().expect("data node has a value")));
+                if let Some(ns) = nodes.as_deref_mut() {
+                    ns.push((k, p as usize));
+                }
                 follow(LEFT, &mut stack) && follow(RIGHT, &mut stack)
             };
             if !ok {
@@ -314,10 +320,52 @@ where
             .dereference(ts)
             .expect("root bundle must satisfy an announced snapshot");
         let n = self
-            .dfs_collect_at(entry, ts, low, high, out)
+            .dfs_collect_at(entry, ts, low, high, out, None)
             .expect("snapshot DFS must stay satisfiable");
         out.sort_unstable_by_key(|a| a.0);
         n
+    }
+
+    /// Transactional range read: collect `low..=high` as of snapshot `ts`
+    /// exactly like [`Self::range_query_at`], additionally recording each
+    /// collected node's address into `nodes` — the per-transaction **read
+    /// set** that [`Self::txn_validate`] re-checks and pins at commit.
+    /// Both `out` and `nodes` come back sorted by key. Nodes are immutable
+    /// once created (even the two-children remove replaces its victim with
+    /// a fresh copy), so node identity doubles as value identity.
+    ///
+    /// Same contract as `range_query_at`, plus: the caller must hold an
+    /// EBR pin on this structure from before the read lease until
+    /// validation so the recorded addresses stay comparable (no reuse).
+    pub fn txn_range_read(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        nodes: &mut Vec<(K, usize)>,
+    ) -> usize {
+        let _guard = self.pin(tid);
+        out.clear();
+        nodes.clear();
+        let entry = unsafe { &*self.root }.bundle[LEFT]
+            .dereference(ts)
+            .expect("root bundle must satisfy an announced snapshot");
+        let n = self
+            .dfs_collect_at(entry, ts, low, high, out, Some(nodes))
+            .expect("snapshot DFS must stay satisfiable");
+        out.sort_unstable_by_key(|a| a.0);
+        nodes.sort_unstable_by_key(|a| a.0);
+        n
+    }
+
+    /// Transactional point read: [`Self::txn_range_read`] over the
+    /// degenerate range `[key, key]`, returning the value.
+    pub fn txn_read(&self, tid: usize, ts: u64, key: &K, nodes: &mut Vec<(K, usize)>) -> Option<V> {
+        let mut out = Vec::with_capacity(1);
+        self.txn_range_read(tid, ts, key, key, &mut out, nodes);
+        out.pop().map(|(_, v)| v)
     }
 }
 
@@ -332,6 +380,11 @@ const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 pub struct ShardTxn<K, V> {
     core: TwoPhaseState<Node<K, V>>,
     undo: Vec<CitrusUndo<K, V>>,
+    /// Per-key pre/post images of the staged writes, consumed by
+    /// [`BundledCitrusTree::txn_validate`]. The two-children remove
+    /// records *two* keys: the removed key and the relocated successor
+    /// (whose node identity changes to the fresh copy).
+    staged: StagedOutcomes<K>,
 }
 
 enum CitrusUndo<K, V> {
@@ -388,6 +441,7 @@ where
         ShardTxn {
             core: TwoPhaseState::new(tid),
             undo: Vec::new(),
+            staged: StagedOutcomes::new(),
         }
     }
 
@@ -434,6 +488,8 @@ where
                     }
                     return Err(Conflict);
                 }
+                txn.staged
+                    .record(key, Some(curr as usize), Some(curr as usize));
                 return Ok(false);
             }
             let newly = self.txn_lock(txn, pred)?;
@@ -463,6 +519,7 @@ where
             // Eager linearization effect.
             pred_ref.child[dir].store(node, Ordering::SeqCst);
             txn.core.add_created(node);
+            txn.staged.record(key, None, Some(node as usize));
             txn.undo.push(CitrusUndo::Link { pred, dir, node });
             drop(guard);
             return Ok(true);
@@ -490,6 +547,7 @@ where
                     }
                     return Err(Conflict);
                 }
+                txn.staged.record(*key, None, None);
                 return Ok(false);
             }
             let pred_ref = unsafe { &*pred };
@@ -529,6 +587,7 @@ where
                 curr_ref.marked.store(true, Ordering::SeqCst);
                 pred_ref.child[dir].store(repl, Ordering::SeqCst);
                 txn.core.add_victim(curr);
+                txn.staged.record(*key, Some(curr as usize), None);
                 txn.undo.push(CitrusUndo::Splice { pred, dir, curr });
                 drop(guard);
                 return Ok(true);
@@ -608,6 +667,11 @@ where
             txn.core.add_victim(curr);
             txn.core.add_victim(succ);
             txn.core.add_created(new_node);
+            txn.staged.record(*key, Some(curr as usize), None);
+            // The successor's key keeps its value but moves to the fresh
+            // copy; a read that recorded the old node must reconcile.
+            txn.staged
+                .record(succ_ref.key, Some(succ as usize), Some(new_node as usize));
             txn.undo.push(CitrusUndo::Replace {
                 pred,
                 dir,
@@ -620,6 +684,142 @@ where
             drop(guard);
             return Ok(true);
         }
+    }
+
+    /// Largest node with `key < bound` (`below = true`) or smallest node
+    /// with `key > bound` (`below = false`), over the newest pointers; the
+    /// sentinel root when no such node exists. These are the *boundary
+    /// pins* of a validated range: a BST insert's parent is always the new
+    /// key's in-order predecessor or successor, so locking every in-range
+    /// node plus these two boundaries blocks every possible insert into
+    /// the range (the empty-tree degenerate case pins the root itself,
+    /// which every first insert must lock).
+    fn find_boundary(&self, bound: &K, below: bool) -> *mut Node<K, V> {
+        let mut best = self.root;
+        let mut curr = unsafe { &*self.root }.child[LEFT].load(Ordering::Acquire);
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if below {
+                if c.key < *bound {
+                    best = curr;
+                    curr = c.child[RIGHT].load(Ordering::Acquire);
+                } else {
+                    curr = c.child[LEFT].load(Ordering::Acquire);
+                }
+            } else if c.key > *bound {
+                best = curr;
+                curr = c.child[LEFT].load(Ordering::Acquire);
+            } else {
+                curr = c.child[RIGHT].load(Ordering::Acquire);
+            }
+        }
+        best
+    }
+
+    /// Collect every in-range node over the newest child pointers, sorted
+    /// by key. `false` = a marked node was encountered — some removal is
+    /// mid-critical-section (or the traversal followed a stale pointer
+    /// into one), so the observation is torn and the caller must retry.
+    fn collect_range_newest(&self, low: &K, high: &K, acc: &mut Vec<(K, usize)>) -> bool {
+        acc.clear();
+        let mut stack = vec![unsafe { &*self.root }.child[LEFT].load(Ordering::Acquire)];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            let n = unsafe { &*p };
+            if n.marked.load(Ordering::Acquire) {
+                return false;
+            }
+            if n.key < *low {
+                stack.push(n.child[RIGHT].load(Ordering::Acquire));
+            } else if n.key > *high {
+                stack.push(n.child[LEFT].load(Ordering::Acquire));
+            } else {
+                acc.push((n.key, p as usize));
+                stack.push(n.child[LEFT].load(Ordering::Acquire));
+                stack.push(n.child[RIGHT].load(Ordering::Acquire));
+            }
+        }
+        acc.sort_unstable_by_key(|a| a.0);
+        true
+    }
+
+    /// Validate one recorded read range of a read-write transaction and
+    /// **pin it until commit**. Must run after every staged write of the
+    /// transaction on this structure, under the store's shard intent lock.
+    ///
+    /// The pass walks the live tree, locks every in-range node plus the
+    /// range's in-order boundary neighbors ([`Self::find_boundary`]; the
+    /// sentinel root when a side has none), re-walks to confirm the locked
+    /// picture is stable, and compares the `(key, node)` list against the
+    /// recorded read adjusted for the transaction's own staged writes
+    /// ([`StagedOutcomes::expected_now`]). Lock contention surfaces as
+    /// [`TxnValidateError::Conflict`] (the store rolls back and retries);
+    /// a stable mismatch is a foreign commit inside the range since the
+    /// leased read timestamp — [`TxnValidateError::Invalidated`].
+    ///
+    /// Phantom safety: with all in-range nodes and both boundaries locked,
+    /// any insert of an in-range key needs its in-order predecessor or
+    /// successor — a locked node — as parent, every in-range remove needs
+    /// its victim's lock, and every relocation (two-children remove of an
+    /// outside key) needs the relocated successor's lock. All block until
+    /// the transaction finalizes, so the reads hold at the commit
+    /// timestamp.
+    pub fn txn_validate(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        low: &K,
+        high: &K,
+        recorded: &[(K, usize)],
+    ) -> Result<(), TxnValidateError> {
+        let expected = txn.staged.expected_now(low, high, recorded)?;
+        let _guard = self.pin(txn.core.tid());
+        let mut walk: Vec<(K, usize)> = Vec::new();
+        let mut verify: Vec<(K, usize)> = Vec::new();
+        'attempt: for _ in 0..bundle::MAX_VALIDATE_ATTEMPTS {
+            let mut newly = 0usize;
+            if !self.collect_range_newest(low, high, &mut walk) {
+                continue;
+            }
+            let pred_lo = self.find_boundary(low, true);
+            let succ_hi = self.find_boundary(high, false);
+            for node in walk
+                .iter()
+                .map(|(_, n)| *n as *mut Node<K, V>)
+                .chain([pred_lo, succ_hi])
+            {
+                match self.txn_lock(txn, node) {
+                    Ok(true) => newly += 1,
+                    Ok(false) => {}
+                    Err(Conflict) => {
+                        txn.core.unlock_latest(newly);
+                        return Err(TxnValidateError::Conflict);
+                    }
+                }
+                if node != self.root && unsafe { &*node }.marked.load(Ordering::Acquire) {
+                    txn.core.unlock_latest(newly);
+                    continue 'attempt;
+                }
+            }
+            // With the locks held, the picture must be stable: re-walk and
+            // re-derive the boundaries. Any difference means an update was
+            // mid-flight during the first walk — retry.
+            if !self.collect_range_newest(low, high, &mut verify)
+                || verify != walk
+                || self.find_boundary(low, true) != pred_lo
+                || self.find_boundary(high, false) != succ_hi
+            {
+                txn.core.unlock_latest(newly);
+                continue 'attempt;
+            }
+            if walk != expected {
+                txn.core.unlock_latest(newly);
+                return Err(TxnValidateError::Invalidated);
+            }
+            return Ok(());
+        }
+        Err(TxnValidateError::Conflict)
     }
 
     /// Commit: publish every staged bundle entry with the transaction's
@@ -639,7 +839,7 @@ where
     /// neutralize the pending bundle entries, release the locks, and
     /// retire the nodes the transaction created.
     pub fn txn_abort(&self, txn: ShardTxn<K, V>) {
-        let ShardTxn { core, mut undo } = txn;
+        let ShardTxn { core, mut undo, .. } = txn;
         let tid = core.tid();
         while let Some(op) = undo.pop() {
             match op {
@@ -1255,6 +1455,107 @@ mod tests {
         let mut out = Vec::new();
         t.range_query(0, &0, &20, &mut out);
         assert_eq!(out, vec![(10, 10)]);
+    }
+
+    #[test]
+    fn txn_reads_validate_and_detect_staleness() {
+        let ctx = bundle::RqContext::new(2);
+        let t = BundledCitrusTree::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            t.insert(0, k, k * 2);
+        }
+        let lease = ctx.lease_read(1);
+        let mut out = Vec::new();
+        let mut nodes = Vec::new();
+        t.txn_range_read(1, lease.ts(), &20, &70, &mut out, &mut nodes);
+        assert_eq!(out, vec![(25, 50), (30, 60), (50, 100), (60, 120)]);
+        assert_eq!(
+            nodes.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![25, 30, 50, 60]
+        );
+        let mut pn = Vec::new();
+        assert_eq!(t.txn_read(1, lease.ts(), &30, &mut pn), Some(60));
+        assert_eq!(t.txn_read(1, lease.ts(), &31, &mut pn), None);
+        drop(lease);
+
+        // Unchanged: validates (and pins); release through abort.
+        let mut txn = t.txn_begin(1);
+        assert_eq!(t.txn_validate(&mut txn, &20, &70, &nodes), Ok(()));
+        t.txn_abort(txn);
+        // A foreign remove of a read key invalidates.
+        t.remove(0, &30);
+        let mut txn = t.txn_begin(1);
+        assert_eq!(
+            t.txn_validate(&mut txn, &20, &70, &nodes),
+            Err(TxnValidateError::Invalidated)
+        );
+        t.txn_abort(txn);
+        // A phantom inserted into a read-empty range invalidates too.
+        let lease = ctx.lease_read(1);
+        let mut empty_nodes = Vec::new();
+        t.txn_range_read(1, lease.ts(), &31, &45, &mut out, &mut empty_nodes);
+        assert!(empty_nodes.is_empty());
+        drop(lease);
+        t.insert(0, 40, 400);
+        let mut txn = t.txn_begin(1);
+        assert_eq!(
+            t.txn_validate(&mut txn, &31, &45, &empty_nodes),
+            Err(TxnValidateError::Invalidated)
+        );
+        t.txn_abort(txn);
+    }
+
+    #[test]
+    fn txn_validate_reconciles_own_staged_writes_including_relocation() {
+        let ctx = bundle::RqContext::new(2);
+        let t = BundledCitrusTree::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [50u64, 25, 75, 60, 90, 55] {
+            t.insert(0, k, k);
+        }
+        let lease = ctx.lease_read(1);
+        let mut out = Vec::new();
+        let mut nodes = Vec::new();
+        t.txn_range_read(1, lease.ts(), &0, &100, &mut out, &mut nodes);
+
+        // Remove key 50 (two children: its successor 55 relocates into a
+        // fresh copy) and insert 70 — both inside the validated range. The
+        // staged images must reconcile the relocation.
+        let mut txn = t.txn_begin(1);
+        assert_eq!(t.txn_prepare_remove(&mut txn, &50), Ok(true));
+        assert_eq!(t.txn_prepare_put(&mut txn, 70, 700), Ok(true));
+        assert_eq!(t.txn_validate(&mut txn, &0, &100, &nodes), Ok(()));
+        let ts = ctx.advance(1);
+        t.txn_finalize(txn, ts);
+        drop(lease);
+        let mut scan = Vec::new();
+        t.range_query(0, &0, &100, &mut scan);
+        assert_eq!(
+            scan,
+            vec![(25, 25), (55, 55), (60, 60), (70, 700), (75, 75), (90, 90)]
+        );
+    }
+
+    #[test]
+    fn txn_validate_pins_the_empty_tree_against_first_inserts() {
+        let ctx = bundle::RqContext::new(2);
+        let t = BundledCitrusTree::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        let lease = ctx.lease_read(1);
+        let mut out = Vec::new();
+        let mut nodes = Vec::new();
+        t.txn_range_read(1, lease.ts(), &0, &100, &mut out, &mut nodes);
+        assert!(out.is_empty());
+        drop(lease);
+        // Empty tree: the boundary pin degenerates to the sentinel root.
+        let mut txn = t.txn_begin(1);
+        assert_eq!(t.txn_validate(&mut txn, &0, &100, &nodes), Ok(()));
+        t.txn_abort(txn);
+        t.insert(0, 5, 5);
+        let mut txn = t.txn_begin(1);
+        assert_eq!(
+            t.txn_validate(&mut txn, &0, &100, &nodes),
+            Err(TxnValidateError::Invalidated)
+        );
+        t.txn_abort(txn);
     }
 
     #[test]

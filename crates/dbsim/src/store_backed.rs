@@ -39,10 +39,17 @@ pub enum Table {
     Stock = 6,
     /// Order-line index.
     OrderLine = 7,
+    /// Customer balance table: `customer row id -> accumulated payment
+    /// cents`. Unlike the index tables (whose values are immutable row
+    /// ids), this one is *mutated* by PAYMENT's read-modify-write — which
+    /// is why store-backed PAYMENT runs as a serializable
+    /// `txn::ReadWriteTxn` (validated read of the balance, upsert of the
+    /// new value, one commit timestamp).
+    CustomerBalance = 8,
 }
 
 /// Number of tables backed by the shared store.
-pub const TABLE_COUNT: u64 = 7;
+pub const TABLE_COUNT: u64 = 8;
 
 impl Table {
     /// The table's key-space tag (high bits of every key it owns).

@@ -8,14 +8,15 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use bundle::api::RangeQuerySet;
-use txn::WriteTxn;
+use bundle::api::{ConcurrentSet, RangeQuerySet};
+use store::TxnAborted;
+use txn::{ReadWriteTxn, WriteTxn};
 
 use crate::keys::{
     customer_key, customer_name_key, last_name_hash, new_order_key, order_key, order_line_key,
-    stock_key, DISTRICTS_PER_WAREHOUSE,
+    stock_key, DISTRICTS_PER_WAREHOUSE, MAX_ORDER_LINES,
 };
-use crate::store_backed::{build_tpcc_store, StoreIndexView, Table, TpccStore};
+use crate::store_backed::{build_tpcc_store, StoreIndexView, Table, TpccStore, TABLE_SHIFT};
 
 /// A dynamically dispatched ordered index over `u64 -> u64` (value = row id).
 pub type DynIndex = Arc<dyn RangeQuerySet<u64, u64> + Send + Sync>;
@@ -24,14 +25,17 @@ pub type DynIndex = Arc<dyn RangeQuerySet<u64, u64> + Send + Sync>;
 /// database so that every index uses the structure under evaluation.
 pub type IndexFactory = dyn Fn(usize) -> DynIndex + Send + Sync;
 
-/// How NEW_ORDER's multi-index insert is applied.
+/// How the transaction profiles touch the indexes.
 enum WritePath {
-    /// Each index is an independent structure; the three inserts are only
-    /// individually linearizable (the paper's original configuration).
+    /// Each index is an independent structure; every index operation is
+    /// only individually linearizable (the paper's original
+    /// configuration).
     PerIndex,
-    /// All indexes are views over one shared sharded store; the three
-    /// inserts commit as a single cross-shard [`WriteTxn`] under one
-    /// timestamp — atomic with respect to every index range query.
+    /// All indexes are views over one shared sharded store. NEW_ORDER's
+    /// three-index insert commits as a single cross-shard [`WriteTxn`];
+    /// PAYMENT's read-modify-write and DELIVERY's scan-then-delete run as
+    /// serializable [`ReadWriteTxn`]s with validated read sets, retried
+    /// on abort.
     StoreTxn(Arc<TpccStore>),
 }
 
@@ -204,6 +208,14 @@ impl TpccDb {
             stats: TxnStats::default(),
         };
         db.populate();
+        // Balance rows (one per customer, keyed by customer row id) exist
+        // only in the store-backed configuration: they are the mutable
+        // cells PAYMENT's serializable read-modify-write targets.
+        if let WritePath::StoreTxn(store) = &db.write_path {
+            for row_id in 0..db.customers.len() as u64 {
+                store.insert(0, Table::CustomerBalance.key(row_id), 0);
+            }
+        }
         db
     }
 
@@ -280,6 +292,26 @@ impl TpccDb {
                         .insert(0, new_order_key(w, d, o), row_id);
                 }
             }
+        }
+    }
+
+    /// Number of orders stamped with a carrier (i.e. delivered).
+    pub fn delivered_orders(&self) -> usize {
+        self.orders
+            .lock()
+            .iter()
+            .filter(|o| o.carrier_id.is_some())
+            .count()
+    }
+
+    /// The store-resident accumulated payment cents of a customer row
+    /// (store-backed databases only; `None` per-index or for unknown
+    /// rows). This is the cell PAYMENT's serializable read-modify-write
+    /// mutates.
+    pub fn store_balance_cents(&self, tid: usize, row_id: u64) -> Option<u64> {
+        match &self.write_path {
+            WritePath::PerIndex => None,
+            WritePath::StoreTxn(store) => store.get(tid, &Table::CustomerBalance.key(row_id)),
         }
     }
 
@@ -369,38 +401,88 @@ impl TpccDb {
     /// PAYMENT: update a customer's balance; with 60% probability the
     /// customer is looked up by last name through a range query over the
     /// customer-name index, otherwise by primary key.
+    ///
+    /// On a store-backed database the whole profile runs as one
+    /// serializable [`ReadWriteTxn`]: the primary-key lookup and the
+    /// balance read are validated at commit, so a concurrent PAYMENT to
+    /// the same customer aborts one of the two, which retries against a
+    /// fresh snapshot — no update can be lost. (The by-name scan is an
+    /// unvalidated peek: it only seeds the row id and the name index is
+    /// immutable after load.)
     pub fn payment(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) {
         let cfg = self.cfg;
         let w = rng.gen_range(0..cfg.warehouses);
         let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
-        let mut index_ops = 0u64;
+        let by_name = rng.gen_range(0..100) < 60;
+        let c = rng.gen_range(0..cfg.customers_per_district);
+        let amount = rng.gen_range(1.0..5000.0);
+        let mut index_ops = 1u64; // the customer lookup
 
-        let row_id = if rng.gen_range(0..100) < 60 {
-            // Lookup by last name: range query over the contiguous block of
-            // customers sharing the name hash, pick the middle one (TPC-C
-            // picks the median by first name).
-            let c = rng.gen_range(0..cfg.customers_per_district);
-            let h = last_name_hash(&Self::last_name(c));
-            let low = customer_name_key(w, d, h, 0);
-            let high = customer_name_key(w, d, h, (1 << 20) - 1);
-            self.customer_name_index
-                .range_query(tid, &low, &high, scratch);
-            index_ops += 1;
-            if scratch.is_empty() {
-                None
-            } else {
-                Some(scratch[scratch.len() / 2].1)
+        let row_id = match &self.write_path {
+            WritePath::PerIndex => {
+                if by_name {
+                    // Lookup by last name: range query over the contiguous
+                    // block of customers sharing the name hash, pick the
+                    // middle one (TPC-C picks the median by first name).
+                    let h = last_name_hash(&Self::last_name(c));
+                    let low = customer_name_key(w, d, h, 0);
+                    let high = customer_name_key(w, d, h, (1 << 20) - 1);
+                    self.customer_name_index
+                        .range_query(tid, &low, &high, scratch);
+                    if scratch.is_empty() {
+                        None
+                    } else {
+                        Some(scratch[scratch.len() / 2].1)
+                    }
+                } else {
+                    self.customer_index.get(tid, &customer_key(w, d, c))
+                }
             }
-        } else {
-            let c = rng.gen_range(0..cfg.customers_per_district);
-            index_ops += 1;
-            self.customer_index.get(tid, &customer_key(w, d, c))
+            WritePath::StoreTxn(store) => {
+                // Serializable read-modify-write, retried on validation
+                // failure (another PAYMENT committed to the same balance
+                // between our read and our commit). The name-index scan
+                // is an unvalidated *peek* — it only seeds which row id
+                // to pay, and the name index is immutable after load, so
+                // validating (and commit-locking) the whole name block
+                // would be pure overhead; the balance read-modify-write
+                // below is what must be (and is) validated.
+                let row = loop {
+                    let mut txn = ReadWriteTxn::with_tid(store, tid);
+                    let row = if by_name {
+                        let h = last_name_hash(&Self::last_name(c));
+                        let low = Table::CustomerName.key(customer_name_key(w, d, h, 0));
+                        let high =
+                            Table::CustomerName.key(customer_name_key(w, d, h, (1 << 20) - 1));
+                        txn.range_peek(&low, &high, scratch);
+                        if scratch.is_empty() {
+                            None
+                        } else {
+                            Some(scratch[scratch.len() / 2].1)
+                        }
+                    } else {
+                        txn.get(&Table::Customer.key(customer_key(w, d, c)))
+                    };
+                    if let Some(row) = row {
+                        let bal_key = Table::CustomerBalance.key(row);
+                        let bal = txn.get(&bal_key).unwrap_or(0);
+                        txn.set(bal_key, bal + (amount * 100.0) as u64);
+                    }
+                    match txn.commit() {
+                        Ok(_) => break row,
+                        Err(TxnAborted) => continue,
+                    }
+                };
+                if row.is_some() {
+                    index_ops += 2; // balance read + upsert
+                }
+                row
+            }
         };
 
         if let Some(row) = row_id {
             if let Some(cust) = self.customers.get(row as usize) {
                 let mut cust = cust.lock();
-                let amount = rng.gen_range(1.0..5000.0);
                 cust.balance -= amount;
                 cust.payment_cnt += 1;
             }
@@ -412,6 +494,16 @@ impl TpccDb {
     /// DELIVERY: for each district of a warehouse, range-query the
     /// new-order index over the last 100 orders, select the oldest, delete
     /// it from the new-order index and stamp the carrier on the order row.
+    ///
+    /// On a store-backed database each district's delivery is one
+    /// serializable [`ReadWriteTxn`]: a snapshot *peek* over the pending
+    /// window finds the oldest candidate, a **validated** read of
+    /// `[window start, candidate]` proves it is still the oldest pending
+    /// order (and pins that fact through commit — two deliveries can
+    /// never consume the same order), a validated scan of the order's
+    /// line block computes the order-line sum, and the new-order entry is
+    /// removed — all under one commit timestamp. Validation failures
+    /// retry the district against a fresh snapshot.
     pub fn delivery(&self, tid: usize, rng: &mut SmallRng, scratch: &mut Vec<(u64, u64)>) {
         let cfg = self.cfg;
         let w = rng.gen_range(0..cfg.warehouses);
@@ -421,23 +513,89 @@ impl TpccDb {
             let next =
                 self.next_o_id[(w * DISTRICTS_PER_WAREHOUSE + d) as usize].load(Ordering::Relaxed);
             let low_o = next.saturating_sub(100);
-            let low = new_order_key(w, d, low_o);
-            let high = new_order_key(w, d, next);
-            self.new_order_index.range_query(tid, &low, &high, scratch);
-            index_ops += 1;
-            if let Some(&(oldest_key, order_row)) = scratch.first() {
-                // Delete so the next DELIVERY does not re-deliver it.
-                if self.new_order_index.remove(tid, &oldest_key) {
+            match &self.write_path {
+                WritePath::PerIndex => {
+                    let low = new_order_key(w, d, low_o);
+                    let high = new_order_key(w, d, next);
+                    self.new_order_index.range_query(tid, &low, &high, scratch);
                     index_ops += 1;
-                    let mut orders = self.orders.lock();
-                    if let Some(o) = orders.get_mut(order_row as usize) {
-                        o.carrier_id = Some(carrier);
+                    if let Some(&(oldest_key, order_row)) = scratch.first() {
+                        // Delete so the next DELIVERY does not re-deliver.
+                        if self.new_order_index.remove(tid, &oldest_key) {
+                            index_ops += 1;
+                            let mut orders = self.orders.lock();
+                            if let Some(o) = orders.get_mut(order_row as usize) {
+                                o.carrier_id = Some(carrier);
+                            }
+                        }
                     }
+                }
+                WritePath::StoreTxn(store) => {
+                    index_ops +=
+                        self.delivery_district_rw(store, tid, w, d, low_o, next, carrier, scratch);
                 }
             }
         }
         self.bump_index_ops(index_ops);
         self.stats.delivery.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One district of a store-backed DELIVERY as a serializable
+    /// read-write transaction (see [`TpccDb::delivery`]); returns the
+    /// index operations performed.
+    #[allow(clippy::too_many_arguments)]
+    fn delivery_district_rw(
+        &self,
+        store: &Arc<TpccStore>,
+        tid: usize,
+        w: u64,
+        d: u64,
+        low_o: u64,
+        next: u64,
+        carrier: u64,
+        scratch: &mut Vec<(u64, u64)>,
+    ) -> u64 {
+        let low = Table::NewOrder.key(new_order_key(w, d, low_o));
+        let high = Table::NewOrder.key(new_order_key(w, d, next));
+        loop {
+            let mut txn = ReadWriteTxn::with_tid(store, tid);
+            // Unvalidated peek over the whole window: only seeds the
+            // candidate, so concurrent NEW_ORDERs appending at the top of
+            // the window cannot abort us.
+            txn.range_peek(&low, &high, scratch);
+            let Some(&(oldest_key, order_row)) = scratch.first() else {
+                // Nothing pending in this district.
+                return 1;
+            };
+            // Validated: the candidate is still the oldest pending order
+            // (nothing below it reappeared, nobody delivered it), pinned
+            // through the commit timestamp.
+            let mut confirm = Vec::new();
+            txn.range(&low, &oldest_key, &mut confirm);
+            if confirm != vec![(oldest_key, order_row)] {
+                continue; // lost the race to another delivery; re-read
+            }
+            // Order-line sum over the order's contiguous line block
+            // (validated: the sum is consistent with the delete).
+            let o_id = (oldest_key & ((1u64 << TABLE_SHIFT) - 1)) & ((1u64 << 40) - 1);
+            let ol_low = Table::OrderLine.key(order_line_key(w, d, o_id, 0));
+            let ol_high = Table::OrderLine.key(order_line_key(w, d, o_id, MAX_ORDER_LINES - 1));
+            let mut lines = Vec::new();
+            txn.range(&ol_low, &ol_high, &mut lines);
+            let _ol_sum: u64 = lines.iter().map(|(_, row)| *row).sum();
+            txn.remove(&oldest_key);
+            match txn.commit() {
+                Ok(_) => {
+                    let mut orders = self.orders.lock();
+                    if let Some(o) = orders.get_mut(order_row as usize) {
+                        o.carrier_id = Some(carrier);
+                    }
+                    // window peek + confirm + line scan + delete
+                    return 4;
+                }
+                Err(TxnAborted) => continue,
+            }
+        }
     }
 
     /// Execute one transaction of the paper's mix.
@@ -622,6 +780,124 @@ mod tests {
         for w in writers {
             w.join().unwrap();
         }
+    }
+
+    #[test]
+    fn store_backed_payments_never_lose_updates() {
+        // PAYMENT's balance cell is a store-resident counter updated by a
+        // serializable read-modify-write; the arena mirror is updated
+        // under a per-customer mutex after each commit. A lost store
+        // update (the anomaly unvalidated reads would allow) diverges the
+        // two by at least one full payment (>= 100 cents); rounding
+        // (`(amount * 100.0) as u64`) accounts for at most 1 cent per
+        // payment.
+        const WORKERS: usize = 3;
+        const PAYMENTS: usize = 120;
+        let db = Arc::new(TpccDb::store_backed(small_cfg(), WORKERS));
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(77 + tid as u64);
+                    let mut scratch = Vec::new();
+                    for _ in 0..PAYMENTS {
+                        db.payment(tid, &mut rng, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            db.stats.payment.load(Ordering::Relaxed),
+            (WORKERS * PAYMENTS) as u64
+        );
+        let mut paid_customers = 0usize;
+        for (row, cust) in db.customers.iter().enumerate() {
+            let cust = cust.lock();
+            let store_cents = db
+                .store_balance_cents(0, row as u64)
+                .expect("store-backed balances exist for every customer");
+            let arena_cents = (-cust.balance - 10.0) * 100.0;
+            assert!(
+                (store_cents as f64 - arena_cents).abs() <= cust.payment_cnt as f64 + 0.5,
+                "row {row}: store={store_cents} arena={arena_cents} \
+                 payments={} — a payment was lost",
+                cust.payment_cnt
+            );
+            if cust.payment_cnt > 0 {
+                paid_customers += 1;
+            }
+        }
+        assert!(paid_customers > 0, "some customer must have been paid");
+    }
+
+    #[test]
+    fn store_backed_deliveries_are_exactly_once() {
+        // Two concurrent DELIVERYs racing for the same oldest pending
+        // order: validation lets exactly one commit; the loser re-reads
+        // and takes the next order. Every removed new-order entry must
+        // therefore correspond to exactly one stamped order.
+        const WORKERS: usize = 3;
+        const DELIVERIES: usize = 12;
+        let db = Arc::new(TpccDb::store_backed(small_cfg(), WORKERS));
+        let initial = db.new_order_index.len(0);
+        assert_eq!(db.delivered_orders(), 0);
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(55 + tid as u64);
+                    let mut scratch = Vec::new();
+                    for _ in 0..DELIVERIES {
+                        db.delivery(tid, &mut rng, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let remaining = db.new_order_index.len(0);
+        let delivered = db.delivered_orders();
+        assert!(delivered > 0, "deliveries must make progress");
+        assert_eq!(
+            initial - remaining,
+            delivered,
+            "every consumed new-order entry delivered exactly one order"
+        );
+    }
+
+    #[test]
+    fn store_backed_full_mix_keeps_delivery_invariant() {
+        // The whole store-backed TPC-C surface under concurrency: atomic
+        // NEW_ORDER write txns, serializable PAYMENT RMWs and DELIVERY
+        // scan-deletes. Afterwards, an order is pending (in the new-order
+        // index) iff it has not been delivered.
+        const WORKERS: usize = 3;
+        let db = Arc::new(TpccDb::store_backed(small_cfg(), WORKERS));
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(101 + tid as u64);
+                    let mut scratch = Vec::new();
+                    for _ in 0..150 {
+                        db.run_txn(tid, &mut rng, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(db.committed(), (WORKERS * 150) as u64);
+        assert_eq!(
+            db.new_order_index.len(0) + db.delivered_orders(),
+            db.order_index.len(0),
+            "pending + delivered must cover exactly the committed orders"
+        );
     }
 
     #[test]

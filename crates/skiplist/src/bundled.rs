@@ -11,7 +11,7 @@ use parking_lot::{Mutex, MutexGuard};
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{
     linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
-    TwoPhaseState,
+    StagedOutcomes, TwoPhaseState, TxnValidateError,
 };
 use ebr::{Collector, Guard, ReclaimMode};
 
@@ -230,8 +230,20 @@ where
     ///
     /// `None` means the optimistic entry landed on a node created after the
     /// snapshot and the caller must retry. The caller holds the EBR guard.
-    fn try_collect_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> Option<usize> {
+    /// When `nodes` is supplied, the address of every collected node is
+    /// recorded alongside (see [`Self::txn_range_read`]).
+    fn try_collect_at(
+        &self,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        mut nodes: Option<&mut Vec<(K, usize)>>,
+    ) -> Option<usize> {
         out.clear();
+        if let Some(ns) = nodes.as_deref_mut() {
+            ns.clear();
+        }
         // Phase 1 (GetFirstNodeInRange): descend through the index layers
         // using the newest pointers to reach the data-layer node preceding
         // the range.
@@ -253,6 +265,9 @@ where
         while node != self.tail && unsafe { &*node }.key <= *high {
             let n = unsafe { &*node };
             out.push((n.key, n.val.clone().expect("data node has a value")));
+            if let Some(ns) = nodes.as_deref_mut() {
+                ns.push((n.key, node as usize));
+            }
             node = n.bundle.dereference(ts)?;
         }
         Some(out.len())
@@ -262,8 +277,18 @@ where
     /// head sentinel strictly through bundles (no index layers). Never
     /// restarts — the head's bundle is initialized at timestamp 0 and
     /// cleanup keeps every entry the oldest announced snapshot needs.
-    fn collect_snapshot_at(&self, ts: u64, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+    fn collect_snapshot_at(
+        &self,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        mut nodes: Option<&mut Vec<(K, usize)>>,
+    ) -> usize {
         out.clear();
+        if let Some(ns) = nodes.as_deref_mut() {
+            ns.clear();
+        }
         let mut node = unsafe { &*self.head }
             .bundle
             .dereference(ts)
@@ -277,6 +302,9 @@ where
         while node != self.tail && unsafe { &*node }.key <= *high {
             let n = unsafe { &*node };
             out.push((n.key, n.val.clone().expect("data node has a value")));
+            if let Some(ns) = nodes.as_deref_mut() {
+                ns.push((n.key, node as usize));
+            }
             node = n
                 .bundle
                 .dereference(ts)
@@ -309,11 +337,47 @@ where
         // fall back to the bundle-only data-layer walk, which always
         // succeeds (at the cost of an O(n) entry).
         for _ in 0..MAX_OPTIMISTIC_ATTEMPTS {
-            if let Some(n) = self.try_collect_at(ts, low, high, out) {
+            if let Some(n) = self.try_collect_at(ts, low, high, out, None) {
                 return n;
             }
         }
-        self.collect_snapshot_at(ts, low, high, out)
+        self.collect_snapshot_at(ts, low, high, out, None)
+    }
+
+    /// Transactional range read: collect `low..=high` as of snapshot `ts`
+    /// exactly like [`Self::range_query_at`], additionally recording each
+    /// collected node's address into `nodes` — the per-transaction **read
+    /// set** that [`Self::txn_validate`] re-checks and pins at commit.
+    /// Nodes are immutable once created, so node identity doubles as value
+    /// identity.
+    ///
+    /// Same contract as `range_query_at`, plus: the caller must hold an
+    /// EBR pin on this structure from before the read lease until
+    /// validation so the recorded addresses stay comparable (no reuse).
+    pub fn txn_range_read(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        nodes: &mut Vec<(K, usize)>,
+    ) -> usize {
+        let _guard = self.pin(tid);
+        for _ in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            if let Some(n) = self.try_collect_at(ts, low, high, out, Some(nodes)) {
+                return n;
+            }
+        }
+        self.collect_snapshot_at(ts, low, high, out, Some(nodes))
+    }
+
+    /// Transactional point read: [`Self::txn_range_read`] over the
+    /// degenerate range `[key, key]`, returning the value.
+    pub fn txn_read(&self, tid: usize, ts: u64, key: &K, nodes: &mut Vec<(K, usize)>) -> Option<V> {
+        let mut out = Vec::with_capacity(1);
+        self.txn_range_read(tid, ts, key, key, &mut out, nodes);
+        out.pop().map(|(_, v)| v)
     }
 
     /// Lock `preds[0..=top]`, skipping duplicates, and validate that every
@@ -378,6 +442,9 @@ where
 pub struct ShardTxn<K, V> {
     core: TwoPhaseState<Node<K, V>>,
     undo: Vec<SkipUndo<K, V>>,
+    /// Per-key pre/post images of the staged writes, consumed by
+    /// [`BundledSkipList::txn_validate`].
+    staged: StagedOutcomes<K>,
 }
 
 enum SkipUndo<K, V> {
@@ -418,6 +485,7 @@ where
         ShardTxn {
             core: TwoPhaseState::new(tid),
             undo: Vec::new(),
+            staged: StagedOutcomes::new(),
         }
     }
 
@@ -519,6 +587,8 @@ where
                     }
                     return Err(Conflict);
                 }
+                txn.staged
+                    .record(key, Some(found as usize), Some(found as usize));
                 return Ok(false);
             }
             if !self.txn_lock_and_validate(txn, &preds, &succs, top, None)? {
@@ -543,6 +613,7 @@ where
             // gated on the pending bundle entries' commit timestamp.
             node_ref.fully_linked.store(true, Ordering::SeqCst);
             txn.core.add_created(node);
+            txn.staged.record(key, None, Some(node as usize));
             txn.undo.push(SkipUndo::Link {
                 node,
                 preds,
@@ -581,6 +652,7 @@ where
                         }
                         return Err(Conflict);
                     }
+                    txn.staged.record(*key, None, None);
                     return Ok(false);
                 }
             };
@@ -623,10 +695,70 @@ where
                     .store(v.next[lvl].load(Ordering::Acquire), Ordering::SeqCst);
             }
             txn.core.add_victim(victim);
+            txn.staged.record(*key, Some(victim as usize), None);
             txn.undo.push(SkipUndo::Unlink { victim, preds, top });
             drop(guard);
             return Ok(true);
         }
+    }
+
+    /// Validate one recorded read range of a read-write transaction and
+    /// **pin it until commit**. Must run after every staged write of the
+    /// transaction on this structure, under the store's shard intent lock.
+    ///
+    /// Re-walks the data layer over `low..=high` via the newest pointers,
+    /// locking the level-0 gap predecessor and every in-range node
+    /// (bounded `try_lock` → [`TxnValidateError::Conflict`] on
+    /// contention), then compares the found `(key, node)` list against the
+    /// recorded read adjusted for the transaction's own staged writes. A
+    /// mismatch is a foreign commit inside the range since the leased read
+    /// timestamp: [`TxnValidateError::Invalidated`]. The held locks pin
+    /// the range until finalize/abort — every insert of an in-range key
+    /// must link level 0 through one of them, and every remove must lock
+    /// its victim.
+    pub fn txn_validate(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        low: &K,
+        high: &K,
+        recorded: &[(K, usize)],
+    ) -> Result<(), TxnValidateError> {
+        let expected = txn.staged.expected_now(low, high, recorded)?;
+        let _guard = self.pin(txn.core.tid());
+        bundle::validate_chain(
+            &mut txn.core,
+            &expected,
+            high,
+            self.tail,
+            || {
+                let mut preds = [ptr::null_mut(); MAX_LEVEL];
+                let mut succs = [ptr::null_mut(); MAX_LEVEL];
+                self.find(low, &mut preds, &mut succs);
+                (preds[0], succs[0])
+            },
+            // Safety: nodes produced by find/step are reachable under the
+            // EBR pin above; a locked node is never retired.
+            |core, node| unsafe { core.lock(node, &(*node).lock) },
+            |pred, first| {
+                let p = unsafe { &*pred };
+                !p.marked.load(Ordering::Acquire)
+                    && p.fully_linked.load(Ordering::Acquire)
+                    && p.next[0].load(Ordering::Acquire) == first
+            },
+            |node| unsafe { &*node }.key,
+            |prev, curr| {
+                let c = unsafe { &*curr };
+                // Removed or half-linked nodes are torn observations.
+                if c.marked.load(Ordering::Acquire)
+                    || !c.fully_linked.load(Ordering::Acquire)
+                    || unsafe { &*prev }.next[0].load(Ordering::Acquire) != curr
+                {
+                    None
+                } else {
+                    Some((c.key, c.next[0].load(Ordering::Acquire)))
+                }
+            },
+        )
     }
 
     /// Commit: publish every staged bundle entry with the transaction's
@@ -646,7 +778,7 @@ where
     /// neutralize the pending bundle entries, release the locks, and
     /// retire the nodes the transaction created.
     pub fn txn_abort(&self, txn: ShardTxn<K, V>) {
-        let ShardTxn { core, mut undo } = txn;
+        let ShardTxn { core, mut undo, .. } = txn;
         let tid = core.tid();
         while let Some(op) = undo.pop() {
             match op {
@@ -844,7 +976,7 @@ where
             // it for the bundle recycler. On a failed optimistic attempt
             // restart with a fresh timestamp (Algorithm 3, line 7).
             let ts = self.tracker.start(tid, &self.clock);
-            let collected = self.try_collect_at(ts, low, high, out);
+            let collected = self.try_collect_at(ts, low, high, out, None);
             self.tracker.finish(tid);
             if let Some(n) = collected {
                 return n;
@@ -1139,7 +1271,7 @@ mod tests {
         // The bundle-only fallback agrees with the optimistic path.
         let _guard = s.pin(1);
         let mut snap = Vec::new();
-        s.collect_snapshot_at(ts, &0, &200, &mut snap);
+        s.collect_snapshot_at(ts, &0, &200, &mut snap, None);
         assert_eq!(snap.len(), 50);
         assert!(out.len() == 100 && snap.iter().all(|(k, _)| *k < 50));
     }
@@ -1231,6 +1363,64 @@ mod tests {
         let mut out = Vec::new();
         s.range_query(0, &0, &10, &mut out);
         assert_eq!(out, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn txn_reads_validate_and_detect_staleness() {
+        let ctx = bundle::RqContext::new(2);
+        let s = BundledSkipList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [10u64, 20, 30] {
+            s.insert(0, k, k * 2);
+        }
+        let lease = ctx.lease_read(1);
+        let mut out = Vec::new();
+        let mut nodes = Vec::new();
+        s.txn_range_read(1, lease.ts(), &0, &100, &mut out, &mut nodes);
+        assert_eq!(out, vec![(10, 20), (20, 40), (30, 60)]);
+        let mut pn = Vec::new();
+        assert_eq!(s.txn_read(1, lease.ts(), &30, &mut pn), Some(60));
+        assert_eq!(s.txn_read(1, lease.ts(), &31, &mut pn), None);
+        drop(lease);
+
+        // Unchanged: validates.
+        let mut txn = s.txn_begin(1);
+        assert_eq!(s.txn_validate(&mut txn, &0, &100, &nodes), Ok(()));
+        s.txn_abort(txn);
+        // A foreign insert into the read range invalidates it.
+        s.insert(0, 25, 250);
+        let mut txn = s.txn_begin(1);
+        assert_eq!(
+            s.txn_validate(&mut txn, &0, &100, &nodes),
+            Err(TxnValidateError::Invalidated)
+        );
+        s.txn_abort(txn);
+    }
+
+    #[test]
+    fn txn_validate_reconciles_own_staged_writes() {
+        let ctx = bundle::RqContext::new(2);
+        let s = BundledSkipList::<u64, u64>::with_context(2, ReclaimMode::Reclaim, &ctx);
+        for k in [10u64, 20, 30, 40] {
+            s.insert(0, k, k);
+        }
+        let lease = ctx.lease_read(1);
+        let mut out = Vec::new();
+        let mut nodes = Vec::new();
+        s.txn_range_read(1, lease.ts(), &15, &45, &mut out, &mut nodes);
+        assert_eq!(out, vec![(20, 20), (30, 30), (40, 40)]);
+
+        let mut txn = s.txn_begin(1);
+        assert_eq!(s.txn_prepare_remove(&mut txn, &30), Ok(true));
+        assert_eq!(s.txn_prepare_put(&mut txn, 35, 350), Ok(true));
+        // Own staged remove + insert inside the validated range are
+        // reconciled through the staged outcome images.
+        assert_eq!(s.txn_validate(&mut txn, &15, &45, &nodes), Ok(()));
+        let ts = ctx.advance(1);
+        s.txn_finalize(txn, ts);
+        drop(lease);
+        let mut scan = Vec::new();
+        s.range_query(0, &0, &100, &mut scan);
+        assert_eq!(scan, vec![(10, 10), (20, 20), (35, 350), (40, 40)]);
     }
 
     #[test]

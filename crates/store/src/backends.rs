@@ -3,7 +3,7 @@
 //! bundled workspace structures.
 
 use bundle::api::RangeQuerySet;
-use bundle::{Conflict, RqContext};
+use bundle::{Conflict, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
 
 /// A bundled structure that can back one shard of a sharded store.
@@ -85,6 +85,43 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
     /// Stage a remove; `Ok(false)` = key absent (no-op).
     fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict>;
 
+    /// Transactional snapshot read of `low..=high` at the caller-fixed
+    /// (leased) timestamp `ts`: like [`Self::range_query_at`], but every
+    /// collected node's address is additionally recorded into `nodes` —
+    /// the read-set entry [`Self::txn_validate`] re-checks at commit.
+    ///
+    /// Contract: `ts` must stay announced in the shared tracker (the
+    /// transaction's read lease) and the caller must hold an EBR pin on
+    /// this shard from before the lease until validation, so the recorded
+    /// addresses stay comparable (no node reuse).
+    fn txn_range_read(
+        &self,
+        tid: usize,
+        ts: u64,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        nodes: &mut Vec<(K, usize)>,
+    ) -> usize;
+
+    /// Validate one recorded read range of the transaction and pin it
+    /// (node locks held inside `txn`) until finalize/abort. Must run
+    /// *after* every staged write of the transaction on this shard, under
+    /// the shard's intent lock.
+    ///
+    /// [`TxnValidateError::Conflict`] = lock race, roll back everything
+    /// and retry the transaction; [`TxnValidateError::Invalidated`] = a
+    /// foreign update committed inside the range since the leased read
+    /// timestamp — the abort must propagate to the application, which
+    /// re-runs against a fresh snapshot.
+    fn txn_validate(
+        &self,
+        txn: &mut Self::Txn,
+        low: &K,
+        high: &K,
+        recorded: &[(K, usize)],
+    ) -> Result<(), TxnValidateError>;
+
     /// Commit the shard's staged writes with the transaction's single
     /// timestamp (acquired once from the shared clock *after* every
     /// shard's prepare phase succeeded).
@@ -146,6 +183,28 @@ macro_rules! impl_shard_backend {
 
             fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict> {
                 Self::txn_prepare_remove(self, txn, key)
+            }
+
+            fn txn_range_read(
+                &self,
+                tid: usize,
+                ts: u64,
+                low: &K,
+                high: &K,
+                out: &mut Vec<(K, V)>,
+                nodes: &mut Vec<(K, usize)>,
+            ) -> usize {
+                Self::txn_range_read(self, tid, ts, low, high, out, nodes)
+            }
+
+            fn txn_validate(
+                &self,
+                txn: &mut Self::Txn,
+                low: &K,
+                high: &K,
+                recorded: &[(K, usize)],
+            ) -> Result<(), TxnValidateError> {
+                Self::txn_validate(self, txn, low, high, recorded)
             }
 
             fn txn_finalize(&self, txn: Self::Txn, ts: u64) {

@@ -100,6 +100,28 @@ where
         self.store.apply_txn(self.tid, ops)
     }
 
+    /// Atomically commit a read-write transaction: writes plus a recorded
+    /// read set that must still be current at the commit timestamp; see
+    /// [`BundledStore::apply_rw_txn`]. The `txn` crate's `ReadWriteTxn`
+    /// is the ergonomic front-end for this.
+    pub fn apply_rw_txn(
+        &self,
+        ops: &[crate::TxnOp<K, V>],
+        reads: &[crate::ShardRead<K>],
+    ) -> Result<Vec<bool>, crate::TxnAborted> {
+        self.store.apply_rw_txn(self.tid, ops, reads)
+    }
+
+    /// Open a leased read snapshot on this session's thread id: every
+    /// read through it observes the store at one shared-clock timestamp
+    /// (see [`BundledStore::snapshot`]). At most one snapshot per session
+    /// at a time, and no plain `range_query` while it is live (both use
+    /// the session's tracker slot).
+    #[must_use]
+    pub fn snapshot(&self) -> crate::StoreSnapshot<'_, K, V, S> {
+        self.store.snapshot(self.tid)
+    }
+
     /// Linearizable cross-shard range query into `out` (cleared first).
     pub fn range_query(&self, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
         self.store.range_query(self.tid, low, high, out)

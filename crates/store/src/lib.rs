@@ -84,11 +84,13 @@
 mod backends;
 mod handle;
 mod sharded;
+mod snapshot;
 
 pub use backends::ShardBackend;
-pub use bundle::Conflict;
+pub use bundle::{Conflict, TxnValidateError};
 pub use handle::StoreHandle;
 pub use sharded::{uniform_splits, BundledStore, TxnOp, TxnStats};
+pub use snapshot::{ShardRead, StoreSnapshot, TxnAborted};
 
 /// A store sharded over bundled lazy skip lists (§5 structures).
 pub type SkipListStore<K, V> = BundledStore<K, V, skiplist::BundledSkipList<K, V>>;

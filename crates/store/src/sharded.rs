@@ -5,11 +5,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{Conflict, Recycler, RqContext};
+use bundle::{Conflict, Recycler, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
 
 use crate::backends::ShardBackend;
 use crate::handle::StoreHandle;
+use crate::snapshot::{ShardRead, TxnAborted};
 
 /// One write of a multi-key transaction (see [`BundledStore::apply_txn`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,8 +44,16 @@ impl<K, V> TxnOp<K, V> {
 pub struct TxnStats {
     /// Transactions committed.
     pub commits: u64,
-    /// Prepare rounds that lost a lock race, rolled back, and retried.
+    /// Prepare/validate rounds that lost a lock race, rolled back, and
+    /// retried internally.
     pub conflicts: u64,
+    /// Read-write transactions aborted because a validated read went
+    /// stale before commit (surfaced to the application as
+    /// [`TxnAborted`]; the caller re-runs against a fresh snapshot).
+    pub validation_failures: u64,
+    /// Cumulative size of the read sets submitted to the validate phase:
+    /// one unit per recorded range fragment plus one per recorded entry.
+    pub read_set_size: u64,
 }
 
 /// Dense-tid session allocator state (see [`StoreHandle`]).
@@ -102,6 +111,8 @@ pub struct BundledStore<K, V, S> {
     recycle_cursor: AtomicUsize,
     txn_commits: AtomicU64,
     txn_conflicts: AtomicU64,
+    txn_validation_failures: AtomicU64,
+    txn_read_set: AtomicU64,
     _values: std::marker::PhantomData<V>,
 }
 
@@ -148,6 +159,8 @@ where
             recycle_cursor: AtomicUsize::new(0),
             txn_commits: AtomicU64::new(0),
             txn_conflicts: AtomicU64::new(0),
+            txn_validation_failures: AtomicU64::new(0),
+            txn_read_set: AtomicU64::new(0),
             _values: std::marker::PhantomData,
         }
     }
@@ -241,29 +254,66 @@ where
     ///
     /// [`txn` crate's `WriteTxn`]: StoreHandle::apply_txn
     ///
-    /// Protocol (generalizing Algorithm 1 from one structure to N shards):
-    ///
-    /// 1. acquire the affected shards' write-intent locks in ascending
-    ///    shard order (2PL — deadlock-free by ordering, and at most one
-    ///    transaction prepares per shard at a time);
-    /// 2. stage every write through the backend's two-phase surface
-    ///    ([`ShardBackend::txn_prepare_put`] /
-    ///    [`ShardBackend::txn_prepare_remove`]): structural changes apply
-    ///    eagerly under node locks, bundle entries stay *pending*;
-    /// 3. read the shared clock **once** ([`RqContext::advance`]) — the
-    ///    transaction's single linearization timestamp;
-    /// 4. finalize every pending entry on every shard with that timestamp.
-    ///
-    /// A snapshot fixed before step 3 skips every entry (nothing of the
-    /// batch visible); one fixed after waits on the pending entries and
-    /// sees all of them — all-or-nothing with respect to every range
-    /// query. If any prepare hits a lock conflict with a concurrent
-    /// primitive operation, all shards roll back (aborted entries are
-    /// neutralized so no snapshot ever observes them) and the transaction
-    /// retries with backoff.
+    /// This is the degenerate (empty-read-set) case of the full
+    /// [`BundledStore::apply_rw_txn`] pipeline: with nothing to validate,
+    /// the validate phase is vacuous and the transaction can never abort —
+    /// exactly the pre-read-set semantics, which is how `multi_put` keeps
+    /// its contract unchanged. See `apply_rw_txn` for the protocol.
     pub fn apply_txn(&self, tid: usize, ops: &[TxnOp<K, V>]) -> Vec<bool> {
-        if ops.is_empty() {
-            return Vec::new();
+        self.apply_rw_txn(tid, ops, &[])
+            .expect("a transaction with an empty read set cannot fail validation")
+    }
+
+    /// Atomically commit a read-write transaction: a multi-key,
+    /// multi-shard write batch plus a set of recorded snapshot reads that
+    /// must still be current at the commit timestamp (serializability).
+    ///
+    /// `ops` follows the [`BundledStore::apply_txn`] contract (any order,
+    /// distinct keys, results in caller order). `reads` is the read set
+    /// recorded through a [`crate::StoreSnapshot`] whose lease must still
+    /// be live — all reads were answered at one leased timestamp, and the
+    /// snapshot's EBR pins keep the recorded node identities comparable.
+    ///
+    /// Protocol — an explicit **prepare → validate → advance-clock →
+    /// finalize** pipeline (generalizing Algorithm 1 from one structure
+    /// to N shards, now with OCC-style read validation):
+    ///
+    /// 1. **intents**: acquire the write-intent locks of every involved
+    ///    shard (written *or* read) in ascending shard order (2PL —
+    ///    deadlock-free by ordering, at most one transaction
+    ///    prepares/validates per shard at a time);
+    /// 2. **prepare**: stage every write through the backend's two-phase
+    ///    surface — structural changes apply eagerly under node locks,
+    ///    bundle entries stay *pending*, per-key pre/post images are
+    ///    recorded for the validate phase;
+    /// 3. **validate**: re-walk every recorded read range in the live
+    ///    structure ([`ShardBackend::txn_validate`]), lock it (the same
+    ///    no-op outcome pinning the write path uses), and compare node
+    ///    identities against the recorded read, reconciled with the
+    ///    transaction's own staged writes. A stale read aborts the whole
+    ///    transaction to the caller ([`TxnAborted`]); a lock race rolls
+    ///    back and retries internally with backoff, like any prepare
+    ///    conflict;
+    /// 4. **advance-clock**: read the shared clock **once**
+    ///    ([`RqContext::advance`]) — the transaction's serialization
+    ///    point. The validated reads hold *at this timestamp* because
+    ///    every lock acquired in steps 2–3 is still held. (A read-only
+    ///    transaction stages no pending entries and skips the advance:
+    ///    its serialization point is the validation window itself.)
+    /// 5. **finalize**: publish every pending entry on every shard with
+    ///    that single timestamp and release all locks.
+    ///
+    /// A snapshot fixed before step 4 sees none of the batch; one fixed
+    /// after sees all of it. On abort (conflict or stale read) every
+    /// staged entry is neutralized — invisible at every timestamp.
+    pub fn apply_rw_txn(
+        &self,
+        tid: usize,
+        ops: &[TxnOp<K, V>],
+        reads: &[ShardRead<K>],
+    ) -> Result<Vec<bool>, TxnAborted> {
+        if ops.is_empty() && reads.is_empty() {
+            return Ok(Vec::new());
         }
         // Work in key order regardless of the caller's op order: the
         // 2PL intent acquisition below is only deadlock-free (and only
@@ -289,18 +339,34 @@ where
                 _ => groups.push((shard, i..i + 1)),
             }
         }
+        // Intent set: every shard the transaction writes or validates,
+        // ascending.
+        let mut intent_shards: Vec<usize> = groups
+            .iter()
+            .map(|(s, _)| *s)
+            .chain(reads.iter().map(|r| r.shard))
+            .collect();
+        intent_shards.sort_unstable();
+        intent_shards.dedup();
+        self.txn_read_set.fetch_add(
+            reads
+                .iter()
+                .map(|r| 1 + r.entries.len() as u64)
+                .sum::<u64>(),
+            Ordering::Relaxed,
+        );
 
         let mut attempt = 0u32;
         loop {
-            // Step 1: per-shard write intents, ascending shard order.
-            let _intents: Vec<_> = groups
+            // Phase 1: write intents over every involved shard.
+            let _intents: Vec<_> = intent_shards
                 .iter()
-                .map(|(s, _)| self.intents[*s].lock().unwrap_or_else(|p| p.into_inner()))
+                .map(|s| self.intents[*s].lock().unwrap_or_else(|p| p.into_inner()))
                 .collect();
-            // Step 2: stage on every shard.
-            let mut prepared: Vec<(usize, S::Txn)> = Vec::with_capacity(groups.len());
+            // Phase 2: prepare every write.
+            let mut prepared: Vec<(usize, S::Txn)> = Vec::with_capacity(intent_shards.len());
             let mut results = vec![false; ops.len()];
-            let mut conflicted = false;
+            let mut failure = None;
             'prepare: for (shard, range) in &groups {
                 let backend = &self.shards[*shard];
                 let mut txn = backend.txn_begin(tid);
@@ -332,36 +398,79 @@ where
                         Ok(applied) => results[pos] = applied,
                         Err(Conflict) => {
                             backend.txn_abort(txn);
-                            conflicted = true;
+                            failure = Some(TxnValidateError::Conflict);
                             break 'prepare;
                         }
                     }
                 }
                 prepared.push((*shard, txn));
             }
-            if conflicted {
-                // Roll back every shard staged so far (reverse order) and
-                // retry the whole transaction after a bounded backoff.
+            // Phase 3: validate every recorded read under the intents,
+            // after all of this transaction's writes have staged.
+            if failure.is_none() {
+                for r in reads {
+                    let pos = match prepared.iter().position(|(s, _)| *s == r.shard) {
+                        Some(p) => p,
+                        None => {
+                            // Read-only shard: a token to carry the
+                            // validation locks until finalize.
+                            prepared.push((r.shard, self.shards[r.shard].txn_begin(tid)));
+                            prepared.len() - 1
+                        }
+                    };
+                    let token = &mut prepared[pos].1;
+                    if let Err(e) =
+                        self.shards[r.shard].txn_validate(token, &r.low, &r.high, &r.entries)
+                    {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                // Roll back every shard staged so far (reverse order).
                 while let Some((s, txn)) = prepared.pop() {
                     self.shards[s].txn_abort(txn);
                 }
                 drop(_intents);
-                self.txn_conflicts.fetch_add(1, Ordering::Relaxed);
-                for _ in 0..(1u32 << attempt.min(10)) {
-                    std::hint::spin_loop();
+                match e {
+                    TxnValidateError::Conflict => {
+                        // Lock race: retry the whole transaction after a
+                        // bounded backoff. The recorded reads may still be
+                        // valid — only the walk lost a race.
+                        self.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..(1u32 << attempt.min(10)) {
+                            std::hint::spin_loop();
+                        }
+                        std::thread::yield_now();
+                        attempt = attempt.saturating_add(1);
+                        continue;
+                    }
+                    TxnValidateError::Invalidated => {
+                        // Stale read: no internal retry can help — the
+                        // caller must re-run against a fresh snapshot.
+                        self.txn_validation_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(TxnAborted);
+                    }
                 }
-                std::thread::yield_now();
-                attempt = attempt.saturating_add(1);
-                continue;
             }
-            // Step 3: the transaction's single linearization timestamp.
-            let ts = self.ctx.advance(tid);
-            // Step 4: release every snapshot spinning on the pendings.
+            // Phase 4: the transaction's single serialization timestamp.
+            // Read-only transactions have no pending entries to stamp and
+            // must not advance the clock (an abort-equivalent no-op for
+            // every observer); their serialization point is the validation
+            // window, during which every read was re-checked and locked.
+            let ts = if groups.is_empty() {
+                self.ctx.read()
+            } else {
+                self.ctx.advance(tid)
+            };
+            // Phase 5: release every snapshot spinning on the pendings
+            // (and every validation lock).
             for (s, txn) in prepared {
                 self.shards[s].txn_finalize(txn, ts);
             }
             self.txn_commits.fetch_add(1, Ordering::Relaxed);
-            return results;
+            return Ok(results);
         }
     }
 
@@ -371,6 +480,8 @@ where
         TxnStats {
             commits: self.txn_commits.load(Ordering::Relaxed),
             conflicts: self.txn_conflicts.load(Ordering::Relaxed),
+            validation_failures: self.txn_validation_failures.load(Ordering::Relaxed),
+            read_set_size: self.txn_read_set.load(Ordering::Relaxed),
         }
     }
 
@@ -680,6 +791,35 @@ mod tests {
     }
 
     #[test]
+    fn register_drop_register_tight_loop_never_blocks_with_full_pool() {
+        // Regression guard for `StoreHandle`'s Drop returning its tid to
+        // the pool: with every slot in use, a register->drop->register
+        // loop must always find the just-released slot instead of parking
+        // forever on the condvar. Run it off-thread with a deadline so a
+        // regression fails the test rather than hanging the suite.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let worker = std::thread::spawn(move || {
+            let s = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(2, 100)));
+            // One slot parked for the whole test: the pool is full once
+            // the loop's handle is live.
+            let _parked = s.register();
+            for i in 0..10_000u64 {
+                let h = s.register();
+                assert_eq!(h.tid(), 1, "the released slot is reused");
+                if i % 128 == 0 {
+                    h.insert(i % 100, i);
+                }
+                drop(h);
+            }
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("register->drop->register loop wedged on the tid condvar");
+        worker.join().unwrap();
+    }
+
+    #[test]
     fn register_blocks_until_a_slot_frees_in_a_burst() {
         // 8 worker threads share a 2-slot session pool: every registration
         // must eventually succeed by waiting on the condvar (the old
@@ -803,6 +943,74 @@ mod tests {
         txn_set_upserts::<skiplist::BundledSkipList<u64, u64>>("skiplist");
         txn_set_upserts::<lazylist::BundledLazyList<u64, u64>>("lazylist");
         txn_set_upserts::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+    }
+
+    fn rw_txn_pipeline<S: ShardBackend<u64, u64>>(label: &str) {
+        let s = BundledStore::<u64, u64, S>::new(2, uniform_splits(4, 400));
+        s.insert(0, 10, 1);
+        s.insert(0, 250, 2);
+
+        // A read-modify-write across shards: read 10 and the (empty)
+        // range around 300, write both based on the reads.
+        let mut reads = Vec::new();
+        let snap = s.snapshot(0);
+        assert_eq!(snap.get_recorded(&10, &mut reads), Some(1));
+        let mut out = Vec::new();
+        snap.range_recorded(&300, &390, &mut out, &mut reads);
+        assert!(out.is_empty());
+        let ops = vec![TxnOp::Set(10, 100), TxnOp::Put(300, 3)];
+        let results = s
+            .apply_rw_txn(0, &ops, &reads)
+            .expect("no interference, commit must succeed");
+        drop(snap);
+        assert_eq!(results, vec![true, true], "{label}");
+        assert_eq!(s.get(0, &10), Some(100), "{label}");
+        assert_eq!(s.get(0, &300), Some(3), "{label}");
+        let stats = s.txn_stats();
+        assert_eq!(stats.commits, 1, "{label}");
+        assert_eq!(stats.validation_failures, 0, "{label}");
+        assert!(stats.read_set_size >= 3, "{label}: fragments + entries");
+
+        // Stale read: key 10 changes between the snapshot and the commit.
+        let mut reads = Vec::new();
+        let snap = s.snapshot(0);
+        assert_eq!(snap.get_recorded(&10, &mut reads), Some(100));
+        s.remove(1, &10);
+        let err = s.apply_rw_txn(0, &[TxnOp::Set(10, 999)], &reads);
+        drop(snap);
+        assert_eq!(err, Err(TxnAborted), "{label}: stale read must abort");
+        assert_eq!(s.get(0, &10), None, "{label}: aborted write invisible");
+        assert_eq!(s.txn_stats().validation_failures, 1, "{label}");
+
+        // Phantom: the read-empty range gains a key before commit.
+        let mut reads = Vec::new();
+        let snap = s.snapshot(0);
+        snap.range_recorded(&320, &340, &mut out, &mut reads);
+        s.insert(1, 330, 33);
+        let err = s.apply_rw_txn(0, &[TxnOp::Put(399, 9)], &reads);
+        drop(snap);
+        assert_eq!(err, Err(TxnAborted), "{label}: phantom must abort");
+        assert!(!s.contains(0, &399), "{label}");
+
+        // Read-only transaction: validates without advancing the clock.
+        let clock = s.context().read();
+        let mut reads = Vec::new();
+        let snap = s.snapshot(0);
+        assert_eq!(snap.get_recorded(&300, &mut reads), Some(3));
+        assert_eq!(s.apply_rw_txn(0, &[], &reads), Ok(Vec::new()), "{label}");
+        drop(snap);
+        assert_eq!(
+            s.context().read(),
+            clock,
+            "{label}: read-only txn is clock-free"
+        );
+    }
+
+    #[test]
+    fn rw_txn_pipeline_on_all_backends() {
+        rw_txn_pipeline::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+        rw_txn_pipeline::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+        rw_txn_pipeline::<citrus::BundledCitrusTree<u64, u64>>("citrus");
     }
 
     /// The transactional analogue of `no_shard_skew`: a writer commits

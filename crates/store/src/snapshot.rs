@@ -1,0 +1,275 @@
+//! Leased read snapshots and read-set bookkeeping for read-write
+//! transactions.
+//!
+//! A [`StoreSnapshot`] is the read surface of one read-write transaction:
+//! it pins **every** shard's epoch collector, then leases one timestamp
+//! from the shared clock ([`bundle::RqContext::lease_read`]) — the same
+//! pin-all-shards-then-read-the-clock protocol the store's cross-shard
+//! range query uses, held open across arbitrarily many reads instead of
+//! one. Every read through the snapshot is answered at that single
+//! timestamp, so a transaction's whole read set is one atomic cut of the
+//! store.
+//!
+//! Reads can be *recorded*: each read pushes a [`ShardRead`] describing
+//! the range it covered and the node identities it observed. At commit,
+//! [`crate::BundledStore::apply_rw_txn`] validates every recorded read
+//! under the shard intent locks ([`crate::ShardBackend::txn_validate`])
+//! and pins it until the commit timestamp — which is what upgrades the
+//! optimistic snapshot reads to full serializability.
+
+use bundle::ReadLease;
+
+use crate::backends::ShardBackend;
+use crate::sharded::BundledStore;
+
+/// One recorded read of a read-write transaction: the fragment of
+/// `low..=high` served by shard `shard`, as the list of `(key, node)`
+/// identities observed at the leased read timestamp. An empty `entries`
+/// list is still meaningful — validating it pins the *gap*, so phantoms
+/// inserted into a read-empty range are detected.
+#[derive(Debug, Clone)]
+pub struct ShardRead<K> {
+    /// Index of the shard that served this fragment.
+    pub shard: usize,
+    /// Inclusive lower bound of the read.
+    pub low: K,
+    /// Inclusive upper bound of the read.
+    pub high: K,
+    /// `(key, node address)` pairs observed, in ascending key order.
+    pub entries: Vec<(K, usize)>,
+}
+
+/// A read-write transaction aborted at commit because one of its
+/// validated reads went stale: another transaction (or primitive
+/// operation) committed to a read key — or into a read range — between
+/// the leased read timestamp and validation. The transaction's writes
+/// were rolled back completely (no snapshot at any timestamp observes
+/// them); re-run the transaction body against a fresh snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnAborted;
+
+impl std::fmt::Display for TxnAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("read-write transaction aborted: a validated read went stale before commit")
+    }
+}
+
+impl std::error::Error for TxnAborted {}
+
+/// A leased read snapshot over the whole store (see the module docs).
+///
+/// Holds, for its entire lifetime: one EBR pin per shard (so every node a
+/// fixed-timestamp read can reach — and every node identity recorded in a
+/// read set — stays allocated) and the read lease announcing the snapshot
+/// timestamp in the shared tracker (so bundle cleanup preserves every
+/// entry the snapshot needs). Drop the snapshot to release both.
+///
+/// One snapshot per registered `tid` at a time: the lease occupies the
+/// tid's tracker slot, so the owning thread must not run a plain
+/// `range_query` (or take a second snapshot) on the same tid while it is
+/// live.
+pub struct StoreSnapshot<'a, K, V, S> {
+    store: &'a BundledStore<K, V, S>,
+    tid: usize,
+    ts: u64,
+    _lease: ReadLease,
+    _guards: Vec<ebr::Guard<'a>>,
+}
+
+impl<K, V, S> BundledStore<K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// Open a leased read snapshot for `tid`: pin every shard, then read
+    /// and announce the shared clock once. All reads through the returned
+    /// handle observe the store at that single timestamp.
+    pub fn snapshot(&self, tid: usize) -> StoreSnapshot<'_, K, V, S> {
+        // Pin every shard BEFORE fixing the timestamp, exactly like the
+        // cross-shard range query: a node removed with a timestamp newer
+        // than the lease retires only after the clock read below, so these
+        // pins keep every node the fixed-timestamp reads can touch alive.
+        let guards: Vec<ebr::Guard<'_>> = (0..self.shard_count())
+            .map(|i| self.shard(i).pin(tid))
+            .collect();
+        let lease = self.context().lease_read(tid);
+        StoreSnapshot {
+            store: self,
+            tid,
+            ts: lease.ts(),
+            _lease: lease,
+            _guards: guards,
+        }
+    }
+}
+
+impl<K, V, S> StoreSnapshot<'_, K, V, S> {
+    /// The leased snapshot timestamp every read is answered at.
+    #[must_use]
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// The dense thread id the snapshot is leased on.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl<K, V, S> StoreSnapshot<'_, K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// Unrecorded point read at the snapshot timestamp: a versioned peek
+    /// that does not join the read set (commit will not validate it).
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut out = Vec::with_capacity(1);
+        let mut nodes = Vec::new();
+        let shard = self.store.shard_of(key);
+        self.store
+            .shard(shard)
+            .txn_range_read(self.tid, self.ts, key, key, &mut out, &mut nodes);
+        out.pop().map(|(_, v)| v)
+    }
+
+    /// Recorded point read: like [`StoreSnapshot::get`], additionally
+    /// pushing the observation into `reads` for commit-time validation.
+    pub fn get_recorded(&self, key: &K, reads: &mut Vec<ShardRead<K>>) -> Option<V> {
+        let mut out = Vec::with_capacity(1);
+        let mut nodes = Vec::new();
+        let shard = self.store.shard_of(key);
+        self.store
+            .shard(shard)
+            .txn_range_read(self.tid, self.ts, key, key, &mut out, &mut nodes);
+        reads.push(ShardRead {
+            shard,
+            low: *key,
+            high: *key,
+            entries: nodes,
+        });
+        out.pop().map(|(_, v)| v)
+    }
+
+    /// Unrecorded range read at the snapshot timestamp (versioned peek).
+    pub fn range(&self, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        self.range_inner(low, high, out, None)
+    }
+
+    /// Recorded range read: collects `low..=high` at the snapshot
+    /// timestamp and pushes one [`ShardRead`] per overlapping shard into
+    /// `reads` — including empty fragments, whose validation pins the gap
+    /// against phantoms.
+    pub fn range_recorded(
+        &self,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        reads: &mut Vec<ShardRead<K>>,
+    ) -> usize {
+        self.range_inner(low, high, out, Some(reads))
+    }
+
+    fn range_inner(
+        &self,
+        low: &K,
+        high: &K,
+        out: &mut Vec<(K, V)>,
+        mut reads: Option<&mut Vec<ShardRead<K>>>,
+    ) -> usize {
+        out.clear();
+        if low > high {
+            return 0;
+        }
+        let first = self.store.shard_of(low);
+        let last = self.store.shard_of(high);
+        let mut scratch = Vec::new();
+        let mut nodes = Vec::new();
+        for shard in first..=last {
+            self.store.shard(shard).txn_range_read(
+                self.tid,
+                self.ts,
+                low,
+                high,
+                &mut scratch,
+                &mut nodes,
+            );
+            out.append(&mut scratch);
+            if let Some(rs) = reads.as_deref_mut() {
+                rs.push(ShardRead {
+                    shard,
+                    low: *low,
+                    high: *high,
+                    entries: std::mem::take(&mut nodes),
+                });
+            } else {
+                nodes.clear();
+            }
+        }
+        out.len()
+    }
+}
+
+impl<K, V, S> std::fmt::Debug for StoreSnapshot<'_, K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSnapshot")
+            .field("tid", &self.tid)
+            .field("ts", &self.ts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{uniform_splits, LazyListStore, SkipListStore};
+    use bundle::api::ConcurrentSet;
+
+    #[test]
+    fn snapshot_reads_are_one_atomic_cut() {
+        let s = SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400));
+        s.insert(0, 10, 1);
+        s.insert(0, 250, 2);
+        let snap = s.snapshot(1);
+        // Updates after the lease are invisible to every read.
+        s.insert(0, 20, 3);
+        s.remove(0, &250);
+        assert_eq!(snap.get(&10), Some(1));
+        assert_eq!(snap.get(&20), None);
+        assert_eq!(snap.get(&250), Some(2));
+        let mut out = Vec::new();
+        snap.range(&0, &400, &mut out);
+        assert_eq!(out, vec![(10, 1), (250, 2)]);
+        drop(snap);
+        let snap = s.snapshot(1);
+        assert_eq!(snap.get(&20), Some(3));
+        assert_eq!(snap.get(&250), None);
+    }
+
+    #[test]
+    fn recorded_reads_cover_every_overlapping_shard() {
+        let s = LazyListStore::<u64, u64>::new(1, uniform_splits(4, 400));
+        s.insert(0, 10, 1);
+        s.insert(0, 150, 2);
+        let snap = s.snapshot(0);
+        let mut out = Vec::new();
+        let mut reads = Vec::new();
+        snap.range_recorded(&0, &399, &mut out, &mut reads);
+        assert_eq!(out, vec![(10, 1), (150, 2)]);
+        // One fragment per shard, empty fragments included (gap pinning).
+        assert_eq!(reads.len(), 4);
+        assert_eq!(reads[0].entries[0].0, 10, "fragment keys are recorded");
+        assert_eq!(reads[0].entries.len(), 1);
+        assert_eq!(reads[1].entries.len(), 1);
+        assert!(reads[2].entries.is_empty());
+        assert!(reads[3].entries.is_empty());
+        let mut point = Vec::new();
+        assert_eq!(snap.get_recorded(&150, &mut point), Some(2));
+        assert_eq!(point.len(), 1);
+        assert_eq!(point[0].shard, 1);
+        assert_eq!(point[0].entries[0].0, 150);
+    }
+}

@@ -1,45 +1,62 @@
-//! # txn — atomic cross-shard write transactions for the bundled store
+//! # txn — serializable transactions for the sharded bundled store
 //!
-//! The sharded [`store::BundledStore`] already gives *reads* the paper's
-//! headline guarantee across shards: one shared clock, one timestamp per
-//! range query, no shard skew. This crate is the write-side counterpart: a
-//! [`WriteTxn`] stages a multi-key write set and commits it as **one
-//! atomic cut** — every key of the batch becomes visible at a single
-//! timestamp, on every shard, to every range query and snapshot read.
+//! The sharded [`store::BundledStore`] gives *reads* the paper's headline
+//! guarantee across shards (one shared clock, one timestamp per range
+//! query, no shard skew) and — since the write-transaction layer — gives
+//! multi-key write batches a single atomic commit timestamp. This crate
+//! is the application surface on top of both: [`ReadWriteTxn`], a full
+//! serializable read-write transaction, and [`WriteTxn`], its write-only
+//! specialization (the original API, preserved as a thin wrapper).
 //!
-//! ## How it works
+//! ## Read-write transactions
 //!
-//! `WriteTxn` is a purely local staging buffer (`BTreeMap` of the write
-//! set, giving sorted, duplicate-free keys and read-your-writes lookups).
-//! Nothing touches the store until [`WriteTxn::commit`], which hands the
-//! sorted ops to [`store::BundledStore::apply_txn`]:
+//! A [`ReadWriteTxn`] answers every read at **one leased snapshot
+//! timestamp**: the first read opens a [`store::StoreSnapshot`] — pin all
+//! shards, read the shared clock once, announce it in the tracker
+//! ([`bundle::RqContext::lease_read`]) — and every `get`/`range` resolves
+//! through the bundles at that timestamp, overlaid with the transaction's
+//! own staged writes (read-your-writes). Each validated read records the
+//! node identities it observed into the transaction's **read set**.
 //!
-//! 1. per-shard **write intents** are acquired in shard order (2PL,
-//!    deadlock-free by ordering),
-//! 2. each shard stages its writes through the backend two-phase surface —
-//!    structural changes apply eagerly under node locks, but every
-//!    affected bundle entry is installed *pending* (the paper's Algorithm
-//!    2 state),
-//! 3. the shared clock is advanced **once**, and
-//! 4. every pending entry on every shard is finalized with that single
-//!    timestamp.
+//! [`ReadWriteTxn::commit`] hands writes + read set to
+//! [`store::BundledStore::apply_rw_txn`], an explicit **prepare →
+//! validate → advance-clock → finalize** pipeline:
 //!
-//! A snapshot fixed before step 3 resolves past the pending entries and
-//! sees none of the batch; one fixed after waits for finalization and sees
-//! all of it. Lock conflicts with concurrent primitive operations roll the
-//! whole transaction back (pending entries are neutralized, structural
-//! changes undone) and retry — aborted writes are invisible at *every*
-//! timestamp.
+//! 1. per-shard **write intents** over every involved shard, ascending
+//!    (2PL, deadlock-free by ordering);
+//! 2. **prepare**: writes stage eagerly under node locks, bundle entries
+//!    pending (Algorithm 2 state), pre/post images recorded;
+//! 3. **validate**: every recorded read range is re-walked in the live
+//!    structure, locked (the write path's no-op outcome pinning applied
+//!    to reads), and compared against the recorded node identities —
+//!    reconciled with the transaction's own staged writes. A stale read
+//!    aborts to the caller as [`store::TxnAborted`]; lock races roll back
+//!    and retry internally;
+//! 4. the shared clock advances **once** — the serialization point. The
+//!    validated reads still hold there because their locks are still
+//!    held, so the transaction behaves exactly as if it executed
+//!    atomically at that timestamp: full serializability;
+//! 5. every pending entry finalizes with that single timestamp.
 //!
-//! ## Reads
+//! On [`store::TxnAborted`] the application re-runs the transaction body
+//! against a fresh snapshot ([`StoreTxnExt::run_rw`] packages the retry
+//! loop).
 //!
-//! Primitive `get`/`contains` on the store read the newest pointers and
-//! may observe a transaction's eagerly-applied writes before its commit
-//! timestamp is published (read-uncommitted, exactly as fast as before).
-//! For reads that serialize with transactions use [`WriteTxn::get`]
-//! (read-your-writes inside a transaction) or [`StoreTxnExt::snapshot_get`]
-//! / [`TxnStore::get`], which resolve through a single-key snapshot read —
-//! linearizable with every commit.
+//! ## Write-only transactions
+//!
+//! [`WriteTxn`] is [`ReadWriteTxn`] with an empty read set: the validate
+//! phase is vacuous, commit can never abort, and the behavior (and API)
+//! of the original write-only layer is preserved — `commit` returns a
+//! plain [`TxnReceipt`]. Its `get` is read-your-writes falling through to
+//! a *versioned* store read at the leased snapshot timestamp (all gets of
+//! one transaction observe one atomic cut), without joining the read set.
+//!
+//! ## Reads outside transactions
+//!
+//! Primitive `get`/`contains` on the store read newest pointers and may
+//! observe a transaction's eagerly-applied writes before its commit
+//! timestamp (read-uncommitted, zero overhead). [`StoreTxnExt::snapshot_get`]
+//! / [`TxnStore::get`] are linearizable single-key snapshot reads.
 //!
 //! ## Example
 //!
@@ -51,15 +68,20 @@
 //! let ts = Arc::new(SkipListTxnStore::<u64, u64>::new(2, uniform_splits(4, 1000)));
 //! let session = ts.register();
 //!
-//! // Stage a cross-shard batch and commit it atomically.
+//! // Write-only: stage a cross-shard batch, commit atomically.
 //! let mut txn = session.txn();
 //! txn.put(10, 1).put(400, 2).remove(&900);
 //! assert_eq!(txn.get(&10), Some(1), "read-your-writes");
 //! let receipt = txn.commit();
 //! assert_eq!(receipt.applied_count(), 2);
 //!
-//! // Serializable point read.
-//! assert_eq!(session.snapshot_get(&400), Some(2));
+//! // Read-write: a serializable read-modify-write with automatic retry.
+//! let (_, receipt) = session.run_rw(|txn| {
+//!     let v = txn.get(&400).unwrap_or(0);
+//!     txn.set(400, v + 1);
+//! });
+//! assert_eq!(receipt.applied_count(), 1);
+//! assert_eq!(session.snapshot_get(&400), Some(3));
 //! ```
 
 use std::collections::BTreeMap;
@@ -67,9 +89,11 @@ use std::sync::Arc;
 
 use bundle::api::RangeQuerySet;
 use ebr::ReclaimMode;
-use store::{BundledStore, ShardBackend, StoreHandle, TxnOp, TxnStats};
+use store::{
+    BundledStore, ShardBackend, ShardRead, StoreHandle, StoreSnapshot, TxnAborted, TxnOp, TxnStats,
+};
 
-/// One staged write of a [`WriteTxn`].
+/// One staged write of a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Staged<V> {
     Put(V),
@@ -96,30 +120,40 @@ impl<K> TxnReceipt<K> {
     }
 }
 
-/// A multi-key, multi-shard write transaction over a
-/// [`store::BundledStore`].
+/// A serializable multi-key, multi-shard **read-write transaction** over
+/// a [`store::BundledStore`] (see the crate docs for the protocol).
 ///
-/// Writes are staged locally (sorted and deduplicated — the last write per
-/// key wins) and nothing touches the store until [`WriteTxn::commit`]
-/// applies the whole batch under **one** commit timestamp. Dropping the
-/// transaction (or calling [`WriteTxn::rollback`]) discards the staged
-/// writes with zero store-side cleanup.
-pub struct WriteTxn<'a, K, V, S> {
+/// Reads are answered at one leased snapshot timestamp and recorded for
+/// commit-time validation ([`ReadWriteTxn::get`] / [`ReadWriteTxn::range`];
+/// the `peek` variants skip recording). Writes are staged locally
+/// (`BTreeMap` ⇒ sorted, deduplicated, read-your-writes) and touch the
+/// store only at [`ReadWriteTxn::commit`], which either commits everything
+/// under one timestamp — with every validated read still current there —
+/// or aborts completely ([`store::TxnAborted`], re-run against a fresh
+/// snapshot). Dropping the transaction (or [`ReadWriteTxn::rollback`])
+/// discards it with zero store-side cleanup.
+pub struct ReadWriteTxn<'a, K, V, S> {
     store: &'a BundledStore<K, V, S>,
     tid: usize,
+    /// Lazily opened at the first read; holds the read lease and the
+    /// per-shard EBR pins until commit/rollback.
+    snapshot: Option<StoreSnapshot<'a, K, V, S>>,
+    reads: Vec<ShardRead<K>>,
     writes: BTreeMap<K, Staged<V>>,
 }
 
-impl<K: std::fmt::Debug, V: std::fmt::Debug, S> std::fmt::Debug for WriteTxn<'_, K, V, S> {
+impl<K: std::fmt::Debug, V: std::fmt::Debug, S> std::fmt::Debug for ReadWriteTxn<'_, K, V, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WriteTxn")
+        f.debug_struct("ReadWriteTxn")
             .field("tid", &self.tid)
+            .field("read_ts", &self.snapshot.as_ref().map(|s| s.ts()))
+            .field("reads", &self.reads.len())
             .field("writes", &self.writes)
             .finish()
     }
 }
 
-impl<'a, K, V, S> WriteTxn<'a, K, V, S>
+impl<'a, K, V, S> ReadWriteTxn<'a, K, V, S>
 where
     K: Copy + Ord + Default + Send + Sync,
     V: Clone + Send + Sync,
@@ -128,13 +162,105 @@ where
     /// Begin a transaction using an explicitly-managed dense thread id.
     ///
     /// The caller is responsible for the usual tid discipline (one thread
-    /// per id at a time); prefer [`StoreTxnExt::txn`] on a registered
-    /// [`StoreHandle`], which owns its id.
+    /// per id at a time, no concurrent range query or second snapshot on
+    /// the id while the transaction has read anything); prefer
+    /// [`StoreTxnExt::rw_txn`] on a registered [`StoreHandle`].
     pub fn with_tid(store: &'a BundledStore<K, V, S>, tid: usize) -> Self {
-        WriteTxn {
+        ReadWriteTxn {
             store,
             tid,
+            snapshot: None,
+            reads: Vec::new(),
             writes: BTreeMap::new(),
+        }
+    }
+
+    /// The leased read timestamp, if any read has happened yet. All reads
+    /// of the transaction are answered at this one timestamp.
+    #[must_use]
+    pub fn read_ts(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(|s| s.ts())
+    }
+
+    /// Number of recorded (commit-validated) read fragments.
+    #[must_use]
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    fn ensure_snapshot(&mut self) {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(self.store.snapshot(self.tid));
+        }
+    }
+
+    /// Validated read: staged writes first (read-your-writes), then a
+    /// snapshot read at the leased timestamp, **recorded** into the read
+    /// set — commit fails unless the key is still unchanged at the commit
+    /// timestamp.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.writes.get(key) {
+            Some(Staged::Put(v)) | Some(Staged::Set(v)) => Some(v.clone()),
+            Some(Staged::Remove) => None,
+            None => {
+                self.ensure_snapshot();
+                let snap = self.snapshot.as_ref().expect("just ensured");
+                snap.get_recorded(key, &mut self.reads)
+            }
+        }
+    }
+
+    /// Unvalidated read: same snapshot semantics as [`ReadWriteTxn::get`]
+    /// but the observation does not join the read set — commit will not
+    /// re-check it. Use for reads whose staleness the application
+    /// tolerates (e.g. a scan that only seeds a later validated read).
+    pub fn peek(&mut self, key: &K) -> Option<V> {
+        match self.writes.get(key) {
+            Some(Staged::Put(v)) | Some(Staged::Set(v)) => Some(v.clone()),
+            Some(Staged::Remove) => None,
+            None => {
+                self.ensure_snapshot();
+                self.snapshot.as_ref().expect("just ensured").get(key)
+            }
+        }
+    }
+
+    /// Validated range read: collect `low..=high` at the leased snapshot
+    /// timestamp, overlay the transaction's staged writes, and record the
+    /// observation (per overlapping shard, empty fragments included — so
+    /// phantoms inserted into the range abort the commit).
+    pub fn range(&mut self, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        self.ensure_snapshot();
+        let snap = self.snapshot.as_ref().expect("just ensured");
+        snap.range_recorded(low, high, out, &mut self.reads);
+        self.overlay(low, high, out);
+        out.len()
+    }
+
+    /// Unvalidated range read ([`ReadWriteTxn::peek`]'s range analogue).
+    pub fn range_peek(&mut self, low: &K, high: &K, out: &mut Vec<(K, V)>) -> usize {
+        self.ensure_snapshot();
+        let snap = self.snapshot.as_ref().expect("just ensured");
+        snap.range(low, high, out);
+        self.overlay(low, high, out);
+        out.len()
+    }
+
+    /// Merge the staged writes of `low..=high` over a sorted snapshot
+    /// fragment (read-your-writes for range reads).
+    fn overlay(&self, low: &K, high: &K, out: &mut Vec<(K, V)>) {
+        for (k, w) in self.writes.range(*low..=*high) {
+            match w {
+                Staged::Put(v) | Staged::Set(v) => match out.binary_search_by(|e| e.0.cmp(k)) {
+                    Ok(i) => out[i].1 = v.clone(),
+                    Err(i) => out.insert(i, (*k, v.clone())),
+                },
+                Staged::Remove => {
+                    if let Ok(i) = out.binary_search_by(|e| e.0.cmp(k)) {
+                        out.remove(i);
+                    }
+                }
+            }
         }
     }
 
@@ -160,18 +286,6 @@ where
         self
     }
 
-    /// Read-your-writes lookup: staged writes first, then a linearizable
-    /// single-key snapshot read of the store (atomic with respect to every
-    /// committed transaction).
-    #[must_use]
-    pub fn get(&self, key: &K) -> Option<V> {
-        match self.writes.get(key) {
-            Some(Staged::Put(v)) | Some(Staged::Set(v)) => Some(v.clone()),
-            Some(Staged::Remove) => None,
-            None => snapshot_get(self.store, self.tid, key),
-        }
-    }
-
     /// Number of staged writes.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -184,18 +298,35 @@ where
         self.writes.is_empty()
     }
 
-    /// Discard the staged writes. Equivalent to dropping the transaction —
-    /// uncommitted writes never touch the store, so there is nothing to
-    /// undo.
+    /// Discard the transaction: staged writes vanish, the read lease and
+    /// shard pins release. Equivalent to dropping it.
     pub fn rollback(self) {}
 
-    /// Atomically commit the staged writes: all of them become visible at
-    /// one timestamp, on every shard, or — on internal conflict — the
-    /// commit retries until it succeeds.
-    pub fn commit(self) -> TxnReceipt<K> {
-        let keys: Vec<K> = self.writes.keys().copied().collect();
-        let ops: Vec<TxnOp<K, V>> = self
-            .writes
+    /// Commit: all staged writes become visible at one timestamp, on
+    /// every shard, with every validated read checked (and locked) to
+    /// still hold at that timestamp — or nothing happens at all and
+    /// [`store::TxnAborted`] asks the caller to re-run against a fresh
+    /// snapshot. Internal lock conflicts retry transparently.
+    ///
+    /// A transaction with reads but no writes is a *read-only*
+    /// serializable transaction: commit validates the read set without
+    /// advancing the shared clock.
+    pub fn commit(self) -> Result<TxnReceipt<K>, TxnAborted> {
+        let ReadWriteTxn {
+            store,
+            tid,
+            snapshot,
+            reads,
+            writes,
+        } = self;
+        if writes.is_empty() && reads.is_empty() {
+            return Ok(TxnReceipt {
+                applied: Vec::new(),
+                stats: store.txn_stats(),
+            });
+        }
+        let keys: Vec<K> = writes.keys().copied().collect();
+        let ops: Vec<TxnOp<K, V>> = writes
             .into_iter()
             .map(|(k, w)| match w {
                 Staged::Put(v) => TxnOp::Put(k, v),
@@ -203,11 +334,102 @@ where
                 Staged::Remove => TxnOp::Remove(k),
             })
             .collect();
-        let results = self.store.apply_txn(self.tid, &ops);
-        TxnReceipt {
+        let outcome = store.apply_rw_txn(tid, &ops, &reads);
+        // The snapshot (read lease + per-shard EBR pins) must survive
+        // until validation finished comparing node identities; only now
+        // may it release.
+        drop(snapshot);
+        let results = outcome?;
+        Ok(TxnReceipt {
             applied: keys.into_iter().zip(results).collect(),
-            stats: self.store.txn_stats(),
+            stats: store.txn_stats(),
+        })
+    }
+}
+
+/// A multi-key, multi-shard **write-only** transaction: the original
+/// write-transaction API, now a thin wrapper over [`ReadWriteTxn`] with
+/// an empty read set — commit can never fail validation, so it returns a
+/// plain [`TxnReceipt`] exactly as before.
+///
+/// [`WriteTxn::get`] is read-your-writes falling through to a *versioned*
+/// snapshot read at the transaction's leased timestamp (all gets observe
+/// one atomic cut) without joining the read set; use [`ReadWriteTxn`]
+/// when reads must be serializable with the writes.
+pub struct WriteTxn<'a, K, V, S> {
+    inner: ReadWriteTxn<'a, K, V, S>,
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug, S> std::fmt::Debug for WriteTxn<'_, K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTxn")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<'a, K, V, S> WriteTxn<'a, K, V, S>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+    S: ShardBackend<K, V>,
+{
+    /// Begin a write-only transaction on an explicitly-managed dense
+    /// thread id (prefer [`StoreTxnExt::txn`] on a registered handle).
+    pub fn with_tid(store: &'a BundledStore<K, V, S>, tid: usize) -> Self {
+        WriteTxn {
+            inner: ReadWriteTxn::with_tid(store, tid),
         }
+    }
+
+    /// Stage `key -> value` (set-insert at commit). Overwrites any
+    /// earlier staged write of `key`.
+    pub fn put(&mut self, key: K, value: V) -> &mut Self {
+        self.inner.put(key, value);
+        self
+    }
+
+    /// Stage an upsert of `key -> value` (atomic replace at commit).
+    pub fn set(&mut self, key: K, value: V) -> &mut Self {
+        self.inner.set(key, value);
+        self
+    }
+
+    /// Stage a removal of `key`.
+    pub fn remove(&mut self, key: &K) -> &mut Self {
+        self.inner.remove(key);
+        self
+    }
+
+    /// Read-your-writes lookup: staged writes first, then a versioned
+    /// snapshot read at the transaction's leased timestamp (atomic with
+    /// respect to every committed transaction; not validated at commit).
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.inner.peek(key)
+    }
+
+    /// Number of staged writes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Discard the staged writes (equivalent to dropping).
+    pub fn rollback(self) {}
+
+    /// Atomically commit the staged writes: all of them become visible at
+    /// one timestamp, on every shard, or — on internal conflict — the
+    /// commit retries until it succeeds.
+    pub fn commit(self) -> TxnReceipt<K> {
+        self.inner
+            .commit()
+            .expect("write-only transactions record no reads and cannot fail validation")
     }
 }
 
@@ -227,11 +449,23 @@ where
     out.pop().map(|(_, v)| v)
 }
 
-/// Transaction entry points for a registered [`StoreHandle`] session —
-/// the `StoreHandle::txn()` API.
+/// Transaction entry points for a registered [`StoreHandle`] session.
 pub trait StoreTxnExt<'a, K, V, S> {
-    /// Begin a write transaction bound to this session's thread id.
+    /// Begin a write-only transaction bound to this session's thread id.
     fn txn(&'a self) -> WriteTxn<'a, K, V, S>;
+
+    /// Begin a serializable read-write transaction bound to this
+    /// session's thread id.
+    fn rw_txn(&'a self) -> ReadWriteTxn<'a, K, V, S>;
+
+    /// Run `body` inside a read-write transaction, committing at the end;
+    /// on [`store::TxnAborted`] (a validated read went stale) the body
+    /// re-runs against a fresh snapshot until the commit succeeds.
+    /// Returns the last body result and the commit receipt.
+    fn run_rw<R>(
+        &'a self,
+        body: impl FnMut(&mut ReadWriteTxn<'a, K, V, S>) -> R,
+    ) -> (R, TxnReceipt<K>);
 
     /// Linearizable single-key read that serializes with transactions.
     fn snapshot_get(&self, key: &K) -> Option<V>;
@@ -247,6 +481,24 @@ where
         WriteTxn::with_tid(self.store(), self.tid())
     }
 
+    fn rw_txn(&'a self) -> ReadWriteTxn<'a, K, V, S> {
+        ReadWriteTxn::with_tid(self.store(), self.tid())
+    }
+
+    fn run_rw<R>(
+        &'a self,
+        mut body: impl FnMut(&mut ReadWriteTxn<'a, K, V, S>) -> R,
+    ) -> (R, TxnReceipt<K>) {
+        loop {
+            let mut txn = self.rw_txn();
+            let r = body(&mut txn);
+            match txn.commit() {
+                Ok(receipt) => return (r, receipt),
+                Err(TxnAborted) => continue,
+            }
+        }
+    }
+
     fn snapshot_get(&self, key: &K) -> Option<V> {
         snapshot_get(self.store(), self.tid(), key)
     }
@@ -254,8 +506,8 @@ where
 
 /// A [`BundledStore`] wrapper whose read path is transaction-serializable
 /// by default: `get` resolves through snapshot reads, writes go through
-/// [`WriteTxn`] batches (or the inherited single-key operations, which
-/// remain individually linearizable).
+/// [`WriteTxn`] / [`ReadWriteTxn`] batches (or the inherited single-key
+/// operations, which remain individually linearizable).
 ///
 /// Cheap to share (`Arc` inside is exposed via [`TxnStore::inner`] for
 /// interop with code that wants the raw store).
@@ -313,9 +565,14 @@ where
         self.inner.try_register()
     }
 
-    /// Begin a write transaction on an explicitly-managed thread id.
+    /// Begin a write-only transaction on an explicitly-managed thread id.
     pub fn txn_with_tid(&self, tid: usize) -> WriteTxn<'_, K, V, S> {
         WriteTxn::with_tid(&self.inner, tid)
+    }
+
+    /// Begin a read-write transaction on an explicitly-managed thread id.
+    pub fn rw_txn_with_tid(&self, tid: usize) -> ReadWriteTxn<'_, K, V, S> {
+        ReadWriteTxn::with_tid(&self.inner, tid)
     }
 
     /// Linearizable single-key read that serializes with transactions.
@@ -376,6 +633,24 @@ mod tests {
     }
 
     #[test]
+    fn write_txn_gets_share_one_snapshot() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(2, 100)));
+        let h = store.register();
+        h.insert(10, 1);
+        let mut txn = h.txn();
+        assert_eq!(txn.get(&10), Some(1));
+        // A foreign update after the first get is invisible to the
+        // transaction's later gets (one leased timestamp for all reads)...
+        store.insert(1, 20, 2);
+        store.remove(1, &10);
+        assert_eq!(txn.get(&20), None);
+        assert_eq!(txn.get(&10), Some(1));
+        // ...and being unvalidated, the commit still succeeds.
+        let receipt = txn.commit();
+        assert_eq!(receipt.applied_count(), 0);
+    }
+
+    #[test]
     fn set_upserts_atomically() {
         let store = Arc::new(CitrusStore::<u64, u64>::new(2, uniform_splits(4, 400)));
         let h = store.register();
@@ -422,6 +697,111 @@ mod tests {
     }
 
     #[test]
+    fn rw_txn_validated_read_modify_write_round_trip() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        h.insert(10, 5);
+        h.insert(300, 7);
+
+        let mut txn = h.rw_txn();
+        let a = txn.get(&10).unwrap();
+        let b = txn.get(&300).unwrap();
+        assert_eq!(txn.read_ts(), txn.read_ts(), "one leased timestamp");
+        assert!(txn.read_set_len() >= 2);
+        txn.set(10, a + b).remove(&300);
+        // Read-your-writes through the validated surface.
+        assert_eq!(txn.get(&10), Some(12));
+        assert_eq!(txn.get(&300), None);
+        let receipt = txn.commit().expect("no interference");
+        assert_eq!(receipt.applied, vec![(10, true), (300, true)]);
+        assert_eq!(h.snapshot_get(&10), Some(12));
+        assert!(!h.contains(&300));
+        assert_eq!(store.txn_stats().validation_failures, 0);
+    }
+
+    #[test]
+    fn rw_txn_aborts_on_stale_read_and_run_rw_retries() {
+        let store = Arc::new(LazyListStoreU64::new(3, uniform_splits(3, 90)));
+        let h = store.register();
+        let interferer = store.register();
+        h.insert(10, 1);
+
+        // Manual transaction: a foreign write to the read key between the
+        // read and the commit aborts it.
+        let mut txn = h.rw_txn();
+        let v = txn.get(&10).unwrap();
+        interferer.remove(&10);
+        interferer.insert(10, 50);
+        txn.set(10, v + 1);
+        assert_eq!(txn.commit(), Err(TxnAborted));
+        assert_eq!(store.txn_stats().validation_failures, 1);
+        assert_eq!(h.snapshot_get(&10), Some(50), "aborted write invisible");
+
+        // run_rw: the retry converges once interference stops.
+        let (seen, receipt) = h.run_rw(|txn| {
+            let v = txn.get(&10).unwrap_or(0);
+            txn.set(10, v * 2);
+            v
+        });
+        assert_eq!(seen, 50);
+        assert_eq!(receipt.applied, vec![(10, true)]);
+        assert_eq!(h.snapshot_get(&10), Some(100));
+    }
+
+    type LazyListStoreU64 = LazyListStore<u64, u64>;
+
+    #[test]
+    fn rw_txn_range_reads_overlay_and_detect_phantoms() {
+        let store = Arc::new(CitrusStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        let other = store.register();
+        for k in [10u64, 150, 250] {
+            h.insert(k, k);
+        }
+
+        let mut txn = h.rw_txn();
+        txn.put(200, 2).remove(&150);
+        let mut out = Vec::new();
+        txn.range(&0, &399, &mut out);
+        assert_eq!(
+            out,
+            vec![(10, 10), (200, 2), (250, 250)],
+            "staged writes overlay the snapshot"
+        );
+        // A phantom inserted into the validated range aborts the commit.
+        other.insert(300, 3);
+        assert_eq!(txn.commit(), Err(TxnAborted));
+        assert!(h.contains(&150), "aborted remove left the key in place");
+        assert!(!h.contains(&200));
+
+        // Unvalidated range peeks tolerate interference.
+        let mut txn = h.rw_txn();
+        txn.range_peek(&0, &399, &mut out);
+        other.insert(310, 31);
+        assert!(txn.commit().is_ok());
+    }
+
+    #[test]
+    fn rw_txn_read_only_serializable_scan() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(2, 100)));
+        let h = store.register();
+        h.insert(10, 1);
+        h.insert(60, 6);
+        let clock = store.context().read();
+        let mut txn = h.rw_txn();
+        let mut out = Vec::new();
+        txn.range(&0, &99, &mut out);
+        assert_eq!(out, vec![(10, 1), (60, 6)]);
+        let receipt = txn.commit().expect("uncontended read-only txn commits");
+        assert!(receipt.applied.is_empty());
+        assert_eq!(
+            store.context().read(),
+            clock,
+            "read-only commit never advances the clock"
+        );
+    }
+
+    #[test]
     fn txn_store_wrapper_round_trip() {
         let ts = SkipListTxnStore::<u64, u64>::new(2, uniform_splits(4, 1_000));
         let session = ts.register();
@@ -433,12 +813,14 @@ mod tests {
         let cloned = ts.clone();
         assert_eq!(cloned.inner().len(session.tid()), 3);
         drop(session);
-        // A raw-tid transaction through the wrapper.
+        // A raw-tid read-write transaction through the wrapper.
         let h2 = cloned.try_register().expect("slot free again");
-        let mut txn = cloned.txn_with_tid(h2.tid());
-        txn.remove(&400);
-        assert_eq!(txn.commit().applied_count(), 1);
-        assert_eq!(cloned.get(h2.tid(), &400), None);
+        let mut txn = cloned.rw_txn_with_tid(h2.tid());
+        let v = txn.get(&400).unwrap();
+        txn.set(400, v + 40).remove(&900);
+        assert_eq!(txn.commit().unwrap().applied_count(), 2);
+        assert_eq!(cloned.get(h2.tid(), &400), Some(42));
+        assert_eq!(cloned.get(h2.tid(), &900), None);
     }
 
     #[test]
@@ -488,5 +870,49 @@ mod tests {
         assert_eq!(ts.stats().commits, WRITERS as u64 * BATCHES);
         let h = ts.register();
         assert_eq!(h.len(), (WRITERS as u64 * BATCHES * 4) as usize);
+    }
+
+    #[test]
+    fn concurrent_rw_counters_never_lose_updates() {
+        // The OCC acid test: N threads each increment a shared counter M
+        // times through read-modify-write transactions. Lost updates would
+        // leave the counter below N*M; validated read sets forbid them.
+        const THREADS: usize = 4;
+        const INCREMENTS: u64 = 150;
+        let ts = Arc::new(SkipListTxnStore::<u64, u64>::new(
+            THREADS,
+            uniform_splits(4, 400),
+        ));
+        {
+            let h = ts.register();
+            h.insert(42, 0);
+            h.insert(342, 0);
+        }
+        let joins: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let ts = Arc::clone(&ts);
+                std::thread::spawn(move || {
+                    let h = ts.register();
+                    for _ in 0..INCREMENTS {
+                        h.run_rw(|txn| {
+                            // Two counters on different shards, one txn.
+                            let a = txn.get(&42).unwrap();
+                            let b = txn.get(&342).unwrap();
+                            txn.set(42, a + 1).set(342, b + 1);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let h = ts.register();
+        let total = THREADS as u64 * INCREMENTS;
+        assert_eq!(h.snapshot_get(&42), Some(total), "no lost updates");
+        assert_eq!(h.snapshot_get(&342), Some(total));
+        let stats = ts.stats();
+        assert_eq!(stats.commits, total, "one commit per increment");
+        assert!(stats.read_set_size >= 2 * total);
     }
 }

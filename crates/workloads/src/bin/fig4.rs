@@ -5,18 +5,91 @@
 //!
 //! Beyond the paper: a third panel compares the **store-backed**
 //! configuration (`store-txn` series — every index a tagged view over one
-//! sharded `BundledStore`, NEW_ORDER's three-index insert committing as a
-//! single cross-shard write transaction) against the same single-structure
-//! bundled skip-list indexes, quantifying what the atomic multi-index
-//! guarantee costs.
+//! sharded `BundledStore`; NEW_ORDER commits as a cross-shard write
+//! transaction, PAYMENT and DELIVERY as serializable read-write
+//! transactions) against the same single-structure bundled skip-list
+//! indexes, quantifying what the transactional guarantees cost. A fourth
+//! panel isolates that cost on the store itself: commit throughput of
+//! write-only `WriteTxn` batches vs serializable read-modify-write
+//! `ReadWriteTxn`s of the same size (the gap is the price of validated
+//! read sets).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dbsim::{run_tpcc, run_tpcc_db, DynIndex, TpccConfig, TpccDb};
+use store::{uniform_splits, SkipListStore};
+use txn::StoreTxnExt;
 use workloads::{duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind};
 
 fn factory_for(kind: StructureKind) -> Box<dyn Fn(usize) -> DynIndex + Send + Sync> {
     Box::new(move |threads: usize| workloads::make_structure(kind, threads))
+}
+
+/// Committed transactions per second on a sharded skip-list store, with
+/// every worker either committing write-only batches (2 upserts) or
+/// serializable read-modify-writes (2 validated reads feeding 2 upserts,
+/// retried on validation abort).
+fn store_commit_rate(threads: usize, dur_ms: u64, rw: bool) -> f64 {
+    const KEY_RANGE: u64 = 50_000;
+    let store = Arc::new(SkipListStore::<u64, u64>::new(
+        threads,
+        uniform_splits(8, KEY_RANGE),
+    ));
+    {
+        let h = store.register();
+        for k in (0..KEY_RANGE).step_by(2) {
+            h.insert(k, k);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                let h = store.register();
+                let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                let mut local = 0u64;
+                let next = move |s: &mut u64| {
+                    *s ^= *s << 13;
+                    *s ^= *s >> 7;
+                    *s ^= *s << 17;
+                    *s
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let a = next(&mut seed) % KEY_RANGE;
+                    let b = next(&mut seed) % KEY_RANGE;
+                    if a == b {
+                        continue;
+                    }
+                    if rw {
+                        h.run_rw(|txn| {
+                            let va = txn.get(&a).unwrap_or(0);
+                            let vb = txn.get(&b).unwrap_or(0);
+                            txn.set(a, va.wrapping_add(1)).set(b, vb.wrapping_add(1));
+                        });
+                    } else {
+                        let mut txn = h.txn();
+                        txn.set(a, a).set(b, b);
+                        txn.commit();
+                    }
+                    local += 1;
+                }
+                committed.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(dur_ms));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("fig4 store worker panicked");
+    }
+    committed.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -75,10 +148,39 @@ fn main() {
     }
     points.extend(skiplist_baseline);
     print_series_table(
-        "Figure 4 [store] store-backed TPC-C (atomic NEW_ORDER) vs per-index",
+        "Figure 4 [store] store-backed TPC-C (serializable txns) vs per-index",
         "threads",
         "index Mops/s",
         &points,
     );
     write_csv("fig4_store", "threads", "index_mops", &points);
+
+    // Panel (d): the isolated cost of validated read sets — commit
+    // throughput of write-only vs read-write transactions of the same
+    // write size on one sharded store.
+    let mut points = Vec::new();
+    for &threads in &thread_counts() {
+        for (series, rw) in [
+            ("write-only commits/s", false),
+            ("read-write commits/s", true),
+        ] {
+            points.push(Point {
+                series: series.to_string(),
+                x: threads.to_string(),
+                y: store_commit_rate(threads, duration_ms(), rw),
+            });
+        }
+    }
+    print_series_table(
+        "Figure 4 [store-txn-kinds] write-only vs read-write commit throughput",
+        "threads",
+        "commits/s",
+        &points,
+    );
+    write_csv(
+        "fig4_store_txn_kinds",
+        "threads",
+        "commits_per_sec",
+        &points,
+    );
 }

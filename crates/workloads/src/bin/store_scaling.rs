@@ -8,16 +8,18 @@
 //! (update traffic spread over independent lock domains) and what the
 //! cross-shard snapshot machinery costs on scans.
 //!
-//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list]`
+//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>]`
+//! (`--json` writes one machine-readable record per configuration).
 //! Thread counts come from `BUNDLE_THREADS`, duration from
 //! `BUNDLE_DURATION_MS`, shard counts from `BUNDLE_SHARDS`
 //! (comma-separated, default "1,2,4,8,16").
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use workloads::{
     duration_ms, make_store_structure, make_structure, print_series_table, run_workload,
-    thread_counts, write_csv, Point, RunConfig, StructureKind, WorkloadMix,
+    thread_counts, write_csv, write_json, Point, RunConfig, RunRecord, StructureKind, WorkloadMix,
 };
 
 fn shard_counts() -> Vec<usize> {
@@ -33,7 +35,12 @@ fn shard_counts() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16])
 }
 
-fn sweep(label: &str, store_kind: StructureKind, baseline: StructureKind) {
+fn sweep(
+    label: &str,
+    store_kind: StructureKind,
+    baseline: StructureKind,
+    records: &mut Vec<RunRecord>,
+) {
     let key_range = store_kind.default_key_range();
     for mix in [WorkloadMix::new(50, 40, 10), WorkloadMix::new(0, 0, 100)] {
         let mut points = Vec::new();
@@ -47,6 +54,13 @@ fn sweep(label: &str, store_kind: StructureKind, baseline: StructureKind) {
                 x: threads.to_string(),
                 y: t.mops(),
             });
+            records.push(RunRecord {
+                bench: "store_scaling".into(),
+                kind: format!("{label}-baseline"),
+                mix: mix.label(),
+                threads,
+                metrics: vec![("mops".into(), t.mops())],
+            });
             for &shards in &shard_counts() {
                 let s = make_store_structure(store_kind, threads, shards, key_range);
                 let t = run_workload(&Arc::clone(&s), &cfg);
@@ -54,6 +68,13 @@ fn sweep(label: &str, store_kind: StructureKind, baseline: StructureKind) {
                     series: format!("{shards}-shard"),
                     x: threads.to_string(),
                     y: t.mops(),
+                });
+                records.push(RunRecord {
+                    bench: "store_scaling".into(),
+                    kind: label.into(),
+                    mix: mix.label(),
+                    threads,
+                    metrics: vec![("shards".into(), shards as f64), ("mops".into(), t.mops())],
                 });
             }
         }
@@ -69,22 +90,63 @@ fn sweep(label: &str, store_kind: StructureKind, baseline: StructureKind) {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "skiplist".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json_path = args.get(i + 1).map(PathBuf::from);
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                which = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let which = which.unwrap_or_else(|| "skiplist".into());
+    let mut records = Vec::new();
     match which.as_str() {
         "skiplist" => sweep(
             "skiplist",
             StructureKind::StoreSkipList,
             StructureKind::SkipListBundle,
+            &mut records,
         ),
         "citrus" => sweep(
             "citrus",
             StructureKind::StoreCitrus,
             StructureKind::CitrusBundle,
+            &mut records,
         ),
-        "list" => sweep("list", StructureKind::StoreList, StructureKind::ListBundle),
+        "list" => sweep(
+            "list",
+            StructureKind::StoreList,
+            StructureKind::ListBundle,
+            &mut records,
+        ),
         other => {
             eprintln!("unknown backend {other:?}; expected skiplist|citrus|list");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = json_path {
+        match write_json(&path, &records) {
+            Ok(()) => println!(
+                "\nwrote {} run records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

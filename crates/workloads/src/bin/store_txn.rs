@@ -1,21 +1,30 @@
 //! Transactional-store scenario: throughput of the sharded store under a
-//! mixed workload of **cross-shard write transactions**, serializable
-//! snapshot gets, and linearizable range queries, for every store backend.
+//! mixed workload of **cross-shard transactions**, serializable snapshot
+//! gets, and linearizable range queries, for every store backend.
 //!
 //! Each worker registers a `StoreHandle` session and draws from a
-//! `T − G − RQ` mix (txn / snapshot-get / range-query percentages): a txn
-//! stages `BATCH` keys spread uniformly over the keyspace (so it almost
-//! always spans several shards), half puts and half removes, and commits
-//! them under one timestamp through `WriteTxn`. The table reports total
-//! operations/s, committed transactions/s, and the conflict-retry count; a
-//! chunked background recycler sweeps the shards round-robin and the
-//! per-shard bundle-entry stats are printed at the end of each run.
+//! `T − G − RQ` mix (txn / snapshot-get / range-query percentages). In
+//! the write-only mixes a txn stages `BATCH` keys spread uniformly over
+//! the keyspace (so it almost always spans several shards), half puts and
+//! half removes, and commits them under one timestamp through `WriteTxn`.
+//! The **rw** mix replaces those with serializable read-modify-write
+//! `ReadWriteTxn`s: read `BATCH / 2` keys at one leased snapshot
+//! timestamp (validated at commit), write back derived values, retry on
+//! validation abort — the write-only vs read-write commit-rate gap is the
+//! cost of OCC read validation. The table reports total operations/s,
+//! committed transactions/s, conflict retries and (rw) validation
+//! failures; a chunked background recycler sweeps the shards round-robin
+//! and the per-shard bundle-entry stats are printed after each run.
 //!
-//! Usage: `cargo run --release -p workloads --bin store_txn [-- store-skiplist|store-citrus|store-list]`
-//! (default: all three). Thread counts come from `BUNDLE_THREADS`,
+//! Usage:
+//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>]`
+//! (default: all three backends, all mixes). `--mix rw` selects the
+//! read-write mix only; `--json` additionally writes one machine-readable
+//! record per configuration. Thread counts come from `BUNDLE_THREADS`,
 //! duration from `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS`
 //! (single value; default [`workloads::DEFAULT_STORE_SHARDS`]).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,31 +32,35 @@ use std::time::{Duration, Instant};
 use store::{uniform_splits, BundledStore, ShardBackend};
 use txn::StoreTxnExt;
 use workloads::{
-    duration_ms, print_series_table, thread_counts, write_csv, Point, StructureKind,
-    DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+    duration_ms, print_series_table, thread_counts, write_csv, write_json, Point, RunRecord,
+    StructureKind, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
 };
 
-/// Keys per transaction (drawn uniformly, so a batch usually spans
-/// several shards).
+/// Keys per write-only transaction (drawn uniformly, so a batch usually
+/// spans several shards).
 const BATCH: usize = 4;
 /// Keys per range query.
 const RQ_SPAN: u64 = 100;
 /// Keyspace.
 const KEY_RANGE: u64 = 100_000;
 
-/// A `T − G − RQ` traffic mix (txn / snapshot-get / range-query percent).
+/// A `T − G − RQ` traffic mix (txn / snapshot-get / range-query percent);
+/// `rw` switches the txn slice from write-only batches to serializable
+/// read-modify-write transactions.
 #[derive(Clone, Copy)]
 struct TxnMix {
     txn_pct: u64,
     get_pct: u64,
+    rw: bool,
 }
 
-const MIXES: [(&str, TxnMix); 3] = [
+const MIXES: [(&str, TxnMix); 4] = [
     (
         "20-70-10",
         TxnMix {
             txn_pct: 20,
             get_pct: 70,
+            rw: false,
         },
     ),
     (
@@ -55,6 +68,7 @@ const MIXES: [(&str, TxnMix); 3] = [
         TxnMix {
             txn_pct: 50,
             get_pct: 40,
+            rw: false,
         },
     ),
     (
@@ -62,6 +76,15 @@ const MIXES: [(&str, TxnMix); 3] = [
         TxnMix {
             txn_pct: 80,
             get_pct: 0,
+            rw: false,
+        },
+    ),
+    (
+        "rw-50-40-10",
+        TxnMix {
+            txn_pct: 50,
+            get_pct: 40,
+            rw: true,
         },
     ),
 ];
@@ -85,6 +108,7 @@ struct MixResult {
     ops_per_sec: f64,
     commits_per_sec: f64,
     conflicts: u64,
+    validation_failures: u64,
 }
 
 fn run_mix<S>(threads: usize, dur: Duration, mix: TxnMix, shards: usize) -> (MixResult, Vec<usize>)
@@ -120,17 +144,35 @@ where
                 while !stop.load(Ordering::Relaxed) {
                     let dice = xorshift(&mut seed) % 100;
                     if dice < mix.txn_pct {
-                        let mut txn = handle.txn();
-                        for _ in 0..BATCH {
-                            let k = xorshift(&mut seed) % KEY_RANGE;
-                            if xorshift(&mut seed).is_multiple_of(2) {
-                                txn.put(k, k);
-                            } else {
-                                txn.remove(&k);
+                        if mix.rw {
+                            // Serializable read-modify-write: read half a
+                            // batch at one leased timestamp, write back
+                            // derived values; stale reads retry.
+                            let keys: Vec<u64> = (0..BATCH / 2)
+                                .map(|_| xorshift(&mut seed) % KEY_RANGE)
+                                .collect();
+                            handle.run_rw(|txn| {
+                                for k in &keys {
+                                    match txn.get(k) {
+                                        Some(v) => txn.set(*k, v.wrapping_add(1)),
+                                        None => txn.put(*k, 1),
+                                    };
+                                }
+                            });
+                            local_ops += BATCH as u64; // reads + writes
+                        } else {
+                            let mut txn = handle.txn();
+                            for _ in 0..BATCH {
+                                let k = xorshift(&mut seed) % KEY_RANGE;
+                                if xorshift(&mut seed).is_multiple_of(2) {
+                                    txn.put(k, k);
+                                } else {
+                                    txn.remove(&k);
+                                }
                             }
+                            txn.commit();
+                            local_ops += BATCH as u64;
                         }
-                        txn.commit();
-                        local_ops += BATCH as u64;
                     } else if dice < mix.txn_pct + mix.get_pct {
                         let k = xorshift(&mut seed) % KEY_RANGE;
                         let _ = handle.snapshot_get(&k);
@@ -161,15 +203,23 @@ where
             ops_per_sec: ops.load(Ordering::Relaxed) as f64 / elapsed,
             commits_per_sec: stats.commits as f64 / elapsed,
             conflicts: stats.conflicts,
+            validation_failures: stats.validation_failures,
         },
         per_shard,
     )
 }
 
-fn sweep(kind: StructureKind) {
+fn sweep(kind: StructureKind, mix_filter: Option<&str>, records: &mut Vec<RunRecord>) {
     let shards = shard_count();
     let dur = Duration::from_millis(duration_ms());
     for (mix_label, mix) in MIXES {
+        if let Some(f) = mix_filter {
+            // `--mix rw` selects the rw mix; otherwise match the label.
+            let selected = mix_label == f || (f == "rw" && mix.rw);
+            if !selected {
+                continue;
+            }
+        }
         let mut points = Vec::new();
         let mut shard_stats: Vec<(usize, Vec<usize>)> = Vec::new();
         for &threads in &thread_counts() {
@@ -200,6 +250,31 @@ fn sweep(kind: StructureKind) {
                 x: threads.to_string(),
                 y: r.conflicts as f64,
             });
+            if mix.rw {
+                points.push(Point {
+                    series: "validation fails".into(),
+                    x: threads.to_string(),
+                    y: r.validation_failures as f64,
+                });
+            }
+            let abort_rate = if r.commits_per_sec > 0.0 {
+                r.validation_failures as f64 / (r.commits_per_sec * dur.as_secs_f64())
+            } else {
+                0.0
+            };
+            records.push(RunRecord {
+                bench: "store_txn".into(),
+                kind: kind.name().into(),
+                mix: mix_label.into(),
+                threads,
+                metrics: vec![
+                    ("ops_per_sec".into(), r.ops_per_sec),
+                    ("commits_per_sec".into(), r.commits_per_sec),
+                    ("conflicts".into(), r.conflicts as f64),
+                    ("validation_failures".into(), r.validation_failures as f64),
+                    ("abort_rate".into(), abort_rate),
+                ],
+            });
             shard_stats.push((threads, per_shard));
         }
         let title = format!(
@@ -220,15 +295,40 @@ fn sweep(kind: StructureKind) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        None => {
-            for kind in TXN_STORE_KINDS {
-                sweep(kind);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind_arg: Option<String> = None;
+    let mut mix_filter: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json_path = args.get(i + 1).map(PathBuf::from);
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--mix" => {
+                mix_filter = args.get(i + 1).cloned();
+                if mix_filter.is_none() {
+                    eprintln!("--mix requires a label (e.g. rw or 50-40-10)");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                kind_arg = Some(other.to_string());
+                i += 1;
             }
         }
+    }
+
+    let kinds: Vec<StructureKind> = match kind_arg.as_deref() {
+        None => TXN_STORE_KINDS.to_vec(),
         Some(name) => match StructureKind::parse(name) {
-            Some(kind) if kind.is_store() => sweep(kind),
+            Some(kind) if kind.is_store() => vec![kind],
             _ => {
                 eprintln!(
                     "unknown store kind {name:?}; expected one of: {}",
@@ -237,5 +337,22 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    };
+    let mut records = Vec::new();
+    for kind in kinds {
+        sweep(kind, mix_filter.as_deref(), &mut records);
+    }
+    if let Some(path) = json_path {
+        match write_json(&path, &records) {
+            Ok(()) => println!(
+                "\nwrote {} run records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -28,7 +28,7 @@ pub use registry::{
     make_store_structure, make_structure, StructureKind, ALL_KINDS, DEFAULT_STORE_SHARDS,
     TXN_STORE_KINDS,
 };
-pub use report::{print_series_table, write_csv, Point};
+pub use report::{print_series_table, write_csv, write_json, Point, RunRecord};
 
 /// Thread counts to sweep, from `BUNDLE_THREADS` (default "1,2,4").
 pub fn thread_counts() -> Vec<usize> {

@@ -48,6 +48,50 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
     }
 }
 
+/// One machine-readable benchmark run for `--json` output: a scenario
+/// binary records one `RunRecord` per (backend, mix, thread count)
+/// configuration it measured, with the named numeric results in
+/// `metrics` (throughput, commit rate, abort counters, ...).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Scenario binary name (e.g. `store_txn`).
+    pub bench: String,
+    /// Structure / backend under test.
+    pub kind: String,
+    /// Workload mix label.
+    pub mix: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Named numeric results.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Serialize `records` as a JSON array to `path` (hand-rolled writer —
+/// the offline build has no serde; names are plain ASCII identifiers, so
+/// Rust string-debug escaping is valid JSON escaping here). Returns an
+/// error only on I/O failure.
+pub fn write_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        write!(
+            f,
+            "  {{\"bench\":{:?},\"kind\":{:?},\"mix\":{:?},\"threads\":{}",
+            r.bench, r.kind, r.mix, r.threads
+        )?;
+        for (name, value) in &r.metrics {
+            let value = if value.is_finite() { *value } else { 0.0 };
+            write!(f, ",{name:?}:{value}")?;
+        }
+        writeln!(f, "}}{}", if i + 1 == records.len() { "" } else { "," })?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
 /// Write the raw points as CSV under `target/experiments/<name>.csv` so the
 /// plots can be regenerated offline; returns the path written.
 pub fn write_csv(name: &str, x_name: &str, y_name: &str, points: &[Point]) -> PathBuf {
@@ -66,6 +110,40 @@ pub fn write_csv(name: &str, x_name: &str, y_name: &str, points: &[Point]) -> Pa
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_records_round_trip_structurally() {
+        let records = vec![
+            RunRecord {
+                bench: "store_txn".into(),
+                kind: "store-skiplist".into(),
+                mix: "rw-50-40-10".into(),
+                threads: 4,
+                metrics: vec![("ops_per_sec".into(), 1234.5), ("aborts".into(), f64::NAN)],
+            },
+            RunRecord {
+                bench: "store_txn".into(),
+                kind: "store-list".into(),
+                mix: "20-70-10".into(),
+                threads: 1,
+                metrics: vec![("commits_per_sec".into(), 10.0)],
+            },
+        ];
+        let path = std::path::PathBuf::from("target/experiments/unit_test_report.json");
+        write_json(&path, &records).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("[\n"));
+        assert!(content.trim_end().ends_with(']'));
+        assert!(content.contains("\"bench\":\"store_txn\""));
+        assert!(content.contains("\"mix\":\"rw-50-40-10\""));
+        assert!(content.contains("\"ops_per_sec\":1234.5"));
+        assert!(
+            content.contains("\"aborts\":0"),
+            "non-finite values are zeroed"
+        );
+        // Exactly one separating comma between the two records.
+        assert_eq!(content.matches("},").count(), 1);
+    }
 
     #[test]
     fn csv_written_with_all_points() {

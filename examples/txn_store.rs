@@ -1,13 +1,15 @@
-//! Atomic cross-shard write transactions in action.
+//! Serializable cross-shard transactions in action.
 //!
 //! A "bank" keeps one account per shard of an 8-shard store; transfers
-//! move one unit from an account to the account two shards over by
-//! committing a `WriteTxn` that rewrites both balances under **one**
-//! timestamp. Auditor sessions continuously take whole-store range
-//! queries and assert the invariant: the sum of all balances never
-//! changes. With per-key writes (the old `multi_put` semantics) a
-//! snapshot could catch money in flight — debited here, not yet credited
-//! there; with transactions that is impossible.
+//! move one unit between two random accounts by committing a
+//! `ReadWriteTxn`: both balances are *read* at one leased snapshot
+//! timestamp, rewritten based on those reads, and **validated at
+//! commit** — two transfers racing on the same account cannot lose an
+//! update (the loser aborts and re-runs against a fresh snapshot).
+//! Auditor sessions continuously take whole-store range queries and
+//! assert the invariant: the sum of all balances never changes. A torn
+//! commit would show money in flight; a lost update would mint or burn a
+//! unit (the debit lost, the credit kept). Neither can happen.
 //!
 //! Run with: `cargo run --release --example txn_store`
 
@@ -67,10 +69,11 @@ fn main() {
         })
         .collect();
 
-    // Two transferrer threads own disjoint account sets (even / odd
-    // shards): `WriteTxn` gives atomic *visibility*, not read-set
-    // validation, so concurrent read-modify-write of the same account
-    // would be a lost update (OCC read sets are a ROADMAP item).
+    // Two transferrer threads hammer the SAME account set — before
+    // validated read sets existed this had to be partitioned (a
+    // concurrent read-modify-write of one account was a lost update);
+    // now the commit validates both balance reads and the loser simply
+    // re-runs against a fresh snapshot.
     let transferrers: Vec<_> = (0..2u64)
         .map(|t| {
             let h = store.register();
@@ -80,23 +83,20 @@ fn main() {
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
-                    let from = account((rng % (SHARDS as u64 / 2)) * 2 + t);
-                    let to = account((((rng % (SHARDS as u64 / 2)) * 2 + t) + 2) % SHARDS as u64);
+                    let from = account(rng % SHARDS as u64);
+                    let to = account((rng >> 17) % SHARDS as u64);
                     if from == to {
                         continue;
                     }
-                    // Read inside the transaction (read-your-writes), then
-                    // upsert both balances; commit is one atomic cut.
-                    let mut txn = h.txn();
-                    let a = txn.get(&from).expect("account exists");
-                    let b = txn.get(&to).expect("account exists");
-                    if a == 0 {
-                        txn.rollback();
-                        continue;
-                    }
-                    txn.set(from, a - 1).set(to, b + 1);
-                    let receipt = txn.commit();
-                    assert_eq!(receipt.applied_count(), 2, "both accounts pre-existed");
+                    // Serializable transfer, retried on validation abort.
+                    let (_, receipt) = h.run_rw(|txn| {
+                        let a = txn.get(&from).expect("account exists");
+                        let b = txn.get(&to).expect("account exists");
+                        if a > 0 {
+                            txn.set(from, a - 1).set(to, b + 1);
+                        }
+                    });
+                    assert!(receipt.applied_count() == 2 || receipt.applied.is_empty());
                 }
             })
         })
@@ -117,9 +117,11 @@ fn main() {
     let stats = h.store().txn_stats();
     println!("txn_store: {SHARDS} accounts across {SHARDS} shards");
     println!(
-        "  {} transfer commits ({} conflict retries), {audits} audits, elapsed {:?}",
+        "  {} transfer commits ({} conflict retries, {} validation aborts), \
+         {audits} audits, elapsed {:?}",
         stats.commits,
         stats.conflicts,
+        stats.validation_failures,
         start.elapsed()
     );
     assert_eq!(final_sum, total);

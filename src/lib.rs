@@ -20,11 +20,14 @@
 //!   **across shards** while spreading update traffic over independent
 //!   lock domains. Includes a tid-managing session API
 //!   ([`store::StoreHandle`]) and batched `multi_get` / `multi_put`.
-//! * [`txn`] — atomic cross-shard **write transactions** over the store:
-//!   [`txn::WriteTxn`] stages a multi-key write set and commits it under
-//!   one shared-clock timestamp (per-shard 2PL intents + the bundle
-//!   pending-entry protocol generalized to N shards), so every range
-//!   query and snapshot read observes the whole batch or none of it.
+//! * [`txn`] — **serializable cross-shard transactions** over the store:
+//!   [`txn::ReadWriteTxn`] answers all of its reads at one leased
+//!   snapshot timestamp, records them as a validated read set, and
+//!   commits through an explicit prepare → validate → advance-clock →
+//!   finalize pipeline (per-shard 2PL intents + the bundle pending-entry
+//!   protocol generalized to N shards), so reads still hold at the commit
+//!   timestamp — full OCC serializability. [`txn::WriteTxn`] is the
+//!   write-only degenerate case (empty read set, infallible commit).
 //! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2.
 //! * [`workloads`] — the benchmark harness regenerating every figure and
 //!   table of the evaluation, plus the sharded-store scaling scenario
@@ -82,8 +85,8 @@ pub mod prelude {
     pub use lazylist::{BundledLazyList, UnsafeLazyList};
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
     pub use store::{
-        uniform_splits, BundledStore, CitrusStore, LazyListStore, ShardBackend, SkipListStore,
-        StoreHandle, TxnOp, TxnStats,
+        uniform_splits, BundledStore, CitrusStore, LazyListStore, ShardBackend, ShardRead,
+        SkipListStore, StoreHandle, StoreSnapshot, TxnAborted, TxnOp, TxnStats,
     };
-    pub use txn::{StoreTxnExt, TxnReceipt, TxnStore, WriteTxn};
+    pub use txn::{ReadWriteTxn, StoreTxnExt, TxnReceipt, TxnStore, WriteTxn};
 }

@@ -5,22 +5,30 @@
 //! shared timestamp, no shard skew, and no *partial transaction* — for
 //! several shard counts and all three backends.
 //!
-//! Method: update operations (single-key inserts/removes and multi-key
-//! `apply_txn` batches) are serialized through a mutex that holds a
-//! `BTreeMap` oracle and a versioned log; each update is applied to the
-//! store *inside* the critical section and its result is checked against
-//! the oracle exactly. One log version is one **atomic batch** (a
-//! singleton for a primitive op, the whole write set for a transaction).
-//! Range queries run **concurrently with no serialization**: a query
-//! records the log version `v1` before it starts and `v2` after it
-//! finishes (both read under the lock, so in-flight updates are fully
-//! logged), then the result must equal the oracle's range at *some*
-//! version in `[v1, v2]` — i.e. the query result is a real atomic cut of
-//! the serialized update history. A skewed cross-shard query (shards read
-//! at different logical times) matches no single version and fails — and
-//! because a committed transaction occupies exactly one version, a
-//! snapshot containing *part* of a transaction's write set matches no
-//! version either (all-or-nothing visibility).
+//! Method: update operations (single-key inserts/removes, multi-key
+//! `apply_txn` batches, and read-write `ReadWriteTxn`s) are serialized
+//! through a mutex that holds a `BTreeMap` oracle and a versioned log;
+//! each update is applied to the store *inside* the critical section and
+//! its result is checked against the oracle exactly. One log version is
+//! one **atomic batch** (a singleton for a primitive op, the whole write
+//! set for a transaction). Range queries run **concurrently with no
+//! serialization**: a query records the log version `v1` before it starts
+//! and `v2` after it finishes (both read under the lock, so in-flight
+//! updates are fully logged), then the result must equal the oracle's
+//! range at *some* version in `[v1, v2]` — i.e. the query result is a
+//! real atomic cut of the serialized update history. A skewed cross-shard
+//! query (shards read at different logical times) matches no single
+//! version and fails — and because a committed transaction occupies
+//! exactly one version, a snapshot containing *part* of a transaction's
+//! write set matches no version either (all-or-nothing visibility).
+//!
+//! Read-write transactions extend the replay: a committed `ReadWriteTxn`
+//! runs inside the critical section, so its serialization point is this
+//! log position — every one of its validated reads (point and range) must
+//! therefore equal the oracle's **current** state exactly
+//! (reads-see-latest-committed at the commit point), its commit must
+//! succeed (no foreign writer can intervene inside the lock), and its
+//! write outcomes must match what the freshly-validated reads imply.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -28,6 +36,7 @@ use std::sync::{Arc, Mutex};
 use bundled_refs::prelude::*;
 use bundled_refs::store::ShardBackend;
 use bundled_refs::store::{uniform_splits, BundledStore};
+use bundled_refs::txn::ReadWriteTxn;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -137,6 +146,64 @@ where
                 for _ in 0..OPS_PER_WRITER {
                     let k = xorshift(&mut seed) % KEY_RANGE;
                     if xorshift(&mut seed) % 100 < txn_pct {
+                        if xorshift(&mut seed).is_multiple_of(2) {
+                            // A read-write transaction: validated reads
+                            // (one point, one range) feeding derived
+                            // writes. Inside the lock the commit IS the
+                            // serialization point, so the reads must equal
+                            // the oracle's current state exactly, the
+                            // commit cannot be invalidated, and every
+                            // write outcome is determined by the reads.
+                            let mut h = history.lock().unwrap();
+                            let mut t = ReadWriteTxn::with_tid(&store, w);
+                            let va = t.get(&k);
+                            assert_eq!(
+                                va,
+                                h.oracle.get(&k).copied(),
+                                "{label}: rw point read must see latest committed"
+                            );
+                            let lo = xorshift(&mut seed) % KEY_RANGE;
+                            let hi = (lo + 1 + xorshift(&mut seed) % 12).min(KEY_RANGE - 1);
+                            let mut out = Vec::new();
+                            t.range(&lo, &hi, &mut out);
+                            let expect: Vec<(u64, u64)> =
+                                h.oracle.range(lo..=hi).map(|(a, b)| (*a, *b)).collect();
+                            assert_eq!(
+                                out, expect,
+                                "{label}: rw range read must see latest committed"
+                            );
+                            let nv = match va {
+                                Some(v) => v.wrapping_add(1),
+                                None => xorshift(&mut seed),
+                            };
+                            match va {
+                                Some(_) => t.set(k, nv),
+                                None => t.put(k, nv),
+                            };
+                            if let Some(kb) = out.iter().map(|(a, _)| *a).find(|a| *a != k) {
+                                t.remove(&kb);
+                            }
+                            let receipt = t.commit().expect(
+                                "rw txn inside the serialization lock cannot be invalidated",
+                            );
+                            let mut batch: Batch = Vec::new();
+                            for (key, applied) in receipt.applied {
+                                assert!(
+                                    applied,
+                                    "{label}: outcome of a validated rw write (key {key}) \
+                                     is determined by its reads"
+                                );
+                                if key == k {
+                                    h.oracle.insert(k, nv);
+                                    batch.push(Op::Insert(k, nv));
+                                } else {
+                                    assert!(h.oracle.remove(&key).is_some());
+                                    batch.push(Op::Remove(key));
+                                }
+                            }
+                            h.log.push(batch);
+                            continue;
+                        }
                         // A multi-key transaction: 2-4 distinct keys spread
                         // over the keyspace (usually several shards),
                         // mixing inserts, upserts and removes.

@@ -1,0 +1,150 @@
+//! Abort-path property test for read-write transactions.
+//!
+//! Every round opens a `ReadWriteTxn`, performs validated reads, then —
+//! with probability 1/2 — a second session commits a conflicting update
+//! to a read key *before* the transaction commits, forcing a validation
+//! failure. The properties checked after every round, on all three
+//! backends:
+//!
+//! * a forced-stale commit returns `TxnAborted` and an undisturbed one
+//!   succeeds — deterministically;
+//! * **no snapshot ever observes an abort artifact**: the aborted
+//!   transaction's pending bundle entries were neutralized (duplicates of
+//!   the entry beneath, or `TOMBSTONE_TS` for transaction-created nodes),
+//!   so a full range scan at the *current* timestamp and a re-scan of a
+//!   snapshot whose timestamp was leased *before* the abort both equal
+//!   the reference model exactly — nothing of the rolled-back write set,
+//!   no resurrected removed keys, no tombstone-satisfying ghosts;
+//! * the store keeps matching the model for every later round, i.e. the
+//!   abort left the structures fully operational (locks released, clock
+//!   untouched, no wedged bundles).
+
+use std::collections::BTreeMap;
+
+use bundled_refs::prelude::*;
+use bundled_refs::store::{BundledStore, ShardBackend, TxnAborted};
+use bundled_refs::txn::ReadWriteTxn;
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+fn forced_validation_aborts<S: ShardBackend<u64, u64>>(label: &str) {
+    const KEY_RANGE: u64 = 240;
+    const ROUNDS: u64 = 300;
+    // tid 0 = the transaction, tid 1 = the interferer, tid 2 = snapshots.
+    let store = BundledStore::<u64, u64, S>::new(3, uniform_splits(4, KEY_RANGE));
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seed = 0x5eed_cafe_u64;
+    for k in (0..KEY_RANGE).step_by(3) {
+        store.insert(0, k, k);
+        model.insert(k, k);
+    }
+    let scan_hi = KEY_RANGE + ROUNDS + 1;
+
+    let mut forced = 0u64;
+    for round in 0..ROUNDS {
+        let k = xorshift(&mut seed) % KEY_RANGE;
+        let mut txn = ReadWriteTxn::with_tid(&store, 0);
+        // Validated reads: the target key and a small range around it.
+        let v = txn.get(&k);
+        assert_eq!(v, model.get(&k).copied(), "{label}: leased read");
+        let lo = k.saturating_sub(8);
+        let hi = (k + 8).min(KEY_RANGE - 1);
+        let mut out = Vec::new();
+        txn.range(&lo, &hi, &mut out);
+
+        // Inject the conflict: flip the read key through another session.
+        let interfere = xorshift(&mut seed).is_multiple_of(2);
+        if interfere {
+            forced += 1;
+            if model.remove(&k).is_some() {
+                assert!(store.remove(1, &k));
+            } else {
+                assert!(store.insert(1, k, round));
+                model.insert(k, round);
+            }
+        }
+
+        // A snapshot leased *now*, before the commit attempt: whatever the
+        // commit does (succeed or neutralize an abort), this snapshot's
+        // view must stay exactly the current model.
+        let pre_model: Vec<(u64, u64)> = model.iter().map(|(a, b)| (*a, *b)).collect();
+        let pre_snap = store.snapshot(2);
+
+        // Writes derived from the reads: an update of the read key plus a
+        // fresh key in the last shard (so the abort path also exercises
+        // the transaction-created-node tombstone).
+        match v {
+            Some(x) => txn.set(k, x.wrapping_add(1)),
+            None => txn.put(k, round),
+        };
+        txn.put(KEY_RANGE + round, round);
+        let outcome = txn.commit();
+
+        if interfere {
+            assert_eq!(
+                outcome,
+                Err(TxnAborted),
+                "{label}: a stale validated read must abort the commit"
+            );
+        } else {
+            let receipt = outcome.unwrap_or_else(|_| {
+                panic!("{label}: an undisturbed rw txn must commit (round {round})")
+            });
+            assert_eq!(receipt.applied_count(), 2, "{label}");
+            match v {
+                Some(x) => model.insert(k, x.wrapping_add(1)),
+                None => model.insert(k, round),
+            };
+            model.insert(KEY_RANGE + round, round);
+        }
+
+        // The pre-commit snapshot re-reads its own (older) timestamp: an
+        // aborted transaction's neutralized entries and tombstones must
+        // resolve as if the prepare never happened.
+        let mut view = Vec::new();
+        pre_snap.range(&0, &scan_hi, &mut view);
+        assert_eq!(
+            view, pre_model,
+            "{label}: round {round}: a snapshot fixed before the commit \
+             attempt observed an abort artifact"
+        );
+        drop(pre_snap);
+
+        // And the current state equals the model exactly.
+        let now = store.snapshot(2);
+        let mut all = Vec::new();
+        now.range(&0, &scan_hi, &mut all);
+        let expect: Vec<(u64, u64)> = model.iter().map(|(a, b)| (*a, *b)).collect();
+        assert_eq!(
+            all, expect,
+            "{label}: round {round}: post-commit state diverged from the model"
+        );
+        drop(now);
+    }
+    assert!(forced > ROUNDS / 4, "{label}: the test must force aborts");
+    assert_eq!(
+        store.txn_stats().validation_failures,
+        forced,
+        "{label}: every forced conflict aborted exactly once"
+    );
+}
+
+#[test]
+fn forced_validation_aborts_leave_no_artifacts_skiplist() {
+    forced_validation_aborts::<BundledSkipList<u64, u64>>("skiplist");
+}
+
+#[test]
+fn forced_validation_aborts_leave_no_artifacts_lazylist() {
+    forced_validation_aborts::<BundledLazyList<u64, u64>>("lazylist");
+}
+
+#[test]
+fn forced_validation_aborts_leave_no_artifacts_citrus() {
+    forced_validation_aborts::<BundledCitrusTree<u64, u64>>("citrus");
+}
