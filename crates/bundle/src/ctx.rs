@@ -106,6 +106,19 @@ impl RqContext {
         self.clock.advance(tid)
     }
 
+    /// Total [`RqContext::advance`] calls made on the shared clock so far
+    /// (all threads, monotonic). A group-commit front-end advances the
+    /// clock once per *batch*, so comparing this counter against the
+    /// number of committed operations measures the amortization:
+    /// `advance_calls / ops < 1` means several operations shared one
+    /// advance. See [`GlobalTimestamp::advance_calls`].
+    ///
+    /// [`GlobalTimestamp::advance_calls`]: crate::GlobalTimestamp::advance_calls
+    #[must_use]
+    pub fn advance_calls(&self) -> u64 {
+        self.clock.advance_calls()
+    }
+
     /// Begin a range query on `tid`: atomically read the shared clock and
     /// announce the snapshot. Returns the snapshot timestamp — the
     /// linearization point of everything traversed under it.

@@ -24,7 +24,16 @@ use crossbeam_utils::CachePadded;
 pub struct GlobalTimestamp {
     ts: CachePadded<AtomicU64>,
     threshold: u64,
-    /// Per-thread update counters used only when `threshold > 1`.
+    /// Per-thread `advance` call counters. With `threshold > 1` they also
+    /// drive the every-`T`-th-update relaxation; with the linearizable
+    /// default they are pure accounting (one relaxed add on a
+    /// thread-private cache line — negligible next to the `SeqCst`
+    /// `fetch_add` on the shared word). Summed by
+    /// [`GlobalTimestamp::advance_calls`], which is what lets a batched
+    /// front-end *prove* its clock amortization: `advance_calls` counts
+    /// commit rounds while the callers count operations, so
+    /// `advances / ops < 1` means several operations shared one clock
+    /// advance.
     counters: Box<[CachePadded<AtomicU64>]>,
 }
 
@@ -74,8 +83,14 @@ impl GlobalTimestamp {
     #[inline]
     pub fn advance(&self, tid: usize) -> u64 {
         match self.threshold {
-            1 => self.ts.fetch_add(1, Ordering::SeqCst) + 1,
-            0 => self.ts.load(Ordering::SeqCst),
+            1 => {
+                self.counters[tid].fetch_add(1, Ordering::Relaxed);
+                self.ts.fetch_add(1, Ordering::SeqCst) + 1
+            }
+            0 => {
+                self.counters[tid].fetch_add(1, Ordering::Relaxed);
+                self.ts.load(Ordering::SeqCst)
+            }
             t => {
                 let c = self.counters[tid].fetch_add(1, Ordering::Relaxed) + 1;
                 if c.is_multiple_of(t) {
@@ -85,6 +100,23 @@ impl GlobalTimestamp {
                 }
             }
         }
+    }
+
+    /// Total number of [`GlobalTimestamp::advance`] calls made so far, over
+    /// all threads (monotonic; each call counted whether or not it bumped
+    /// the shared counter).
+    ///
+    /// With the linearizable default every single-operation commit calls
+    /// `advance` exactly once, so `advance_calls / operations == 1`; a
+    /// group-commit front-end that publishes a whole batch under one
+    /// timestamp drives the ratio *below* one — this counter is how that
+    /// amortization is measured rather than assumed.
+    #[must_use]
+    pub fn advance_calls(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -154,6 +186,26 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 4000, "every linearizable advance is unique");
         assert_eq!(ts.read(), 4000);
+    }
+
+    #[test]
+    fn advance_calls_count_every_call_at_every_threshold() {
+        for threshold in [1u64, 0, 5] {
+            let ts = GlobalTimestamp::with_threshold(2, threshold);
+            assert_eq!(ts.advance_calls(), 0);
+            for _ in 0..7 {
+                ts.advance(0);
+            }
+            for _ in 0..4 {
+                ts.advance(1);
+            }
+            assert_eq!(
+                ts.advance_calls(),
+                11,
+                "threshold {threshold}: calls are counted even when the \
+                 shared word is not bumped"
+            );
+        }
     }
 
     #[test]

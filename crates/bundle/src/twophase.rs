@@ -14,6 +14,9 @@
 //! once; the structure crates layer their traversal, validation, and undo
 //! logs on top.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::bundle_impl::{Bundle, PendingEntry};
@@ -25,6 +28,37 @@ use crate::linearize::{Conflict, TxnValidateError};
 /// deadlock-free: the per-structure lock orders cannot be made globally
 /// consistent with key-ordered two-phase locking).
 pub const TXN_LOCK_SPINS: usize = 64;
+
+/// Multiplicative hasher for node/bundle *addresses* (already
+/// well-distributed), replacing SipHash in the per-transaction lock and
+/// pending maps: those maps are probed once per staged op, on the
+/// committer thread that serializes every group, so shaving the hash
+/// matters at super-batch sizes.
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_right(17);
+    }
+}
+
+type AddrSet = HashSet<usize, BuildHasherDefault<AddrHasher>>;
+type AddrMap = HashMap<usize, usize, BuildHasherDefault<AddrHasher>>;
 
 /// Shared two-phase bookkeeping over nodes of type `N`.
 ///
@@ -38,10 +72,18 @@ pub struct TwoPhaseState<N> {
     /// raw node pointers, so their lifetime is unconstrained; see the
     /// soundness contract above.
     locks: Vec<(*mut N, MutexGuard<'static, ()>)>,
-    /// Pending bundle entries keyed by bundle address, so a second write
+    /// Addresses of the held locks, for O(1) [`TwoPhaseState::holds`]
+    /// checks — a group-commit super-batch stages hundreds of ops into
+    /// one state, and every prepare probes lock ownership, so a linear
+    /// scan here made batch prepares quadratic.
+    lock_set: AddrSet,
+    /// Pending bundle entries in installation order, so a second write
     /// to the same link merges instead of self-deadlocking on its own
     /// pending head.
     pendings: Vec<(usize, PendingEntry<N>)>,
+    /// Bundle address -> index into `pendings` (O(1) merge lookups; same
+    /// quadratic-batch story as `lock_set`).
+    pending_idx: AddrMap,
     /// Nodes unlinked by staged removes; retired on commit.
     victims: Vec<*mut N>,
     /// Nodes created by staged inserts; retired on abort.
@@ -54,7 +96,9 @@ impl<N> TwoPhaseState<N> {
         TwoPhaseState {
             tid,
             locks: Vec::new(),
+            lock_set: AddrSet::default(),
             pendings: Vec::new(),
+            pending_idx: AddrMap::default(),
             victims: Vec::new(),
             created: Vec::new(),
         }
@@ -69,12 +113,13 @@ impl<N> TwoPhaseState<N> {
     /// `true` if the transaction already holds `node`'s lock.
     #[must_use]
     pub fn holds(&self, node: *mut N) -> bool {
-        self.locks.iter().any(|(n, _)| *n == node)
+        self.lock_set.contains(&(node as usize))
     }
 
     /// Record a lock acquired out-of-band (e.g. the uncontended `lock()`
     /// of a node the transaction just created).
     pub fn push_lock(&mut self, node: *mut N, guard: MutexGuard<'static, ()>) {
+        self.lock_set.insert(node as usize);
         self.locks.push((node, guard));
     }
 
@@ -82,7 +127,9 @@ impl<N> TwoPhaseState<N> {
     /// rewind; the popped guards unlock on drop).
     pub fn unlock_latest(&mut self, n: usize) {
         for _ in 0..n {
-            self.locks.pop();
+            if let Some((node, _)) = self.locks.pop() {
+                self.lock_set.remove(&(node as usize));
+            }
         }
     }
 
@@ -103,7 +150,7 @@ impl<N> TwoPhaseState<N> {
         let mutex: &'static Mutex<()> = &*mutex;
         for _ in 0..TXN_LOCK_SPINS {
             if let Some(guard) = mutex.try_lock() {
-                self.locks.push((node, guard));
+                self.push_lock(node, guard);
                 return Ok(true);
             }
             std::hint::spin_loop();
@@ -118,10 +165,14 @@ impl<N> TwoPhaseState<N> {
     /// node's lock).
     pub fn prepare_bundle(&mut self, bundle: &Bundle<N>, ptr: *mut N) {
         let addr = bundle as *const _ as usize;
-        if let Some((_, pe)) = self.pendings.iter().find(|(a, _)| *a == addr) {
-            pe.set_ptr(ptr);
-        } else {
-            self.pendings.push((addr, bundle.prepare(ptr)));
+        match self.pending_idx.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.pendings[*e.get()].1.set_ptr(ptr);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.pendings.len());
+                self.pendings.push((addr, bundle.prepare(ptr)));
+            }
         }
     }
 
@@ -188,31 +239,59 @@ impl<N> TwoPhaseState<N> {
 /// commit (a stale read), not the transaction tripping over its own
 /// writes. Nodes are immutable once created (updates are staged as
 /// remove-then-insert), so node identity doubles as value identity.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StagedOutcomes<K> {
-    /// `(key, pre-txn node, current node)`; at most one entry per key
+    /// `key -> (pre-txn node, current node)`; at most one entry per key
     /// (later stagings of the same key update `now`, keep the first
-    /// `pre`).
-    entries: Vec<(K, Option<usize>, Option<usize>)>,
+    /// `pre`). A map rather than a scan-on-record list: a group-commit
+    /// super-batch records hundreds of staged keys per shard, and the
+    /// prepare path must stay linear in the batch size.
+    entries: BTreeMap<K, (Option<usize>, Option<usize>)>,
+    /// `false` for write-only pipelines (no read set, no validate phase):
+    /// [`StagedOutcomes::record`] becomes a no-op, sparing every staged
+    /// op a map insert that nothing will ever read. Group commits and
+    /// `multi_put`-style batches run in this mode.
+    recording: bool,
+}
+
+impl<K: Copy + Ord> Default for StagedOutcomes<K> {
+    /// Same as [`StagedOutcomes::new`]: records images.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<K: Copy + Ord> StagedOutcomes<K> {
-    /// Empty outcome set.
+    /// Empty outcome set that records images (read-write transactions).
     pub fn new() -> Self {
         StagedOutcomes {
-            entries: Vec::new(),
+            entries: BTreeMap::new(),
+            recording: true,
+        }
+    }
+
+    /// Outcome set for a **write-only** pipeline: nothing will validate,
+    /// so nothing is recorded. [`StagedOutcomes::expected_now`] must not
+    /// be called on it (debug-asserted).
+    pub fn disabled() -> Self {
+        StagedOutcomes {
+            entries: BTreeMap::new(),
+            recording: false,
         }
     }
 
     /// Record one staged write's images. A second staging of the same key
     /// (e.g. the insert half of an upsert after its remove half) keeps the
-    /// original `pre` and replaces `now`.
+    /// original `pre` and replaces `now`. No-op for a
+    /// [`StagedOutcomes::disabled`] set.
     pub fn record(&mut self, key: K, pre: Option<usize>, now: Option<usize>) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
-            e.2 = now;
-        } else {
-            self.entries.push((key, pre, now));
+        if !self.recording {
+            return;
         }
+        self.entries
+            .entry(key)
+            .and_modify(|e| e.1 = now)
+            .or_insert((pre, now));
     }
 
     /// Number of distinct staged keys.
@@ -244,12 +323,12 @@ impl<K: Copy + Ord> StagedOutcomes<K> {
         high: &K,
         recorded: &[(K, usize)],
     ) -> Result<Vec<(K, usize)>, TxnValidateError> {
-        let mut projected: std::collections::BTreeMap<K, usize> =
-            recorded.iter().copied().collect();
-        for (key, pre, now) in &self.entries {
-            if key < low || key > high {
-                continue;
-            }
+        debug_assert!(
+            self.recording,
+            "a write-only (disabled) outcome set recorded nothing to project"
+        );
+        let mut projected: BTreeMap<K, usize> = recorded.iter().copied().collect();
+        for (key, (pre, now)) in self.entries.range(*low..=*high) {
             if projected.get(key).copied() != *pre {
                 return Err(TxnValidateError::Invalidated);
             }

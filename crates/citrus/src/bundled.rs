@@ -445,6 +445,21 @@ where
         }
     }
 
+    /// [`txn_begin`](Self::txn_begin) for a **write-only** pipeline: the
+    /// transaction has no read set, so no validate phase will run and the
+    /// per-key pre/post images are not recorded (one map insert saved per
+    /// staged op — group commits stage hundreds of ops per token, so the
+    /// bookkeeping nothing reads is worth skipping). Calling
+    /// [`txn_validate`](Self::txn_validate) on such a token is a contract
+    /// violation (debug-asserted in `StagedOutcomes`).
+    pub fn txn_begin_write_only(&self, tid: usize) -> ShardTxn<K, V> {
+        ShardTxn {
+            core: TwoPhaseState::new(tid),
+            undo: Vec::new(),
+            staged: StagedOutcomes::disabled(),
+        }
+    }
+
     /// Acquire `node`'s lock for the transaction unless already held;
     /// `Ok(true)` = newly acquired (see [`TwoPhaseState::lock`]).
     fn txn_lock(&self, txn: &mut ShardTxn<K, V>, node: *mut Node<K, V>) -> Result<bool, Conflict> {

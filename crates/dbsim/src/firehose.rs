@@ -1,0 +1,233 @@
+//! The NEW_ORDER **firehose**: a store-backed TPC-C database taking
+//! order-entry traffic through the group-commit ingestion front-end.
+//!
+//! TPC-C's NEW_ORDER is the update-heavy half of the mix — every
+//! transaction inserts `2 + ol_cnt` keys across three index tables. The
+//! store-backed path commits each of those inserts as its own
+//! cross-shard `WriteTxn`: one clock advance and one intent round per
+//! order. The firehose mode instead *submits* each order's batch to an
+//! [`crate::TpccIngest`] front-end and pipelines a window of outstanding
+//! tickets per worker, so committer threads coalesce many orders into one
+//! group — one clock advance per *group* of orders, while each order
+//! stays individually atomic (its batch rides inside a single group) and
+//! each worker still learns its own outcome from its ticket.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingest::{IngestConfig, IngestStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::store_backed::TpccIngest;
+use crate::tpcc::TpccDb;
+
+/// Result of a timed NEW_ORDER firehose run.
+#[derive(Debug, Clone, Copy)]
+pub struct FirehoseThroughput {
+    /// Orders committed (tickets resolved).
+    pub orders: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Ingest front-end counters for the run (groups, ops, fold sizes).
+    pub ingest: IngestStats,
+    /// Shared-clock advances spent during the run. One per group — so
+    /// `advances / orders < 1` is the amortization the firehose exists
+    /// for (the per-`WriteTxn` path pays exactly 1 per order).
+    pub advances: u64,
+}
+
+impl FirehoseThroughput {
+    /// Committed orders per second.
+    #[must_use]
+    pub fn orders_per_sec(&self) -> f64 {
+        self.orders as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Clock advances per committed order (< 1 when grouping works).
+    #[must_use]
+    pub fn advances_per_order(&self) -> f64 {
+        if self.orders == 0 {
+            0.0
+        } else {
+            self.advances as f64 / self.orders as f64
+        }
+    }
+}
+
+/// Run a NEW_ORDER-only firehose against a **store-backed** database for
+/// `duration_ms` milliseconds: `threads` workers each keep `window`
+/// submissions in flight through a fresh ingestion front-end (spawned
+/// over the database's store with `icfg`, shut down before returning).
+///
+/// Session budget: the run registers one store session per worker plus
+/// one per committer, so the database must have been built with
+/// `max_threads >= threads + icfg.committers` free slots (population used
+/// raw tid 0 but holds no session).
+///
+/// # Panics
+///
+/// If `db` is not store-backed, or the store has too few session slots.
+pub fn run_new_order_firehose(
+    db: &Arc<TpccDb>,
+    threads: usize,
+    duration_ms: u64,
+    window: usize,
+    icfg: IngestConfig,
+) -> FirehoseThroughput {
+    let store = db
+        .store()
+        .expect("the NEW_ORDER firehose requires TpccDb::store_backed");
+    // Workers register sessions BEFORE the committers spawn, so the
+    // dense-tid discipline holds across both groups of threads.
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            store
+                .try_register()
+                .unwrap_or_else(|| panic!("no free session slot for firehose worker #{i}"))
+        })
+        .collect();
+    let ingest = Arc::new(TpccIngest::spawn(Arc::clone(store), icfg));
+    let advances_before = store.context().advance_calls();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let orders = Arc::new(AtomicU64::new(0));
+    let window = window.max(1);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let db = Arc::clone(db);
+            let ingest = Arc::clone(&ingest);
+            let stop = Arc::clone(&stop);
+            let orders = Arc::clone(&orders);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xf1e7 ^ (i as u64 + 1));
+                let mut pending = VecDeque::with_capacity(window);
+                let mut committed = 0u64;
+                let mut settle = |t: ingest::Ticket<ingest::IngestOutcome>| {
+                    let outcome = t.wait();
+                    debug_assert!(
+                        outcome.applied.iter().all(|b| *b),
+                        "NEW_ORDER keys are fresh; every insert must apply"
+                    );
+                    committed += 1;
+                    db.stats.new_order.fetch_add(1, Ordering::Relaxed);
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    pending.push_back(db.new_order_ingest(handle.tid(), &mut rng, &ingest));
+                    if pending.len() >= window {
+                        settle(pending.pop_front().expect("window is non-empty"));
+                    }
+                }
+                for t in pending {
+                    settle(t);
+                }
+                orders.fetch_add(committed, Ordering::Relaxed);
+                drop(handle);
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("firehose worker panicked");
+    }
+    let elapsed = start.elapsed();
+    ingest.flush();
+    let stats = ingest.stats();
+    let advances = store.context().advance_calls() - advances_before;
+    ingest.shutdown();
+    FirehoseThroughput {
+        orders: orders.load(Ordering::Relaxed),
+        elapsed,
+        ingest: stats,
+        advances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::TpccConfig;
+    use crate::{
+        new_order_key, order_key, order_line_key, Table, DISTRICTS_PER_WAREHOUSE, MAX_ORDER_LINES,
+    };
+
+    #[test]
+    fn firehose_commits_whole_orders_with_amortized_advances() {
+        let cfg = TpccConfig {
+            warehouses: 1,
+            customers_per_district: 20,
+            items: 30,
+            initial_orders_per_district: 10,
+        };
+        const WORKERS: usize = 3;
+        const COMMITTERS: usize = 2;
+        let db = Arc::new(TpccDb::store_backed(cfg, WORKERS + COMMITTERS));
+        let before = db.stats.new_order.load(Ordering::Relaxed);
+        let t = run_new_order_firehose(
+            &db,
+            WORKERS,
+            60,
+            16,
+            IngestConfig {
+                committers: COMMITTERS,
+                ..IngestConfig::default()
+            },
+        );
+        assert!(t.orders > 0, "firehose committed nothing");
+        assert_eq!(
+            db.stats.new_order.load(Ordering::Relaxed) - before,
+            t.orders
+        );
+        assert_eq!(t.ingest.submissions, t.orders);
+        assert!(t.orders_per_sec() > 0.0);
+        assert!(
+            t.advances_per_order() < 1.0,
+            "groups must amortize the clock: {} advances / {} orders",
+            t.advances,
+            t.orders
+        );
+        // Every committed order is structurally whole at rest: exactly one
+        // new-order entry per order, a matching order entry, and a full
+        // complement of 5..=15 order lines.
+        let store = db.store().unwrap();
+        let h = store.register();
+        let mut pending = Vec::new();
+        let mut lines = Vec::new();
+        let mut firehosed = 0u64;
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            let lo = Table::NewOrder.key(new_order_key(0, d, 0));
+            let hi = Table::NewOrder.key(new_order_key(0, d, (1 << 40) - 1));
+            h.range_query(&lo, &hi, &mut pending);
+            for (no_key, _) in &pending {
+                let o_id = no_key & ((1 << 40) - 1);
+                if o_id < cfg.initial_orders_per_district {
+                    continue; // pre-loaded order
+                }
+                firehosed += 1;
+                assert!(
+                    h.contains(&Table::Order.key(order_key(0, d, o_id))),
+                    "new-order entry without its order row (d={d}, o={o_id})"
+                );
+                let llo = Table::OrderLine.key(order_line_key(0, d, o_id, 0));
+                let lhi = Table::OrderLine.key(order_line_key(0, d, o_id, MAX_ORDER_LINES - 1));
+                h.range_query(&llo, &lhi, &mut lines);
+                assert!(
+                    (5..=15).contains(&lines.len()),
+                    "order (d={d}, o={o_id}) committed with {} lines",
+                    lines.len()
+                );
+            }
+        }
+        assert_eq!(
+            firehosed, t.orders,
+            "every committed order has exactly one new-order entry"
+        );
+    }
+}

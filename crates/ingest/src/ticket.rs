@@ -1,0 +1,110 @@
+//! The waitable one-shot handed back by every submission.
+//!
+//! A [`Ticket`] is a Mutex+Condvar one-shot (no external channel crates —
+//! consistent with the workspace's offline `shims/` policy): the
+//! submitter parks on the condvar, the committer thread stores the
+//! outcome once and wakes every waiter. Cloneable on the committer side
+//! only (the resolving half keeps its own `Arc`), single-consumer on the
+//! waiting side (`wait` consumes the ticket).
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared slot between one submission's waiter and the committer
+/// thread that will resolve it.
+pub(crate) struct Oneshot<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Oneshot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Oneshot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Store the outcome and wake every waiter. Must be called at most
+    /// once per slot (a second call would overwrite an untaken value).
+    pub(crate) fn resolve(&self, value: T) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
+        *slot = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// A waitable one-shot outcome of one ingest submission (see the module
+/// docs). Obtained from [`crate::Ingest::submit`] /
+/// [`crate::Ingest::submit_batch`]; resolved by the committer thread when
+/// the submission's group commits.
+#[must_use = "an unawaited ticket silently drops its outcome"]
+pub struct Ticket<T> {
+    inner: Arc<Oneshot<T>>,
+}
+
+impl<T> Ticket<T> {
+    pub(crate) fn new(inner: Arc<Oneshot<T>>) -> Self {
+        Ticket { inner }
+    }
+
+    /// Block until the submission's group commits and return the outcome.
+    pub fn wait(self) -> T {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking poll: the outcome if the group already committed,
+    /// `None` otherwise. A `Some` result **consumes** the outcome —
+    /// tickets resolve exactly once, so a later [`Ticket::wait`] on the
+    /// same ticket would block forever. Use it *instead of* `wait`, not
+    /// before it.
+    pub fn try_take(&self) -> Option<T> {
+        self.inner
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_then_wait_round_trip() {
+        let slot = Oneshot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        assert!(ticket.try_take().is_none());
+        slot.resolve(7u32);
+        assert_eq!(ticket.wait(), 7);
+    }
+
+    #[test]
+    fn wait_blocks_until_resolved_from_another_thread() {
+        let slot = Oneshot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            slot.resolve("done");
+        });
+        assert_eq!(ticket.wait(), "done");
+        resolver.join().unwrap();
+    }
+}

@@ -78,6 +78,17 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
     ///   aborted and the whole transaction retries.
     fn txn_begin(&self, tid: usize) -> Self::Txn;
 
+    /// [`Self::txn_begin`] for a transaction that will never validate
+    /// reads (empty read set): backends may skip recording the per-key
+    /// staged images the validate phase would consume. The store routes
+    /// `apply_txn`, `multi_put` and every group commit through this —
+    /// group commits stage hundreds of ops per token, so bookkeeping
+    /// nothing reads is worth skipping. Calling [`Self::txn_validate`] on
+    /// such a token is a contract violation.
+    fn txn_begin_write_only(&self, tid: usize) -> Self::Txn {
+        self.txn_begin(tid)
+    }
+
     /// Stage an insert; `Ok(false)` = key already present (no-op), exactly
     /// like [`bundle::api::ConcurrentSet::insert`] returning `false`.
     fn txn_prepare_put(&self, txn: &mut Self::Txn, key: K, value: V) -> Result<bool, Conflict>;
@@ -170,6 +181,10 @@ macro_rules! impl_shard_backend {
 
             fn txn_begin(&self, tid: usize) -> Self::Txn {
                 Self::txn_begin(self, tid)
+            }
+
+            fn txn_begin_write_only(&self, tid: usize) -> Self::Txn {
+                Self::txn_begin_write_only(self, tid)
             }
 
             fn txn_prepare_put(

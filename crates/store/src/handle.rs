@@ -77,7 +77,10 @@ where
         self.store.get(self.tid, key)
     }
 
-    /// Batched lookup (each key individually linearizable).
+    /// Atomic batched lookup: every key is answered from one leased
+    /// snapshot read, so the batch observes a single atomic cut of the
+    /// store (see [`BundledStore::multi_get`]). Do not call while this
+    /// session holds a live [`crate::StoreSnapshot`].
     #[must_use]
     pub fn multi_get(&self, keys: &[K]) -> Vec<Option<V>> {
         self.store.multi_get(self.tid, keys)
@@ -98,6 +101,14 @@ where
     /// crate's `WriteTxn` builder is the ergonomic front-end for this.
     pub fn apply_txn(&self, ops: &[crate::TxnOp<K, V>]) -> Vec<bool> {
         self.store.apply_txn(self.tid, ops)
+    }
+
+    /// Atomically commit one ingest **group**: a key-sorted super-batch
+    /// published under a single clock advance; see
+    /// [`BundledStore::apply_grouped`]. The `ingest` crate's committer
+    /// threads are the intended callers.
+    pub fn apply_grouped(&self, ops: &[crate::TxnOp<K, V>]) -> crate::GroupReceipt {
+        self.store.apply_grouped(self.tid, ops)
     }
 
     /// Atomically commit a read-write transaction: writes plus a recorded

@@ -36,6 +36,13 @@
 //!   locks), one shared-clock advance, one commit timestamp for every
 //!   entry on every shard. The `txn` crate's `WriteTxn` is the ergonomic
 //!   staging front-end.
+//! * [`BundledStore::apply_grouped`] — **group commit**: the same
+//!   pipeline driven by the `ingest` crate's committer threads, which
+//!   drain per-shard submission queues and publish a whole super-batch of
+//!   independently-submitted operations under **one** clock advance (the
+//!   per-shard intent locks are the hand-off point). Groups are counted
+//!   separately in [`TxnStats`] so the clock amortization
+//!   (`group_commits / grouped_ops` advances per op) is measurable.
 //! * [`ShardBackend`] — what a structure must provide to back a shard:
 //!   construction over a shared [`bundle::RqContext`], a range query at a
 //!   caller-fixed snapshot timestamp, and the two-phase commit surface
@@ -49,15 +56,15 @@
 //!   Registration **blocks** when all slots are taken
 //!   ([`BundledStore::try_register`] is the non-blocking variant).
 //!
-//! ## Semantics change: `multi_put`
+//! ## Semantics change: `multi_put` and `multi_get`
 //!
 //! `multi_put` used to be a per-key-linearizable batch convenience — a
 //! concurrent range query could observe half of a batch. It now routes
 //! through [`BundledStore::apply_txn`], so the whole batch commits under
 //! **one timestamp**: every range query and snapshot read sees all of it
-//! or none of it. (`multi_get` remains a non-atomic read convenience; use
-//! a range query — or the `txn` crate's snapshot gets — for serializable
-//! reads.)
+//! or none of it. `multi_get` is the read-side mirror: the whole batch is
+//! answered from one leased [`StoreSnapshot`] read, so every key comes
+//! from a single atomic cut of the store.
 //!
 //! [`ConcurrentSet`]: bundle::api::ConcurrentSet
 //! [`RangeQuerySet`]: bundle::api::RangeQuerySet
@@ -89,7 +96,7 @@ mod snapshot;
 pub use backends::ShardBackend;
 pub use bundle::{Conflict, TxnValidateError};
 pub use handle::StoreHandle;
-pub use sharded::{uniform_splits, BundledStore, TxnOp, TxnStats};
+pub use sharded::{uniform_splits, BundledStore, GroupReceipt, TxnOp, TxnStats};
 pub use snapshot::{ShardRead, StoreSnapshot, TxnAborted};
 
 /// A store sharded over bundled lazy skip lists (§5 structures).

@@ -110,6 +110,14 @@ pub struct TxnReceipt<K> {
     pub applied: Vec<(K, bool)>,
     /// The store-wide transaction statistics after this commit.
     pub stats: TxnStats,
+    /// The commit timestamp: the single shared-clock value every write of
+    /// the transaction published at (for a read-only transaction, the
+    /// clock value its validation window closed over). `None` only for
+    /// the free empty commit that never touched the store. Comparable
+    /// across the whole snapshot domain — including the `ingest`
+    /// front-end's group tickets, whose outcomes carry the same clock
+    /// values — so receipts from every commit path order consistently.
+    pub commit_ts: Option<u64>,
 }
 
 impl<K> TxnReceipt<K> {
@@ -323,6 +331,7 @@ where
             return Ok(TxnReceipt {
                 applied: Vec::new(),
                 stats: store.txn_stats(),
+                commit_ts: None,
             });
         }
         let keys: Vec<K> = writes.keys().copied().collect();
@@ -334,15 +343,16 @@ where
                 Staged::Remove => TxnOp::Remove(k),
             })
             .collect();
-        let outcome = store.apply_rw_txn(tid, &ops, &reads);
+        let outcome = store.apply_rw_txn_ts(tid, &ops, &reads);
         // The snapshot (read lease + per-shard EBR pins) must survive
         // until validation finished comparing node identities; only now
         // may it release.
         drop(snapshot);
-        let results = outcome?;
+        let (results, ts) = outcome?;
         Ok(TxnReceipt {
             applied: keys.into_iter().zip(results).collect(),
             stats: store.txn_stats(),
+            commit_ts: Some(ts),
         })
     }
 }
@@ -430,6 +440,26 @@ where
         self.inner
             .commit()
             .expect("write-only transactions record no reads and cannot fail validation")
+    }
+
+    /// Turn the staged writes into a key-sorted, deduplicated
+    /// [`TxnOp`] batch *without committing*: the hand-off to the
+    /// `ingest` front-end's `submit_batch`, which publishes the whole
+    /// batch atomically inside a group commit (one clock advance shared
+    /// with every other submission in the group). The builder's staging
+    /// semantics — last write per key wins, read-your-writes `get` —
+    /// apply unchanged; only the commit path differs.
+    #[must_use]
+    pub fn into_ops(self) -> Vec<TxnOp<K, V>> {
+        self.inner
+            .writes
+            .into_iter()
+            .map(|(k, w)| match w {
+                Staged::Put(v) => TxnOp::Put(k, v),
+                Staged::Set(v) => TxnOp::Set(k, v),
+                Staged::Remove => TxnOp::Remove(k),
+            })
+            .collect()
     }
 }
 
@@ -694,6 +724,46 @@ mod tests {
         let receipt = h.txn().commit();
         assert!(receipt.applied.is_empty());
         assert_eq!(receipt.stats.commits, 0, "empty batch never hits the store");
+        assert_eq!(receipt.commit_ts, None, "nothing was published");
+    }
+
+    #[test]
+    fn receipts_carry_the_commit_timestamp() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        let mut txn = h.txn();
+        txn.put(10, 1).put(300, 3);
+        let receipt = txn.commit();
+        let ts = receipt.commit_ts.expect("writes were published");
+        assert_eq!(ts, store.context().read());
+        // A later commit gets a strictly newer timestamp.
+        let mut txn = h.txn();
+        txn.set(10, 2);
+        assert!(txn.commit().commit_ts.unwrap() > ts);
+        // Read-only commits report their validation-window clock without
+        // advancing it.
+        let mut txn = h.rw_txn();
+        assert_eq!(txn.get(&10), Some(2));
+        let ro = txn.commit().expect("uncontended");
+        assert_eq!(ro.commit_ts, Some(store.context().read()));
+    }
+
+    #[test]
+    fn into_ops_hands_staged_writes_to_a_group_submission() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(2, uniform_splits(4, 400)));
+        let h = store.register();
+        let mut txn = h.txn();
+        txn.put(300, 3).set(10, 1).remove(&42).put(10, 99);
+        let ops = txn.into_ops();
+        // Key-sorted, deduplicated, last write per key wins.
+        assert_eq!(
+            ops,
+            vec![TxnOp::Put(10, 99), TxnOp::Remove(42), TxnOp::Put(300, 3)]
+        );
+        // The batch is directly consumable by the grouped-apply path.
+        let receipt = store.apply_grouped(h.tid(), &ops);
+        assert_eq!(receipt.applied, vec![true, false, true]);
+        assert_eq!(h.get(&10), Some(99));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Group-commit ingestion scenario: grouped-put throughput of the
+//! `ingest` front-end versus the per-op `apply_txn` put path, for every
+//! store backend, with a submission-window (batch-size) sweep.
+//!
+//! Two configurations run per (backend, thread count):
+//!
+//! * **direct** — each worker commits one `TxnOp::Put` per `apply_txn`
+//!   call: one clock advance and one intent round per operation (the
+//!   pre-ingest baseline; exactly 1.0 clock advances per op).
+//! * **ingest** — workers submit the same puts to the group-commit
+//!   front-end in pipelined windows of `W` tickets
+//!   (`Ingest::submit_all`, then wait), for each `W` in the window
+//!   sweep. Committer threads coalesce everything that accumulates into
+//!   super-batches published under **one clock advance per group**.
+//!
+//! The table reports resolved operations/s for both paths, the
+//! ingest/direct speedup, measured **clock advances per op** (from
+//! [`bundle::RqContext::advance_calls`] — amortization is measured, not
+//! assumed), and the mean group size. `--json` additionally writes one
+//! machine-readable record per configuration.
+//!
+//! Usage:
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>]`
+//! (default: all three backends). Thread counts come from
+//! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
+//! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
+//! (comma-separated, default "1,16,64,256" — from latency-oriented
+//! trickle to throughput-oriented firehose) and the committer-thread
+//! count from `BUNDLE_INGEST_COMMITTERS` (default: half the machine's
+//! available parallelism, clamped to [1, shards]).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingest::{Ingest, IngestConfig};
+use store::{uniform_splits, BundledStore, ShardBackend, TxnOp};
+use workloads::{
+    duration_ms, print_series_table, thread_counts, write_csv, write_json, Point, RunRecord,
+    StructureKind, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+};
+
+/// Keyspace (half prefilled, like every harness scenario).
+const KEY_RANGE: u64 = 100_000;
+
+fn shard_count() -> usize {
+    std::env::var("BUNDLE_SHARDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|t| t.trim().parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_STORE_SHARDS)
+}
+
+/// Pipelined submission windows to sweep (tickets in flight per worker).
+fn windows() -> Vec<usize> {
+    std::env::var("BUNDLE_INGEST_WINDOWS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 16, 64, 256])
+}
+
+/// Committers compete with producers for cores, so default to half the
+/// *machine's* parallelism (not the producer count): on a small box one
+/// committer drains everything and forms the biggest groups, on a big one
+/// several committers keep the prepare work parallel across shards.
+fn committer_count(shards: usize) -> usize {
+    std::env::var("BUNDLE_INGEST_COMMITTERS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get() / 2)
+                .unwrap_or(1)
+                .max(1)
+        })
+        .clamp(1, shards)
+}
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+struct RunResult {
+    ops_per_sec: f64,
+    advances_per_op: f64,
+    ops_per_group: f64,
+}
+
+/// Baseline: every put is its own `apply_txn` commit (one clock advance
+/// and one intent round per op).
+fn run_direct<S>(threads: usize, dur: Duration, shards: usize) -> RunResult
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+        threads,
+        uniform_splits(shards, KEY_RANGE),
+    ));
+    {
+        let h = store.register();
+        for k in (0..KEY_RANGE).step_by(2) {
+            h.insert(k, k);
+        }
+    }
+    let advances_before = store.context().advance_calls();
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                let handle = store.register();
+                let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = xorshift(&mut seed) % KEY_RANGE;
+                    let _ = handle.apply_txn(&[TxnOp::Put(k, k)]);
+                    local += 1;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(dur);
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("direct worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = ops.load(Ordering::Relaxed);
+    let advances = store.context().advance_calls() - advances_before;
+    RunResult {
+        ops_per_sec: total as f64 / elapsed,
+        advances_per_op: advances as f64 / total.max(1) as f64,
+        ops_per_group: 1.0,
+    }
+}
+
+/// Outstanding batch tickets each ingest worker keeps in flight (the
+/// pipeline depth; the window sweep sizes the batches themselves).
+const PIPELINE: usize = 4;
+
+/// Grouped path: workers submit the same puts through the ingest
+/// front-end as `window`-sized batch submissions, [`PIPELINE`] tickets in
+/// flight each.
+fn run_ingest<S>(
+    threads: usize,
+    dur: Duration,
+    window: usize,
+    committers: usize,
+    shards: usize,
+) -> RunResult
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+        threads + committers,
+        uniform_splits(shards, KEY_RANGE),
+    ));
+    {
+        let h = store.register();
+        for k in (0..KEY_RANGE).step_by(2) {
+            h.insert(k, k);
+        }
+    }
+    let ingest = Arc::new(Ingest::spawn(
+        Arc::clone(&store),
+        IngestConfig {
+            committers,
+            ..IngestConfig::default()
+        },
+    ));
+    let advances_before = store.context().advance_calls();
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let ingest = Arc::clone(&ingest);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                let mut local = 0u64;
+                let mut pending = std::collections::VecDeque::with_capacity(PIPELINE);
+                while !stop.load(Ordering::Relaxed) {
+                    let batch: Vec<TxnOp<u64, u64>> = (0..window)
+                        .map(|_| {
+                            let k = xorshift(&mut seed) % KEY_RANGE;
+                            TxnOp::Put(k, k)
+                        })
+                        .collect();
+                    pending.push_back(ingest.submit_batch(batch));
+                    if pending.len() >= PIPELINE {
+                        let outcome = pending.pop_front().expect("pipeline non-empty").wait();
+                        local += outcome.applied.len() as u64;
+                    }
+                }
+                for ticket in pending {
+                    local += ticket.wait().applied.len() as u64;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(dur);
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("ingest worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ingest.flush();
+    let total = ops.load(Ordering::Relaxed);
+    let advances = store.context().advance_calls() - advances_before;
+    let stats = ingest.stats();
+    ingest.shutdown();
+    RunResult {
+        ops_per_sec: total as f64 / elapsed,
+        advances_per_op: advances as f64 / total.max(1) as f64,
+        ops_per_group: stats.ops_per_group(),
+    }
+}
+
+fn sweep(kind: StructureKind, records: &mut Vec<RunRecord>) {
+    let shards = shard_count();
+    let dur = Duration::from_millis(duration_ms());
+    let windows = windows();
+    for &threads in &thread_counts() {
+        let committers = committer_count(shards);
+        let (direct, ingest_runs): (RunResult, Vec<(usize, RunResult)>) = match kind {
+            StructureKind::StoreSkipList => run_kind::<skiplist::BundledSkipList<u64, u64>>(
+                threads, dur, &windows, committers, shards,
+            ),
+            StructureKind::StoreCitrus => run_kind::<citrus::BundledCitrusTree<u64, u64>>(
+                threads, dur, &windows, committers, shards,
+            ),
+            StructureKind::StoreList => run_kind::<lazylist::BundledLazyList<u64, u64>>(
+                threads, dur, &windows, committers, shards,
+            ),
+            other => panic!("{other:?} is not a sharded store kind"),
+        };
+        let mut points = vec![Point {
+            series: "direct ops/s".into(),
+            x: threads.to_string(),
+            y: direct.ops_per_sec,
+        }];
+        for (window, r) in &ingest_runs {
+            points.push(Point {
+                series: format!("ingest w={window} ops/s"),
+                x: threads.to_string(),
+                y: r.ops_per_sec,
+            });
+            let speedup = r.ops_per_sec / direct.ops_per_sec.max(1.0);
+            records.push(RunRecord {
+                bench: "store_ingest".into(),
+                kind: kind.name().into(),
+                mix: format!("win-{window}"),
+                threads,
+                metrics: vec![
+                    ("ops_per_sec".into(), r.ops_per_sec),
+                    ("direct_ops_per_sec".into(), direct.ops_per_sec),
+                    ("speedup".into(), speedup),
+                    ("advances_per_op".into(), r.advances_per_op),
+                    ("direct_advances_per_op".into(), direct.advances_per_op),
+                    ("ops_per_group".into(), r.ops_per_group),
+                    ("committers".into(), committers as f64),
+                ],
+            });
+        }
+        let title = format!(
+            "store_ingest [{}] put firehose, {shards} shards, {committers} committers, \
+             {threads} threads",
+            kind.name()
+        );
+        print_series_table(&title, "threads", "puts per second", &points);
+        for (window, r) in &ingest_runs {
+            println!(
+                "  w={window}: {:.3}x direct, {:.4} clock advances/op (direct {:.4}), \
+                 {:.1} ops/group",
+                r.ops_per_sec / direct.ops_per_sec.max(1.0),
+                r.advances_per_op,
+                direct.advances_per_op,
+                r.ops_per_group,
+            );
+        }
+        write_csv(
+            &format!("store_ingest_{}_{threads}t", kind.name()),
+            "threads",
+            "per_sec",
+            &points,
+        );
+    }
+}
+
+fn run_kind<S>(
+    threads: usize,
+    dur: Duration,
+    windows: &[usize],
+    committers: usize,
+    shards: usize,
+) -> (RunResult, Vec<(usize, RunResult)>)
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    let direct = run_direct::<S>(threads, dur, shards);
+    let ingest_runs = windows
+        .iter()
+        .map(|&w| (w, run_ingest::<S>(threads, dur, w, committers, shards)))
+        .collect();
+    (direct, ingest_runs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind_arg: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json_path = args.get(i + 1).map(PathBuf::from);
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                kind_arg = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let kinds: Vec<StructureKind> = match kind_arg.as_deref() {
+        None => TXN_STORE_KINDS.to_vec(),
+        Some(name) => match StructureKind::parse(name) {
+            Some(kind) if kind.is_store() => vec![kind],
+            _ => {
+                eprintln!(
+                    "unknown store kind {name:?}; expected one of: {}",
+                    TXN_STORE_KINDS.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut records = Vec::new();
+    for kind in kinds {
+        sweep(kind, &mut records);
+    }
+    if let Some(path) = json_path {
+        match write_json(&path, &records) {
+            Ok(()) => println!(
+                "\nwrote {} run records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -28,7 +28,17 @@
 //!   protocol generalized to N shards), so reads still hold at the commit
 //!   timestamp — full OCC serializability. [`txn::WriteTxn`] is the
 //!   write-only degenerate case (empty read set, infallible commit).
-//! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2.
+//! * [`ingest`] — the **group-commit ingestion front-end**: clients
+//!   fire operations (and whole `WriteTxn`-shaped batches) at per-shard
+//!   submission queues and get back waitable [`ingest::Ticket`]s;
+//!   committer threads coalesce submissions from different sessions into
+//!   super-batches published through
+//!   [`store::BundledStore::apply_grouped`] — one shared-clock advance
+//!   per *group*, every group an atomic cut, same-key submissions
+//!   serialized in queue order with outcome-exact tickets.
+//! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2, including
+//!   the ingest-backed NEW_ORDER firehose
+//!   ([`dbsim::run_new_order_firehose`]).
 //! * [`workloads`] — the benchmark harness regenerating every figure and
 //!   table of the evaluation, plus the sharded-store scaling scenario
 //!   (`store_scaling` binary, `Store*` registry kinds).
@@ -70,6 +80,7 @@ pub use bundle;
 pub use citrus;
 pub use dbsim;
 pub use ebr;
+pub use ingest;
 pub use lazylist;
 pub use skiplist;
 pub use store;
@@ -82,11 +93,12 @@ pub mod prelude {
     pub use bundle::{Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
     pub use citrus::{BundledCitrusTree, UnsafeCitrusTree};
     pub use ebr::{Collector, ReclaimMode};
+    pub use ingest::{Ingest, IngestConfig, IngestOutcome, IngestStats, Ticket};
     pub use lazylist::{BundledLazyList, UnsafeLazyList};
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
     pub use store::{
-        uniform_splits, BundledStore, CitrusStore, LazyListStore, ShardBackend, ShardRead,
-        SkipListStore, StoreHandle, StoreSnapshot, TxnAborted, TxnOp, TxnStats,
+        uniform_splits, BundledStore, CitrusStore, GroupReceipt, LazyListStore, ShardBackend,
+        ShardRead, SkipListStore, StoreHandle, StoreSnapshot, TxnAborted, TxnOp, TxnStats,
     };
     pub use txn::{ReadWriteTxn, StoreTxnExt, TxnReceipt, TxnStore, WriteTxn};
 }

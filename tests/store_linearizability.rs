@@ -30,9 +30,21 @@
 //! succeed (no foreign writer can intervene inside the lock), and its
 //! write outcomes must match what the freshly-validated reads imply.
 
+//! **Ingest super-batches** get their own replay (see
+//! `run_ingest_oracle_stress`): writers hold the serialization lock
+//! across a whole *wave* of submissions (singles and multi-key batches,
+//! same-key collisions included), wait every ticket, and re-order the
+//! wave by each ticket's `(ts, seq)` commit metadata — the linearization
+//! order the front-end claims. Every per-ticket outcome must then replay
+//! exactly against the oracle, and every concurrent range query must
+//! match the history at a **group boundary**: groups publish at one
+//! timestamp, so a snapshot containing part of a group matches either no
+//! version at all or only a mid-group version, and both fail the check.
+
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use bundled_refs::ingest::{Ingest, IngestConfig, IngestOutcome, Ticket};
 use bundled_refs::prelude::*;
 use bundled_refs::store::ShardBackend;
 use bundled_refs::store::{uniform_splits, BundledStore};
@@ -53,6 +65,10 @@ struct History {
     oracle: BTreeMap<u64, u64>,
     log: Vec<Batch>,
 }
+
+/// An ingest submission awaiting (or holding) its resolved outcome,
+/// paired with the ops it staged.
+type PendingSubmission<O> = (O, Vec<TxnOp<u64, u64>>);
 
 struct QueryObs {
     v1: usize,
@@ -421,6 +437,322 @@ fn lazylist_store_txn_snapshots_are_all_or_nothing() {
 #[test]
 fn citrus_store_txn_snapshots_are_all_or_nothing() {
     run_oracle_stress::<BundledCitrusTree<u64, u64>>(4, 40, "citrus-txn/4");
+}
+
+/// The grouped update history of the ingest replay: oracle state plus a
+/// versioned log where every version carries the commit timestamp of the
+/// group that produced it (all versions of one group share it).
+struct GroupedHistory {
+    oracle: BTreeMap<u64, u64>,
+    log: Vec<Batch>,
+    /// Group (commit-timestamp) tag of each log version.
+    group: Vec<u64>,
+}
+
+/// Like [`matches_some_version`], but the matching version must lie on a
+/// **group boundary**: a group publishes every one of its submissions at
+/// one timestamp, so a true snapshot can never correspond to a state
+/// with a group half-applied. A result that only matches mid-group —
+/// which is exactly what a torn group commit would produce — fails.
+fn matches_group_boundary(
+    obs: &QueryObs,
+    log: &[Batch],
+    group: &[u64],
+    model: &mut BTreeMap<u64, u64>,
+    upto: &mut usize,
+) -> bool {
+    while *upto < obs.v1 {
+        apply(model, &log[*upto]);
+        *upto += 1;
+    }
+    let boundary = |v: usize| v == 0 || v == log.len() || group[v - 1] != group[v];
+    let mut probe = model.clone();
+    let mut v = *upto;
+    loop {
+        if boundary(v) {
+            let expected: Vec<(u64, u64)> = probe
+                .range(obs.lo..=obs.hi)
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            if expected == obs.result {
+                return true;
+            }
+        }
+        if v >= obs.v2 {
+            return false;
+        }
+        apply(&mut probe, &log[v]);
+        v += 1;
+    }
+}
+
+/// Ingest-front-end oracle: writers push *waves* of submissions (singles
+/// and multi-key batches, same-key collisions across sessions included)
+/// through a group-commit `Ingest` while holding the serialization lock,
+/// wait every ticket, and replay the wave in the `(ts, seq)` order the
+/// tickets claim — checking every per-op outcome against the oracle
+/// exactly. Concurrent unserialized range queries must each match the
+/// history at a group boundary (a group is visible entirely or not at
+/// all).
+fn run_ingest_oracle_stress<S>(shards: usize, label: &'static str)
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    const KEY_RANGE: u64 = 240;
+    const WRITERS: usize = 3;
+    const READERS: usize = 2;
+    const COMMITTERS: usize = 2;
+    const WAVES_PER_WRITER: usize = 250;
+
+    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+        WRITERS + READERS + COMMITTERS,
+        uniform_splits(shards, KEY_RANGE),
+    ));
+    // Register every writer/reader session BEFORE spawning the ingest
+    // front-end, so the committers' sessions cannot collide with them.
+    let mut handles: Vec<_> = (0..WRITERS + READERS).map(|_| store.register()).collect();
+    let reader_handles: Vec<_> = handles.split_off(WRITERS);
+    let ingest = Arc::new(Ingest::spawn(
+        Arc::clone(&store),
+        IngestConfig {
+            committers: COMMITTERS,
+            ..IngestConfig::default()
+        },
+    ));
+    let history = Arc::new(Mutex::new(GroupedHistory {
+        oracle: BTreeMap::new(),
+        log: Vec::new(),
+        group: Vec::new(),
+    }));
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    let writers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(w, handle)| {
+            let ingest = Arc::clone(&ingest);
+            let history = Arc::clone(&history);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut seed = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                for _ in 0..WAVES_PER_WRITER {
+                    let mut h = history.lock().unwrap();
+                    // A wave: 1-3 submissions, each a single op or a
+                    // small batch; keys collide freely across (and
+                    // within) submissions, exercising the committer's
+                    // same-key fold.
+                    let n_sub = 1 + xorshift(&mut seed) % 3;
+                    let mut waiting: Vec<PendingSubmission<Ticket<IngestOutcome>>> = Vec::new();
+                    for _ in 0..n_sub {
+                        let n_ops = 1 + xorshift(&mut seed) % 3;
+                        let ops: Vec<TxnOp<u64, u64>> = (0..n_ops)
+                            .map(|_| {
+                                let k = xorshift(&mut seed) % KEY_RANGE;
+                                match xorshift(&mut seed) % 3 {
+                                    0 => TxnOp::Put(k, xorshift(&mut seed)),
+                                    1 => TxnOp::Set(k, xorshift(&mut seed)),
+                                    _ => TxnOp::Remove(k),
+                                }
+                            })
+                            .collect();
+                        waiting.push((ingest.submit_batch(ops.clone()), ops));
+                    }
+                    let mut resolved: Vec<PendingSubmission<IngestOutcome>> = waiting
+                        .into_iter()
+                        .map(|(t, ops)| (t.wait(), ops))
+                        .collect();
+                    // The tickets' commit metadata IS the claimed
+                    // linearization order: groups by ascending ts,
+                    // queue order inside a group by seq.
+                    resolved.sort_by_key(|(o, _)| (o.ts, o.seq));
+                    for (outcome, ops) in resolved {
+                        assert_eq!(outcome.applied.len(), ops.len(), "{label}");
+                        let mut batch: Batch = Vec::new();
+                        for (op, &applied) in ops.iter().zip(&outcome.applied) {
+                            match op {
+                                TxnOp::Put(k, v) => {
+                                    assert_eq!(
+                                        applied,
+                                        !h.oracle.contains_key(k),
+                                        "{label}: ticket outcome for put({k}) diverged"
+                                    );
+                                    if applied {
+                                        h.oracle.insert(*k, *v);
+                                        batch.push(Op::Insert(*k, *v));
+                                    }
+                                }
+                                TxnOp::Set(k, v) => {
+                                    assert_eq!(
+                                        applied,
+                                        h.oracle.contains_key(k),
+                                        "{label}: ticket outcome for set({k}) diverged"
+                                    );
+                                    h.oracle.insert(*k, *v);
+                                    batch.push(Op::Insert(*k, *v));
+                                }
+                                TxnOp::Remove(k) => {
+                                    assert_eq!(
+                                        applied,
+                                        h.oracle.remove(k).is_some(),
+                                        "{label}: ticket outcome for remove({k}) diverged"
+                                    );
+                                    if applied {
+                                        batch.push(Op::Remove(*k));
+                                    }
+                                }
+                            }
+                        }
+                        if !batch.is_empty() {
+                            h.log.push(batch);
+                            h.group.push(outcome.ts);
+                        }
+                    }
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                // The writer's session slot stays reserved (its handle is
+                // owned here) until the wave loop finishes.
+                drop(handle);
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = reader_handles
+        .into_iter()
+        .enumerate()
+        .map(|(r, handle)| {
+            let history = Arc::clone(&history);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut seed = (r as u64 + 7).wrapping_mul(0x517cc1b727220a95);
+                let mut observations = Vec::new();
+                let mut out = Vec::new();
+                while observations.len() < 50
+                    || done.load(std::sync::atomic::Ordering::SeqCst) < WRITERS
+                {
+                    let a = xorshift(&mut seed) % KEY_RANGE;
+                    let b = xorshift(&mut seed) % KEY_RANGE;
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let v1 = history.lock().unwrap().log.len();
+                    handle.range_query(&lo, &hi, &mut out);
+                    let v2 = history.lock().unwrap().log.len();
+                    observations.push(QueryObs {
+                        v1,
+                        v2,
+                        lo,
+                        hi,
+                        result: out.clone(),
+                    });
+                }
+                observations
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    let mut all_obs: Vec<QueryObs> = Vec::new();
+    for r in readers {
+        all_obs.extend(r.join().unwrap());
+    }
+    ingest.flush();
+
+    let h = history.lock().unwrap();
+    all_obs.sort_by_key(|o| o.v1);
+    let mut model = BTreeMap::new();
+    let mut upto = 0usize;
+    for (i, obs) in all_obs.iter().enumerate() {
+        assert!(
+            matches_group_boundary(obs, &h.log, &h.group, &mut model, &mut upto),
+            "{label}: range query #{i} [{}..={}] (window v{}..v{}) matches no \
+             group-boundary snapshot of the grouped history — a group was \
+             observed partially applied",
+            obs.lo,
+            obs.hi,
+            obs.v1,
+            obs.v2
+        );
+    }
+
+    // Final state agreement plus grouping really happened.
+    let stats = store.txn_stats();
+    assert!(stats.group_commits >= 1, "{label}: nothing group-committed");
+    assert!(
+        stats.grouped_ops >= stats.group_commits,
+        "{label}: groups must carry ops"
+    );
+    ingest.shutdown();
+    let h2 = store.register();
+    let final_scan = h2.range_query_vec(&0, &KEY_RANGE);
+    let expected: Vec<(u64, u64)> = h.oracle.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(final_scan, expected, "{label}: final store state diverged");
+}
+
+#[test]
+fn skiplist_ingest_groups_are_atomic_and_outcome_exact() {
+    run_ingest_oracle_stress::<BundledSkipList<u64, u64>>(5, "skiplist-ingest/5");
+}
+
+#[test]
+fn lazylist_ingest_groups_are_atomic_and_outcome_exact() {
+    run_ingest_oracle_stress::<BundledLazyList<u64, u64>>(3, "lazylist-ingest/3");
+}
+
+#[test]
+fn citrus_ingest_groups_are_atomic_and_outcome_exact() {
+    run_ingest_oracle_stress::<BundledCitrusTree<u64, u64>>(4, "citrus-ingest/4");
+}
+
+/// Sanity for the boundary matcher: a state that only exists *inside* a
+/// group (between two versions sharing a group tag) must be rejected,
+/// while the surrounding boundary states are accepted.
+#[test]
+fn oracle_rejects_mid_group_snapshots() {
+    // One group committed two submissions (two versions, same tag 7),
+    // then another group one more (tag 9).
+    let log = vec![
+        vec![Op::Insert(10, 1)],
+        vec![Op::Insert(200, 2)],
+        vec![Op::Insert(30, 3)],
+    ];
+    let group = vec![7, 7, 9];
+    // State after version 1 = {10} — real only mid-group.
+    let mid = QueryObs {
+        v1: 0,
+        v2: 3,
+        lo: 0,
+        hi: 240,
+        result: vec![(10, 1)],
+    };
+    let mut model = BTreeMap::new();
+    let mut upto = 0;
+    assert!(
+        !matches_group_boundary(&mid, &log, &group, &mut model, &mut upto),
+        "a half-visible group must match no boundary"
+    );
+    // The plain (non-boundary-aware) matcher would have accepted it.
+    let mut model = BTreeMap::new();
+    let mut upto = 0;
+    assert!(matches_some_version(&mid, &log, &mut model, &mut upto));
+    // Boundary states all pass: empty, whole first group, everything.
+    for result in [
+        vec![],
+        vec![(10, 1), (200, 2)],
+        vec![(10, 1), (30, 3), (200, 2)],
+    ] {
+        let obs = QueryObs {
+            v1: 0,
+            v2: 3,
+            lo: 0,
+            hi: 240,
+            result,
+        };
+        let mut model = BTreeMap::new();
+        let mut upto = 0;
+        assert!(matches_group_boundary(
+            &obs, &log, &group, &mut model, &mut upto
+        ));
+    }
 }
 
 /// Sanity for the oracle itself: a deliberately skewed "snapshot" (mixing
