@@ -9,8 +9,8 @@ use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{
-    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
-    StagedOutcomes, TwoPhaseState, TxnValidateError,
+    linearize_update, Bundle, Conflict, CursorStats, GlobalTimestamp, PrepareCursor, Recycler,
+    RqContext, RqTracker, StagedOutcomes, TwoPhaseState, TxnValidateError,
 };
 use ebr::{Collector, Guard, ReclaimMode};
 
@@ -44,6 +44,28 @@ impl<K, V> Node<K, V> {
             bundle: [Bundle::new(), Bundle::new()],
         }))
     }
+}
+
+/// One ancestor on a cursor's retained spine: a node on the root path
+/// plus the open key interval of the subtree slot it occupies (`None` =
+/// unbounded). Any key strictly inside the interval has a search path
+/// running through this node.
+struct SpineEntry<K, V> {
+    node: *mut Node<K, V>,
+    low: Option<K>,
+    high: Option<K>,
+}
+
+/// A located position: `pred.child[dir]` is the slot holding `curr`
+/// (null = key absent), `low`/`high` the slot's open key interval, and
+/// `resumed` whether the search resumed from a non-root spine ancestor.
+struct Located<K, V> {
+    pred: *mut Node<K, V>,
+    dir: usize,
+    curr: *mut Node<K, V>,
+    low: Option<K>,
+    high: Option<K>,
+    resumed: bool,
 }
 
 /// Unbalanced internal BST (Citrus-style) with bundled child references and
@@ -134,6 +156,9 @@ where
     /// Wait-free search: returns `(pred, dir, curr)` where `curr` is the
     /// node holding `key` (or null) and `pred.child[dir]` was the link
     /// followed to reach it. The sentinel root's key is never compared.
+    /// (Allocation-free fast path for the primitive operations; cursors
+    /// use [`Self::search_spined`], which additionally maintains the
+    /// resume spine.)
     fn search(&self, key: &K) -> (*mut Node<K, V>, usize, *mut Node<K, V>) {
         let mut pred = self.root;
         let mut dir = LEFT;
@@ -148,6 +173,101 @@ where
             curr = c.child[dir].load(Ordering::Acquire);
         }
         (pred, dir, curr)
+    }
+
+    /// [`Self::search`] resuming from (and maintaining) an ancestor
+    /// `spine`: the root path of the last located position, each entry
+    /// carrying the open key interval of the subtree slot it occupies.
+    ///
+    /// Ancestors that cannot lie on `key`'s search path any more — the
+    /// key falls outside their interval, they hold the key themselves, or
+    /// they were unlinked (marked) — are popped; the descent resumes from
+    /// the deepest survivor (the sentinel root in the worst case, which
+    /// is a plain root descent) and every node descended *through* is
+    /// pushed, so the spine always ends at the returned predecessor. A
+    /// spine entry that goes stale after its unmarked check can only
+    /// yield a stale position (an unlinked node's child pointers are not
+    /// cleared), which the caller's under-lock validation catches.
+    fn search_spined(&self, key: &K, spine: &mut Vec<SpineEntry<K, V>>) -> Located<K, V> {
+        // Validate the spine root-downwards and keep the usable prefix:
+        // stop at the first entry that is off `key`'s path (interval
+        // miss), holds the key itself (resume from its parent), or is
+        // marked. A marked ancestor poisons everything *below* it — the
+        // two-children remove relocates its successor's key upward past
+        // descendants that stay linked and unmarked, so a deeper resume
+        // point could silently miss the relocated key even though it
+        // looks healthy on its own. (Intervals themselves are immutable:
+        // the tree never rotates, a node keeps its slot until removed.)
+        let mut keep = 0usize;
+        for e in spine.iter() {
+            if e.node != self.root {
+                let n = unsafe { &*e.node };
+                if n.marked.load(Ordering::Acquire) || n.key == *key {
+                    break;
+                }
+                let inside = e.low.is_none_or(|lo| lo < *key) && e.high.is_none_or(|hi| *key < hi);
+                if !inside {
+                    break;
+                }
+            }
+            keep += 1;
+        }
+        spine.truncate(keep);
+        let resumed = spine.last().is_some_and(|t| t.node != self.root);
+        if spine.is_empty() {
+            spine.push(SpineEntry {
+                node: self.root,
+                low: None,
+                high: None,
+            });
+        }
+        let top = spine.last().expect("spine holds at least the root");
+        let mut pred = top.node;
+        let (mut low, mut high) = (top.low, top.high);
+        let mut dir = if pred == self.root || *key < unsafe { &*pred }.key {
+            LEFT
+        } else {
+            RIGHT
+        };
+        if pred != self.root {
+            let pk = unsafe { &*pred }.key;
+            if dir == LEFT {
+                high = Some(pk);
+            } else {
+                low = Some(pk);
+            }
+        }
+        let mut curr = unsafe { &*pred }.child[dir].load(Ordering::Acquire);
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if c.key == *key {
+                break;
+            }
+            let ndir = if *key < c.key { LEFT } else { RIGHT };
+            // `curr` becomes the new predecessor: it joins the spine with
+            // the interval of the slot it occupies.
+            spine.push(SpineEntry {
+                node: curr,
+                low,
+                high,
+            });
+            if ndir == LEFT {
+                high = Some(c.key);
+            } else {
+                low = Some(c.key);
+            }
+            pred = curr;
+            dir = ndir;
+            curr = c.child[ndir].load(Ordering::Acquire);
+        }
+        Located {
+            pred,
+            dir,
+            curr,
+            low,
+            high,
+            resumed,
+        }
     }
 
     /// Total number of bundle entries over all reachable nodes (diagnostic).
@@ -468,237 +588,70 @@ where
         unsafe { txn.core.lock(node, &(*node).lock) }
     }
 
-    /// Stage an insert: eager structural link with the affected bundle
-    /// entries left *pending* until the transaction's single commit
-    /// timestamp.
+    /// Open a [`ShardCursor`] over `txn`: the positional batch-staging
+    /// surface (see [`bundle::PrepareCursor`]). The cursor retains the
+    /// last located position's **ancestor spine** (the root path, with
+    /// each node's subtree key interval) and resumes the next search from
+    /// the deepest ancestor whose interval still contains the target, so
+    /// a key-sorted batch descends once and then walks short subtree
+    /// hops.
+    pub fn txn_cursor(&self, txn: ShardTxn<K, V>) -> ShardCursor<'_, K, V> {
+        // The cursor-lifetime pin keeps every retained spine pointer
+        // allocated between seeks (pins are reentrant).
+        let guard = self.pin(txn.core.tid());
+        ShardCursor {
+            tree: self,
+            txn,
+            _guard: guard,
+            spine: Vec::new(),
+            stats: CursorStats::default(),
+        }
+    }
+
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
     ///
     /// `Ok(false)` = key already present; the present node stays locked so
     /// the no-op outcome still holds at the commit timestamp.
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
+    )]
     pub fn txn_prepare_put(
         &self,
         txn: &mut ShardTxn<K, V>,
         key: K,
         value: V,
     ) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        loop {
-            let (pred, dir, curr) = self.search(&key);
-            if !curr.is_null() {
-                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
-                    // Key found but mid-removal; the remover already holds
-                    // all its locks (mark and unlink share one critical
-                    // section), so the unlink completes without us.
-                    std::hint::spin_loop();
-                    continue;
-                }
-                // Pin the no-op: hold the present node's lock until
-                // commit (a remove must acquire it). If it got marked
-                // before we locked it, the remove linearized first —
-                // retry and miss it.
-                let newly = self.txn_lock(txn, curr)?;
-                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
-                    if newly {
-                        txn.core.unlock_latest(1);
-                        continue;
-                    }
-                    return Err(Conflict);
-                }
-                txn.staged
-                    .record(key, Some(curr as usize), Some(curr as usize));
-                return Ok(false);
-            }
-            let newly = self.txn_lock(txn, pred)?;
-            let pred_ref = unsafe { &*pred };
-            if pred_ref.marked.load(Ordering::Acquire)
-                || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
-            {
-                if newly {
-                    txn.core.unlock_latest(1);
-                    continue;
-                }
-                // A node we hold locked cannot be invalidated by others.
-                return Err(Conflict);
-            }
-            let node = Node::new(key, Some(value));
-            let node_ref = unsafe { &*node };
-            // Hold the new leaf's lock until commit/abort so primitive
-            // operations block on it instead of building on state we may
-            // roll back.
-            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
-            txn.core.push_lock(node, node_guard);
-            txn.core
-                .prepare_bundle(&node_ref.bundle[LEFT], ptr::null_mut());
-            txn.core
-                .prepare_bundle(&node_ref.bundle[RIGHT], ptr::null_mut());
-            txn.core.prepare_bundle(&pred_ref.bundle[dir], node);
-            // Eager linearization effect.
-            pred_ref.child[dir].store(node, Ordering::SeqCst);
-            txn.core.add_created(node);
-            txn.staged.record(key, None, Some(node as usize));
-            txn.undo.push(CitrusUndo::Link { pred, dir, node });
-            drop(guard);
-            return Ok(true);
-        }
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_put(key, value))
     }
 
-    /// Stage a remove. `Ok(false)` = key absent; the insertion point (the
-    /// node whose `child[dir]` slot the key would occupy) stays locked, so
-    /// the no-op outcome still holds at the commit timestamp (nobody can
-    /// insert the key before the transaction finishes).
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
+    ///
+    /// `Ok(false)` = key absent; the insertion point (the node whose
+    /// `child[dir]` slot the key would occupy) stays locked, so the no-op
+    /// outcome still holds at the commit timestamp (nobody can insert the
+    /// key before the transaction finishes).
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
+    )]
     pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        loop {
-            let (pred, dir, curr) = self.search(key);
-            if curr.is_null() {
-                // Pin the no-op: hold the insertion parent until commit.
-                let newly = self.txn_lock(txn, pred)?;
-                let pred_ref = unsafe { &*pred };
-                if pred_ref.marked.load(Ordering::Acquire)
-                    || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
-                {
-                    if newly {
-                        txn.core.unlock_latest(1);
-                        continue;
-                    }
-                    return Err(Conflict);
-                }
-                txn.staged.record(*key, None, None);
-                return Ok(false);
-            }
-            let pred_ref = unsafe { &*pred };
-            let curr_ref = unsafe { &*curr };
-            let mut newly = 0usize;
-            match self.txn_lock(txn, pred) {
-                Ok(true) => newly += 1,
-                Ok(false) => {}
-                Err(c) => return Err(c),
-            }
-            match self.txn_lock(txn, curr) {
-                Ok(true) => newly += 1,
-                Ok(false) => {}
-                Err(c) => {
-                    txn.core.unlock_latest(newly);
-                    return Err(c);
-                }
-            }
-            if pred_ref.marked.load(Ordering::Acquire)
-                || curr_ref.marked.load(Ordering::Acquire)
-                || pred_ref.child[dir].load(Ordering::Acquire) != curr
-                || curr_ref.key != *key
-            {
-                txn.core.unlock_latest(newly);
-                if newly == 0 {
-                    return Err(Conflict);
-                }
-                continue;
-            }
-            let left = curr_ref.child[LEFT].load(Ordering::Acquire);
-            let right = curr_ref.child[RIGHT].load(Ordering::Acquire);
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_remove(key))
+    }
 
-            if left.is_null() || right.is_null() {
-                // Cases 1 & 2: splice the only child (or null) into pred.
-                let repl = if left.is_null() { right } else { left };
-                txn.core.prepare_bundle(&pred_ref.bundle[dir], repl);
-                curr_ref.marked.store(true, Ordering::SeqCst);
-                pred_ref.child[dir].store(repl, Ordering::SeqCst);
-                txn.core.add_victim(curr);
-                txn.staged.record(*key, Some(curr as usize), None);
-                txn.undo.push(CitrusUndo::Splice { pred, dir, curr });
-                drop(guard);
-                return Ok(true);
-            }
-
-            // Case 3: two children — replace `curr` by an RCU-style copy
-            // of its successor.
-            let mut succ_parent = curr;
-            let mut succ = right;
-            loop {
-                let l = unsafe { &*succ }.child[LEFT].load(Ordering::Acquire);
-                if l.is_null() {
-                    break;
-                }
-                succ_parent = succ;
-                succ = l;
-            }
-            let succ_ref = unsafe { &*succ };
-            let sp_ref = unsafe { &*succ_parent };
-            if succ_parent != curr {
-                match self.txn_lock(txn, succ_parent) {
-                    Ok(true) => newly += 1,
-                    Ok(false) => {}
-                    Err(c) => {
-                        txn.core.unlock_latest(newly);
-                        return Err(c);
-                    }
-                }
-            }
-            match self.txn_lock(txn, succ) {
-                Ok(true) => newly += 1,
-                Ok(false) => {}
-                Err(c) => {
-                    txn.core.unlock_latest(newly);
-                    return Err(c);
-                }
-            }
-            let succ_still_leftmost = if succ_parent == curr {
-                curr_ref.child[RIGHT].load(Ordering::Acquire) == succ
-            } else {
-                sp_ref.child[LEFT].load(Ordering::Acquire) == succ
-            };
-            if succ_ref.marked.load(Ordering::Acquire)
-                || sp_ref.marked.load(Ordering::Acquire)
-                || !succ_ref.child[LEFT].load(Ordering::Acquire).is_null()
-                || !succ_still_leftmost
-            {
-                txn.core.unlock_latest(newly);
-                if newly == 0 {
-                    return Err(Conflict);
-                }
-                continue;
-            }
-            let succ_right = succ_ref.child[RIGHT].load(Ordering::Acquire);
-            let new_node = Node::new(succ_ref.key, succ_ref.val.clone());
-            let new_ref = unsafe { &*new_node };
-            let new_right = if succ == right { succ_right } else { right };
-            let new_guard: MutexGuard<'static, ()> = new_ref.lock.lock();
-            txn.core.push_lock(new_node, new_guard);
-            new_ref.child[LEFT].store(left, Ordering::Relaxed);
-            new_ref.child[RIGHT].store(new_right, Ordering::Relaxed);
-
-            txn.core.prepare_bundle(&new_ref.bundle[LEFT], left);
-            txn.core.prepare_bundle(&new_ref.bundle[RIGHT], new_right);
-            txn.core.prepare_bundle(&pred_ref.bundle[dir], new_node);
-            let sp_moved = succ != right;
-            if sp_moved {
-                txn.core.prepare_bundle(&sp_ref.bundle[LEFT], succ_right);
-            }
-            // Eager linearization effect.
-            curr_ref.marked.store(true, Ordering::SeqCst);
-            succ_ref.marked.store(true, Ordering::SeqCst);
-            pred_ref.child[dir].store(new_node, Ordering::SeqCst);
-            if sp_moved {
-                sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
-            }
-            txn.core.add_victim(curr);
-            txn.core.add_victim(succ);
-            txn.core.add_created(new_node);
-            txn.staged.record(*key, Some(curr as usize), None);
-            // The successor's key keeps its value but moves to the fresh
-            // copy; a read that recorded the old node must reconcile.
-            txn.staged
-                .record(succ_ref.key, Some(succ as usize), Some(new_node as usize));
-            txn.undo.push(CitrusUndo::Replace {
-                pred,
-                dir,
-                curr,
-                succ,
-                new_node,
-                sp: succ_parent,
-                sp_moved,
-            });
-            drop(guard);
-            return Ok(true);
-        }
+    /// Run `f` on a throwaway single-op cursor over `*txn` (the
+    /// deprecated point-prepare shims).
+    fn with_one_op_cursor<R>(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        f: impl FnOnce(&mut ShardCursor<'_, K, V>) -> R,
+    ) -> R {
+        let dummy = ShardTxn {
+            core: TwoPhaseState::new(txn.core.tid()),
+            undo: Vec::new(),
+            staged: StagedOutcomes::disabled(),
+        };
+        bundle::one_op_cursor_shim(txn, dummy, |t| self.txn_cursor(t), f)
     }
 
     /// Largest node with `key < bound` (`below = true`) or smallest node
@@ -893,6 +846,368 @@ where
             // Safety: unlinked above; EBR defers the free.
             unsafe { guard.retire(n) };
         }
+    }
+}
+
+/// A prepare cursor over one [`ShardTxn`] (see
+/// [`BundledCitrusTree::txn_cursor`] and [`bundle::PrepareCursor`]).
+///
+/// The retained frontier is the last located position's **ancestor
+/// spine**: the root path, each entry tagged with the open key interval
+/// of its subtree slot. A seek resumes from the deepest spine ancestor
+/// whose interval contains the target, reached through an all-unmarked
+/// prefix (a marked ancestor poisons everything below it — the
+/// two-children remove relocates keys upward). Spine entries staged by
+/// the transaction are locked; the rest are unlocked hints whose stale
+/// positions are caught by the under-lock validation every prepare
+/// performs (the retry falls back to a root descent).
+pub struct ShardCursor<'a, K, V> {
+    tree: &'a BundledCitrusTree<K, V>,
+    txn: ShardTxn<K, V>,
+    /// Keeps every retained spine pointer allocated between seeks.
+    _guard: Guard<'a>,
+    spine: Vec<SpineEntry<K, V>>,
+    stats: CursorStats,
+}
+
+impl<'a, K, V> ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// One search, resuming from the retained spine when possible.
+    fn locate(&mut self, key: &K) -> Located<K, V> {
+        let loc = self.tree.search_spined(key, &mut self.spine);
+        if loc.resumed {
+            self.stats.hinted += 1;
+        } else {
+            self.stats.descents += 1;
+        }
+        loc
+    }
+
+    /// Stage an insert at the sought position: eager structural link with
+    /// the affected bundle entries left *pending* until the transaction's
+    /// single commit timestamp. `Ok(false)` = key already present; the
+    /// present node stays locked so the no-op outcome still holds at the
+    /// commit timestamp.
+    pub fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        let tree = self.tree;
+        loop {
+            let loc = self.locate(&key);
+            let (pred, dir, curr) = (loc.pred, loc.dir, loc.curr);
+            let txn = &mut self.txn;
+            if !curr.is_null() {
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    // Key found but mid-removal; the remover already holds
+                    // all its locks (mark and unlink share one critical
+                    // section), so the unlink completes without us.
+                    std::hint::spin_loop();
+                    self.spine.clear();
+                    continue;
+                }
+                // Pin the no-op: hold the present node's lock until
+                // commit (a remove must acquire it). If it got marked
+                // before we locked it, the remove linearized first —
+                // retry and miss it.
+                let newly = tree.txn_lock(txn, curr)?;
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        self.spine.clear();
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                txn.staged
+                    .record(key, Some(curr as usize), Some(curr as usize));
+                self.spine.push(SpineEntry {
+                    node: curr,
+                    low: loc.low,
+                    high: loc.high,
+                });
+                return Ok(false);
+            }
+            let newly = tree.txn_lock(txn, pred)?;
+            let pred_ref = unsafe { &*pred };
+            if pred_ref.marked.load(Ordering::Acquire)
+                || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
+            {
+                if newly {
+                    txn.core.unlock_latest(1);
+                    self.spine.clear();
+                    continue;
+                }
+                // A node we hold locked cannot be invalidated by others.
+                return Err(Conflict);
+            }
+            let node = Node::new(key, Some(value));
+            let node_ref = unsafe { &*node };
+            // Hold the new leaf's lock until commit/abort so primitive
+            // operations block on it instead of building on state we may
+            // roll back.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            txn.core
+                .prepare_bundle(&node_ref.bundle[LEFT], ptr::null_mut());
+            txn.core
+                .prepare_bundle(&node_ref.bundle[RIGHT], ptr::null_mut());
+            txn.core.prepare_bundle(&pred_ref.bundle[dir], node);
+            // Eager linearization effect.
+            pred_ref.child[dir].store(node, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.staged.record(key, None, Some(node as usize));
+            txn.undo.push(CitrusUndo::Link { pred, dir, node });
+            self.spine.push(SpineEntry {
+                node,
+                low: loc.low,
+                high: loc.high,
+            });
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove at the sought position. `Ok(false)` = key absent;
+    /// the insertion point (the node whose `child[dir]` slot the key
+    /// would occupy) stays locked, so the no-op outcome still holds at
+    /// the commit timestamp (nobody can insert the key before the
+    /// transaction finishes).
+    pub fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        let tree = self.tree;
+        loop {
+            let loc = self.locate(key);
+            let (pred, dir, curr) = (loc.pred, loc.dir, loc.curr);
+            let txn = &mut self.txn;
+            if curr.is_null() {
+                // Pin the no-op: hold the insertion parent until commit.
+                let newly = tree.txn_lock(txn, pred)?;
+                let pred_ref = unsafe { &*pred };
+                if pred_ref.marked.load(Ordering::Acquire)
+                    || !pred_ref.child[dir].load(Ordering::Acquire).is_null()
+                {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        self.spine.clear();
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                txn.staged.record(*key, None, None);
+                return Ok(false);
+            }
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            let mut newly = 0usize;
+            match tree.txn_lock(txn, pred) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => return Err(c),
+            }
+            match tree.txn_lock(txn, curr) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => {
+                    txn.core.unlock_latest(newly);
+                    return Err(c);
+                }
+            }
+            if pred_ref.marked.load(Ordering::Acquire)
+                || curr_ref.marked.load(Ordering::Acquire)
+                || pred_ref.child[dir].load(Ordering::Acquire) != curr
+                || curr_ref.key != *key
+            {
+                txn.core.unlock_latest(newly);
+                if newly == 0 {
+                    return Err(Conflict);
+                }
+                self.spine.clear();
+                continue;
+            }
+            let left = curr_ref.child[LEFT].load(Ordering::Acquire);
+            let right = curr_ref.child[RIGHT].load(Ordering::Acquire);
+
+            if left.is_null() || right.is_null() {
+                // Cases 1 & 2: splice the only child (or null) into pred.
+                let repl = if left.is_null() { right } else { left };
+                txn.core.prepare_bundle(&pred_ref.bundle[dir], repl);
+                curr_ref.marked.store(true, Ordering::SeqCst);
+                pred_ref.child[dir].store(repl, Ordering::SeqCst);
+                txn.core.add_victim(curr);
+                txn.staged.record(*key, Some(curr as usize), None);
+                txn.undo.push(CitrusUndo::Splice { pred, dir, curr });
+                return Ok(true);
+            }
+
+            // Case 3: two children — replace `curr` by an RCU-style copy
+            // of its successor.
+            let mut succ_parent = curr;
+            let mut succ = right;
+            loop {
+                let l = unsafe { &*succ }.child[LEFT].load(Ordering::Acquire);
+                if l.is_null() {
+                    break;
+                }
+                succ_parent = succ;
+                succ = l;
+            }
+            let succ_ref = unsafe { &*succ };
+            let sp_ref = unsafe { &*succ_parent };
+            if succ_parent != curr {
+                match tree.txn_lock(txn, succ_parent) {
+                    Ok(true) => newly += 1,
+                    Ok(false) => {}
+                    Err(c) => {
+                        txn.core.unlock_latest(newly);
+                        return Err(c);
+                    }
+                }
+            }
+            match tree.txn_lock(txn, succ) {
+                Ok(true) => newly += 1,
+                Ok(false) => {}
+                Err(c) => {
+                    txn.core.unlock_latest(newly);
+                    return Err(c);
+                }
+            }
+            let succ_still_leftmost = if succ_parent == curr {
+                curr_ref.child[RIGHT].load(Ordering::Acquire) == succ
+            } else {
+                sp_ref.child[LEFT].load(Ordering::Acquire) == succ
+            };
+            if succ_ref.marked.load(Ordering::Acquire)
+                || sp_ref.marked.load(Ordering::Acquire)
+                || !succ_ref.child[LEFT].load(Ordering::Acquire).is_null()
+                || !succ_still_leftmost
+            {
+                txn.core.unlock_latest(newly);
+                if newly == 0 {
+                    return Err(Conflict);
+                }
+                self.spine.clear();
+                continue;
+            }
+            let succ_right = succ_ref.child[RIGHT].load(Ordering::Acquire);
+            let new_node = Node::new(succ_ref.key, succ_ref.val.clone());
+            let new_ref = unsafe { &*new_node };
+            let new_right = if succ == right { succ_right } else { right };
+            let new_guard: MutexGuard<'static, ()> = new_ref.lock.lock();
+            txn.core.push_lock(new_node, new_guard);
+            new_ref.child[LEFT].store(left, Ordering::Relaxed);
+            new_ref.child[RIGHT].store(new_right, Ordering::Relaxed);
+
+            txn.core.prepare_bundle(&new_ref.bundle[LEFT], left);
+            txn.core.prepare_bundle(&new_ref.bundle[RIGHT], new_right);
+            txn.core.prepare_bundle(&pred_ref.bundle[dir], new_node);
+            let sp_moved = succ != right;
+            if sp_moved {
+                txn.core.prepare_bundle(&sp_ref.bundle[LEFT], succ_right);
+            }
+            // Eager linearization effect.
+            curr_ref.marked.store(true, Ordering::SeqCst);
+            succ_ref.marked.store(true, Ordering::SeqCst);
+            pred_ref.child[dir].store(new_node, Ordering::SeqCst);
+            if sp_moved {
+                sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
+            }
+            txn.core.add_victim(curr);
+            txn.core.add_victim(succ);
+            txn.core.add_created(new_node);
+            txn.staged.record(*key, Some(curr as usize), None);
+            // The successor's key keeps its value but moves to the fresh
+            // copy; a read that recorded the old node must reconcile.
+            txn.staged
+                .record(succ_ref.key, Some(succ as usize), Some(new_node as usize));
+            txn.undo.push(CitrusUndo::Replace {
+                pred,
+                dir,
+                curr,
+                succ,
+                new_node,
+                sp: succ_parent,
+                sp_moved,
+            });
+            // The copy took curr's slot: it joins the spine so seeks into
+            // its subtree (keys beyond the removed one) resume below it.
+            self.spine.push(SpineEntry {
+                node: new_node,
+                low: loc.low,
+                high: loc.high,
+            });
+            return Ok(true);
+        }
+    }
+
+    /// Read `key`'s current value (newest pointers — the transaction's
+    /// own eager writes are visible) through the spine, retaining the
+    /// located position as an *unlocked* hint. Takes no locks and stages
+    /// nothing.
+    pub fn seek_read(&mut self, key: &K) -> Option<V> {
+        let loc = self.locate(key);
+        if !loc.curr.is_null() {
+            let c = unsafe { &*loc.curr };
+            if !c.marked.load(Ordering::Acquire) {
+                self.spine.push(SpineEntry {
+                    node: loc.curr,
+                    low: loc.low,
+                    high: loc.high,
+                });
+                return c.val.clone();
+            }
+        }
+        None
+    }
+
+    /// Hinted-resume vs root-descent counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Give the transaction token back (dropping the spine and the
+    /// cursor's EBR pin); consume it with
+    /// [`BundledCitrusTree::txn_finalize`] or
+    /// [`BundledCitrusTree::txn_abort`].
+    #[must_use]
+    pub fn finish(self) -> ShardTxn<K, V> {
+        self.txn
+    }
+}
+
+impl<'a, K, V> PrepareCursor<K, V> for ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Txn = ShardTxn<K, V>;
+
+    fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_put(self, key, value)
+    }
+
+    fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_remove(self, key)
+    }
+
+    fn seek_read(&mut self, key: &K) -> Option<V> {
+        ShardCursor::seek_read(self, key)
+    }
+
+    fn stats(&self) -> CursorStats {
+        ShardCursor::stats(self)
+    }
+
+    fn finish(self) -> ShardTxn<K, V> {
+        ShardCursor::finish(self)
+    }
+}
+
+impl<'a, K, V> std::fmt::Debug for ShardCursor<'a, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCursor")
+            .field("spine_depth", &self.spine.len())
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -1397,13 +1712,16 @@ mod tests {
         }
         let before = ctx.read();
 
-        let mut txn = t.txn_begin(0);
-        assert_eq!(t.txn_prepare_put(&mut txn, 26, 260), Ok(true));
-        assert_eq!(t.txn_prepare_put(&mut txn, 27, 270), Ok(true));
-        // Removing 25 exercises the two-children (RCU-copy) path.
-        assert_eq!(t.txn_prepare_remove(&mut txn, &25), Ok(true));
-        assert_eq!(t.txn_prepare_put(&mut txn, 50, 999), Ok(false));
-        assert_eq!(t.txn_prepare_remove(&mut txn, &77), Ok(false));
+        let mut cur = t.txn_cursor(t.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(26, 260), Ok(true));
+        assert_eq!(cur.seek_prepare_put(27, 270), Ok(true));
+        // Removing 25 exercises the two-children (RCU-copy) path; it is a
+        // backward seek from 27, so the spine unwinds to an ancestor.
+        assert_eq!(cur.seek_prepare_remove(&25), Ok(true));
+        assert_eq!(cur.seek_prepare_put(50, 999), Ok(false));
+        assert_eq!(cur.seek_prepare_remove(&77), Ok(false));
+        assert!(cur.stats().hinted >= 2, "sorted seeks must resume");
+        let txn = cur.finish();
         assert_eq!(txn.staged_ops(), 3);
         let ts = ctx.advance(0);
         t.txn_finalize(txn, ts);
@@ -1429,12 +1747,15 @@ mod tests {
         }
         let clock_before = ctx.read();
 
-        let mut txn = t.txn_begin(0);
-        assert_eq!(t.txn_prepare_put(&mut txn, 55, 550), Ok(true));
+        let mut cur = t.txn_cursor(t.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(55, 550), Ok(true));
         // Two-children removal staged and rolled back.
-        assert_eq!(t.txn_prepare_remove(&mut txn, &50), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&50), Ok(true));
         // Leaf removal staged and rolled back.
-        assert_eq!(t.txn_prepare_remove(&mut txn, &10), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&10), Ok(true));
+        assert_eq!(cur.seek_read(&55), Some(550), "cursor reads eager writes");
+        assert_eq!(cur.seek_read(&50), None);
+        let txn = cur.finish();
         assert!(t.contains(1, &55));
         assert!(!t.contains(1, &50));
         t.txn_abort(txn);
@@ -1460,11 +1781,14 @@ mod tests {
     fn txn_remove_of_own_staged_insert_nets_out() {
         let t = Tree::new(1);
         t.insert(0, 10, 10);
-        let mut txn = t.txn_begin(0);
-        assert_eq!(t.txn_prepare_put(&mut txn, 5, 50), Ok(true));
-        assert_eq!(t.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let mut cur = t.txn_cursor(t.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(5, 50), Ok(true));
+        // Equal-key seek: the staged node's spine entry holds the key
+        // itself, so the search resumes from its parent and must still
+        // find (and unlink) the staged node.
+        assert_eq!(cur.seek_prepare_remove(&5), Ok(true));
         let ts = t.clock().advance(0);
-        t.txn_finalize(txn, ts);
+        t.txn_finalize(cur.finish(), ts);
         assert!(!t.contains(0, &5));
         assert_eq!(t.len(0), 1);
         let mut out = Vec::new();
@@ -1535,9 +1859,10 @@ mod tests {
         // Remove key 50 (two children: its successor 55 relocates into a
         // fresh copy) and insert 70 — both inside the validated range. The
         // staged images must reconcile the relocation.
-        let mut txn = t.txn_begin(1);
-        assert_eq!(t.txn_prepare_remove(&mut txn, &50), Ok(true));
-        assert_eq!(t.txn_prepare_put(&mut txn, 70, 700), Ok(true));
+        let mut cur = t.txn_cursor(t.txn_begin(1));
+        assert_eq!(cur.seek_prepare_remove(&50), Ok(true));
+        assert_eq!(cur.seek_prepare_put(70, 700), Ok(true));
+        let mut txn = cur.finish();
         assert_eq!(t.txn_validate(&mut txn, &0, &100, &nodes), Ok(()));
         let ts = ctx.advance(1);
         t.txn_finalize(txn, ts);
@@ -1571,6 +1896,101 @@ mod tests {
             Err(TxnValidateError::Invalidated)
         );
         t.txn_abort(txn);
+    }
+
+    #[test]
+    fn deprecated_point_prepares_are_one_op_cursor_shims() {
+        // The point API must stay outcome-identical for one release so
+        // out-of-tree call sites migrate explicitly.
+        #![allow(deprecated)]
+        let t = Tree::new(1);
+        t.insert(0, 10, 10);
+        let mut txn = t.txn_begin(0);
+        assert_eq!(t.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(t.txn_prepare_put(&mut txn, 10, 99), Ok(false));
+        assert_eq!(t.txn_prepare_remove(&mut txn, &10), Ok(true));
+        assert_eq!(t.txn_prepare_remove(&mut txn, &77), Ok(false));
+        assert_eq!(txn.staged_ops(), 2);
+        let ts = t.clock().advance(0);
+        t.txn_finalize(txn, ts);
+        let mut out = Vec::new();
+        t.range_query(0, &0, &100, &mut out);
+        assert_eq!(out, vec![(5, 50)]);
+    }
+
+    #[test]
+    fn cursor_sorted_batch_resumes_from_the_spine() {
+        // A key-sorted staged batch into one subtree region must be
+        // dominated by spine resumes after the first descent.
+        let t = Tree::new(1);
+        let mut keys: Vec<u64> = (0..512u64).map(|i| (i * 167) % 1024).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        let mut seed = 11u64;
+        for i in (1..shuffled.len()).rev() {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            shuffled.swap(i, (seed % (i as u64 + 1)) as usize);
+        }
+        for &k in &shuffled {
+            if k % 2 == 1 {
+                t.insert(0, k, k);
+            }
+        }
+        let mut cur = t.txn_cursor(t.txn_begin(0));
+        let mut staged = 0u64;
+        for &k in &keys {
+            if k % 2 == 0 {
+                assert_eq!(cur.seek_prepare_put(k, k), Ok(true), "key {k}");
+                staged += 1;
+            }
+        }
+        let stats = cur.stats();
+        assert_eq!(stats.hinted + stats.descents, staged);
+        assert!(
+            stats.hinted > stats.descents,
+            "ascending seeks must mostly ride the spine: {stats:?}"
+        );
+        let ts = t.clock().advance(0);
+        t.txn_finalize(cur.finish(), ts);
+        let mut out = Vec::new();
+        t.range_query(0, &0, &2_000, &mut out);
+        assert_eq!(out.len(), keys.len());
+    }
+
+    #[test]
+    fn cursor_spine_invalidation_by_foreign_relocation_stays_correct() {
+        // A foreign two-children remove relocates a key upward: the
+        // cursor's retained spine runs straight through the removed node,
+        // so the next seek must unwind past the marked ancestor instead
+        // of resuming below it (and must still find the relocated key).
+        let t = Tree::new(2);
+        for k in [50u64, 25, 75, 60, 90, 55, 65] {
+            t.insert(0, k, k);
+        }
+        let mut cur = t.txn_cursor(t.txn_begin(1));
+        // Build a spine down to the leaf region under 50's right subtree.
+        assert_eq!(cur.seek_read(&55), Some(55));
+        // Foreign remove of 50 (two children): 55 relocates into a fresh
+        // copy at 50's old position; the old 55 node — on the cursor's
+        // spine — is marked. (The cursor holds no locks yet, so the
+        // primitive remove cannot deadlock against it.)
+        assert!(t.remove(0, &50));
+        // The relocated key must still be found (marked-prefix unwind),
+        // not wrongly reported absent from the stale spine.
+        assert_eq!(cur.seek_read(&55), Some(55));
+        assert_eq!(cur.seek_prepare_put(55, 550), Ok(false), "55 is present");
+        assert_eq!(cur.seek_prepare_remove(&50), Ok(false), "50 is gone");
+        let ts = t.clock().advance(1);
+        t.txn_finalize(cur.finish(), ts);
+        let mut out = Vec::new();
+        t.range_query(0, &0, &100, &mut out);
+        assert_eq!(
+            out,
+            vec![(25, 25), (55, 55), (60, 60), (65, 65), (75, 75), (90, 90)]
+        );
     }
 
     #[test]

@@ -41,6 +41,16 @@
 //! window size. An optional [`IngestConfig::linger`] adds a fixed epoch
 //! delay to grow groups further at the cost of latency.
 //!
+//! ## Backpressure
+//!
+//! [`IngestConfig::max_queue_depth`] bounds each shard's submission
+//! queue: when a committer falls behind, blocking submitters wait for a
+//! drain ([`Ingest::submit`] / [`Ingest::submit_batch`] /
+//! [`Ingest::submit_all`]) while [`Ingest::try_submit`] /
+//! [`Ingest::try_submit_batch`] shed load with [`QueueFull`] (handing
+//! the rejected ops back). The default is unbounded, matching the
+//! pre-backpressure behaviour.
+//!
 //! ## Sessions and shutdown
 //!
 //! Each committer registers one store session (a dense tid), so the store
@@ -91,7 +101,10 @@ pub use ticket::Ticket;
 pub struct IngestConfig {
     /// Committer threads. Shard `i` is owned by committer
     /// `i % committers`, so values above the store's shard count are
-    /// clamped. Each committer registers one store session.
+    /// **clamped to the shard count** (a committer beyond that would own
+    /// no queue and idle forever). Each committer registers one store
+    /// session; [`Ingest::committers`] reports the clamped count
+    /// actually running.
     pub committers: usize,
     /// Soft cap on operations per super-batch: a drain stops pulling new
     /// submissions once the group holds this many ops (the submission
@@ -101,6 +114,16 @@ pub struct IngestConfig {
     /// group grow beyond what accumulated naturally. Zero (the default)
     /// relies on commit-duration batching alone.
     pub linger: Duration,
+    /// Per-shard submission-queue depth bound, in *submissions* (a batch
+    /// counts once). When a queue is full, [`Ingest::submit`] /
+    /// [`Ingest::submit_batch`] / [`Ingest::submit_all`] **block** until
+    /// the owning committer drains it, and [`Ingest::try_submit`] /
+    /// [`Ingest::try_submit_batch`] return [`QueueFull`] instead — the
+    /// first slice of ingest backpressure: a producer fleet can no
+    /// longer grow the queues without bound while a committer falls
+    /// behind. The default (`usize::MAX`) is effectively unbounded;
+    /// values are clamped to at least 1.
+    pub max_queue_depth: usize,
 }
 
 impl Default for IngestConfig {
@@ -109,8 +132,18 @@ impl Default for IngestConfig {
             committers: 2,
             max_group_ops: 4096,
             linger: Duration::ZERO,
+            max_queue_depth: usize::MAX,
         }
     }
+}
+
+/// A non-blocking submission was rejected because the target shard's
+/// queue is at [`IngestConfig::max_queue_depth`]; the rejected ops are
+/// handed back for the caller to retry, redirect, or shed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFull<K, V> {
+    /// The ops of the rejected submission, in submission order.
+    pub ops: Vec<TxnOp<K, V>>,
 }
 
 /// What a resolved [`Ticket`] carries: the submission's per-op outcomes
@@ -168,6 +201,8 @@ impl IngestStats {
 struct Submission<K, V> {
     ops: Vec<TxnOp<K, V>>,
     ticket: Arc<ticket::Oneshot<IngestOutcome>>,
+    /// The shard queue this submission occupies (depth accounting).
+    shard: usize,
 }
 
 /// One shard's submission queue.
@@ -179,6 +214,11 @@ struct SyncState {
     /// Per-committer count of submissions enqueued since its last drain
     /// (advisory wake signal; the queues themselves are the truth).
     queued: Box<[u64]>,
+    /// Per-shard count of submissions currently sitting in the queue
+    /// (bounded by [`IngestConfig::max_queue_depth`]; decremented when
+    /// the committer pops, at which point the `space` condvar wakes
+    /// blocked submitters).
+    depth: Box<[usize]>,
     /// Accepted-but-unresolved submissions (drives [`Ingest::flush`]).
     in_flight: u64,
     shutdown: bool,
@@ -194,8 +234,13 @@ struct Shared<K, V, S> {
     sync: Mutex<SyncState>,
     work: Condvar,
     idle: Condvar,
+    /// Wakes submitters blocked on a full shard queue (paired with the
+    /// `sync` mutex; depth decrements happen under it, so a waiter that
+    /// observed a full queue under the lock cannot miss the wakeup).
+    space: Condvar,
     committers: usize,
     max_group_ops: usize,
+    max_queue_depth: usize,
     linger: Duration,
     groups: AtomicU64,
     submissions: AtomicU64,
@@ -238,13 +283,16 @@ where
                 .into_boxed_slice(),
             sync: Mutex::new(SyncState {
                 queued: vec![0; committers].into_boxed_slice(),
+                depth: vec![0; store.shard_count()].into_boxed_slice(),
                 in_flight: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
+            space: Condvar::new(),
             committers,
             max_group_ops: cfg.max_group_ops.max(1),
+            max_queue_depth: cfg.max_queue_depth.max(1),
             linger: cfg.linger,
             groups: AtomicU64::new(0),
             submissions: AtomicU64::new(0),
@@ -286,10 +334,57 @@ where
         self.shared.committers
     }
 
+    /// A resolved-immediately ticket for an empty submission.
+    fn empty_ticket(&self, slot: Arc<ticket::Oneshot<IngestOutcome>>) -> Ticket<IngestOutcome> {
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.resolve(IngestOutcome {
+            applied: Vec::new(),
+            ts: self.shared.store.context().read(),
+            seq: 0,
+            group_ops: 0,
+        });
+        ticket
+    }
+
+    /// Enqueue `ops` on `shard`'s queue under an already-held sync lock
+    /// (depth/queued/in_flight accounting and the enqueue are one atomic
+    /// step: `in_flight` must be incremented before the submission
+    /// becomes drainable, or a committer could commit it and decrement
+    /// first — u64 underflow, flush/shutdown accounting torn). Lock
+    /// order is sync -> queue everywhere; committers take the queue
+    /// locks without holding sync.
+    fn enqueue_locked(
+        &self,
+        st: &mut SyncState,
+        shard: usize,
+        ops: Vec<TxnOp<K, V>>,
+        slot: Arc<ticket::Oneshot<IngestOutcome>>,
+    ) {
+        st.depth[shard] += 1;
+        st.queued[self.shared.committer_of(shard)] += 1;
+        st.in_flight += 1;
+        self.shared.queues[shard]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back(Submission {
+                ops,
+                ticket: slot,
+                shard,
+            });
+    }
+
     /// Submit one operation; its ticket resolves with a single outcome
-    /// bit when the operation's group commits.
+    /// bit when the operation's group commits. **Blocks** while the
+    /// target shard's queue is at [`IngestConfig::max_queue_depth`].
     pub fn submit(&self, op: TxnOp<K, V>) -> Ticket<IngestOutcome> {
         self.submit_batch(vec![op])
+    }
+
+    /// Non-blocking [`Ingest::submit`]: [`QueueFull`] (carrying the op
+    /// back) instead of blocking when the target shard's queue is at
+    /// capacity.
+    pub fn try_submit(&self, op: TxnOp<K, V>) -> Result<Ticket<IngestOutcome>, QueueFull<K, V>> {
+        self.try_submit_batch(vec![op])
     }
 
     /// Submit a whole multi-key batch as one atomic unit: every op
@@ -297,47 +392,76 @@ where
     /// observes part of it (same guarantee as
     /// [`store::BundledStore::apply_txn`], amortized across the group).
     /// Duplicate keys inside the batch are legal and serialize in batch
-    /// order. An empty batch resolves immediately.
+    /// order. An empty batch resolves immediately. **Blocks** while the
+    /// batch's target queue (its first key's shard) is at
+    /// [`IngestConfig::max_queue_depth`].
     pub fn submit_batch(&self, ops: Vec<TxnOp<K, V>>) -> Ticket<IngestOutcome> {
         let slot = ticket::Oneshot::new();
-        let ticket = Ticket::new(Arc::clone(&slot));
         if ops.is_empty() {
-            slot.resolve(IngestOutcome {
-                applied: Vec::new(),
-                ts: self.shared.store.context().read(),
-                seq: 0,
-                group_ops: 0,
-            });
-            return ticket;
+            return self.empty_ticket(slot);
         }
+        let ticket = Ticket::new(Arc::clone(&slot));
         let shard = self.shared.store.shard_of(ops[0].key());
-        let committer = self.shared.committer_of(shard);
         {
-            // Account (and enqueue) under the sync lock: `in_flight` must
-            // be incremented before the submission becomes drainable, or
-            // a committer could commit it and decrement first (u64
-            // underflow; flush/shutdown accounting torn). Lock order is
-            // sync -> queue everywhere; committers take the queue locks
-            // without holding sync.
             let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            assert!(
-                !st.shutdown,
-                "submitted to an ingest front-end that is shutting down"
-            );
-            st.queued[committer] += 1;
-            st.in_flight += 1;
-            self.shared.queues[shard]
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push_back(Submission { ops, ticket: slot });
+            loop {
+                assert!(
+                    !st.shutdown,
+                    "submitted to an ingest front-end that is shutting down"
+                );
+                if st.depth[shard] < self.shared.max_queue_depth {
+                    break;
+                }
+                // Backpressure: wait for the owning committer to drain.
+                st = self
+                    .shared
+                    .space
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            self.enqueue_locked(&mut st, shard, ops, slot);
         }
         self.shared.work.notify_all();
         ticket
     }
 
+    /// Non-blocking [`Ingest::submit_batch`]: [`QueueFull`] (carrying the
+    /// ops back for the caller to retry, redirect, or shed) instead of
+    /// blocking when the batch's target queue is at capacity.
+    pub fn try_submit_batch(
+        &self,
+        ops: Vec<TxnOp<K, V>>,
+    ) -> Result<Ticket<IngestOutcome>, QueueFull<K, V>> {
+        if ops.is_empty() {
+            return Ok(self.empty_ticket(ticket::Oneshot::new()));
+        }
+        let shard = self.shared.store.shard_of(ops[0].key());
+        let ticket = {
+            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
+            assert!(
+                !st.shutdown,
+                "submitted to an ingest front-end that is shutting down"
+            );
+            if st.depth[shard] >= self.shared.max_queue_depth {
+                return Err(QueueFull { ops });
+            }
+            // Allocate the ticket only once accepted: the shed path runs
+            // hottest exactly when producers spin-retry against a full
+            // queue, and it should cost nothing but the depth check.
+            let slot = ticket::Oneshot::new();
+            let ticket = Ticket::new(Arc::clone(&slot));
+            self.enqueue_locked(&mut st, shard, ops, slot);
+            ticket
+        };
+        self.shared.work.notify_all();
+        Ok(ticket)
+    }
+
     /// Submit many *independent* operations (one ticket each) with a
     /// single bookkeeping round: the pipelined-producer fast path — push
-    /// a window, then wait the tickets.
+    /// a window, then wait the tickets. With a bounded queue this may
+    /// **block mid-window** (already-enqueued ops stay enqueued and keep
+    /// committing, which is what frees the space being waited for).
     pub fn submit_all(
         &self,
         ops: impl IntoIterator<Item = TxnOp<K, V>>,
@@ -347,23 +471,28 @@ where
             // Same ordering discipline as `submit_batch`: accounting and
             // enqueueing are one atomic step under the sync lock.
             let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            assert!(
-                !st.shutdown,
-                "submitted to an ingest front-end that is shutting down"
-            );
             for op in ops {
+                let shard = self.shared.store.shard_of(op.key());
+                loop {
+                    assert!(
+                        !st.shutdown,
+                        "submitted to an ingest front-end that is shutting down"
+                    );
+                    if st.depth[shard] < self.shared.max_queue_depth {
+                        break;
+                    }
+                    // The committers only see already-enqueued work while
+                    // we wait, so nudge them before sleeping.
+                    self.shared.work.notify_all();
+                    st = self
+                        .shared
+                        .space
+                        .wait(st)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
                 let slot = ticket::Oneshot::new();
                 tickets.push(Ticket::new(Arc::clone(&slot)));
-                let shard = self.shared.store.shard_of(op.key());
-                st.queued[self.shared.committer_of(shard)] += 1;
-                st.in_flight += 1;
-                self.shared.queues[shard]
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push_back(Submission {
-                        ops: vec![op],
-                        ticket: slot,
-                    });
+                self.enqueue_locked(&mut st, shard, vec![op], slot);
             }
         }
         if !tickets.is_empty() {
@@ -389,6 +518,9 @@ where
             st.shutdown = true;
         }
         self.shared.work.notify_all();
+        // Submitters blocked on a full queue wake up and panic (the
+        // shutdown contract forbids concurrent submissions).
+        self.shared.space.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
         for w in workers {
             w.join().expect("an ingest committer thread panicked");
@@ -418,6 +550,7 @@ impl<K, V, S> Drop for Ingest<K, V, S> {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
+        self.shared.space.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
         for w in workers {
             let _ = w.join();
@@ -540,14 +673,11 @@ fn commit_group<K, V, S>(
             outcomes[si as usize][oi as usize] = bit;
         }
     }
-    for (si, (sub, applied)) in subs.iter().zip(outcomes).enumerate() {
-        sub.ticket.resolve(IngestOutcome {
-            applied,
-            ts: receipt.ts,
-            seq: si as u64,
-            group_ops: total_ops,
-        });
-    }
+    // Account the group BEFORE resolving any ticket: a producer that
+    // observes its outcome may immediately read [`Ingest::stats`], and
+    // resolution-implies-counted is the ordering that makes those reads
+    // meaningful (the reverse order let a stats read run ahead of the
+    // group that just resolved it).
     shared.groups.fetch_add(1, Ordering::Relaxed);
     shared
         .submissions
@@ -559,6 +689,14 @@ fn commit_group<K, V, S>(
     shared
         .largest_group
         .fetch_max(total_ops as u64, Ordering::Relaxed);
+    for (si, (sub, applied)) in subs.iter().zip(outcomes).enumerate() {
+        sub.ticket.resolve(IngestOutcome {
+            applied,
+            ts: receipt.ts,
+            seq: si as u64,
+            group_ops: total_ops,
+        });
+    }
 }
 
 fn committer_loop<K, V, S>(shared: &Shared<K, V, S>, handle: &StoreHandle<K, V, S>, c: usize)
@@ -594,6 +732,19 @@ where
             rotate = (rotate + 1) % owned.len().max(1);
             if subs.is_empty() {
                 break;
+            }
+            // Release the popped submissions' queue slots *before* the
+            // commit: backpressure bounds what sits in the queues, and
+            // producers refilling during the commit is exactly the
+            // batching this front-end exists for.
+            {
+                let mut st = shared.sync.lock().unwrap_or_else(|p| p.into_inner());
+                for sub in &subs {
+                    st.depth[sub.shard] -= 1;
+                }
+            }
+            if shared.max_queue_depth != usize::MAX {
+                shared.space.notify_all();
             }
             commit_group(shared, handle, &subs);
             let resolved = subs.len() as u64;
@@ -772,6 +923,110 @@ mod tests {
             assert_eq!(t.wait().applied, vec![true]);
         }
         assert_eq!(store.register().len(), 50);
+    }
+
+    #[test]
+    fn committers_beyond_shards_are_clamped_and_all_drain() {
+        // Regression guard for the committer/shard mapping: a committer
+        // beyond the shard count would own no queue and sleep forever on
+        // its wake counter, so `spawn` must clamp — and every shard's
+        // queue must still be owned by a live committer.
+        let store = Arc::new(SkipListStore::<u64, u64>::new(4, uniform_splits(2, 100)));
+        let ingest = Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 8, // > 2 shards
+                ..IngestConfig::default()
+            },
+        );
+        assert_eq!(ingest.committers(), 2, "clamped to the shard count");
+        // Ops landing on both shards commit (no orphaned queue).
+        let t0 = ingest.submit(TxnOp::Put(10, 1));
+        let t1 = ingest.submit(TxnOp::Put(60, 6));
+        assert_eq!(t0.wait().applied, vec![true]);
+        assert_eq!(t1.wait().applied, vec![true]);
+        ingest.shutdown();
+        assert_eq!(store.register().len(), 2);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_the_queue_is_full() {
+        // One committer held back by a long linger: the queue fills to
+        // its 1-submission cap, so a second non-blocking submission must
+        // bounce with its ops handed back.
+        let store = Arc::new(LazyListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
+        let ingest = Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 1,
+                linger: Duration::from_millis(300),
+                max_queue_depth: 1,
+                ..IngestConfig::default()
+            },
+        );
+        let t = ingest.submit(TxnOp::Put(10, 1));
+        // Same shard, queue at capacity, committer still lingering.
+        match ingest.try_submit(TxnOp::Put(11, 2)) {
+            Err(QueueFull { ops }) => {
+                assert_eq!(ops, vec![TxnOp::Put(11, 2)], "rejected ops come back")
+            }
+            Ok(ticket) => {
+                // A pathological scheduler stall can let the committer
+                // drain first; the submission must then simply succeed.
+                assert_eq!(ticket.wait().applied, vec![true]);
+            }
+        }
+        assert_eq!(t.wait().applied, vec![true]);
+        ingest.flush();
+        // Space freed: the non-blocking path accepts again.
+        let t2 = ingest
+            .try_submit(TxnOp::Put(12, 3))
+            .expect("drained queue accepts");
+        assert_eq!(t2.wait().applied, vec![true]);
+        ingest.shutdown();
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space_and_loses_nothing() {
+        // A tiny queue bound with a producer fleet pushing far more than
+        // fits: every blocking submission must eventually land, and every
+        // ticket must resolve (no drops, no deadlock, no lost wakeups).
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: u64 = 200;
+        let store = Arc::new(SkipListStore::<u64, u64>::new(4, uniform_splits(4, 10_000)));
+        let ingest = Arc::new(Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 2,
+                max_queue_depth: 2,
+                ..IngestConfig::default()
+            },
+        ));
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let ingest = Arc::clone(&ingest);
+                std::thread::spawn(move || {
+                    let mut applied = 0u64;
+                    let mut pending = Vec::new();
+                    for i in 0..PER_PRODUCER {
+                        pending.push(ingest.submit(TxnOp::Put(p * 2_500 + i, i)));
+                        if pending.len() >= 8 {
+                            for t in pending.drain(..) {
+                                applied += u64::from(t.wait().applied[0]);
+                            }
+                        }
+                    }
+                    for t in pending {
+                        applied += u64::from(t.wait().applied[0]);
+                    }
+                    applied
+                })
+            })
+            .collect();
+        let total: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        assert_eq!(total, PRODUCERS as u64 * PER_PRODUCER);
+        ingest.shutdown();
+        assert_eq!(store.register().len(), total as usize);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{
-    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
-    StagedOutcomes, TwoPhaseState, TxnValidateError,
+    linearize_update, Bundle, Conflict, CursorStats, GlobalTimestamp, PrepareCursor, Recycler,
+    RqContext, RqTracker, StagedOutcomes, TwoPhaseState, TxnValidateError,
 };
 use ebr::{Collector, Guard, ReclaimMode};
 
@@ -144,7 +144,22 @@ where
     /// Wait-free traversal to the first node with `key >= target` and its
     /// predecessor, using only the newest pointers.
     fn traverse(&self, target: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
-        let mut pred = self.head;
+        self.traverse_from(self.head, target)
+    }
+
+    /// [`Self::traverse`] resuming from `start` instead of the head
+    /// sentinel. `start` must be a node (or the head) whose key precedes
+    /// `target` and that is reachable under the caller's EBR pin; if it
+    /// was concurrently unlinked the walk still lands in the live list
+    /// (an unlinked node's forward pointer is never cleared), and any
+    /// resulting stale position is caught by the caller's under-lock
+    /// validation.
+    fn traverse_from(
+        &self,
+        start: *mut Node<K, V>,
+        target: &K,
+    ) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        let mut pred = start;
         let mut curr = unsafe { &*pred }.next.load(Ordering::Acquire);
         while curr != self.tail && unsafe { &*curr }.key < *target {
             pred = curr;
@@ -464,132 +479,72 @@ where
         unsafe { txn.core.lock(node, &(*node).lock) }
     }
 
-    /// Stage an insert: the structural change is applied eagerly (so later
-    /// keys of the same transaction observe it) but every affected bundle
-    /// entry stays *pending* until the transaction's single commit
-    /// timestamp finalizes it — snapshot reads therefore see either all of
-    /// the transaction's writes or none.
+    /// Open a [`ShardCursor`] over `txn`: the positional batch-staging
+    /// surface (see [`bundle::PrepareCursor`]). The cursor retains the
+    /// last located position — a node the transaction touched (and
+    /// usually holds locked) — and resumes the next seek from it when the
+    /// target key lies beyond it, so a key-sorted batch pays one head
+    /// walk plus short forward hops instead of a full traversal per op.
+    pub fn txn_cursor(&self, txn: ShardTxn<K, V>) -> ShardCursor<'_, K, V> {
+        // The cursor-lifetime pin is what keeps every retained frontier
+        // pointer allocated between seeks (pins are reentrant, so the
+        // prepare internals nest freely).
+        let guard = self.pin(txn.core.tid());
+        ShardCursor {
+            list: self,
+            txn,
+            _guard: guard,
+            hint: ptr::null_mut(),
+            stats: CursorStats::default(),
+        }
+    }
+
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
     ///
     /// `Ok(false)` = key already present. The present node stays locked by
     /// the transaction, so the no-op outcome still holds at the commit
     /// timestamp (nobody can remove the key before the transaction
     /// finishes).
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
+    )]
     pub fn txn_prepare_put(
         &self,
         txn: &mut ShardTxn<K, V>,
         key: K,
         value: V,
     ) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        loop {
-            let (pred, curr) = self.traverse(&key);
-            if curr != self.tail && unsafe { &*curr }.key == key {
-                // Pin the no-op: hold the present node's lock until
-                // commit. A marked node's remove has already linearized
-                // (mark and unlink share the remover's critical section,
-                // which requires this very lock) — retry and miss it.
-                let newly = self.txn_lock(txn, curr)?;
-                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
-                    if newly {
-                        txn.core.unlock_latest(1);
-                        continue;
-                    }
-                    return Err(Conflict);
-                }
-                txn.staged
-                    .record(key, Some(curr as usize), Some(curr as usize));
-                return Ok(false);
-            }
-            let newly = self.txn_lock(txn, pred)?;
-            if !self.validate(pred, curr) {
-                if newly {
-                    txn.core.unlock_latest(1);
-                    continue;
-                }
-                // A node we already hold locked cannot be invalidated by
-                // anyone else; treat the impossible as a conflict so the
-                // transaction retries from scratch rather than spinning.
-                return Err(Conflict);
-            }
-            let pred_ref = unsafe { &*pred };
-            let node = Node::new(key, Some(value));
-            let node_ref = unsafe { &*node };
-            // Hold the new node's lock until commit/abort: any primitive
-            // operation that would adopt it as a predecessor blocks on the
-            // lock instead of spinning on our pending bundle entry (which
-            // we might abort) — and cannot link behind a node we may undo.
-            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
-            txn.core.push_lock(node, node_guard);
-            node_ref.next.store(curr, Ordering::Relaxed);
-            txn.core.prepare_bundle(&node_ref.bundle, curr);
-            txn.core.prepare_bundle(&pred_ref.bundle, node);
-            // Eager physical link (the op's linearization effect); commit
-            // order is still decided solely by the bundle timestamps.
-            pred_ref.next.store(node, Ordering::SeqCst);
-            txn.core.add_created(node);
-            txn.staged.record(key, None, Some(node as usize));
-            txn.undo.push(LazyUndo::Link {
-                pred,
-                node,
-                prev_next: curr,
-            });
-            drop(guard);
-            return Ok(true);
-        }
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_put(key, value))
     }
 
-    /// Stage a remove. `Ok(false)` = key absent; the gap (predecessor
-    /// whose successor skips past `key`) stays locked by the transaction,
-    /// so the no-op outcome still holds at the commit timestamp (nobody
-    /// can insert the key before the transaction finishes).
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
+    ///
+    /// `Ok(false)` = key absent; the gap (predecessor whose successor
+    /// skips past `key`) stays locked by the transaction, so the no-op
+    /// outcome still holds at the commit timestamp (nobody can insert the
+    /// key before the transaction finishes).
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
+    )]
     pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        loop {
-            let (pred, curr) = self.traverse(key);
-            if curr == self.tail || unsafe { &*curr }.key != *key {
-                // Pin the no-op: hold the gap's predecessor until commit.
-                let newly = self.txn_lock(txn, pred)?;
-                if !self.validate(pred, curr) {
-                    if newly {
-                        txn.core.unlock_latest(1);
-                        continue;
-                    }
-                    return Err(Conflict);
-                }
-                txn.staged.record(*key, None, None);
-                return Ok(false);
-            }
-            let newly_pred = self.txn_lock(txn, pred)?;
-            let newly_curr = match self.txn_lock(txn, curr) {
-                Ok(n) => n,
-                Err(c) => {
-                    if newly_pred {
-                        txn.core.unlock_latest(1);
-                    }
-                    return Err(c);
-                }
-            };
-            let pred_ref = unsafe { &*pred };
-            let curr_ref = unsafe { &*curr };
-            if !self.validate(pred, curr) || curr_ref.marked.load(Ordering::Acquire) {
-                txn.core
-                    .unlock_latest(usize::from(newly_curr) + usize::from(newly_pred));
-                if !newly_pred && !newly_curr {
-                    return Err(Conflict);
-                }
-                continue;
-            }
-            let next = curr_ref.next.load(Ordering::Acquire);
-            txn.core.prepare_bundle(&pred_ref.bundle, next);
-            // Eager logical delete + physical unlink.
-            curr_ref.marked.store(true, Ordering::SeqCst);
-            pred_ref.next.store(next, Ordering::SeqCst);
-            txn.core.add_victim(curr);
-            txn.staged.record(*key, Some(curr as usize), None);
-            txn.undo.push(LazyUndo::Unlink { pred, curr });
-            drop(guard);
-            return Ok(true);
-        }
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_remove(key))
+    }
+
+    /// Run `f` on a throwaway single-op cursor over `*txn` (the
+    /// deprecated point-prepare shims).
+    fn with_one_op_cursor<R>(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        f: impl FnOnce(&mut ShardCursor<'_, K, V>) -> R,
+    ) -> R {
+        let dummy = ShardTxn {
+            core: TwoPhaseState::new(txn.core.tid()),
+            undo: Vec::new(),
+            staged: StagedOutcomes::disabled(),
+        };
+        bundle::one_op_cursor_shim(txn, dummy, |t| self.txn_cursor(t), f)
     }
 
     /// Validate one recorded read range of a read-write transaction and
@@ -693,6 +648,276 @@ where
             // a reachable state); EBR defers the free.
             unsafe { guard.retire(n) };
         }
+    }
+}
+
+/// A prepare cursor over one [`ShardTxn`] (see
+/// [`BundledLazyList::txn_cursor`] and [`bundle::PrepareCursor`]).
+///
+/// The retained frontier is a single node — the last position a seek
+/// located (the staged node, the no-op pin, or the gap predecessor).
+/// After a staged write the frontier node is one the transaction holds
+/// locked, so it can neither move nor die; after a [`Self::seek_read`]
+/// it is an unlocked *hint*, re-checked (unmarked) before each resume
+/// and backstopped by the under-lock validation every prepare performs.
+/// A seek for a key at or behind the frontier falls back to a head walk.
+pub struct ShardCursor<'a, K, V> {
+    list: &'a BundledLazyList<K, V>,
+    txn: ShardTxn<K, V>,
+    /// Keeps every retained pointer allocated between seeks.
+    _guard: Guard<'a>,
+    /// Last located position (never the head sentinel — the head resume
+    /// is exactly a root descent; null = no frontier yet).
+    hint: *mut Node<K, V>,
+    stats: CursorStats,
+}
+
+impl<'a, K, V> ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// The frontier node to resume from for `target`, if the retained
+    /// position is usable: strictly before the target and not unlinked.
+    /// (An unmarked node is still reachable — marking happens before
+    /// unlinking, under the node's lock.)
+    fn resume_point(&self, target: &K) -> Option<*mut Node<K, V>> {
+        let h = self.hint;
+        if h.is_null() {
+            return None;
+        }
+        let node = unsafe { &*h };
+        if !node.marked.load(Ordering::Acquire) && node.key < *target {
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    /// Retain `node` as the frontier (the head sentinel degenerates to
+    /// "no frontier": resuming from it is a root descent anyway).
+    fn retain(&mut self, node: *mut Node<K, V>) {
+        self.hint = if node == self.list.head {
+            ptr::null_mut()
+        } else {
+            node
+        };
+    }
+
+    /// Locate `target`, resuming from the frontier when possible. The
+    /// hint is consumed: a retry within one seek (torn validation)
+    /// restarts from the head.
+    fn locate(
+        &mut self,
+        target: &K,
+        resume: &mut Option<*mut Node<K, V>>,
+    ) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        match resume.take() {
+            Some(start) => {
+                self.stats.hinted += 1;
+                self.list.traverse_from(start, target)
+            }
+            None => {
+                self.stats.descents += 1;
+                self.list.traverse(target)
+            }
+        }
+    }
+
+    /// Stage an insert at the sought position: the structural change is
+    /// applied eagerly (so later keys of the same transaction observe it)
+    /// but every affected bundle entry stays *pending* until the
+    /// transaction's single commit timestamp finalizes it — snapshot
+    /// reads therefore see either all of the transaction's writes or
+    /// none. `Ok(false)` = key already present (the present node stays
+    /// locked, pinning the no-op outcome until commit).
+    pub fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        let list = self.list;
+        let mut resume = self.resume_point(&key);
+        loop {
+            let (pred, curr) = self.locate(&key, &mut resume);
+            let txn = &mut self.txn;
+            if curr != list.tail && unsafe { &*curr }.key == key {
+                // Pin the no-op: hold the present node's lock until
+                // commit. A marked node's remove has already linearized
+                // (mark and unlink share the remover's critical section,
+                // which requires this very lock) — retry and miss it.
+                let newly = list.txn_lock(txn, curr)?;
+                if unsafe { &*curr }.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                txn.staged
+                    .record(key, Some(curr as usize), Some(curr as usize));
+                self.retain(curr);
+                return Ok(false);
+            }
+            let newly = list.txn_lock(txn, pred)?;
+            if !list.validate(pred, curr) {
+                if newly {
+                    txn.core.unlock_latest(1);
+                    continue;
+                }
+                // A node we already hold locked cannot be invalidated by
+                // anyone else; treat the impossible as a conflict so the
+                // transaction retries from scratch rather than spinning.
+                return Err(Conflict);
+            }
+            let pred_ref = unsafe { &*pred };
+            let node = Node::new(key, Some(value));
+            let node_ref = unsafe { &*node };
+            // Hold the new node's lock until commit/abort: any primitive
+            // operation that would adopt it as a predecessor blocks on the
+            // lock instead of spinning on our pending bundle entry (which
+            // we might abort) — and cannot link behind a node we may undo.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            node_ref.next.store(curr, Ordering::Relaxed);
+            txn.core.prepare_bundle(&node_ref.bundle, curr);
+            txn.core.prepare_bundle(&pred_ref.bundle, node);
+            // Eager physical link (the op's linearization effect); commit
+            // order is still decided solely by the bundle timestamps.
+            pred_ref.next.store(node, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.staged.record(key, None, Some(node as usize));
+            txn.undo.push(LazyUndo::Link {
+                pred,
+                node,
+                prev_next: curr,
+            });
+            self.retain(node);
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove at the sought position. `Ok(false)` = key absent;
+    /// the gap (predecessor whose successor skips past `key`) stays
+    /// locked by the transaction, so the no-op outcome still holds at the
+    /// commit timestamp (nobody can insert the key before the transaction
+    /// finishes).
+    pub fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        let list = self.list;
+        let mut resume = self.resume_point(key);
+        loop {
+            let (pred, curr) = self.locate(key, &mut resume);
+            let txn = &mut self.txn;
+            if curr == list.tail || unsafe { &*curr }.key != *key {
+                // Pin the no-op: hold the gap's predecessor until commit.
+                let newly = list.txn_lock(txn, pred)?;
+                if !list.validate(pred, curr) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                txn.staged.record(*key, None, None);
+                self.retain(pred);
+                return Ok(false);
+            }
+            let newly_pred = list.txn_lock(txn, pred)?;
+            let newly_curr = match list.txn_lock(txn, curr) {
+                Ok(n) => n,
+                Err(c) => {
+                    if newly_pred {
+                        txn.core.unlock_latest(1);
+                    }
+                    return Err(c);
+                }
+            };
+            let pred_ref = unsafe { &*pred };
+            let curr_ref = unsafe { &*curr };
+            if !list.validate(pred, curr) || curr_ref.marked.load(Ordering::Acquire) {
+                txn.core
+                    .unlock_latest(usize::from(newly_curr) + usize::from(newly_pred));
+                if !newly_pred && !newly_curr {
+                    return Err(Conflict);
+                }
+                continue;
+            }
+            let next = curr_ref.next.load(Ordering::Acquire);
+            txn.core.prepare_bundle(&pred_ref.bundle, next);
+            // Eager logical delete + physical unlink.
+            curr_ref.marked.store(true, Ordering::SeqCst);
+            pred_ref.next.store(next, Ordering::SeqCst);
+            txn.core.add_victim(curr);
+            txn.staged.record(*key, Some(curr as usize), None);
+            txn.undo.push(LazyUndo::Unlink { pred, curr });
+            self.retain(pred);
+            return Ok(true);
+        }
+    }
+
+    /// Read `key`'s current value (newest pointers — the transaction's
+    /// own eager writes are visible) through the frontier, retaining the
+    /// located position as an *unlocked* hint. Takes no locks and stages
+    /// nothing; linearizes at the frontier validity check (an unmarked
+    /// resume point is still reachable at that instant).
+    pub fn seek_read(&mut self, key: &K) -> Option<V> {
+        let mut resume = self.resume_point(key);
+        let (pred, curr) = self.locate(key, &mut resume);
+        if curr != self.list.tail && unsafe { &*curr }.key == *key {
+            let c = unsafe { &*curr };
+            if !c.marked.load(Ordering::Acquire) {
+                self.retain(curr);
+                return c.val.clone();
+            }
+        }
+        self.retain(pred);
+        None
+    }
+
+    /// Hinted-resume vs root-descent counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Give the transaction token back (dropping the frontier and the
+    /// cursor's EBR pin); consume it with [`BundledLazyList::txn_finalize`]
+    /// or [`BundledLazyList::txn_abort`].
+    #[must_use]
+    pub fn finish(self) -> ShardTxn<K, V> {
+        self.txn
+    }
+}
+
+impl<'a, K, V> PrepareCursor<K, V> for ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Txn = ShardTxn<K, V>;
+
+    fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_put(self, key, value)
+    }
+
+    fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_remove(self, key)
+    }
+
+    fn seek_read(&mut self, key: &K) -> Option<V> {
+        ShardCursor::seek_read(self, key)
+    }
+
+    fn stats(&self) -> CursorStats {
+        ShardCursor::stats(self)
+    }
+
+    fn finish(self) -> ShardTxn<K, V> {
+        ShardCursor::finish(self)
+    }
+}
+
+impl<'a, K, V> std::fmt::Debug for ShardCursor<'a, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCursor")
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -1131,15 +1356,20 @@ mod tests {
         l.insert(0, 50, 50);
         let before = ctx.read();
 
-        // Stage a three-key transaction, including two adjacent keys that
-        // share a predecessor (the second merges into the first's pending
-        // entry) and a remove of a pre-existing key.
-        let mut txn = l.txn_begin(0);
-        assert_eq!(l.txn_prepare_put(&mut txn, 10, 100), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 11, 110), Ok(true));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &50), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 5, 999), Ok(false), "no-op dup");
-        assert_eq!(l.txn_prepare_remove(&mut txn, &77), Ok(false), "no-op miss");
+        // Stage a three-key transaction through the cursor, including two
+        // adjacent keys that share a predecessor (the second merges into
+        // the first's pending entry) and a remove of a pre-existing key.
+        let mut cur = l.txn_cursor(l.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(10, 100), Ok(true));
+        assert_eq!(cur.seek_prepare_put(11, 110), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&50), Ok(true));
+        assert_eq!(cur.seek_prepare_put(5, 999), Ok(false), "no-op dup");
+        assert_eq!(cur.seek_prepare_remove(&77), Ok(false), "no-op miss");
+        // The ascending seeks resumed from the frontier; the two backward
+        // seeks (5 and 77 after reaching 50) fell back to head walks.
+        let stats = cur.stats();
+        assert!(stats.hinted >= 2, "sorted seeks must resume: {stats:?}");
+        let txn = cur.finish();
         assert_eq!(txn.staged_ops(), 3);
         let ts = ctx.advance(0);
         l.txn_finalize(txn, ts);
@@ -1166,10 +1396,14 @@ mod tests {
         }
         let clock_before = ctx.read();
 
-        let mut txn = l.txn_begin(0);
-        assert_eq!(l.txn_prepare_put(&mut txn, 15, 150), Ok(true));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &20), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 16, 160), Ok(true));
+        let mut cur = l.txn_cursor(l.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(15, 150), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&20), Ok(true));
+        assert_eq!(cur.seek_prepare_put(16, 160), Ok(true));
+        // The cursor reads its own eager writes through the frontier.
+        assert_eq!(cur.seek_read(&16), Some(160));
+        assert_eq!(cur.seek_read(&20), None);
+        let txn = cur.finish();
         // Mid-transaction the eager changes are physically visible...
         assert!(l.contains(1, &15));
         assert!(!l.contains(1, &20));
@@ -1196,11 +1430,13 @@ mod tests {
     fn txn_remove_of_own_staged_insert_nets_out() {
         let l = List::new(1);
         l.insert(0, 1, 1);
-        let mut txn = l.txn_begin(0);
-        assert_eq!(l.txn_prepare_put(&mut txn, 5, 50), Ok(true));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let mut cur = l.txn_cursor(l.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(5, 50), Ok(true));
+        // Equal-key seek: the frontier is *at* 5, so this is a fallback
+        // descent that must still find (and unlink) the staged node.
+        assert_eq!(cur.seek_prepare_remove(&5), Ok(true));
         let ts = l.clock().advance(0);
-        l.txn_finalize(txn, ts);
+        l.txn_finalize(cur.finish(), ts);
         assert!(!l.contains(0, &5));
         assert_eq!(l.len(0), 1);
         let mut out = Vec::new();
@@ -1295,11 +1531,12 @@ mod tests {
         // The transaction itself removes a read key, upserts another and
         // inserts a new one — its own eager changes must not trip the
         // validation of its own reads.
-        let mut txn = l.txn_begin(1);
-        assert_eq!(l.txn_prepare_remove(&mut txn, &20), Ok(true));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &30), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 30, 999), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 15, 150), Ok(true));
+        let mut cur = l.txn_cursor(l.txn_begin(1));
+        assert_eq!(cur.seek_prepare_remove(&20), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&30), Ok(true));
+        assert_eq!(cur.seek_prepare_put(30, 999), Ok(true));
+        assert_eq!(cur.seek_prepare_put(15, 150), Ok(true));
+        let mut txn = cur.finish();
         assert_eq!(l.txn_validate(&mut txn, &0, &100, &nodes), Ok(()));
         let ts = ctx.advance(1);
         l.txn_finalize(txn, ts);
@@ -1333,9 +1570,10 @@ mod tests {
         };
         for round in 0..300u64 {
             loop {
-                let mut txn = l.txn_begin(1);
-                let a = l.txn_prepare_put(&mut txn, 100 + (round % 8), round);
-                let b = a.and_then(|_| l.txn_prepare_remove(&mut txn, &(round % 64)));
+                let mut cur = l.txn_cursor(l.txn_begin(1));
+                let a = cur.seek_prepare_put(100 + (round % 8), round);
+                let b = a.and_then(|_| cur.seek_prepare_remove(&(round % 64)));
+                let txn = cur.finish();
                 match b {
                     Ok(_) => {
                         let ts = l.clock().advance(1);
@@ -1355,6 +1593,60 @@ mod tests {
         let mut out = Vec::new();
         l.range_query(2, &0, &200, &mut out);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn deprecated_point_prepares_are_one_op_cursor_shims() {
+        // The point API must stay outcome-identical for one release so
+        // out-of-tree call sites migrate explicitly.
+        #![allow(deprecated)]
+        let l = List::new(1);
+        l.insert(0, 10, 10);
+        let mut txn = l.txn_begin(0);
+        assert_eq!(l.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(l.txn_prepare_put(&mut txn, 10, 99), Ok(false));
+        assert_eq!(l.txn_prepare_remove(&mut txn, &10), Ok(true));
+        assert_eq!(l.txn_prepare_remove(&mut txn, &77), Ok(false));
+        assert_eq!(txn.staged_ops(), 2);
+        let ts = l.clock().advance(0);
+        l.txn_finalize(txn, ts);
+        let mut out = Vec::new();
+        l.range_query(0, &0, &100, &mut out);
+        assert_eq!(out, vec![(5, 50)]);
+    }
+
+    #[test]
+    fn cursor_read_hint_invalidation_falls_back_to_descent() {
+        // A seek_read retains an *unlocked* frontier hint; a foreign
+        // remove of that very node must force the next seek back onto a
+        // head walk — and the outcome must still be exact.
+        let l = List::new(2);
+        for k in [10u64, 20, 30, 40] {
+            l.insert(0, k, k);
+        }
+        let mut cur = l.txn_cursor(l.txn_begin(1));
+        assert_eq!(cur.seek_read(&20), Some(20));
+        let after_read = cur.stats();
+        // Foreign primitive remove of the retained node (the cursor holds
+        // no locks yet, so the primitive cannot deadlock against it).
+        assert!(l.remove(0, &20));
+        // Forward seek: the hint (node 20) is marked, so this must be a
+        // fallback descent, and it must see the post-remove list.
+        assert_eq!(cur.seek_prepare_put(25, 250), Ok(true));
+        let after_put = cur.stats();
+        assert_eq!(
+            after_put.descents,
+            after_read.descents + 1,
+            "a marked frontier hint must force a root descent"
+        );
+        // Backward seek: also a descent.
+        assert_eq!(cur.seek_prepare_remove(&10), Ok(true));
+        assert_eq!(cur.stats().descents, after_put.descents + 1);
+        let ts = l.clock().advance(1);
+        l.txn_finalize(cur.finish(), ts);
+        let mut out = Vec::new();
+        l.range_query(0, &0, &100, &mut out);
+        assert_eq!(out, vec![(25, 250), (30, 30), (40, 40)]);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{
-    linearize_update, Bundle, Conflict, GlobalTimestamp, Recycler, RqContext, RqTracker,
-    StagedOutcomes, TwoPhaseState, TxnValidateError,
+    linearize_update, Bundle, Conflict, CursorStats, GlobalTimestamp, PrepareCursor, Recycler,
+    RqContext, RqTracker, StagedOutcomes, TwoPhaseState, TxnValidateError,
 };
 use ebr::{Collector, Guard, ReclaimMode};
 
@@ -178,6 +178,108 @@ where
             succs[lvl] = curr;
         }
         lfound
+    }
+
+    /// [`Self::find`] resuming from a retained predecessor/successor
+    /// frontier (finger search). Returns the found level plus whether the
+    /// frontier was resumed (`false` = full root descent ran).
+    ///
+    /// The finger search is O(log distance), not O(log n): an **ascend
+    /// probe** climbs from level 0 to the highest level at which the
+    /// frontier can still advance toward the target (~log₂ of the key
+    /// distance), a plain descent runs from that single validated entry
+    /// down to level 0, and every level *above* the start is filled by
+    /// copying the frontier as-is — no pointer chasing at all. The
+    /// stale-copied positions are only trustworthy under the callers'
+    /// existing under-lock validation: an insert never links above its
+    /// pre-drawn tower height (passed as `min_levels`, so every level
+    /// the insert links is genuinely walked), and a remove validates
+    /// every level against the victim (`expect_succ`), falling back to a
+    /// root descent when a stale upper entry disagrees. For the same
+    /// reason the found level is derived only from walked levels: a
+    /// found node whose tower outgrows the walk deflects the remove into
+    /// a root-descent retry (geometrically rare).
+    ///
+    /// A frontier entry that goes stale *after* its validity check
+    /// (unlinked mid-walk) can only yield a stale position, never a torn
+    /// one (an unlinked node's forward pointers are not cleared), and
+    /// every caller re-validates positions under node locks before
+    /// acting.
+    fn find_hinted(
+        &self,
+        key: &K,
+        hint: Option<&Frontier<K, V>>,
+        min_levels: usize,
+        preds: &mut [*mut Node<K, V>; MAX_LEVEL],
+        succs: &mut [*mut Node<K, V>; MAX_LEVEL],
+    ) -> (Option<usize>, bool) {
+        let Some(front) = hint else {
+            return (self.find(key, preds, succs), false);
+        };
+        // Ascend probe: the highest level at which the frontier entry is
+        // still usable (live, fully linked, strictly before the target)
+        // and can still advance toward the target. Breaks on the first
+        // level that cannot advance — higher frontier entries sit at
+        // even smaller keys, so walking would start further back.
+        let mut ascend = usize::MAX; // MAX = no usable level (full descent)
+        for lvl in 0..MAX_LEVEL {
+            let cand = front.preds[lvl];
+            if cand.is_null() || cand == self.head {
+                break;
+            }
+            let c = unsafe { &*cand };
+            if c.key >= *key
+                || c.marked.load(Ordering::Acquire)
+                || !c.fully_linked.load(Ordering::Acquire)
+            {
+                break;
+            }
+            ascend = lvl;
+            let nxt = c.next[lvl].load(Ordering::Acquire);
+            if nxt == self.tail || unsafe { &*nxt }.key >= *key {
+                break;
+            }
+        }
+        if ascend == usize::MAX {
+            return (self.find(key, preds, succs), false);
+        }
+        // An insert must genuinely walk every level it will link; when
+        // its tower outgrows the probe, the start entry at that height
+        // needs its own validation (rare — towers are geometric).
+        let start = ascend.max(min_levels).min(MAX_LEVEL - 1);
+        if start > ascend {
+            let cand = front.preds[start];
+            if cand.is_null() || cand == self.head {
+                return (self.find(key, preds, succs), false);
+            }
+            let c = unsafe { &*cand };
+            if c.key >= *key
+                || c.marked.load(Ordering::Acquire)
+                || !c.fully_linked.load(Ordering::Acquire)
+            {
+                return (self.find(key, preds, succs), false);
+            }
+        }
+        // Levels above the start: the frontier position verbatim (plain
+        // copies; re-validated under locks before any use).
+        preds[(start + 1)..].copy_from_slice(&front.preds[(start + 1)..]);
+        succs[(start + 1)..].copy_from_slice(&front.succs[(start + 1)..]);
+        // Plain descent from the validated start entry.
+        let mut lfound = None;
+        let mut pred = front.preds[start];
+        for lvl in (0..=start).rev() {
+            let mut curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            while curr != self.tail && unsafe { &*curr }.key < *key {
+                pred = curr;
+                curr = unsafe { &*pred }.next[lvl].load(Ordering::Acquire);
+            }
+            if lfound.is_none() && curr != self.tail && unsafe { &*curr }.key == *key {
+                lfound = Some(lvl);
+            }
+            preds[lvl] = pred;
+            succs[lvl] = curr;
+        }
+        (lfound, true)
     }
 
     /// Total number of bundle entries on the data layer (diagnostic).
@@ -564,157 +666,73 @@ where
         }
     }
 
-    /// Stage an insert: eager structural link (so later keys of the same
-    /// transaction observe it) with the affected data-layer bundle entries
-    /// left *pending* until the transaction's single commit timestamp.
+    /// Open a [`ShardCursor`] over `txn`: the positional batch-staging
+    /// surface (see [`bundle::PrepareCursor`]). The cursor retains the
+    /// per-level predecessor frontier of the last located position and
+    /// resumes subsequent finds from it (finger search), so a key-sorted
+    /// batch pays one full descent plus short per-level walks instead of
+    /// a root descent per op.
+    pub fn txn_cursor(&self, txn: ShardTxn<K, V>) -> ShardCursor<'_, K, V> {
+        // The cursor-lifetime pin keeps every retained frontier pointer
+        // allocated between seeks (pins are reentrant).
+        let guard = self.pin(txn.core.tid());
+        ShardCursor {
+            list: self,
+            txn,
+            _guard: guard,
+            frontier: Frontier {
+                preds: [ptr::null_mut(); MAX_LEVEL],
+                succs: [ptr::null_mut(); MAX_LEVEL],
+            },
+            has_frontier: false,
+            stats: CursorStats::default(),
+        }
+    }
+
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
     ///
     /// `Ok(false)` = key already present; the present node stays locked so
     /// the no-op outcome still holds at the commit timestamp.
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
+    )]
     pub fn txn_prepare_put(
         &self,
         txn: &mut ShardTxn<K, V>,
         key: K,
         value: V,
     ) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        let top = self.random_level(txn.core.tid());
-        let mut preds = [ptr::null_mut(); MAX_LEVEL];
-        let mut succs = [ptr::null_mut(); MAX_LEVEL];
-        loop {
-            if let Some(l) = self.find(&key, &mut preds, &mut succs) {
-                let found = succs[l];
-                let f = unsafe { &*found };
-                if f.marked.load(Ordering::Acquire) {
-                    continue;
-                }
-                while !f.fully_linked.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
-                }
-                // Pin the no-op: hold the present node's lock until
-                // commit (a remove must acquire it, so the key stays
-                // present). If it got marked before we locked it, the
-                // remove linearized first — retry and miss it.
-                let newly = self.txn_lock(txn, found)?;
-                if f.marked.load(Ordering::Acquire) {
-                    if newly {
-                        txn.core.unlock_latest(1);
-                        continue;
-                    }
-                    return Err(Conflict);
-                }
-                txn.staged
-                    .record(key, Some(found as usize), Some(found as usize));
-                return Ok(false);
-            }
-            if !self.txn_lock_and_validate(txn, &preds, &succs, top, None)? {
-                continue;
-            }
-            let node = Node::new(key, Some(value), top);
-            let node_ref = unsafe { &*node };
-            // Hold the new node's lock until commit/abort so primitive
-            // operations that would adopt it as a predecessor block on the
-            // lock instead of building on state we may roll back.
-            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
-            txn.core.push_lock(node, node_guard);
-            for (lvl, &succ) in succs.iter().enumerate().take(top + 1) {
-                node_ref.next[lvl].store(succ, Ordering::Relaxed);
-            }
-            for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
-                unsafe { &*pred }.next[lvl].store(node, Ordering::SeqCst);
-            }
-            txn.core.prepare_bundle(&node_ref.bundle, succs[0]);
-            txn.core.prepare_bundle(&unsafe { &*preds[0] }.bundle, node);
-            // Eager linearization effect; snapshot visibility is still
-            // gated on the pending bundle entries' commit timestamp.
-            node_ref.fully_linked.store(true, Ordering::SeqCst);
-            txn.core.add_created(node);
-            txn.staged.record(key, None, Some(node as usize));
-            txn.undo.push(SkipUndo::Link {
-                node,
-                preds,
-                succs,
-                top,
-            });
-            drop(guard);
-            return Ok(true);
-        }
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_put(key, value))
     }
 
-    /// Stage a remove. `Ok(false)` = key absent; the data-layer gap
-    /// (level-0 predecessor whose successor skips past `key`) stays
-    /// locked, so the no-op outcome still holds at the commit timestamp
-    /// (every insert of `key` must link level 0 through that node).
+    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
+    ///
+    /// `Ok(false)` = key absent; the data-layer gap (level-0 predecessor
+    /// whose successor skips past `key`) stays locked, so the no-op
+    /// outcome still holds at the commit timestamp (every insert of `key`
+    /// must link level 0 through that node).
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
+    )]
     pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
-        let guard = self.pin(txn.core.tid());
-        let mut preds = [ptr::null_mut(); MAX_LEVEL];
-        let mut succs = [ptr::null_mut(); MAX_LEVEL];
-        loop {
-            let lfound = self.find(key, &mut preds, &mut succs);
-            let (victim, level) = match lfound {
-                Some(l) => (succs[l], l),
-                None => {
-                    // Pin the no-op: hold the level-0 gap until commit.
-                    let pred = preds[0];
-                    let newly = self.txn_lock(txn, pred)?;
-                    let p = unsafe { &*pred };
-                    let valid = !p.marked.load(Ordering::Acquire)
-                        && p.fully_linked.load(Ordering::Acquire)
-                        && p.next[0].load(Ordering::Acquire) == succs[0];
-                    if !valid {
-                        if newly {
-                            txn.core.unlock_latest(1);
-                            continue;
-                        }
-                        return Err(Conflict);
-                    }
-                    txn.staged.record(*key, None, None);
-                    return Ok(false);
-                }
-            };
-            let v = unsafe { &*victim };
-            if !(v.fully_linked.load(Ordering::Acquire)
-                && v.top_level == level
-                && !v.marked.load(Ordering::Acquire))
-            {
-                // A concurrent update owns the key's fate right now; retry
-                // until the physical state settles (the owner holds all of
-                // its locks and finishes without waiting on us).
-                continue;
-            }
-            let top = v.top_level;
-            let newly_victim = self.txn_lock(txn, victim)?;
-            if v.marked.load(Ordering::Acquire) {
-                if newly_victim {
-                    txn.core.unlock_latest(1);
-                }
-                continue;
-            }
-            match self.txn_lock_and_validate(txn, &preds, &succs, top, Some(victim)) {
-                Ok(true) => {}
-                Ok(false) => {
-                    if newly_victim {
-                        txn.core.unlock_latest(1);
-                    }
-                    continue;
-                }
-                Err(c) => return Err(c),
-            }
-            txn.core.prepare_bundle(
-                &unsafe { &*preds[0] }.bundle,
-                v.next[0].load(Ordering::Acquire),
-            );
-            // Eager logical delete + physical unlink (top-down).
-            v.marked.store(true, Ordering::SeqCst);
-            for lvl in (0..=top).rev() {
-                unsafe { &*preds[lvl] }.next[lvl]
-                    .store(v.next[lvl].load(Ordering::Acquire), Ordering::SeqCst);
-            }
-            txn.core.add_victim(victim);
-            txn.staged.record(*key, Some(victim as usize), None);
-            txn.undo.push(SkipUndo::Unlink { victim, preds, top });
-            drop(guard);
-            return Ok(true);
-        }
+        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_remove(key))
+    }
+
+    /// Run `f` on a throwaway single-op cursor over `*txn` (the
+    /// deprecated point-prepare shims).
+    fn with_one_op_cursor<R>(
+        &self,
+        txn: &mut ShardTxn<K, V>,
+        f: impl FnOnce(&mut ShardCursor<'_, K, V>) -> R,
+    ) -> R {
+        let dummy = ShardTxn {
+            core: TwoPhaseState::new(txn.core.tid()),
+            undo: Vec::new(),
+            staged: StagedOutcomes::disabled(),
+        };
+        bundle::one_op_cursor_shim(txn, dummy, |t| self.txn_cursor(t), f)
     }
 
     /// Validate one recorded read range of a read-write transaction and
@@ -826,6 +844,331 @@ where
             // Safety: unlinked above; EBR defers the free.
             unsafe { guard.retire(n) };
         }
+    }
+}
+
+/// A retained finger: the `preds`/`succs` arrays of a cursor's last
+/// located position.
+struct Frontier<K, V> {
+    preds: [*mut Node<K, V>; MAX_LEVEL],
+    succs: [*mut Node<K, V>; MAX_LEVEL],
+}
+
+/// A prepare cursor over one [`ShardTxn`] (see
+/// [`BundledSkipList::txn_cursor`] and [`bundle::PrepareCursor`]).
+///
+/// The retained frontier is the last located position's per-level
+/// predecessor/successor arrays (with a freshly staged node substituted
+/// on the levels of its tower). Level-0 entries after a staged write
+/// are nodes the transaction holds locked; upper levels are unlocked
+/// *hints*, validated (unmarked, fully linked, still before the target)
+/// up to the finger-search start level before each resume, with stale
+/// positions above it caught by the under-lock validation every prepare
+/// performs (the retry falls back to a root descent).
+pub struct ShardCursor<'a, K, V> {
+    list: &'a BundledSkipList<K, V>,
+    txn: ShardTxn<K, V>,
+    /// Keeps every retained frontier pointer allocated between seeks.
+    _guard: Guard<'a>,
+    frontier: Frontier<K, V>,
+    has_frontier: bool,
+    stats: CursorStats,
+}
+
+impl<'a, K, V> ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// One find, resuming from the retained frontier when `use_hint`
+    /// (the caller clears it after the first attempt — a retry within
+    /// one seek restarts from the root). `min_levels` is the highest
+    /// level the caller will eagerly link (an insert's pre-drawn tower
+    /// height): those levels are always genuinely walked, never
+    /// stale-copied.
+    fn locate(
+        &mut self,
+        key: &K,
+        use_hint: bool,
+        min_levels: usize,
+        preds: &mut [*mut Node<K, V>; MAX_LEVEL],
+        succs: &mut [*mut Node<K, V>; MAX_LEVEL],
+    ) -> Option<usize> {
+        let hint = if use_hint && self.has_frontier {
+            Some(&self.frontier)
+        } else {
+            None
+        };
+        let (lfound, resumed) = self.list.find_hinted(key, hint, min_levels, preds, succs);
+        if resumed {
+            self.stats.hinted += 1;
+        } else {
+            self.stats.descents += 1;
+        }
+        lfound
+    }
+
+    /// Retain the located position as the next frontier.
+    fn retain_preds(
+        &mut self,
+        preds: &[*mut Node<K, V>; MAX_LEVEL],
+        succs: &[*mut Node<K, V>; MAX_LEVEL],
+    ) {
+        self.frontier.preds = *preds;
+        self.frontier.succs = *succs;
+        self.has_frontier = true;
+    }
+
+    /// Retain the position with a just-linked `node` (tower height
+    /// `top`) substituted on the levels of its tower: the node now sits
+    /// between `preds` and `succs` there.
+    fn retain_node(
+        &mut self,
+        preds: &[*mut Node<K, V>; MAX_LEVEL],
+        succs: &[*mut Node<K, V>; MAX_LEVEL],
+        node: *mut Node<K, V>,
+        top: usize,
+    ) {
+        for lvl in 0..MAX_LEVEL {
+            self.frontier.preds[lvl] = if lvl <= top { node } else { preds[lvl] };
+            self.frontier.succs[lvl] = succs[lvl];
+        }
+        self.has_frontier = true;
+    }
+
+    /// Stage an insert at the sought position: eager structural link (so
+    /// later keys of the same transaction observe it) with the affected
+    /// data-layer bundle entries left *pending* until the transaction's
+    /// single commit timestamp. `Ok(false)` = key already present; the
+    /// present node stays locked so the no-op outcome still holds at the
+    /// commit timestamp.
+    pub fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        let list = self.list;
+        let top = list.random_level(self.txn.core.tid());
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        let mut use_hint = true;
+        loop {
+            let lfound = self.locate(&key, use_hint, top, &mut preds, &mut succs);
+            use_hint = false;
+            let txn = &mut self.txn;
+            if let Some(l) = lfound {
+                let found = succs[l];
+                let f = unsafe { &*found };
+                if f.marked.load(Ordering::Acquire) {
+                    continue;
+                }
+                while !f.fully_linked.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // Pin the no-op: hold the present node's lock until
+                // commit (a remove must acquire it, so the key stays
+                // present). If it got marked before we locked it, the
+                // remove linearized first — retry and miss it.
+                let newly = list.txn_lock(txn, found)?;
+                if f.marked.load(Ordering::Acquire) {
+                    if newly {
+                        txn.core.unlock_latest(1);
+                        continue;
+                    }
+                    return Err(Conflict);
+                }
+                txn.staged
+                    .record(key, Some(found as usize), Some(found as usize));
+                // Retain the position just *before* the found key (its
+                // successors are the found node itself on the levels of
+                // its tower, which keeps the frontier's succs honest).
+                self.retain_preds(&preds, &succs);
+                return Ok(false);
+            }
+            if !list.txn_lock_and_validate(txn, &preds, &succs, top, None)? {
+                continue;
+            }
+            let node = Node::new(key, Some(value), top);
+            let node_ref = unsafe { &*node };
+            // Hold the new node's lock until commit/abort so primitive
+            // operations that would adopt it as a predecessor block on the
+            // lock instead of building on state we may roll back.
+            let node_guard: MutexGuard<'static, ()> = node_ref.lock.lock();
+            txn.core.push_lock(node, node_guard);
+            for (lvl, &succ) in succs.iter().enumerate().take(top + 1) {
+                node_ref.next[lvl].store(succ, Ordering::Relaxed);
+            }
+            for (lvl, &pred) in preds.iter().enumerate().take(top + 1) {
+                unsafe { &*pred }.next[lvl].store(node, Ordering::SeqCst);
+            }
+            txn.core.prepare_bundle(&node_ref.bundle, succs[0]);
+            txn.core.prepare_bundle(&unsafe { &*preds[0] }.bundle, node);
+            // Eager linearization effect; snapshot visibility is still
+            // gated on the pending bundle entries' commit timestamp.
+            node_ref.fully_linked.store(true, Ordering::SeqCst);
+            txn.core.add_created(node);
+            txn.staged.record(key, None, Some(node as usize));
+            txn.undo.push(SkipUndo::Link {
+                node,
+                preds,
+                succs,
+                top,
+            });
+            self.retain_node(&preds, &succs, node, top);
+            return Ok(true);
+        }
+    }
+
+    /// Stage a remove at the sought position. `Ok(false)` = key absent;
+    /// the data-layer gap (level-0 predecessor whose successor skips past
+    /// `key`) stays locked, so the no-op outcome still holds at the
+    /// commit timestamp (every insert of `key` must link level 0 through
+    /// that node).
+    pub fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        let list = self.list;
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        let mut use_hint = true;
+        loop {
+            let lfound = self.locate(key, use_hint, 0, &mut preds, &mut succs);
+            use_hint = false;
+            let txn = &mut self.txn;
+            let (victim, level) = match lfound {
+                Some(l) => (succs[l], l),
+                None => {
+                    // Pin the no-op: hold the level-0 gap until commit.
+                    let pred = preds[0];
+                    let newly = list.txn_lock(txn, pred)?;
+                    let p = unsafe { &*pred };
+                    let valid = !p.marked.load(Ordering::Acquire)
+                        && p.fully_linked.load(Ordering::Acquire)
+                        && p.next[0].load(Ordering::Acquire) == succs[0];
+                    if !valid {
+                        if newly {
+                            txn.core.unlock_latest(1);
+                            continue;
+                        }
+                        return Err(Conflict);
+                    }
+                    txn.staged.record(*key, None, None);
+                    self.retain_preds(&preds, &succs);
+                    return Ok(false);
+                }
+            };
+            let v = unsafe { &*victim };
+            if !(v.fully_linked.load(Ordering::Acquire)
+                && v.top_level == level
+                && !v.marked.load(Ordering::Acquire))
+            {
+                // A concurrent update owns the key's fate right now; retry
+                // until the physical state settles (the owner holds all of
+                // its locks and finishes without waiting on us).
+                continue;
+            }
+            let top = v.top_level;
+            let newly_victim = list.txn_lock(txn, victim)?;
+            if v.marked.load(Ordering::Acquire) {
+                if newly_victim {
+                    txn.core.unlock_latest(1);
+                }
+                continue;
+            }
+            match list.txn_lock_and_validate(txn, &preds, &succs, top, Some(victim)) {
+                Ok(true) => {}
+                Ok(false) => {
+                    if newly_victim {
+                        txn.core.unlock_latest(1);
+                    }
+                    continue;
+                }
+                Err(c) => return Err(c),
+            }
+            txn.core.prepare_bundle(
+                &unsafe { &*preds[0] }.bundle,
+                v.next[0].load(Ordering::Acquire),
+            );
+            // Eager logical delete + physical unlink (top-down).
+            v.marked.store(true, Ordering::SeqCst);
+            for lvl in (0..=top).rev() {
+                unsafe { &*preds[lvl] }.next[lvl]
+                    .store(v.next[lvl].load(Ordering::Acquire), Ordering::SeqCst);
+            }
+            txn.core.add_victim(victim);
+            txn.staged.record(*key, Some(victim as usize), None);
+            txn.undo.push(SkipUndo::Unlink { victim, preds, top });
+            self.retain_preds(&preds, &succs);
+            return Ok(true);
+        }
+    }
+
+    /// Read `key`'s current value (newest pointers — the transaction's
+    /// own eager writes are visible) through the frontier, retaining the
+    /// located predecessors as an *unlocked* hint. Takes no locks and
+    /// stages nothing; linearizes at the per-level frontier validity
+    /// checks (an adopted entry is unmarked, hence still reachable, at
+    /// adoption time).
+    pub fn seek_read(&mut self, key: &K) -> Option<V> {
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        let lfound = self.locate(key, true, 0, &mut preds, &mut succs);
+        self.retain_preds(&preds, &succs);
+        match lfound {
+            Some(l) => {
+                let n = unsafe { &*succs[l] };
+                if n.fully_linked.load(Ordering::Acquire) && !n.marked.load(Ordering::Acquire) {
+                    n.val.clone()
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Hinted-resume vs root-descent counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Give the transaction token back (dropping the frontier and the
+    /// cursor's EBR pin); consume it with [`BundledSkipList::txn_finalize`]
+    /// or [`BundledSkipList::txn_abort`].
+    #[must_use]
+    pub fn finish(self) -> ShardTxn<K, V> {
+        self.txn
+    }
+}
+
+impl<'a, K, V> PrepareCursor<K, V> for ShardCursor<'a, K, V>
+where
+    K: Copy + Ord + Default + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Txn = ShardTxn<K, V>;
+
+    fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_put(self, key, value)
+    }
+
+    fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict> {
+        ShardCursor::seek_prepare_remove(self, key)
+    }
+
+    fn seek_read(&mut self, key: &K) -> Option<V> {
+        ShardCursor::seek_read(self, key)
+    }
+
+    fn stats(&self) -> CursorStats {
+        ShardCursor::stats(self)
+    }
+
+    fn finish(self) -> ShardTxn<K, V> {
+        ShardCursor::finish(self)
+    }
+}
+
+impl<'a, K, V> std::fmt::Debug for ShardCursor<'a, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCursor")
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -1311,12 +1654,14 @@ mod tests {
         }
         let before = ctx.read();
 
-        let mut txn = s.txn_begin(0);
-        assert_eq!(s.txn_prepare_put(&mut txn, 15, 150), Ok(true));
-        assert_eq!(s.txn_prepare_put(&mut txn, 16, 160), Ok(true));
-        assert_eq!(s.txn_prepare_remove(&mut txn, &50), Ok(true));
-        assert_eq!(s.txn_prepare_put(&mut txn, 10, 999), Ok(false));
-        assert_eq!(s.txn_prepare_remove(&mut txn, &77), Ok(false));
+        let mut cur = s.txn_cursor(s.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(15, 150), Ok(true));
+        assert_eq!(cur.seek_prepare_put(16, 160), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&50), Ok(true));
+        assert_eq!(cur.seek_prepare_put(10, 999), Ok(false));
+        assert_eq!(cur.seek_prepare_remove(&77), Ok(false));
+        assert!(cur.stats().hinted >= 2, "sorted seeks must resume");
+        let txn = cur.finish();
         assert_eq!(txn.staged_ops(), 3);
         let ts = ctx.advance(0);
         s.txn_finalize(txn, ts);
@@ -1342,10 +1687,13 @@ mod tests {
         }
         let clock_before = ctx.read();
 
-        let mut txn = s.txn_begin(0);
-        assert_eq!(s.txn_prepare_put(&mut txn, 25, 250), Ok(true));
-        assert_eq!(s.txn_prepare_remove(&mut txn, &30), Ok(true));
-        assert_eq!(s.txn_prepare_put(&mut txn, 26, 260), Ok(true));
+        let mut cur = s.txn_cursor(s.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(25, 250), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&30), Ok(true));
+        assert_eq!(cur.seek_prepare_put(26, 260), Ok(true));
+        assert_eq!(cur.seek_read(&26), Some(260), "cursor reads eager writes");
+        assert_eq!(cur.seek_read(&30), None);
+        let txn = cur.finish();
         assert!(s.contains(1, &25));
         assert!(!s.contains(1, &30));
         s.txn_abort(txn);
@@ -1368,11 +1716,14 @@ mod tests {
     fn txn_remove_of_own_staged_insert_nets_out() {
         let s = Sl::new(1);
         s.insert(0, 1, 1);
-        let mut txn = s.txn_begin(0);
-        assert_eq!(s.txn_prepare_put(&mut txn, 5, 50), Ok(true));
-        assert_eq!(s.txn_prepare_remove(&mut txn, &5), Ok(true));
+        let mut cur = s.txn_cursor(s.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(5, 50), Ok(true));
+        // Equal-key seek: the staged node itself is never adopted as a
+        // frontier start (entries must be strictly before the target), so
+        // the remove re-locates 5 and must unlink the staged node.
+        assert_eq!(cur.seek_prepare_remove(&5), Ok(true));
         let ts = s.clock().advance(0);
-        s.txn_finalize(txn, ts);
+        s.txn_finalize(cur.finish(), ts);
         assert!(!s.contains(0, &5));
         assert_eq!(s.len(0), 1);
         let mut out = Vec::new();
@@ -1424,9 +1775,10 @@ mod tests {
         s.txn_range_read(1, lease.ts(), &15, &45, &mut out, &mut nodes);
         assert_eq!(out, vec![(20, 20), (30, 30), (40, 40)]);
 
-        let mut txn = s.txn_begin(1);
-        assert_eq!(s.txn_prepare_remove(&mut txn, &30), Ok(true));
-        assert_eq!(s.txn_prepare_put(&mut txn, 35, 350), Ok(true));
+        let mut cur = s.txn_cursor(s.txn_begin(1));
+        assert_eq!(cur.seek_prepare_remove(&30), Ok(true));
+        assert_eq!(cur.seek_prepare_put(35, 350), Ok(true));
+        let mut txn = cur.finish();
         // Own staged remove + insert inside the validated range are
         // reconciled through the staged outcome images.
         assert_eq!(s.txn_validate(&mut txn, &15, &45, &nodes), Ok(()));
@@ -1436,6 +1788,74 @@ mod tests {
         let mut scan = Vec::new();
         s.range_query(0, &0, &100, &mut scan);
         assert_eq!(scan, vec![(10, 10), (20, 20), (35, 350), (40, 40)]);
+    }
+
+    #[test]
+    fn deprecated_point_prepares_are_one_op_cursor_shims() {
+        // The point API must stay outcome-identical for one release so
+        // out-of-tree call sites migrate explicitly.
+        #![allow(deprecated)]
+        let s = Sl::new(1);
+        s.insert(0, 10, 10);
+        let mut txn = s.txn_begin(0);
+        assert_eq!(s.txn_prepare_put(&mut txn, 5, 50), Ok(true));
+        assert_eq!(s.txn_prepare_put(&mut txn, 10, 99), Ok(false));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &10), Ok(true));
+        assert_eq!(s.txn_prepare_remove(&mut txn, &77), Ok(false));
+        assert_eq!(txn.staged_ops(), 2);
+        let ts = s.clock().advance(0);
+        s.txn_finalize(txn, ts);
+        let mut out = Vec::new();
+        s.range_query(0, &0, &100, &mut out);
+        assert_eq!(out, vec![(5, 50)]);
+    }
+
+    #[test]
+    fn cursor_sorted_batch_resumes_from_the_frontier() {
+        // A long ascending staged batch must be dominated by hinted
+        // resumes: one initial descent, then finger steps.
+        let s = Sl::new(1);
+        for k in (1..2_000u64).step_by(2) {
+            s.insert(0, k, k);
+        }
+        let mut cur = s.txn_cursor(s.txn_begin(0));
+        for k in (100..1_100u64).step_by(20) {
+            assert_eq!(cur.seek_prepare_put(k, k), Ok(true), "key {k}");
+        }
+        let stats = cur.stats();
+        assert_eq!(stats.hinted + stats.descents, 50);
+        assert!(
+            stats.hinted >= 49,
+            "ascending seeks must ride the frontier: {stats:?}"
+        );
+        let ts = s.clock().advance(0);
+        s.txn_finalize(cur.finish(), ts);
+        assert_eq!(s.len(0), 1_000 + 50);
+    }
+
+    #[test]
+    fn cursor_read_hint_invalidation_stays_correct() {
+        // seek_read retains an *unlocked* per-level frontier; foreign
+        // removes of retained nodes must not corrupt later seeks.
+        let s = Sl::new(2);
+        for k in [10u64, 20, 30, 40, 50] {
+            s.insert(0, k, k);
+        }
+        let mut cur = s.txn_cursor(s.txn_begin(1));
+        assert_eq!(cur.seek_read(&20), Some(20));
+        // Foreign primitive removes of nodes around the retained frontier
+        // (the cursor holds no locks yet, so no deadlock is possible).
+        assert!(s.remove(0, &10));
+        assert!(s.remove(0, &20));
+        // Forward seeks must still produce exact outcomes.
+        assert_eq!(cur.seek_prepare_put(20, 200), Ok(true), "20 was removed");
+        assert_eq!(cur.seek_prepare_remove(&30), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&10), Ok(false), "10 was removed");
+        let ts = s.clock().advance(1);
+        s.txn_finalize(cur.finish(), ts);
+        let mut out = Vec::new();
+        s.range_query(0, &0, &100, &mut out);
+        assert_eq!(out, vec![(20, 200), (40, 40), (50, 50)]);
     }
 
     #[test]

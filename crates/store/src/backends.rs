@@ -3,7 +3,7 @@
 //! bundled workspace structures.
 
 use bundle::api::RangeQuerySet;
-use bundle::{Conflict, RqContext, TxnValidateError};
+use bundle::{Conflict, PrepareCursor, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
 
 /// A bundled structure that can back one shard of a sharded store.
@@ -89,11 +89,45 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
         self.txn_begin(tid)
     }
 
+    /// A prepare cursor over one transaction token: stages the same
+    /// two-phase writes as the point prepares, but retains the last
+    /// located position (a frontier) and resumes the next seek from it
+    /// when the target key lies at or beyond the current position —
+    /// turning a key-sorted batch into one root descent plus short
+    /// forward walks. See [`bundle::PrepareCursor`] for the frontier
+    /// retention rules and fallback conditions.
+    type Cursor<'a>: PrepareCursor<K, V, Txn = Self::Txn>
+    where
+        Self: 'a;
+
+    /// Open a prepare cursor over `txn`. The cursor holds an EBR pin on
+    /// this shard for its whole lifetime; [`bundle::PrepareCursor::finish`]
+    /// gives the token back for [`Self::txn_finalize`] /
+    /// [`Self::txn_abort`]. The store's commit pipeline drives every
+    /// shard's staged ops (already key-sorted) through one cursor.
+    fn txn_cursor(&self, txn: Self::Txn) -> Self::Cursor<'_>;
+
     /// Stage an insert; `Ok(false)` = key already present (no-op), exactly
     /// like [`bundle::api::ConcurrentSet::insert`] returning `false`.
+    ///
+    /// Deprecated shim (kept for one release): a one-op cursor that pays
+    /// a full root descent per call. Migrate to [`Self::txn_cursor`] +
+    /// [`bundle::PrepareCursor::seek_prepare_put`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
+    )]
     fn txn_prepare_put(&self, txn: &mut Self::Txn, key: K, value: V) -> Result<bool, Conflict>;
 
     /// Stage a remove; `Ok(false)` = key absent (no-op).
+    ///
+    /// Deprecated shim (kept for one release): a one-op cursor that pays
+    /// a full root descent per call. Migrate to [`Self::txn_cursor`] +
+    /// [`bundle::PrepareCursor::seek_prepare_remove`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
+    )]
     fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict>;
 
     /// Transactional snapshot read of `low..=high` at the caller-fixed
@@ -144,7 +178,7 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
 }
 
 macro_rules! impl_shard_backend {
-    ($ty:path, $txn:path) => {
+    ($ty:path, $txn:path, $cursor:ident) => {
         impl<K, V> ShardBackend<K, V> for $ty
         where
             K: Copy + Ord + Default + Send + Sync,
@@ -187,6 +221,16 @@ macro_rules! impl_shard_backend {
                 Self::txn_begin_write_only(self, tid)
             }
 
+            type Cursor<'a>
+                = $cursor<'a, K, V>
+            where
+                Self: 'a;
+
+            fn txn_cursor(&self, txn: Self::Txn) -> Self::Cursor<'_> {
+                Self::txn_cursor(self, txn)
+            }
+
+            #[allow(deprecated)]
             fn txn_prepare_put(
                 &self,
                 txn: &mut Self::Txn,
@@ -196,6 +240,7 @@ macro_rules! impl_shard_backend {
                 Self::txn_prepare_put(self, txn, key, value)
             }
 
+            #[allow(deprecated)]
             fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict> {
                 Self::txn_prepare_remove(self, txn, key)
             }
@@ -233,9 +278,15 @@ macro_rules! impl_shard_backend {
     };
 }
 
-impl_shard_backend!(skiplist::BundledSkipList<K, V>, skiplist::ShardTxn<K, V>);
-impl_shard_backend!(lazylist::BundledLazyList<K, V>, lazylist::ShardTxn<K, V>);
-impl_shard_backend!(citrus::BundledCitrusTree<K, V>, citrus::ShardTxn<K, V>);
+/// The cursor GAT needs the backend crate name for its lifetime-generic
+/// type, so each expansion names its `ShardCursor` explicitly.
+use citrus::ShardCursor as CitrusCursor;
+use lazylist::ShardCursor as LazyCursor;
+use skiplist::ShardCursor as SkipCursor;
+
+impl_shard_backend!(skiplist::BundledSkipList<K, V>, skiplist::ShardTxn<K, V>, SkipCursor);
+impl_shard_backend!(lazylist::BundledLazyList<K, V>, lazylist::ShardTxn<K, V>, LazyCursor);
+impl_shard_backend!(citrus::BundledCitrusTree<K, V>, citrus::ShardTxn<K, V>, CitrusCursor);
 
 #[cfg(test)]
 mod tests {
@@ -265,10 +316,15 @@ mod tests {
         shard.insert(0, 1, 10);
         let before = ctx.read();
 
-        // Commit path: two staged writes, one timestamp, atomic cut.
-        let mut txn = shard.txn_begin(0);
-        assert_eq!(shard.txn_prepare_put(&mut txn, 2, 20), Ok(true));
-        assert_eq!(shard.txn_prepare_remove(&mut txn, &1), Ok(true));
+        // Commit path: two staged writes through one cursor, one
+        // timestamp, atomic cut.
+        let mut cur = shard.txn_cursor(shard.txn_begin(0));
+        assert_eq!(cur.seek_prepare_remove(&1), Ok(true));
+        assert_eq!(cur.seek_prepare_put(2, 20), Ok(true));
+        assert_eq!(cur.seek_read(&2), Some(20), "cursor reads eager writes");
+        let stats = cur.stats();
+        assert!(stats.hinted + stats.descents >= 3, "every seek is counted");
+        let txn = cur.finish();
         let ts = ctx.advance(0);
         shard.txn_finalize(txn, ts);
         let mut out = Vec::new();
@@ -282,13 +338,29 @@ mod tests {
 
         // Abort path: nothing changes, the clock never advances.
         let clock = ctx.read();
-        let mut txn = shard.txn_begin(0);
-        assert_eq!(shard.txn_prepare_put(&mut txn, 3, 30), Ok(true));
-        assert_eq!(shard.txn_prepare_remove(&mut txn, &2), Ok(true));
-        shard.txn_abort(txn);
+        let mut cur = shard.txn_cursor(shard.txn_begin(0));
+        assert_eq!(cur.seek_prepare_put(3, 30), Ok(true));
+        assert_eq!(cur.seek_prepare_remove(&2), Ok(true));
+        shard.txn_abort(cur.finish());
         assert_eq!(ctx.read(), clock);
         shard.range_query_at(1, clock, &0, &100, &mut out);
         assert_eq!(out, vec![(2, 20)], "aborted writes are invisible");
+
+        // The deprecated point shims stay outcome-identical for one
+        // release (one-op cursors underneath).
+        #[allow(deprecated)]
+        {
+            let mut txn = shard.txn_begin(0);
+            assert_eq!(shard.txn_prepare_put(&mut txn, 4, 40), Ok(true));
+            assert_eq!(shard.txn_prepare_put(&mut txn, 2, 99), Ok(false));
+            assert_eq!(shard.txn_prepare_remove(&mut txn, &7), Ok(false));
+            let ts = ctx.advance(0);
+            shard.txn_finalize(txn, ts);
+            let announced = ctx.start_rq(1);
+            shard.range_query_at(1, announced, &0, &100, &mut out);
+            ctx.finish_rq(1);
+            assert_eq!(out, vec![(2, 20), (4, 40)]);
+        }
     }
 
     #[test]

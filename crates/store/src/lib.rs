@@ -45,10 +45,17 @@
 //!   (`group_commits / grouped_ops` advances per op) is measurable.
 //! * [`ShardBackend`] — what a structure must provide to back a shard:
 //!   construction over a shared [`bundle::RqContext`], a range query at a
-//!   caller-fixed snapshot timestamp, and the two-phase commit surface
-//!   (`txn_begin` / `txn_prepare_put` / `txn_prepare_remove` /
-//!   `txn_finalize` / `txn_abort`). Implemented for all three bundled
-//!   structures.
+//!   caller-fixed snapshot timestamp, and the two-phase commit surface,
+//!   now cursor-shaped (`txn_begin` / `txn_cursor` +
+//!   [`bundle::PrepareCursor`] seeks / `txn_finalize` / `txn_abort`):
+//!   each shard's key-sorted op run stages through one **prepare
+//!   cursor** that resumes every seek from the previous op's position —
+//!   one root descent plus short forward walks per shard instead of a
+//!   descent per op. The old point prepares (`txn_prepare_put` /
+//!   `txn_prepare_remove`) remain as deprecated one-op shims for one
+//!   release ([`BundledStore::apply_grouped_unhinted`] drives a whole
+//!   group through them for measurement/verification). Implemented for
+//!   all three bundled structures.
 //! * [`StoreHandle`] / [`BundledStore::register`] — a session API that
 //!   manages the dense thread-id registration the underlying structures
 //!   (EBR collectors, trackers) require: register once, operate without

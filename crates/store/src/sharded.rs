@@ -5,7 +5,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
-use bundle::{Conflict, Recycler, RqContext, TxnValidateError};
+use bundle::{Conflict, PrepareCursor, Recycler, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
 
 use crate::backends::ShardBackend;
@@ -399,7 +399,7 @@ where
                  WriteTxn to deduplicate)"
             );
         }
-        self.commit_pipeline(tid, ops, &order, reads)
+        self.commit_pipeline(tid, ops, &order, reads, true)
     }
 
     /// Atomically commit one **group**: a super-batch of operations that
@@ -431,6 +431,29 @@ where
     /// the ingest layer folds same-key submissions into one effective op
     /// *before* calling this).
     pub fn apply_grouped(&self, tid: usize, ops: &[TxnOp<K, V>]) -> GroupReceipt {
+        self.apply_grouped_inner(tid, ops, true)
+    }
+
+    /// [`BundledStore::apply_grouped`] staged through the **legacy point
+    /// prepares** (one root descent per op) instead of the prepare
+    /// cursors — the pre-cursor pipeline, kept for one release as a
+    /// migration shim. Two uses: the `store_ingest` harness measures
+    /// hinted vs unhinted staging cost against it, and the cursor
+    /// equivalence suite replays identical batches through both paths and
+    /// asserts identical outcomes, stats, and post-states. Semantics and
+    /// accounting are identical to `apply_grouped`.
+    ///
+    /// # Panics
+    ///
+    /// If `ops` is not strictly ascending by key.
+    pub fn apply_grouped_unhinted(&self, tid: usize, ops: &[TxnOp<K, V>]) -> GroupReceipt {
+        self.apply_grouped_inner(tid, ops, false)
+    }
+
+    /// Shared body of [`BundledStore::apply_grouped`] and its unhinted
+    /// shim: identical planning, accounting, and receipts — `hinted`
+    /// only selects the staging surface inside the pipeline.
+    fn apply_grouped_inner(&self, tid: usize, ops: &[TxnOp<K, V>], hinted: bool) -> GroupReceipt {
         assert!(
             ops.windows(2).all(|w| w[0].key() < w[1].key()),
             "apply_grouped ops must be strictly ascending by key \
@@ -444,7 +467,7 @@ where
         }
         let order: Vec<usize> = (0..ops.len()).collect();
         let (applied, ts) = self
-            .commit_pipeline(tid, ops, &order, &[])
+            .commit_pipeline(tid, ops, &order, &[], hinted)
             .expect("a group has no read set and cannot fail validation");
         self.group_commits.fetch_add(1, Ordering::Relaxed);
         self.grouped_ops
@@ -457,12 +480,20 @@ where
     /// intents → prepare → validate → advance-clock → finalize, with the
     /// planning (key sorting, duplicate rejection) already done by the
     /// caller (`order` maps sorted position → caller position).
+    ///
+    /// `hinted` selects the prepare surface: `true` drives each shard's
+    /// key-sorted run through one prepare cursor
+    /// ([`ShardBackend::txn_cursor`] — one root descent plus short
+    /// forward walks per shard), `false` uses the deprecated point
+    /// prepares (one root descent per op; the pre-cursor pipeline kept
+    /// for [`BundledStore::apply_grouped_unhinted`]).
     fn commit_pipeline(
         &self,
         tid: usize,
         ops: &[TxnOp<K, V>],
         order: &[usize],
         reads: &[ShardRead<K>],
+        hinted: bool,
     ) -> Result<(Vec<bool>, u64), TxnAborted> {
         // Contiguous per-shard runs over the sorted order (shards
         // partition the keyspace in key order), ascending by shard.
@@ -521,43 +552,23 @@ where
                 let backend = &self.shards[*shard];
                 // Write-only pipelines (plain batches, group commits)
                 // skip the staged-image bookkeeping only validation reads.
-                let mut txn = if reads.is_empty() {
+                let txn = if reads.is_empty() {
                     backend.txn_begin_write_only(tid)
                 } else {
                     backend.txn_begin(tid)
                 };
-                for &pos in &order[range.clone()] {
-                    let op = &ops[pos];
-                    let staged = match op {
-                        TxnOp::Put(k, v) => backend.txn_prepare_put(&mut txn, *k, v.clone()),
-                        TxnOp::Set(k, v) => {
-                            // Upsert: stage the removal of any current node
-                            // then insert the replacement; both changes
-                            // share the transaction's commit timestamp, so
-                            // every snapshot sees exactly one value for
-                            // the key. Reports whether the key existed.
-                            backend.txn_prepare_remove(&mut txn, k).and_then(|existed| {
-                                backend
-                                    .txn_prepare_put(&mut txn, *k, v.clone())
-                                    .map(|inserted| {
-                                        debug_assert!(
-                                            inserted,
-                                            "upsert re-insert must succeed after staged remove"
-                                        );
-                                        existed
-                                    })
-                            })
-                        }
-                        TxnOp::Remove(k) => backend.txn_prepare_remove(&mut txn, k),
-                    };
-                    match staged {
-                        Ok(applied) => results[pos] = applied,
-                        Err(Conflict) => {
-                            backend.txn_abort(txn);
-                            failure = Some(TxnValidateError::Conflict);
-                            break 'prepare;
-                        }
-                    }
+                let (txn, ok) = self.stage_run(
+                    backend,
+                    txn,
+                    hinted,
+                    ops,
+                    &order[range.clone()],
+                    &mut results,
+                );
+                if !ok {
+                    backend.txn_abort(txn);
+                    failure = Some(TxnValidateError::Conflict);
+                    break 'prepare;
                 }
                 prepared.push((*shard, txn));
             }
@@ -627,6 +638,83 @@ where
             }
             self.txn_commits.fetch_add(1, Ordering::Relaxed);
             return Ok((results, ts));
+        }
+    }
+
+    /// Stage one shard's key-sorted op run into `txn`. `hinted` drives
+    /// the run through one prepare cursor (each seek resumes from the
+    /// previous op's position); unhinted uses the deprecated point
+    /// prepares (one root descent per op — the
+    /// [`BundledStore::apply_grouped_unhinted`] shim arm). Returns the
+    /// token and whether every op staged (`false` = a [`Conflict`]; the
+    /// caller aborts the token and retries the transaction).
+    #[allow(deprecated)]
+    fn stage_run(
+        &self,
+        backend: &S,
+        txn: S::Txn,
+        hinted: bool,
+        ops: &[TxnOp<K, V>],
+        order: &[usize],
+        results: &mut [bool],
+    ) -> (S::Txn, bool) {
+        if hinted {
+            let mut cur = backend.txn_cursor(txn);
+            for &pos in order {
+                let staged = match &ops[pos] {
+                    TxnOp::Put(k, v) => cur.seek_prepare_put(*k, v.clone()),
+                    TxnOp::Set(k, v) => {
+                        // Upsert: stage the removal of any current node
+                        // then insert the replacement; both changes share
+                        // the transaction's commit timestamp, so every
+                        // snapshot sees exactly one value for the key.
+                        // Reports whether the key existed. (The second
+                        // seek targets the key the first just removed —
+                        // the cursor's frontier is right at the gap.)
+                        cur.seek_prepare_remove(k).and_then(|existed| {
+                            cur.seek_prepare_put(*k, v.clone()).map(|inserted| {
+                                debug_assert!(
+                                    inserted,
+                                    "upsert re-insert must succeed after staged remove"
+                                );
+                                existed
+                            })
+                        })
+                    }
+                    TxnOp::Remove(k) => cur.seek_prepare_remove(k),
+                };
+                match staged {
+                    Ok(applied) => results[pos] = applied,
+                    Err(Conflict) => return (cur.finish(), false),
+                }
+            }
+            (cur.finish(), true)
+        } else {
+            let mut txn = txn;
+            for &pos in order {
+                let staged = match &ops[pos] {
+                    TxnOp::Put(k, v) => backend.txn_prepare_put(&mut txn, *k, v.clone()),
+                    TxnOp::Set(k, v) => {
+                        backend.txn_prepare_remove(&mut txn, k).and_then(|existed| {
+                            backend
+                                .txn_prepare_put(&mut txn, *k, v.clone())
+                                .map(|inserted| {
+                                    debug_assert!(
+                                        inserted,
+                                        "upsert re-insert must succeed after staged remove"
+                                    );
+                                    existed
+                                })
+                        })
+                    }
+                    TxnOp::Remove(k) => backend.txn_prepare_remove(&mut txn, k),
+                };
+                match staged {
+                    Ok(applied) => results[pos] = applied,
+                    Err(Conflict) => return (txn, false),
+                }
+            }
+            (txn, true)
         }
     }
 
@@ -1285,6 +1373,45 @@ mod tests {
         grouped_commit::<skiplist::BundledSkipList<u64, u64>>("skiplist");
         grouped_commit::<lazylist::BundledLazyList<u64, u64>>("lazylist");
         grouped_commit::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+    }
+
+    fn grouped_unhinted_matches_hinted<S: ShardBackend<u64, u64>>(label: &str) {
+        // Two stores, identical op streams: the cursor-driven pipeline
+        // and the legacy point-descent shim must produce identical
+        // receipts, stats, and post-states.
+        let a = BundledStore::<u64, u64, S>::new(1, uniform_splits(4, 400));
+        let b = BundledStore::<u64, u64, S>::new(1, uniform_splits(4, 400));
+        let batches: Vec<Vec<TxnOp<u64, u64>>> = vec![
+            (0..40).map(|i| TxnOp::Put(i * 10, i)).collect(),
+            (0..40)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        TxnOp::Remove(i * 10)
+                    } else {
+                        TxnOp::Set(i * 10, i + 1)
+                    }
+                })
+                .collect(),
+            (0..20).map(|i| TxnOp::Put(i * 7 + 3, i)).collect(),
+        ];
+        for ops in &batches {
+            let ra = a.apply_grouped(0, ops);
+            let rb = b.apply_grouped_unhinted(0, ops);
+            assert_eq!(ra.applied, rb.applied, "{label}: per-op outcomes");
+        }
+        assert_eq!(a.txn_stats(), b.txn_stats(), "{label}: stats");
+        let mut oa = Vec::new();
+        let mut ob = Vec::new();
+        a.range_query(0, &0, &400, &mut oa);
+        b.range_query(0, &0, &400, &mut ob);
+        assert_eq!(oa, ob, "{label}: post-state");
+    }
+
+    #[test]
+    fn apply_grouped_unhinted_is_outcome_identical() {
+        grouped_unhinted_matches_hinted::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+        grouped_unhinted_matches_hinted::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+        grouped_unhinted_matches_hinted::<citrus::BundledCitrusTree<u64, u64>>("citrus");
     }
 
     #[test]

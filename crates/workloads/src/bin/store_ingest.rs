@@ -19,15 +19,24 @@
 //! assumed), and the mean group size. `--json` additionally writes one
 //! machine-readable record per configuration.
 //!
+//! A third **staging panel** isolates the prepare-cursor win: identical
+//! key-sorted groups of [`STAGING_GROUP`] ops are committed through the
+//! cursor-driven pipeline (`apply_grouped`) and through the legacy
+//! point-descent shim (`apply_grouped_unhinted`), reporting
+//! `staging_ns_per_op` for each. `--check-staging` exits non-zero if the
+//! hinted path fails to beat the unhinted path on any backend — the CI
+//! regression gate for sub-logarithmic batch staging.
+//!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>]`
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--check-staging]`
 //! (default: all three backends). Thread counts come from
 //! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
 //! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
 //! (comma-separated, default "1,16,64,256" — from latency-oriented
 //! trickle to throughput-oriented firehose) and the committer-thread
 //! count from `BUNDLE_INGEST_COMMITTERS` (default: half the machine's
-//! available parallelism, clamped to [1, shards]).
+//! available parallelism, clamped to [1, shards] — a committer beyond
+//! the shard count would own no submission queue).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -324,10 +333,168 @@ where
     (direct, ingest_runs)
 }
 
+/// Ops per group in the staging panel (the `--check-staging` gate runs
+/// at this size, matching the issue's acceptance criterion).
+const STAGING_GROUP: usize = 1024;
+
+/// Measured rounds of the staging panel (plus one warmup); each path
+/// reports its best round, de-noising the single-shot measurement.
+const STAGING_ROUNDS: usize = 4;
+
+/// Nanoseconds per staged op for the hinted (cursor) and unhinted
+/// (point-descent) pipelines on identical key-sorted groups.
+struct StagingResult {
+    hinted_ns: f64,
+    unhinted_ns: f64,
+}
+
+/// The staging panel: one single-threaded store per backend, odd keys
+/// prefilled (shuffled insertion order for the Citrus tree so it is not
+/// a degenerate spine; descending for the lists, whose prefill cost is
+/// position-dependent). Each round commits a **contiguous window** of
+/// [`STAGING_GROUP`] fresh even keys in ascending order — the shape
+/// sequential ingest produces (auto-increment ids, time-ordered keys,
+/// the NEW_ORDER firehose), and the regime the cursor exists for: after
+/// the first op locates the window, every later seek is a short warm
+/// forward walk, while the point path re-descends from the root through
+/// the whole structure per op. The window then drains again through
+/// removes, so put+remove pairs keep the structure at its baseline
+/// between measurements and both paths see identical state; only the
+/// `apply_grouped*` calls are timed, and bundle cleanup runs between
+/// rounds.
+fn run_staging<S>(shards: usize, shuffle: bool) -> StagingResult
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+        2,
+        uniform_splits(shards, KEY_RANGE),
+    ));
+    let h = store.register();
+    let mut prefill: Vec<u64> = (1..KEY_RANGE).step_by(2).collect();
+    if shuffle {
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for i in (1..prefill.len()).rev() {
+            prefill.swap(i, (xorshift(&mut seed) % (i as u64 + 1)) as usize);
+        }
+    } else {
+        prefill.reverse();
+    }
+    for k in prefill {
+        h.insert(k, k);
+    }
+    // Contiguous even slots per window; rounds rotate the window origin
+    // so every measured window stages fresh keys into a clean region.
+    let span = (STAGING_GROUP as u64) * 2;
+    type OpVec = Vec<TxnOp<u64, u64>>;
+    let window = |round: u64| -> (OpVec, OpVec) {
+        let start = ((round * span * 7) % (KEY_RANGE - span)) & !1;
+        let keys: Vec<u64> = (0..STAGING_GROUP as u64).map(|i| start + 2 * i).collect();
+        let puts = keys.iter().map(|&k| TxnOp::Put(k, k)).collect();
+        let removes = keys.iter().map(|&k| TxnOp::Remove(k)).collect();
+        (puts, removes)
+    };
+    let mut hinted_ns = f64::INFINITY;
+    let mut unhinted_ns = f64::INFINITY;
+    for round in 0..=(STAGING_ROUNDS as u64) {
+        let (puts, removes) = window(round);
+        // Alternate which path touches the round's window first, so
+        // neither side systematically inherits the other's warm caches.
+        let measure = |hinted: bool| -> Duration {
+            let t = Instant::now();
+            let (applied, removed) = if hinted {
+                (h.apply_grouped(&puts), h.apply_grouped(&removes))
+            } else {
+                (
+                    h.apply_grouped_unhinted(&puts),
+                    h.apply_grouped_unhinted(&removes),
+                )
+            };
+            let elapsed = t.elapsed();
+            assert!(
+                applied.applied.iter().all(|b| *b) && removed.applied.iter().all(|b| *b),
+                "staging window keys must be fresh"
+            );
+            elapsed
+        };
+        let (hinted, unhinted) = if round % 2 == 0 {
+            let a = measure(true);
+            let b = measure(false);
+            (a, b)
+        } else {
+            let b = measure(false);
+            let a = measure(true);
+            (a, b)
+        };
+        store.cleanup_bundles(1);
+        if round == 0 {
+            continue; // warmup
+        }
+        let per_op = |d: Duration| d.as_nanos() as f64 / (2 * STAGING_GROUP) as f64;
+        hinted_ns = hinted_ns.min(per_op(hinted));
+        unhinted_ns = unhinted_ns.min(per_op(unhinted));
+    }
+    StagingResult {
+        hinted_ns,
+        unhinted_ns,
+    }
+}
+
+/// Run and report the staging panel for `kind`; returns `false` when the
+/// hinted path failed to beat the unhinted path (the `--check-staging`
+/// regression signal).
+fn staging_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
+    let shards = shard_count();
+    let r = match kind {
+        StructureKind::StoreSkipList => {
+            run_staging::<skiplist::BundledSkipList<u64, u64>>(shards, false)
+        }
+        StructureKind::StoreCitrus => {
+            run_staging::<citrus::BundledCitrusTree<u64, u64>>(shards, true)
+        }
+        StructureKind::StoreList => {
+            run_staging::<lazylist::BundledLazyList<u64, u64>>(shards, false)
+        }
+        other => panic!("{other:?} is not a sharded store kind"),
+    };
+    let speedup = r.unhinted_ns / r.hinted_ns.max(1.0);
+    println!(
+        "store_ingest [{}] staging panel, {shards} shards, {STAGING_GROUP}-op sorted groups:\n  \
+         hinted (cursor) {:.1} ns/op, unhinted (point descents) {:.1} ns/op — {:.2}x",
+        kind.name(),
+        r.hinted_ns,
+        r.unhinted_ns,
+        speedup,
+    );
+    records.push(RunRecord {
+        bench: "store_ingest".into(),
+        kind: kind.name().into(),
+        mix: format!("staging-{STAGING_GROUP}"),
+        threads: 1,
+        metrics: vec![
+            ("staging_ns_per_op_hinted".into(), r.hinted_ns),
+            ("staging_ns_per_op_unhinted".into(), r.unhinted_ns),
+            ("staging_speedup".into(), speedup),
+            ("group_size".into(), STAGING_GROUP as f64),
+        ],
+    });
+    let ok = r.hinted_ns <= r.unhinted_ns;
+    if !ok {
+        eprintln!(
+            "STAGING REGRESSION [{}]: hinted {:.1} ns/op is slower than unhinted {:.1} ns/op",
+            kind.name(),
+            r.hinted_ns,
+            r.unhinted_ns,
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut kind_arg: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut check_staging = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -338,6 +505,10 @@ fn main() {
                     std::process::exit(2);
                 }
                 i += 2;
+            }
+            "--check-staging" => {
+                check_staging = true;
+                i += 1;
             }
             other => {
                 kind_arg = Some(other.to_string());
@@ -360,8 +531,10 @@ fn main() {
         },
     };
     let mut records = Vec::new();
+    let mut staging_ok = true;
     for kind in kinds {
         sweep(kind, &mut records);
+        staging_ok &= staging_panel(kind, &mut records);
     }
     if let Some(path) = json_path {
         match write_json(&path, &records) {
@@ -375,5 +548,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if check_staging && !staging_ok {
+        eprintln!("--check-staging: hinted cursor staging regressed below the unhinted path");
+        std::process::exit(1);
     }
 }

@@ -90,10 +90,12 @@ pub use workloads;
 /// Convenient glob-importable set of the most commonly used items.
 pub mod prelude {
     pub use bundle::api::{ConcurrentSet, RangeQuerySet};
-    pub use bundle::{Bundle, GlobalTimestamp, Recycler, RqContext, RqTracker};
+    pub use bundle::{
+        Bundle, CursorStats, GlobalTimestamp, PrepareCursor, Recycler, RqContext, RqTracker,
+    };
     pub use citrus::{BundledCitrusTree, UnsafeCitrusTree};
     pub use ebr::{Collector, ReclaimMode};
-    pub use ingest::{Ingest, IngestConfig, IngestOutcome, IngestStats, Ticket};
+    pub use ingest::{Ingest, IngestConfig, IngestOutcome, IngestStats, QueueFull, Ticket};
     pub use lazylist::{BundledLazyList, UnsafeLazyList};
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
     pub use store::{

@@ -1,0 +1,234 @@
+//! Prepare-cursor equivalence and torture properties.
+//!
+//! The cursor protocol (`ShardBackend::txn_cursor` + the
+//! `bundle::PrepareCursor` seeks) must be **observationally identical**
+//! to the legacy point prepares it replaces — only faster. Two seeded
+//! property suites check that on all three backends:
+//!
+//! 1. **Pipeline equivalence.** Identical key-sorted batches (random
+//!    put/set/remove mixes) replay through two stores — one staging via
+//!    the cursor-driven `apply_grouped`, one via the legacy point-descent
+//!    `apply_grouped_unhinted` shim — asserting identical per-op
+//!    outcomes, identical `TxnStats`, identical post-state range queries,
+//!    and agreement with a `BTreeMap` reference model throughout.
+//! 2. **Backward-seek / frontier-invalidation torture.** A cursor builds
+//!    *unlocked* frontier hints through `seek_read`s, foreign primitive
+//!    updates invalidate the retained positions (removals mark frontier
+//!    nodes; Citrus two-children removals relocate keys upward across
+//!    the retained spine), and the cursor then stages writes in
+//!    *descending* key order — every seek either resumes correctly or
+//!    falls back to a root descent, and every outcome must still match
+//!    the model exactly. Aborted cursor batches must leave no trace.
+
+use std::collections::BTreeMap;
+
+use bundled_refs::prelude::*;
+use bundled_refs::store::BundledStore;
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// A random key-sorted, duplicate-free batch over `key_range`.
+fn random_batch(seed: &mut u64, key_range: u64, max_len: usize) -> Vec<TxnOp<u64, u64>> {
+    let len = 1 + (xorshift(seed) as usize) % max_len;
+    let mut keys: Vec<u64> = (0..len).map(|_| xorshift(seed) % key_range).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| match xorshift(seed) % 3 {
+            0 => TxnOp::Put(k, xorshift(seed)),
+            1 => TxnOp::Set(k, xorshift(seed)),
+            _ => TxnOp::Remove(k),
+        })
+        .collect()
+}
+
+/// What one op does to the reference model; returns the op's expected
+/// outcome bit (put inserted / set replaced / remove removed).
+fn apply_model(model: &mut BTreeMap<u64, u64>, op: &TxnOp<u64, u64>) -> bool {
+    match op {
+        TxnOp::Put(k, v) => {
+            if model.contains_key(k) {
+                false
+            } else {
+                model.insert(*k, *v);
+                true
+            }
+        }
+        TxnOp::Set(k, v) => model.insert(*k, *v).is_some(),
+        TxnOp::Remove(k) => model.remove(k).is_some(),
+    }
+}
+
+fn pipeline_equivalence<S: ShardBackend<u64, u64>>(label: &str) {
+    const KEY_RANGE: u64 = 600;
+    const ROUNDS: usize = 200;
+    let hinted = BundledStore::<u64, u64, S>::new(2, uniform_splits(4, KEY_RANGE));
+    let unhinted = BundledStore::<u64, u64, S>::new(2, uniform_splits(4, KEY_RANGE));
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seed = 0xc0ff_ee5e_ed00_u64 ^ label.len() as u64;
+    let mut out_h = Vec::new();
+    let mut out_u = Vec::new();
+    for round in 0..ROUNDS {
+        let ops = random_batch(&mut seed, KEY_RANGE, 48);
+        let expected: Vec<bool> = ops.iter().map(|op| apply_model(&mut model, op)).collect();
+        let rh = hinted.apply_grouped(0, &ops);
+        let ru = unhinted.apply_grouped_unhinted(0, &ops);
+        assert_eq!(rh.applied, expected, "{label}: cursor outcomes vs model");
+        assert_eq!(
+            rh.applied, ru.applied,
+            "{label}: cursor vs point outcomes (round {round})"
+        );
+        if round.is_multiple_of(16) || round == ROUNDS - 1 {
+            hinted.range_query(1, &0, &KEY_RANGE, &mut out_h);
+            unhinted.range_query(1, &0, &KEY_RANGE, &mut out_u);
+            let reference: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(out_h, reference, "{label}: cursor post-state vs model");
+            assert_eq!(out_u, reference, "{label}: point post-state vs model");
+        }
+    }
+    assert_eq!(
+        hinted.txn_stats(),
+        unhinted.txn_stats(),
+        "{label}: both pipelines account identically"
+    );
+}
+
+#[test]
+fn cursor_and_point_pipelines_are_equivalent_on_all_backends() {
+    pipeline_equivalence::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+    pipeline_equivalence::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+    pipeline_equivalence::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+}
+
+fn backward_and_invalidation_torture<S: ShardBackend<u64, u64>>(label: &str) {
+    const KEY_RANGE: u64 = 400;
+    const ROUNDS: usize = 150;
+    let ctx = bundle::RqContext::new(2);
+    let shard = S::build(2, ebr::ReclaimMode::Reclaim, &ctx);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seed = 0xdeadf00d_u64 ^ label.len() as u64;
+    for _ in 0..KEY_RANGE / 2 {
+        let k = xorshift(&mut seed) % KEY_RANGE;
+        if shard.insert(0, k, k) {
+            model.insert(k, k);
+        }
+    }
+    for round in 0..ROUNDS {
+        let mut cur = shard.txn_cursor(shard.txn_begin(1));
+        // Phase 1: reads build *unlocked* frontier hints (ascending, so
+        // they resume; the cursor holds no locks yet).
+        let mut probes: Vec<u64> = (0..6).map(|_| xorshift(&mut seed) % KEY_RANGE).collect();
+        probes.sort_unstable();
+        for k in &probes {
+            assert_eq!(
+                cur.seek_read(k),
+                model.get(k).copied(),
+                "{label}: hinted read (round {round})"
+            );
+        }
+        // Phase 2: foreign primitive updates invalidate retained
+        // positions — removals mark frontier nodes, inserts shift gaps,
+        // and Citrus two-children removals relocate keys upward across
+        // the retained spine. Safe: the cursor still holds no locks.
+        for _ in 0..4 {
+            let k = xorshift(&mut seed) % KEY_RANGE;
+            if xorshift(&mut seed).is_multiple_of(2) {
+                if shard.insert(0, k, k + 1) {
+                    model.insert(k, k + 1);
+                }
+            } else if shard.remove(0, &k) {
+                model.remove(&k);
+            }
+        }
+        // Phase 3: stage writes in DESCENDING key order — every seek is
+        // a backward seek over a (possibly invalidated) frontier, and
+        // every outcome must still be exact.
+        let mut keys: Vec<u64> = (0..8).map(|_| xorshift(&mut seed) % KEY_RANGE).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.reverse();
+        let abort = xorshift(&mut seed).is_multiple_of(4);
+        let rollback = model.clone();
+        for k in keys {
+            if xorshift(&mut seed).is_multiple_of(2) {
+                let v = xorshift(&mut seed);
+                assert_eq!(
+                    cur.seek_prepare_put(k, v),
+                    Ok(!model.contains_key(&k)),
+                    "{label}: descending put outcome (round {round})"
+                );
+                model.entry(k).or_insert(v);
+            } else {
+                assert_eq!(
+                    cur.seek_prepare_remove(&k),
+                    Ok(model.remove(&k).is_some()),
+                    "{label}: descending remove outcome (round {round})"
+                );
+            }
+        }
+        let stats = cur.stats();
+        assert!(
+            stats.hinted + stats.descents >= 6,
+            "{label}: every seek is counted: {stats:?}"
+        );
+        let txn = cur.finish();
+        if abort {
+            shard.txn_abort(txn);
+            model = rollback;
+        } else {
+            let ts = ctx.advance(1);
+            shard.txn_finalize(txn, ts);
+        }
+        // The shard must match the model exactly after commit or abort.
+        if round.is_multiple_of(10) || round == ROUNDS - 1 {
+            let mut out = Vec::new();
+            let announced = ctx.start_rq(1);
+            shard.range_query_at(1, announced, &0, &KEY_RANGE, &mut out);
+            ctx.finish_rq(1);
+            let reference: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(out, reference, "{label}: post-round state (round {round})");
+        }
+    }
+}
+
+#[test]
+fn backward_seeks_and_invalidated_frontiers_stay_exact_on_all_backends() {
+    backward_and_invalidation_torture::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+    backward_and_invalidation_torture::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+    backward_and_invalidation_torture::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+}
+
+/// Ascending staged batches must actually ride the frontier (the
+/// performance contract behind the whole protocol, pinned as behaviour:
+/// a cursor that silently root-descends per op would still pass the
+/// equivalence suite).
+fn ascending_batches_resume<S: ShardBackend<u64, u64>>(label: &str) {
+    let ctx = bundle::RqContext::new(1);
+    let shard = S::build(1, ebr::ReclaimMode::Reclaim, &ctx);
+    for k in (1..2_000u64).step_by(2) {
+        shard.insert(0, k, k);
+    }
+    let mut cur = shard.txn_cursor(shard.txn_begin(0));
+    for k in (100..1_000u64).step_by(2) {
+        assert_eq!(cur.seek_prepare_put(k, k), Ok(true), "{label}: key {k}");
+    }
+    let stats = cur.stats();
+    assert!(
+        stats.hinted as f64 >= 0.9 * (stats.hinted + stats.descents) as f64,
+        "{label}: ascending seeks must mostly resume from the frontier: {stats:?}"
+    );
+    let ts = ctx.advance(0);
+    shard.txn_finalize(cur.finish(), ts);
+}
+
+#[test]
+fn ascending_batches_ride_the_frontier_on_all_backends() {
+    ascending_batches_resume::<skiplist::BundledSkipList<u64, u64>>("skiplist");
+    ascending_batches_resume::<lazylist::BundledLazyList<u64, u64>>("lazylist");
+    ascending_batches_resume::<citrus::BundledCitrusTree<u64, u64>>("citrus");
+}
