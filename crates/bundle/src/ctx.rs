@@ -140,6 +140,15 @@ impl RqContext {
         self.tracker.oldest_active(self.clock.read())
     }
 
+    /// Number of snapshots currently announced in the shared tracker —
+    /// live range queries, store snapshots, and read leases across every
+    /// structure sharing this context (see
+    /// [`RqTracker::active_announcements`]).
+    #[must_use]
+    pub fn active_rqs(&self) -> usize {
+        self.tracker.active_announcements()
+    }
+
     /// Lease a read timestamp for `tid`: atomically read the shared clock
     /// and announce the snapshot in the tracker, exactly like
     /// [`RqContext::start_rq`], but held across an *arbitrary number of

@@ -2,9 +2,9 @@
 //! transactional writes.
 //!
 //! A group commit hands each structure its staged operations in ascending
-//! key order, yet the point prepare API (`txn_prepare_put` /
-//! `txn_prepare_remove`) rediscovers every key's position from the
-//! structure root. A [`PrepareCursor`] generalizes the located position
+//! key order, yet a point prepare (one throwaway cursor per op — the
+//! pre-cursor API) rediscovers every key's position from the structure
+//! root. A [`PrepareCursor`] generalizes the located position
 //! into a reusable **frontier**: after each staged operation the cursor
 //! retains where the operation ended up (the locked predecessor chain in
 //! a linked list, a per-level predecessor frontier in a skip list, the
@@ -119,12 +119,12 @@ pub trait PrepareCursor<K, V> {
 
     /// Stage an insert at the sought position; `Ok(false)` = key already
     /// present (no-op, present node pinned until commit). Identical
-    /// semantics to the point `txn_prepare_put`, minus the root descent
-    /// when the frontier reaches the key.
+    /// semantics to a one-op point prepare, minus the root descent when
+    /// the frontier reaches the key.
     fn seek_prepare_put(&mut self, key: K, value: V) -> Result<bool, Conflict>;
 
     /// Stage a remove; `Ok(false)` = key absent (no-op, gap pinned until
-    /// commit). Identical semantics to the point `txn_prepare_remove`.
+    /// commit). Identical semantics to a one-op point prepare.
     fn seek_prepare_remove(&mut self, key: &K) -> Result<bool, Conflict>;
 
     /// Read `key`'s current value through the frontier, over the newest
@@ -141,27 +141,6 @@ pub trait PrepareCursor<K, V> {
     /// pending entry and must be consumed by exactly one of
     /// `txn_finalize` / `txn_abort`.
     fn finish(self) -> Self::Txn;
-}
-
-/// Plumbing shared by the deprecated one-op point-prepare shims: swap
-/// `dummy` into the caller's token slot, run one seek on a throwaway
-/// cursor over the real token, and put the (now further-staged) token
-/// back. `dummy` must be an empty token — it only exists to fill the
-/// slot while the cursor owns the real one, and is dropped on return.
-pub fn one_op_cursor_shim<K, V, C, R>(
-    txn: &mut C::Txn,
-    dummy: C::Txn,
-    open: impl FnOnce(C::Txn) -> C,
-    seek: impl FnOnce(&mut C) -> R,
-) -> R
-where
-    C: PrepareCursor<K, V>,
-{
-    let owned = std::mem::replace(txn, dummy);
-    let mut cur = open(owned);
-    let r = seek(&mut cur);
-    *txn = cur.finish();
-    r
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ mod twophase;
 
 pub use bundle_impl::{Bundle, BundleIter, PendingEntry, PENDING_TS, TOMBSTONE_TS};
 pub use ctx::{ReadLease, RqContext};
-pub use cursor::{one_op_cursor_shim, CursorStats, PrepareCursor};
+pub use cursor::{CursorStats, PrepareCursor};
 pub use linearize::{
     finalize_update, linearize_update, prepare_update, Conflict, TxnValidateError,
 };

@@ -74,6 +74,17 @@ impl RqTracker {
         self.slots[tid].store(RQ_INACTIVE, Ordering::Release);
     }
 
+    /// Number of slots currently announcing a snapshot (pending
+    /// announcements included): how many range queries, snapshots, or
+    /// read leases are live right now — the store's observability layer
+    /// exports this as its active-range-query gauge.
+    pub fn active_announcements(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != RQ_INACTIVE)
+            .count()
+    }
+
     /// Snapshot timestamp currently announced by `tid`, if any.
     pub fn announced(&self, tid: usize) -> Option<u64> {
         match self.slots[tid].load(Ordering::Acquire) {

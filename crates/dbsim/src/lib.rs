@@ -50,5 +50,7 @@ pub use keys::{
 pub use store_backed::{
     build_tpcc_store, StoreIndexView, Table, TpccIngest, TpccStore, TABLE_SHIFT,
 };
-pub use tpcc::{Customer, DynIndex, IndexFactory, Order, TpccConfig, TpccDb, TxnKind, TxnStats};
+pub use tpcc::{
+    Customer, DynIndex, IndexFactory, Order, TpccConfig, TpccDb, TpccTxnStats, TxnKind,
+};
 pub use workload::{run_tpcc, run_tpcc_db, TpccThroughput};

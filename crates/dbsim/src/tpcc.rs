@@ -87,7 +87,7 @@ pub struct Order {
 
 /// Per-transaction-profile counters.
 #[derive(Debug, Default)]
-pub struct TxnStats {
+pub struct TpccTxnStats {
     pub new_order: AtomicU64,
     pub payment: AtomicU64,
     pub delivery: AtomicU64,
@@ -147,7 +147,7 @@ pub struct TpccDb {
     write_path: WritePath,
 
     /// Aggregate statistics.
-    pub stats: TxnStats,
+    pub stats: TpccTxnStats,
 }
 
 impl TpccDb {
@@ -173,7 +173,7 @@ impl TpccDb {
             item_index: factory(max_threads),
             stock_index: factory(max_threads),
             write_path: WritePath::PerIndex,
-            stats: TxnStats::default(),
+            stats: TpccTxnStats::default(),
         };
         db.populate();
         db
@@ -207,7 +207,7 @@ impl TpccDb {
             item_index: view(Table::Item),
             stock_index: view(Table::Stock),
             write_path: WritePath::StoreTxn(store),
-            stats: TxnStats::default(),
+            stats: TpccTxnStats::default(),
         };
         db.populate();
         // Balance rows (one per customer, keyed by customer row id) exist
@@ -420,7 +420,7 @@ impl TpccDb {
     /// shared with every concurrent NEW_ORDER in the group — and the
     /// returned ticket resolves when that group publishes. The caller
     /// pipelines: keep a window of outstanding tickets, wait the oldest,
-    /// and bump [`TxnStats::new_order`] per resolved ticket (this method
+    /// and bump [`TpccTxnStats::new_order`] per resolved ticket (this method
     /// deliberately does not — the order is not committed yet when it
     /// returns).
     ///

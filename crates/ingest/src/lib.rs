@@ -90,11 +90,42 @@ mod ticket;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use store::{BundledStore, ShardBackend, StoreHandle, TxnOp};
 
 pub use ticket::Ticket;
+
+/// Front-end instrument handles, registered in the store's metrics
+/// registry when the store was built with observability
+/// (`BundledStore::with_obs`); absent otherwise, so the hot paths pay
+/// one never-taken branch per site.
+struct IngestObs {
+    /// Submissions found queued per drain round (the backlog a committer
+    /// actually scooped — the batching the front-end exists to create).
+    queue_depth: obs::Histogram,
+    /// Submitted ops per committed group.
+    group_size: obs::Histogram,
+    /// Group fill as a percentage of [`IngestConfig::max_group_ops`]
+    /// (how close the linger/backlog gets groups to the soft cap).
+    linger_occupancy_pct: obs::Histogram,
+    /// Nanoseconds from a submission's enqueue to its ticket resolving.
+    ticket_wait_ns: obs::Histogram,
+    /// Submissions currently sitting in the shard queues.
+    depth: obs::Gauge,
+}
+
+impl IngestObs {
+    fn new(registry: &obs::MetricsRegistry) -> Self {
+        IngestObs {
+            queue_depth: registry.histogram("ingest.queue_depth"),
+            group_size: registry.histogram("ingest.group_size"),
+            linger_occupancy_pct: registry.histogram("ingest.linger_occupancy_pct"),
+            ticket_wait_ns: registry.histogram("ingest.ticket_wait_ns"),
+            depth: registry.gauge("ingest.depth"),
+        }
+    }
+}
 
 /// Tuning knobs of an [`Ingest`] front-end.
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +234,9 @@ struct Submission<K, V> {
     ticket: Arc<ticket::Oneshot<IngestOutcome>>,
     /// The shard queue this submission occupies (depth accounting).
     shard: usize,
+    /// Enqueue time, recorded only under observability — the resolving
+    /// committer turns it into a ticket-wait latency sample.
+    enqueued: Option<Instant>,
 }
 
 /// One shard's submission queue.
@@ -242,6 +276,7 @@ struct Shared<K, V, S> {
     max_group_ops: usize,
     max_queue_depth: usize,
     linger: Duration,
+    obs: Option<IngestObs>,
     groups: AtomicU64,
     submissions: AtomicU64,
     ops: AtomicU64,
@@ -294,6 +329,7 @@ where
             max_group_ops: cfg.max_group_ops.max(1),
             max_queue_depth: cfg.max_queue_depth.max(1),
             linger: cfg.linger,
+            obs: store.obs_registry().map(IngestObs::new),
             groups: AtomicU64::new(0),
             submissions: AtomicU64::new(0),
             ops: AtomicU64::new(0),
@@ -370,6 +406,7 @@ where
                 ops,
                 ticket: slot,
                 shard,
+                enqueued: self.shared.obs.as_ref().map(|_| Instant::now()),
             });
     }
 
@@ -689,7 +726,17 @@ fn commit_group<K, V, S>(
     shared
         .largest_group
         .fetch_max(total_ops as u64, Ordering::Relaxed);
+    if let Some(o) = &shared.obs {
+        let tid = handle.tid();
+        o.group_size.record(tid, total_ops as u64);
+        o.linger_occupancy_pct
+            .record(tid, (100 * total_ops / shared.max_group_ops) as u64);
+    }
     for (si, (sub, applied)) in subs.iter().zip(outcomes).enumerate() {
+        if let (Some(o), Some(t0)) = (&shared.obs, sub.enqueued) {
+            o.ticket_wait_ns
+                .record(handle.tid(), t0.elapsed().as_nanos() as u64);
+        }
         sub.ticket.resolve(IngestOutcome {
             applied,
             ts: receipt.ts,
@@ -741,6 +788,10 @@ where
                 let mut st = shared.sync.lock().unwrap_or_else(|p| p.into_inner());
                 for sub in &subs {
                     st.depth[sub.shard] -= 1;
+                }
+                if let Some(o) = &shared.obs {
+                    o.queue_depth.record(handle.tid(), subs.len() as u64);
+                    o.depth.set(st.depth.iter().sum::<usize>() as i64);
                 }
             }
             if shared.max_queue_depth != usize::MAX {
@@ -1036,5 +1087,56 @@ mod tests {
         let ingest = Ingest::spawn(Arc::clone(&store), IngestConfig::default());
         ingest.shutdown();
         let _ = ingest.submit(TxnOp::Put(1, 1));
+    }
+
+    #[test]
+    fn obs_instruments_the_front_end() {
+        let reg = obs::MetricsRegistry::new();
+        let store = Arc::new(SkipListStore::<u64, u64>::with_obs(
+            4,
+            store::ReclaimMode::Reclaim,
+            uniform_splits(4, 400),
+            &reg,
+        ));
+        let ingest = Ingest::spawn(Arc::clone(&store), IngestConfig::default());
+        let tickets = ingest.submit_all((0..40u64).map(|k| TxnOp::Put(k * 10, k)));
+        for t in tickets {
+            let _ = t.wait();
+        }
+        ingest.flush();
+        ingest.shutdown();
+        let snap = store.obs_snapshot(0).expect("instrumented store");
+        for name in [
+            "ingest.queue_depth",
+            "ingest.group_size",
+            "ingest.linger_occupancy_pct",
+            "ingest.ticket_wait_ns",
+        ] {
+            match snap.get(name) {
+                Some(obs::SnapshotValue::Histogram(h)) => {
+                    assert!(h.count >= 1, "{name} never recorded")
+                }
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
+        // Group sizes account for every submitted op.
+        match snap.get("ingest.group_size") {
+            Some(obs::SnapshotValue::Histogram(h)) => assert_eq!(h.sum, 40),
+            _ => unreachable!(),
+        }
+        // All submissions drained: the live-depth gauge reads zero.
+        assert_eq!(
+            snap.get("ingest.depth"),
+            Some(&obs::SnapshotValue::Gauge(0))
+        );
+    }
+
+    #[test]
+    fn uninstrumented_store_spawns_uninstrumented_ingest() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
+        let ingest = Ingest::spawn(Arc::clone(&store), IngestConfig::default());
+        assert!(ingest.shared.obs.is_none());
+        assert_eq!(ingest.submit(TxnOp::Put(1, 1)).wait().applied, vec![true]);
+        ingest.shutdown();
     }
 }

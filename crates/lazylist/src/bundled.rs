@@ -396,8 +396,8 @@ const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 /// the list-specific undo log that reverts eager structural changes on
 /// abort.
 ///
-/// Created by [`BundledLazyList::txn_begin`]; populated by
-/// `txn_prepare_put` / `txn_prepare_remove`; consumed by exactly one of
+/// Created by [`BundledLazyList::txn_begin`]; populated by the prepare
+/// cursor's staging seeks; consumed by exactly one of
 /// `txn_finalize` (with the transaction's single commit timestamp) or
 /// `txn_abort`. Dropping a non-empty token without consuming it leaks the
 /// locks and wedges the bundles — the store layer guarantees consumption.
@@ -497,54 +497,6 @@ where
             hint: ptr::null_mut(),
             stats: CursorStats::default(),
         }
-    }
-
-    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
-    ///
-    /// `Ok(false)` = key already present. The present node stays locked by
-    /// the transaction, so the no-op outcome still holds at the commit
-    /// timestamp (nobody can remove the key before the transaction
-    /// finishes).
-    #[deprecated(
-        since = "0.2.0",
-        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
-    )]
-    pub fn txn_prepare_put(
-        &self,
-        txn: &mut ShardTxn<K, V>,
-        key: K,
-        value: V,
-    ) -> Result<bool, Conflict> {
-        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_put(key, value))
-    }
-
-    /// One-op shim over the cursor protocol (see [`Self::txn_cursor`]).
-    ///
-    /// `Ok(false)` = key absent; the gap (predecessor whose successor
-    /// skips past `key`) stays locked by the transaction, so the no-op
-    /// outcome still holds at the commit timestamp (nobody can insert the
-    /// key before the transaction finishes).
-    #[deprecated(
-        since = "0.2.0",
-        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
-    )]
-    pub fn txn_prepare_remove(&self, txn: &mut ShardTxn<K, V>, key: &K) -> Result<bool, Conflict> {
-        self.with_one_op_cursor(txn, |cur| cur.seek_prepare_remove(key))
-    }
-
-    /// Run `f` on a throwaway single-op cursor over `*txn` (the
-    /// deprecated point-prepare shims).
-    fn with_one_op_cursor<R>(
-        &self,
-        txn: &mut ShardTxn<K, V>,
-        f: impl FnOnce(&mut ShardCursor<'_, K, V>) -> R,
-    ) -> R {
-        let dummy = ShardTxn {
-            core: TwoPhaseState::new(txn.core.tid()),
-            undo: Vec::new(),
-            staged: StagedOutcomes::disabled(),
-        };
-        bundle::one_op_cursor_shim(txn, dummy, |t| self.txn_cursor(t), f)
     }
 
     /// Validate one recorded read range of a read-write transaction and
@@ -1596,17 +1548,26 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_point_prepares_are_one_op_cursor_shims() {
-        // The point API must stay outcome-identical for one release so
-        // out-of-tree call sites migrate explicitly.
-        #![allow(deprecated)]
+    fn one_op_cursors_accumulate_into_one_token() {
+        // A fresh cursor per op (one root descent each — the legacy
+        // point-prepare discipline) must stage into the same token with
+        // batch-identical outcomes.
         let l = List::new(1);
         l.insert(0, 10, 10);
         let mut txn = l.txn_begin(0);
-        assert_eq!(l.txn_prepare_put(&mut txn, 5, 50), Ok(true));
-        assert_eq!(l.txn_prepare_put(&mut txn, 10, 99), Ok(false));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &10), Ok(true));
-        assert_eq!(l.txn_prepare_remove(&mut txn, &77), Ok(false));
+        for (op, expect) in [
+            ((Some(50u64), 5u64), true),
+            ((Some(99), 10), false),
+            ((None, 10), true),
+            ((None, 77), false),
+        ] {
+            let mut cur = l.txn_cursor(txn);
+            match op {
+                (Some(v), k) => assert_eq!(cur.seek_prepare_put(k, v), Ok(expect)),
+                (None, k) => assert_eq!(cur.seek_prepare_remove(&k), Ok(expect)),
+            }
+            txn = cur.finish();
+        }
         assert_eq!(txn.staged_ops(), 2);
         let ts = l.clock().advance(0);
         l.txn_finalize(txn, ts);

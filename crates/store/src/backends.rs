@@ -3,7 +3,7 @@
 //! bundled workspace structures.
 
 use bundle::api::RangeQuerySet;
-use bundle::{Conflict, PrepareCursor, RqContext, TxnValidateError};
+use bundle::{PrepareCursor, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
 
 /// A bundled structure that can back one shard of a sharded store.
@@ -54,6 +54,11 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
     /// Total bundle entries currently held (space diagnostic).
     fn bundle_entries(&self, tid: usize) -> usize;
 
+    /// The shard's epoch-reclamation counters (retired / freed / pending
+    /// backlog) — the store's observability layer sums these across
+    /// shards into its EBR retire-backlog gauges.
+    fn reclaim_stats(&self) -> &ebr::Stats;
+
     /// Accumulated two-phase state of one transaction's writes on this
     /// shard: held node locks, pending bundle entries, and the undo log
     /// reverting eager structural changes on abort.
@@ -74,7 +79,7 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
     ///   store's per-shard intent locks enforce this);
     /// * every begun token is consumed by exactly one of
     ///   [`Self::txn_finalize`] or [`Self::txn_abort`];
-    /// * on [`Conflict`] from any prepare, *all* shards' tokens are
+    /// * on [`bundle::Conflict`] from any prepare, *all* shards' tokens are
     ///   aborted and the whole transaction retries.
     fn txn_begin(&self, tid: usize) -> Self::Txn;
 
@@ -106,29 +111,6 @@ pub trait ShardBackend<K, V>: RangeQuerySet<K, V> + Sized {
     /// [`Self::txn_abort`]. The store's commit pipeline drives every
     /// shard's staged ops (already key-sorted) through one cursor.
     fn txn_cursor(&self, txn: Self::Txn) -> Self::Cursor<'_>;
-
-    /// Stage an insert; `Ok(false)` = key already present (no-op), exactly
-    /// like [`bundle::api::ConcurrentSet::insert`] returning `false`.
-    ///
-    /// Deprecated shim (kept for one release): a one-op cursor that pays
-    /// a full root descent per call. Migrate to [`Self::txn_cursor`] +
-    /// [`bundle::PrepareCursor::seek_prepare_put`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_put`"
-    )]
-    fn txn_prepare_put(&self, txn: &mut Self::Txn, key: K, value: V) -> Result<bool, Conflict>;
-
-    /// Stage a remove; `Ok(false)` = key absent (no-op).
-    ///
-    /// Deprecated shim (kept for one release): a one-op cursor that pays
-    /// a full root descent per call. Migrate to [`Self::txn_cursor`] +
-    /// [`bundle::PrepareCursor::seek_prepare_remove`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "pays a full root descent per op; stage through `txn_cursor` + `seek_prepare_remove`"
-    )]
-    fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict>;
 
     /// Transactional snapshot read of `low..=high` at the caller-fixed
     /// (leased) timestamp `ts`: like [`Self::range_query_at`], but every
@@ -211,6 +193,10 @@ macro_rules! impl_shard_backend {
                 Self::bundle_entries(self, tid)
             }
 
+            fn reclaim_stats(&self) -> &ebr::Stats {
+                self.collector().stats()
+            }
+
             type Txn = $txn;
 
             fn txn_begin(&self, tid: usize) -> Self::Txn {
@@ -228,21 +214,6 @@ macro_rules! impl_shard_backend {
 
             fn txn_cursor(&self, txn: Self::Txn) -> Self::Cursor<'_> {
                 Self::txn_cursor(self, txn)
-            }
-
-            #[allow(deprecated)]
-            fn txn_prepare_put(
-                &self,
-                txn: &mut Self::Txn,
-                key: K,
-                value: V,
-            ) -> Result<bool, Conflict> {
-                Self::txn_prepare_put(self, txn, key, value)
-            }
-
-            #[allow(deprecated)]
-            fn txn_prepare_remove(&self, txn: &mut Self::Txn, key: &K) -> Result<bool, Conflict> {
-                Self::txn_prepare_remove(self, txn, key)
             }
 
             fn txn_range_read(
@@ -346,14 +317,19 @@ mod tests {
         shard.range_query_at(1, clock, &0, &100, &mut out);
         assert_eq!(out, vec![(2, 20)], "aborted writes are invisible");
 
-        // The deprecated point shims stay outcome-identical for one
-        // release (one-op cursors underneath).
-        #[allow(deprecated)]
+        // One-op cursors (a fresh cursor per op, the legacy point-prepare
+        // discipline) stay outcome-identical to batch staging.
         {
             let mut txn = shard.txn_begin(0);
-            assert_eq!(shard.txn_prepare_put(&mut txn, 4, 40), Ok(true));
-            assert_eq!(shard.txn_prepare_put(&mut txn, 2, 99), Ok(false));
-            assert_eq!(shard.txn_prepare_remove(&mut txn, &7), Ok(false));
+            let mut cur = shard.txn_cursor(txn);
+            assert_eq!(cur.seek_prepare_put(4, 40), Ok(true));
+            txn = cur.finish();
+            let mut cur = shard.txn_cursor(txn);
+            assert_eq!(cur.seek_prepare_put(2, 99), Ok(false));
+            txn = cur.finish();
+            let mut cur = shard.txn_cursor(txn);
+            assert_eq!(cur.seek_prepare_remove(&7), Ok(false));
+            txn = cur.finish();
             let ts = ctx.advance(0);
             shard.txn_finalize(txn, ts);
             let announced = ctx.start_rq(1);
@@ -361,6 +337,9 @@ mod tests {
             ctx.finish_rq(1);
             assert_eq!(out, vec![(2, 20), (4, 40)]);
         }
+
+        // Reclamation counters are visible through the trait.
+        let _ = shard.reclaim_stats().retired();
     }
 
     #[test]

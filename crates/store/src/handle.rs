@@ -111,14 +111,6 @@ where
         self.store.apply_grouped(self.tid, ops)
     }
 
-    /// [`Self::apply_grouped`] staged through the legacy point prepares
-    /// (one root descent per op) instead of the prepare cursors; see
-    /// [`BundledStore::apply_grouped_unhinted`]. Benchmark/migration
-    /// shim — identical semantics, slower staging.
-    pub fn apply_grouped_unhinted(&self, ops: &[crate::TxnOp<K, V>]) -> crate::GroupReceipt {
-        self.store.apply_grouped_unhinted(self.tid, ops)
-    }
-
     /// Atomically commit a read-write transaction: writes plus a recorded
     /// read set that must still be current at the commit timestamp; see
     /// [`BundledStore::apply_rw_txn`]. The `txn` crate's `ReadWriteTxn`

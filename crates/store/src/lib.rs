@@ -51,11 +51,17 @@
 //!   each shard's key-sorted op run stages through one **prepare
 //!   cursor** that resumes every seek from the previous op's position —
 //!   one root descent plus short forward walks per shard instead of a
-//!   descent per op. The old point prepares (`txn_prepare_put` /
-//!   `txn_prepare_remove`) remain as deprecated one-op shims for one
-//!   release ([`BundledStore::apply_grouped_unhinted`] drives a whole
-//!   group through them for measurement/verification). Implemented for
-//!   all three bundled structures.
+//!   descent per op. (The pre-cursor point prepares and the
+//!   `apply_grouped_unhinted` measurement shim are gone; the cursor
+//!   equivalence suite replays batches through test-local one-op cursors
+//!   instead.) Implemented for all three bundled structures.
+//! * [`BundledStore::with_obs`] — **observability**: a store built over
+//!   an [`obs::MetricsRegistry`] records commit-pipeline stage
+//!   latencies, conflict/abort counters by cause, per-shard op counters
+//!   (the key-skew signal), cursor hint rates, and sampled EBR /
+//!   tracker / clock gauges. The default constructors skip all of it at
+//!   the cost of one never-taken branch per site
+//!   ([`BundledStore::obs_snapshot`] exports the snapshot).
 //! * [`StoreHandle`] / [`BundledStore::register`] — a session API that
 //!   manages the dense thread-id registration the underlying structures
 //!   (EBR collectors, trackers) require: register once, operate without
@@ -97,12 +103,15 @@
 
 mod backends;
 mod handle;
+mod observe;
 mod sharded;
 mod snapshot;
 
 pub use backends::ShardBackend;
 pub use bundle::{Conflict, TxnValidateError};
+pub use ebr::ReclaimMode;
 pub use handle::StoreHandle;
+pub use observe::PIPELINE_STAGES;
 pub use sharded::{uniform_splits, BundledStore, GroupReceipt, TxnOp, TxnStats};
 pub use snapshot::{ShardRead, StoreSnapshot, TxnAborted};
 

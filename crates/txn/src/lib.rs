@@ -524,7 +524,14 @@ where
             let r = body(&mut txn);
             match txn.commit() {
                 Ok(receipt) => return (r, receipt),
-                Err(TxnAborted) => continue,
+                Err(TxnAborted) => {
+                    // Each re-run of the closure after a stale-read abort
+                    // is an application-visible retry; the store's
+                    // observability layer counts them apart from
+                    // pipeline-internal conflict retries.
+                    self.store().obs_note_rw_retry(self.tid());
+                    continue;
+                }
             }
         }
     }

@@ -19,16 +19,26 @@
 //! assumed), and the mean group size. `--json` additionally writes one
 //! machine-readable record per configuration.
 //!
-//! A third **staging panel** isolates the prepare-cursor win: identical
-//! key-sorted groups of [`STAGING_GROUP`] ops are committed through the
-//! cursor-driven pipeline (`apply_grouped`) and through the legacy
-//! point-descent shim (`apply_grouped_unhinted`), reporting
-//! `staging_ns_per_op` for each. `--check-staging` exits non-zero if the
-//! hinted path fails to beat the unhinted path on any backend — the CI
-//! regression gate for sub-logarithmic batch staging.
+//! A third **overhead panel** prices the observability layer: two
+//! identical single-threaded stores — one built plain (instrumentation
+//! disabled, the production default), one built over a live
+//! `obs::MetricsRegistry` — commit identical key-sorted groups of
+//! [`OVERHEAD_GROUP`] ops through `apply_grouped`, reporting
+//! `staging_ns_per_op` for each. `--check-obs-overhead` exits non-zero
+//! if the instrumented store regresses more than [`OVERHEAD_LIMIT`]
+//! over the plain one on any backend — and since the plain store *is*
+//! the disabled mode (every record site one never-taken branch), the
+//! gate bounds the disabled-mode cost from above by the full
+//! instrumentation cost.
+//!
+//! `--obs` additionally builds the ingest-path stores over a live
+//! registry, prints the metrics table after the last thread count of
+//! each backend (queue depth, group size, linger occupancy, ticket wait
+//! latency, plus the whole store pipeline), and merges the flattened
+//! `obs.*` metrics into the `--json` records.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--check-staging]`
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--check-obs-overhead]`
 //! (default: all three backends). Thread counts come from
 //! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
 //! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
@@ -47,7 +57,7 @@ use ingest::{Ingest, IngestConfig};
 use store::{uniform_splits, BundledStore, ShardBackend, TxnOp};
 use workloads::{
     duration_ms, print_series_table, thread_counts, write_csv, write_json, Point, RunRecord,
-    StructureKind, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+    StructureKind, DEFAULT_STORE_SHARDS, SCHEMA_VERSION, TXN_STORE_KINDS,
 };
 
 /// Keyspace (half prefilled, like every harness scenario).
@@ -172,14 +182,22 @@ fn run_ingest<S>(
     window: usize,
     committers: usize,
     shards: usize,
-) -> RunResult
+    with_obs: bool,
+) -> (RunResult, Option<obs::MetricsSnapshot>)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
-    let store = Arc::new(BundledStore::<u64, u64, S>::new(
-        threads + committers,
-        uniform_splits(shards, KEY_RANGE),
-    ));
+    let splits = uniform_splits(shards, KEY_RANGE);
+    let store = Arc::new(if with_obs {
+        BundledStore::<u64, u64, S>::with_obs(
+            threads + committers,
+            store::ReclaimMode::Reclaim,
+            splits,
+            &obs::MetricsRegistry::new(),
+        )
+    } else {
+        BundledStore::<u64, u64, S>::new(threads + committers, splits)
+    });
     {
         let h = store.register();
         for k in (0..KEY_RANGE).step_by(2) {
@@ -237,28 +255,34 @@ where
     let advances = store.context().advance_calls() - advances_before;
     let stats = ingest.stats();
     ingest.shutdown();
-    RunResult {
-        ops_per_sec: total as f64 / elapsed,
-        advances_per_op: advances as f64 / total.max(1) as f64,
-        ops_per_group: stats.ops_per_group(),
-    }
+    let snapshot = store.obs_snapshot(0);
+    (
+        RunResult {
+            ops_per_sec: total as f64 / elapsed,
+            advances_per_op: advances as f64 / total.max(1) as f64,
+            ops_per_group: stats.ops_per_group(),
+        },
+        snapshot,
+    )
 }
 
-fn sweep(kind: StructureKind, records: &mut Vec<RunRecord>) {
+fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
     let shards = shard_count();
     let dur = Duration::from_millis(duration_ms());
     let windows = windows();
+    let mut last_snapshot = None;
     for &threads in &thread_counts() {
         let committers = committer_count(shards);
-        let (direct, ingest_runs): (RunResult, Vec<(usize, RunResult)>) = match kind {
+        type IngestRuns = Vec<(usize, RunResult, Option<obs::MetricsSnapshot>)>;
+        let (direct, ingest_runs): (RunResult, IngestRuns) = match kind {
             StructureKind::StoreSkipList => run_kind::<skiplist::BundledSkipList<u64, u64>>(
-                threads, dur, &windows, committers, shards,
+                threads, dur, &windows, committers, shards, with_obs,
             ),
             StructureKind::StoreCitrus => run_kind::<citrus::BundledCitrusTree<u64, u64>>(
-                threads, dur, &windows, committers, shards,
+                threads, dur, &windows, committers, shards, with_obs,
             ),
             StructureKind::StoreList => run_kind::<lazylist::BundledLazyList<u64, u64>>(
-                threads, dur, &windows, committers, shards,
+                threads, dur, &windows, committers, shards, with_obs,
             ),
             other => panic!("{other:?} is not a sharded store kind"),
         };
@@ -267,27 +291,33 @@ fn sweep(kind: StructureKind, records: &mut Vec<RunRecord>) {
             x: threads.to_string(),
             y: direct.ops_per_sec,
         }];
-        for (window, r) in &ingest_runs {
+        for (window, r, snapshot) in &ingest_runs {
             points.push(Point {
                 series: format!("ingest w={window} ops/s"),
                 x: threads.to_string(),
                 y: r.ops_per_sec,
             });
             let speedup = r.ops_per_sec / direct.ops_per_sec.max(1.0);
+            let mut metrics = vec![
+                ("ops_per_sec".into(), r.ops_per_sec),
+                ("direct_ops_per_sec".into(), direct.ops_per_sec),
+                ("speedup".into(), speedup),
+                ("advances_per_op".into(), r.advances_per_op),
+                ("direct_advances_per_op".into(), direct.advances_per_op),
+                ("ops_per_group".into(), r.ops_per_group),
+                ("committers".into(), committers as f64),
+            ];
+            if let Some(snap) = snapshot {
+                metrics.extend(snap.flatten("obs."));
+                last_snapshot = Some(snap.clone());
+            }
             records.push(RunRecord {
+                schema: SCHEMA_VERSION,
                 bench: "store_ingest".into(),
                 kind: kind.name().into(),
                 mix: format!("win-{window}"),
                 threads,
-                metrics: vec![
-                    ("ops_per_sec".into(), r.ops_per_sec),
-                    ("direct_ops_per_sec".into(), direct.ops_per_sec),
-                    ("speedup".into(), speedup),
-                    ("advances_per_op".into(), r.advances_per_op),
-                    ("direct_advances_per_op".into(), direct.advances_per_op),
-                    ("ops_per_group".into(), r.ops_per_group),
-                    ("committers".into(), committers as f64),
-                ],
+                metrics,
             });
         }
         let title = format!(
@@ -296,7 +326,7 @@ fn sweep(kind: StructureKind, records: &mut Vec<RunRecord>) {
             kind.name()
         );
         print_series_table(&title, "threads", "puts per second", &points);
-        for (window, r) in &ingest_runs {
+        for (window, r, _) in &ingest_runs {
             println!(
                 "  w={window}: {:.3}x direct, {:.4} clock advances/op (direct {:.4}), \
                  {:.1} ops/group",
@@ -313,6 +343,13 @@ fn sweep(kind: StructureKind, records: &mut Vec<RunRecord>) {
             &points,
         );
     }
+    if let Some(snap) = last_snapshot {
+        println!(
+            "\n-- obs [{}] (last configuration) --\n{}",
+            kind.name(),
+            snap.render_table()
+        );
+    }
 }
 
 fn run_kind<S>(
@@ -321,56 +358,77 @@ fn run_kind<S>(
     windows: &[usize],
     committers: usize,
     shards: usize,
-) -> (RunResult, Vec<(usize, RunResult)>)
+    with_obs: bool,
+) -> (
+    RunResult,
+    Vec<(usize, RunResult, Option<obs::MetricsSnapshot>)>,
+)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
     let direct = run_direct::<S>(threads, dur, shards);
     let ingest_runs = windows
         .iter()
-        .map(|&w| (w, run_ingest::<S>(threads, dur, w, committers, shards)))
+        .map(|&w| {
+            let (r, snap) = run_ingest::<S>(threads, dur, w, committers, shards, with_obs);
+            (w, r, snap)
+        })
         .collect();
     (direct, ingest_runs)
 }
 
-/// Ops per group in the staging panel (the `--check-staging` gate runs
-/// at this size, matching the issue's acceptance criterion).
-const STAGING_GROUP: usize = 1024;
+/// Ops per group in the overhead panel (the `--check-obs-overhead` gate
+/// runs at this size, matching the issue's acceptance criterion).
+const OVERHEAD_GROUP: usize = 1024;
 
-/// Measured rounds of the staging panel (plus one warmup); each path
-/// reports its best round, de-noising the single-shot measurement.
-const STAGING_ROUNDS: usize = 4;
+/// Measured rounds of the overhead panel (plus one warmup); the gate
+/// takes the cleanest (lowest-ratio) round, de-noising the single-shot
+/// measurement.
+const OVERHEAD_ROUNDS: usize = 6;
 
-/// Nanoseconds per staged op for the hinted (cursor) and unhinted
-/// (point-descent) pipelines on identical key-sorted groups.
-struct StagingResult {
-    hinted_ns: f64,
-    unhinted_ns: f64,
+/// Maximum tolerated `enabled / disabled` staging-cost ratio (5%).
+const OVERHEAD_LIMIT: f64 = 1.05;
+
+/// Nanoseconds per staged op with instrumentation absent and present.
+struct OverheadResult {
+    disabled_ns: f64,
+    enabled_ns: f64,
 }
 
-/// The staging panel: one single-threaded store per backend, odd keys
-/// prefilled (shuffled insertion order for the Citrus tree so it is not
-/// a degenerate spine; descending for the lists, whose prefill cost is
-/// position-dependent). Each round commits a **contiguous window** of
-/// [`STAGING_GROUP`] fresh even keys in ascending order — the shape
-/// sequential ingest produces (auto-increment ids, time-ordered keys,
-/// the NEW_ORDER firehose), and the regime the cursor exists for: after
-/// the first op locates the window, every later seek is a short warm
-/// forward walk, while the point path re-descends from the root through
-/// the whole structure per op. The window then drains again through
-/// removes, so put+remove pairs keep the structure at its baseline
-/// between measurements and both paths see identical state; only the
-/// `apply_grouped*` calls are timed, and bundle cleanup runs between
-/// rounds.
-fn run_staging<S>(shards: usize, shuffle: bool) -> StagingResult
+/// The obs overhead panel: two identical single-threaded stores — one
+/// built plain (instrumentation **disabled**: the `obs` slot is `None`
+/// and every record site is one never-taken branch, the production
+/// default), one built over a live `obs::MetricsRegistry` (**enabled**:
+/// stage timestamps, histogram records, counter adds all active) — each
+/// commit identical key-sorted [`OVERHEAD_GROUP`]-op windows through
+/// the grouped pipeline. Odd keys are prefilled (shuffled insertion
+/// order for the Citrus tree so it is not a degenerate spine;
+/// descending for the lists); each round stages a contiguous window of
+/// fresh even keys in ascending order and then drains it again through
+/// removes, so both stores stay at baseline size and see identical
+/// state. Only the `apply_grouped` calls are timed. Each round runs
+/// both stores twice in mirrored order (disabled, enabled, enabled,
+/// disabled — flipped on odd rounds) and pairs the round-local minima,
+/// so a machine-load spike hits both sides of a ratio or neither; the
+/// gate takes the cleanest round's ratio. The enabled/disabled gap is
+/// the *full* instrumentation cost, which bounds the disabled-mode cost
+/// (the never-taken branches) from above — so the `--check-obs-overhead`
+/// gate `enabled <= OVERHEAD_LIMIT * disabled` pins the whole layer.
+fn run_overhead<S>(shards: usize, shuffle: bool) -> OverheadResult
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
-    let store = Arc::new(BundledStore::<u64, u64, S>::new(
+    let registry = obs::MetricsRegistry::new();
+    let disabled = Arc::new(BundledStore::<u64, u64, S>::new(
         2,
         uniform_splits(shards, KEY_RANGE),
     ));
-    let h = store.register();
+    let enabled = Arc::new(BundledStore::<u64, u64, S>::with_obs(
+        2,
+        store::ReclaimMode::Reclaim,
+        uniform_splits(shards, KEY_RANGE),
+        &registry,
+    ));
     let mut prefill: Vec<u64> = (1..KEY_RANGE).step_by(2).collect();
     if shuffle {
         let mut seed = 0x9e3779b97f4a7c15u64;
@@ -380,111 +438,125 @@ where
     } else {
         prefill.reverse();
     }
-    for k in prefill {
-        h.insert(k, k);
+    let hd = disabled.register();
+    let he = enabled.register();
+    for &k in &prefill {
+        hd.insert(k, k);
+        he.insert(k, k);
     }
     // Contiguous even slots per window; rounds rotate the window origin
     // so every measured window stages fresh keys into a clean region.
-    let span = (STAGING_GROUP as u64) * 2;
+    let span = (OVERHEAD_GROUP as u64) * 2;
     type OpVec = Vec<TxnOp<u64, u64>>;
     let window = |round: u64| -> (OpVec, OpVec) {
         let start = ((round * span * 7) % (KEY_RANGE - span)) & !1;
-        let keys: Vec<u64> = (0..STAGING_GROUP as u64).map(|i| start + 2 * i).collect();
+        let keys: Vec<u64> = (0..OVERHEAD_GROUP as u64).map(|i| start + 2 * i).collect();
         let puts = keys.iter().map(|&k| TxnOp::Put(k, k)).collect();
         let removes = keys.iter().map(|&k| TxnOp::Remove(k)).collect();
         (puts, removes)
     };
-    let mut hinted_ns = f64::INFINITY;
-    let mut unhinted_ns = f64::INFINITY;
-    for round in 0..=(STAGING_ROUNDS as u64) {
+    let mut best = OverheadResult {
+        disabled_ns: f64::INFINITY,
+        enabled_ns: f64::INFINITY,
+    };
+    let mut best_ratio = f64::INFINITY;
+    for round in 0..=(OVERHEAD_ROUNDS as u64) {
         let (puts, removes) = window(round);
-        // Alternate which path touches the round's window first, so
-        // neither side systematically inherits the other's warm caches.
-        let measure = |hinted: bool| -> Duration {
+        // A window stages fresh keys and then drains them, so one store
+        // can measure it repeatedly; mirrored ABBA order within a round
+        // means neither side systematically inherits the other's warm
+        // caches or eats a load spike alone.
+        let measure = |h: &store::StoreHandle<u64, u64, S>| -> Duration {
             let t = Instant::now();
-            let (applied, removed) = if hinted {
-                (h.apply_grouped(&puts), h.apply_grouped(&removes))
-            } else {
-                (
-                    h.apply_grouped_unhinted(&puts),
-                    h.apply_grouped_unhinted(&removes),
-                )
-            };
+            let applied = h.apply_grouped(&puts);
+            let removed = h.apply_grouped(&removes);
             let elapsed = t.elapsed();
             assert!(
                 applied.applied.iter().all(|b| *b) && removed.applied.iter().all(|b| *b),
-                "staging window keys must be fresh"
+                "overhead window keys must be fresh"
             );
             elapsed
         };
-        let (hinted, unhinted) = if round % 2 == 0 {
-            let a = measure(true);
-            let b = measure(false);
-            (a, b)
+        let (d, e) = if round % 2 == 0 {
+            let d0 = measure(&hd);
+            let e0 = measure(&he);
+            let e1 = measure(&he);
+            let d1 = measure(&hd);
+            (d0.min(d1), e0.min(e1))
         } else {
-            let b = measure(false);
-            let a = measure(true);
-            (a, b)
+            let e0 = measure(&he);
+            let d0 = measure(&hd);
+            let d1 = measure(&hd);
+            let e1 = measure(&he);
+            (d0.min(d1), e0.min(e1))
         };
-        store.cleanup_bundles(1);
+        disabled.cleanup_bundles(1);
+        enabled.cleanup_bundles(1);
         if round == 0 {
             continue; // warmup
         }
-        let per_op = |d: Duration| d.as_nanos() as f64 / (2 * STAGING_GROUP) as f64;
-        hinted_ns = hinted_ns.min(per_op(hinted));
-        unhinted_ns = unhinted_ns.min(per_op(unhinted));
+        let per_op = |t: Duration| t.as_nanos() as f64 / (2 * OVERHEAD_GROUP) as f64;
+        let (d_ns, e_ns) = (per_op(d), per_op(e));
+        let ratio = e_ns / d_ns.max(1.0);
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best = OverheadResult {
+                disabled_ns: d_ns,
+                enabled_ns: e_ns,
+            };
+        }
     }
-    StagingResult {
-        hinted_ns,
-        unhinted_ns,
-    }
+    best
 }
 
-/// Run and report the staging panel for `kind`; returns `false` when the
-/// hinted path failed to beat the unhinted path (the `--check-staging`
-/// regression signal).
-fn staging_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
+/// Run and report the overhead panel for `kind`; returns `false` when
+/// the instrumented store regressed past [`OVERHEAD_LIMIT`] (the
+/// `--check-obs-overhead` regression signal).
+fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
     let shards = shard_count();
     let r = match kind {
         StructureKind::StoreSkipList => {
-            run_staging::<skiplist::BundledSkipList<u64, u64>>(shards, false)
+            run_overhead::<skiplist::BundledSkipList<u64, u64>>(shards, false)
         }
         StructureKind::StoreCitrus => {
-            run_staging::<citrus::BundledCitrusTree<u64, u64>>(shards, true)
+            run_overhead::<citrus::BundledCitrusTree<u64, u64>>(shards, true)
         }
         StructureKind::StoreList => {
-            run_staging::<lazylist::BundledLazyList<u64, u64>>(shards, false)
+            run_overhead::<lazylist::BundledLazyList<u64, u64>>(shards, false)
         }
         other => panic!("{other:?} is not a sharded store kind"),
     };
-    let speedup = r.unhinted_ns / r.hinted_ns.max(1.0);
+    let ratio = r.enabled_ns / r.disabled_ns.max(1.0);
     println!(
-        "store_ingest [{}] staging panel, {shards} shards, {STAGING_GROUP}-op sorted groups:\n  \
-         hinted (cursor) {:.1} ns/op, unhinted (point descents) {:.1} ns/op — {:.2}x",
+        "store_ingest [{}] obs overhead panel, {shards} shards, {OVERHEAD_GROUP}-op sorted \
+         groups:\n  \
+         obs disabled {:.1} ns/op, obs enabled {:.1} ns/op — {:.3}x (limit {OVERHEAD_LIMIT}x)",
         kind.name(),
-        r.hinted_ns,
-        r.unhinted_ns,
-        speedup,
+        r.disabled_ns,
+        r.enabled_ns,
+        ratio,
     );
     records.push(RunRecord {
+        schema: SCHEMA_VERSION,
         bench: "store_ingest".into(),
         kind: kind.name().into(),
-        mix: format!("staging-{STAGING_GROUP}"),
+        mix: format!("obs-overhead-{OVERHEAD_GROUP}"),
         threads: 1,
         metrics: vec![
-            ("staging_ns_per_op_hinted".into(), r.hinted_ns),
-            ("staging_ns_per_op_unhinted".into(), r.unhinted_ns),
-            ("staging_speedup".into(), speedup),
-            ("group_size".into(), STAGING_GROUP as f64),
+            ("staging_ns_per_op_disabled".into(), r.disabled_ns),
+            ("staging_ns_per_op_enabled".into(), r.enabled_ns),
+            ("obs_overhead_ratio".into(), ratio),
+            ("group_size".into(), OVERHEAD_GROUP as f64),
         ],
     });
-    let ok = r.hinted_ns <= r.unhinted_ns;
+    let ok = r.enabled_ns <= r.disabled_ns * OVERHEAD_LIMIT;
     if !ok {
         eprintln!(
-            "STAGING REGRESSION [{}]: hinted {:.1} ns/op is slower than unhinted {:.1} ns/op",
+            "OBS OVERHEAD REGRESSION [{}]: enabled {:.1} ns/op exceeds {OVERHEAD_LIMIT}x \
+             disabled {:.1} ns/op",
             kind.name(),
-            r.hinted_ns,
-            r.unhinted_ns,
+            r.enabled_ns,
+            r.disabled_ns,
         );
     }
     ok
@@ -494,7 +566,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut kind_arg: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
-    let mut check_staging = false;
+    let mut with_obs = false;
+    let mut check_overhead = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -506,8 +579,12 @@ fn main() {
                 }
                 i += 2;
             }
-            "--check-staging" => {
-                check_staging = true;
+            "--obs" => {
+                with_obs = true;
+                i += 1;
+            }
+            "--check-obs-overhead" => {
+                check_overhead = true;
                 i += 1;
             }
             other => {
@@ -531,10 +608,10 @@ fn main() {
         },
     };
     let mut records = Vec::new();
-    let mut staging_ok = true;
+    let mut overhead_ok = true;
     for kind in kinds {
-        sweep(kind, &mut records);
-        staging_ok &= staging_panel(kind, &mut records);
+        sweep(kind, with_obs, &mut records);
+        overhead_ok &= overhead_panel(kind, &mut records);
     }
     if let Some(path) = json_path {
         match write_json(&path, &records) {
@@ -549,8 +626,8 @@ fn main() {
             }
         }
     }
-    if check_staging && !staging_ok {
-        eprintln!("--check-staging: hinted cursor staging regressed below the unhinted path");
+    if check_overhead && !overhead_ok {
+        eprintln!("--check-obs-overhead: instrumentation cost regressed past the 5% budget");
         std::process::exit(1);
     }
 }

@@ -8,8 +8,11 @@
 //! (update traffic spread over independent lock domains) and what the
 //! cross-shard snapshot machinery costs on scans.
 //!
-//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>]`
-//! (`--json` writes one machine-readable record per configuration).
+//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>] [--obs]`
+//! (`--json` writes one machine-readable record per configuration;
+//! `--obs` builds the store runs over a live `obs::MetricsRegistry`,
+//! prints the metrics table after the last configuration of each mix,
+//! and merges the flattened `obs.*` metrics into the `--json` records).
 //! Thread counts come from `BUNDLE_THREADS`, duration from
 //! `BUNDLE_DURATION_MS`, shard counts from `BUNDLE_SHARDS`
 //! (comma-separated, default "1,2,4,8,16").
@@ -18,8 +21,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use workloads::{
-    duration_ms, make_store_structure, make_structure, print_series_table, run_workload,
-    thread_counts, write_csv, write_json, Point, RunConfig, RunRecord, StructureKind, WorkloadMix,
+    duration_ms, make_obs_store_structure, make_store_structure, make_structure,
+    print_series_table, run_workload, thread_counts, write_csv, write_json, Point, RunConfig,
+    RunRecord, StructureKind, WorkloadMix, SCHEMA_VERSION,
 };
 
 fn shard_counts() -> Vec<usize> {
@@ -39,11 +43,13 @@ fn sweep(
     label: &str,
     store_kind: StructureKind,
     baseline: StructureKind,
+    with_obs: bool,
     records: &mut Vec<RunRecord>,
 ) {
     let key_range = store_kind.default_key_range();
     for mix in [WorkloadMix::new(50, 40, 10), WorkloadMix::new(0, 0, 100)] {
         let mut points = Vec::new();
+        let mut last_snapshot = None;
         for &threads in &thread_counts() {
             let cfg = RunConfig::new(threads, duration_ms(), key_range, mix);
             // Unsharded structure, no store layer: the reference line.
@@ -55,6 +61,7 @@ fn sweep(
                 y: t.mops(),
             });
             records.push(RunRecord {
+                schema: SCHEMA_VERSION,
                 bench: "store_scaling".into(),
                 kind: format!("{label}-baseline"),
                 mix: mix.label(),
@@ -62,24 +69,45 @@ fn sweep(
                 metrics: vec![("mops".into(), t.mops())],
             });
             for &shards in &shard_counts() {
-                let s = make_store_structure(store_kind, threads, shards, key_range);
-                let t = run_workload(&Arc::clone(&s), &cfg);
+                let mut metrics = vec![("shards".into(), shards as f64)];
+                let t = if with_obs {
+                    let registry = obs::MetricsRegistry::new();
+                    let (s, sample) =
+                        make_obs_store_structure(store_kind, threads, shards, key_range, &registry);
+                    let t = run_workload(&s, &cfg);
+                    let snap = sample();
+                    metrics.extend(snap.flatten("obs."));
+                    last_snapshot = Some(snap);
+                    t
+                } else {
+                    let s = make_store_structure(store_kind, threads, shards, key_range);
+                    run_workload(&Arc::clone(&s), &cfg)
+                };
                 points.push(Point {
                     series: format!("{shards}-shard"),
                     x: threads.to_string(),
                     y: t.mops(),
                 });
+                metrics.push(("mops".into(), t.mops()));
                 records.push(RunRecord {
+                    schema: SCHEMA_VERSION,
                     bench: "store_scaling".into(),
                     kind: label.into(),
                     mix: mix.label(),
                     threads,
-                    metrics: vec![("shards".into(), shards as f64), ("mops".into(), t.mops())],
+                    metrics,
                 });
             }
         }
         let title = format!("Store scaling [{label}] workload {}", mix.label());
         print_series_table(&title, "threads", "Mops/s", &points);
+        if let Some(snap) = last_snapshot {
+            println!(
+                "\n-- obs [{label}] mix {} (last configuration) --\n{}",
+                mix.label(),
+                snap.render_table()
+            );
+        }
         write_csv(
             &format!("store_scaling_{label}_{}", mix.label()),
             "threads",
@@ -93,6 +121,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +132,10 @@ fn main() {
                     std::process::exit(2);
                 }
                 i += 2;
+            }
+            "--obs" => {
+                with_obs = true;
+                i += 1;
             }
             other => {
                 which = Some(other.to_string());
@@ -117,18 +150,21 @@ fn main() {
             "skiplist",
             StructureKind::StoreSkipList,
             StructureKind::SkipListBundle,
+            with_obs,
             &mut records,
         ),
         "citrus" => sweep(
             "citrus",
             StructureKind::StoreCitrus,
             StructureKind::CitrusBundle,
+            with_obs,
             &mut records,
         ),
         "list" => sweep(
             "list",
             StructureKind::StoreList,
             StructureKind::ListBundle,
+            with_obs,
             &mut records,
         ),
         other => {

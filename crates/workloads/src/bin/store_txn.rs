@@ -17,10 +17,14 @@
 //! and the per-shard bundle-entry stats are printed after each run.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>]`
+//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>] [--obs]`
 //! (default: all three backends, all mixes). `--mix rw` selects the
 //! read-write mix only; `--json` additionally writes one machine-readable
-//! record per configuration. Thread counts come from `BUNDLE_THREADS`,
+//! record per configuration; `--obs` builds each store over a live
+//! `obs::MetricsRegistry`, prints the metrics table after the last
+//! thread count of each mix (commit-pipeline stage latencies, conflict
+//! causes, per-shard skew, rw retries), and merges the flattened `obs.*`
+//! metrics into the `--json` records. Thread counts come from `BUNDLE_THREADS`,
 //! duration from `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS`
 //! (single value; default [`workloads::DEFAULT_STORE_SHARDS`]).
 
@@ -33,7 +37,7 @@ use store::{uniform_splits, BundledStore, ShardBackend};
 use txn::StoreTxnExt;
 use workloads::{
     duration_ms, print_series_table, thread_counts, write_csv, write_json, Point, RunRecord,
-    StructureKind, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+    StructureKind, DEFAULT_STORE_SHARDS, SCHEMA_VERSION, TXN_STORE_KINDS,
 };
 
 /// Keys per write-only transaction (drawn uniformly, so a batch usually
@@ -111,15 +115,28 @@ struct MixResult {
     validation_failures: u64,
 }
 
-fn run_mix<S>(threads: usize, dur: Duration, mix: TxnMix, shards: usize) -> (MixResult, Vec<usize>)
+fn run_mix<S>(
+    threads: usize,
+    dur: Duration,
+    mix: TxnMix,
+    shards: usize,
+    with_obs: bool,
+) -> (MixResult, Vec<usize>, Option<obs::MetricsSnapshot>)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
     // One extra registered slot for the background recycler.
-    let store = Arc::new(BundledStore::<u64, u64, S>::new(
-        threads + 1,
-        uniform_splits(shards, KEY_RANGE),
-    ));
+    let splits = uniform_splits(shards, KEY_RANGE);
+    let store = Arc::new(if with_obs {
+        BundledStore::<u64, u64, S>::with_obs(
+            threads + 1,
+            store::ReclaimMode::Reclaim,
+            splits,
+            &obs::MetricsRegistry::new(),
+        )
+    } else {
+        BundledStore::<u64, u64, S>::new(threads + 1, splits)
+    });
     // Prefill half the keyspace (the harness convention).
     {
         let h = store.register();
@@ -198,6 +215,7 @@ where
     recycler.stop();
     let stats = store.txn_stats();
     let per_shard = store.per_shard_bundle_entries(0);
+    let snapshot = store.obs_snapshot(0);
     (
         MixResult {
             ops_per_sec: ops.load(Ordering::Relaxed) as f64 / elapsed,
@@ -206,10 +224,16 @@ where
             validation_failures: stats.validation_failures,
         },
         per_shard,
+        snapshot,
     )
 }
 
-fn sweep(kind: StructureKind, mix_filter: Option<&str>, records: &mut Vec<RunRecord>) {
+fn sweep(
+    kind: StructureKind,
+    mix_filter: Option<&str>,
+    with_obs: bool,
+    records: &mut Vec<RunRecord>,
+) {
     let shards = shard_count();
     let dur = Duration::from_millis(duration_ms());
     for (mix_label, mix) in MIXES {
@@ -222,17 +246,18 @@ fn sweep(kind: StructureKind, mix_filter: Option<&str>, records: &mut Vec<RunRec
         }
         let mut points = Vec::new();
         let mut shard_stats: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut last_snapshot = None;
         for &threads in &thread_counts() {
-            let (r, per_shard) = match kind {
-                StructureKind::StoreSkipList => {
-                    run_mix::<skiplist::BundledSkipList<u64, u64>>(threads, dur, mix, shards)
-                }
-                StructureKind::StoreCitrus => {
-                    run_mix::<citrus::BundledCitrusTree<u64, u64>>(threads, dur, mix, shards)
-                }
-                StructureKind::StoreList => {
-                    run_mix::<lazylist::BundledLazyList<u64, u64>>(threads, dur, mix, shards)
-                }
+            let (r, per_shard, snapshot) = match kind {
+                StructureKind::StoreSkipList => run_mix::<skiplist::BundledSkipList<u64, u64>>(
+                    threads, dur, mix, shards, with_obs,
+                ),
+                StructureKind::StoreCitrus => run_mix::<citrus::BundledCitrusTree<u64, u64>>(
+                    threads, dur, mix, shards, with_obs,
+                ),
+                StructureKind::StoreList => run_mix::<lazylist::BundledLazyList<u64, u64>>(
+                    threads, dur, mix, shards, with_obs,
+                ),
                 other => panic!("{other:?} is not a sharded store kind"),
             };
             points.push(Point {
@@ -262,18 +287,24 @@ fn sweep(kind: StructureKind, mix_filter: Option<&str>, records: &mut Vec<RunRec
             } else {
                 0.0
             };
+            let mut metrics = vec![
+                ("ops_per_sec".into(), r.ops_per_sec),
+                ("commits_per_sec".into(), r.commits_per_sec),
+                ("conflicts".into(), r.conflicts as f64),
+                ("validation_failures".into(), r.validation_failures as f64),
+                ("abort_rate".into(), abort_rate),
+            ];
+            if let Some(snap) = snapshot {
+                metrics.extend(snap.flatten("obs."));
+                last_snapshot = Some(snap);
+            }
             records.push(RunRecord {
+                schema: SCHEMA_VERSION,
                 bench: "store_txn".into(),
                 kind: kind.name().into(),
                 mix: mix_label.into(),
                 threads,
-                metrics: vec![
-                    ("ops_per_sec".into(), r.ops_per_sec),
-                    ("commits_per_sec".into(), r.commits_per_sec),
-                    ("conflicts".into(), r.conflicts as f64),
-                    ("validation_failures".into(), r.validation_failures as f64),
-                    ("abort_rate".into(), abort_rate),
-                ],
+                metrics,
             });
             shard_stats.push((threads, per_shard));
         }
@@ -284,6 +315,13 @@ fn sweep(kind: StructureKind, mix_filter: Option<&str>, records: &mut Vec<RunRec
         print_series_table(&title, "threads", "per second", &points);
         for (threads, per_shard) in shard_stats {
             println!("  bundle entries/shard @{threads} threads: {per_shard:?}");
+        }
+        if let Some(snap) = last_snapshot {
+            println!(
+                "\n-- obs [{}] mix {mix_label} (last thread count) --\n{}",
+                kind.name(),
+                snap.render_table()
+            );
         }
         write_csv(
             &format!("store_txn_{}_{mix_label}", kind.name()),
@@ -299,6 +337,7 @@ fn main() {
     let mut kind_arg: Option<String> = None;
     let mut mix_filter: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -317,6 +356,10 @@ fn main() {
                     std::process::exit(2);
                 }
                 i += 2;
+            }
+            "--obs" => {
+                with_obs = true;
+                i += 1;
             }
             other => {
                 kind_arg = Some(other.to_string());
@@ -340,7 +383,7 @@ fn main() {
     };
     let mut records = Vec::new();
     for kind in kinds {
-        sweep(kind, mix_filter.as_deref(), &mut records);
+        sweep(kind, mix_filter.as_deref(), with_obs, &mut records);
     }
     if let Some(path) = json_path {
         match write_json(&path, &records) {

@@ -6,7 +6,7 @@ use bundle::api::RangeQuerySet;
 use citrus::{BundledCitrusTree, UnsafeCitrusTree};
 use lazylist::{BundledLazyList, UnsafeLazyList};
 use skiplist::{BundledSkipList, UnsafeSkipList};
-use store::{uniform_splits, CitrusStore, LazyListStore, SkipListStore};
+use store::{uniform_splits, CitrusStore, LazyListStore, ReclaimMode, SkipListStore};
 
 /// Shard count used by the `Store*` registry kinds (the `store_scaling`
 /// binary sweeps other counts explicitly).
@@ -173,6 +173,58 @@ pub fn make_store_structure(
         }
         StructureKind::StoreCitrus => Arc::new(CitrusStore::<u64, u64>::new(max_threads, splits)),
         StructureKind::StoreList => Arc::new(LazyListStore::<u64, u64>::new(max_threads, splits)),
+        other => panic!("{other:?} is not a sharded store kind"),
+    }
+}
+
+/// Refreshes the sampled gauges of an obs-instrumented store and returns
+/// the registry's [`obs::MetricsSnapshot`] — handed out by
+/// [`make_obs_store_structure`], which otherwise erases the concrete
+/// store type behind [`DynSet`].
+pub type ObsSampler = Box<dyn Fn() -> obs::MetricsSnapshot + Send + Sync>;
+
+/// [`make_store_structure`] with observability: the store is built with
+/// [`store::BundledStore::with_obs`] so every layer records into
+/// instruments registered in `registry`. Returns the type-erased
+/// structure plus a sampler that refreshes the store's gauges and
+/// snapshots the registry. Panics for non-store kinds.
+pub fn make_obs_store_structure(
+    kind: StructureKind,
+    max_threads: usize,
+    shards: usize,
+    key_range: u64,
+    registry: &obs::MetricsRegistry,
+) -> (Arc<DynSet>, ObsSampler) {
+    fn erase<S>(store: Arc<store::BundledStore<u64, u64, S>>) -> (Arc<DynSet>, ObsSampler)
+    where
+        S: store::ShardBackend<u64, u64> + Send + Sync + 'static,
+    {
+        let sampler = Arc::clone(&store);
+        (
+            store,
+            Box::new(move || sampler.obs_snapshot(0).expect("store built with obs")),
+        )
+    }
+    let splits = uniform_splits(shards, key_range);
+    match kind {
+        StructureKind::StoreSkipList => erase(Arc::new(SkipListStore::<u64, u64>::with_obs(
+            max_threads,
+            ReclaimMode::Reclaim,
+            splits,
+            registry,
+        ))),
+        StructureKind::StoreCitrus => erase(Arc::new(CitrusStore::<u64, u64>::with_obs(
+            max_threads,
+            ReclaimMode::Reclaim,
+            splits,
+            registry,
+        ))),
+        StructureKind::StoreList => erase(Arc::new(LazyListStore::<u64, u64>::with_obs(
+            max_threads,
+            ReclaimMode::Reclaim,
+            splits,
+            registry,
+        ))),
         other => panic!("{other:?} is not a sharded store kind"),
     }
 }

@@ -48,12 +48,22 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
     }
 }
 
+/// Version of the `--json` record layout. Bump whenever the shape of
+/// [`RunRecord`] serialization changes (fields added/renamed/removed) so
+/// downstream consumers can dispatch on `schema` instead of sniffing
+/// keys. History: 1 = original (implicit, no `schema` key); 2 = adds the
+/// `schema` field itself and the flattened `obs.*` metric namespace.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// One machine-readable benchmark run for `--json` output: a scenario
 /// binary records one `RunRecord` per (backend, mix, thread count)
 /// configuration it measured, with the named numeric results in
 /// `metrics` (throughput, commit rate, abort counters, ...).
 #[derive(Debug, Clone)]
 pub struct RunRecord {
+    /// Record layout version; always [`SCHEMA_VERSION`] for records
+    /// produced by this build.
+    pub schema: u32,
     /// Scenario binary name (e.g. `store_txn`).
     pub bench: String,
     /// Structure / backend under test.
@@ -79,8 +89,8 @@ pub fn write_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Res
     for (i, r) in records.iter().enumerate() {
         write!(
             f,
-            "  {{\"bench\":{:?},\"kind\":{:?},\"mix\":{:?},\"threads\":{}",
-            r.bench, r.kind, r.mix, r.threads
+            "  {{\"schema\":{},\"bench\":{:?},\"kind\":{:?},\"mix\":{:?},\"threads\":{}",
+            r.schema, r.bench, r.kind, r.mix, r.threads
         )?;
         for (name, value) in &r.metrics {
             let value = if value.is_finite() { *value } else { 0.0 };
@@ -115,6 +125,7 @@ mod tests {
     fn json_records_round_trip_structurally() {
         let records = vec![
             RunRecord {
+                schema: SCHEMA_VERSION,
                 bench: "store_txn".into(),
                 kind: "store-skiplist".into(),
                 mix: "rw-50-40-10".into(),
@@ -122,6 +133,7 @@ mod tests {
                 metrics: vec![("ops_per_sec".into(), 1234.5), ("aborts".into(), f64::NAN)],
             },
             RunRecord {
+                schema: SCHEMA_VERSION,
                 bench: "store_txn".into(),
                 kind: "store-list".into(),
                 mix: "20-70-10".into(),
@@ -134,7 +146,7 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("[\n"));
         assert!(content.trim_end().ends_with(']'));
-        assert!(content.contains("\"bench\":\"store_txn\""));
+        assert!(content.contains("\"schema\":2,\"bench\":\"store_txn\""));
         assert!(content.contains("\"mix\":\"rw-50-40-10\""));
         assert!(content.contains("\"ops_per_sec\":1234.5"));
         assert!(

@@ -36,6 +36,16 @@
 //!   [`store::BundledStore::apply_grouped`] — one shared-clock advance
 //!   per *group*, every group an atomic cut, same-key submissions
 //!   serialized in queue order with outcome-exact tickets.
+//! * [`obs`] — the **unified observability layer**: thread-sharded
+//!   lock-free counters, gauges and power-of-two-bucket latency
+//!   histograms behind an [`obs::MetricsRegistry`]. A store built with
+//!   [`store::BundledStore::with_obs`] (and any `ingest` front-end
+//!   spawned over it) records commit-pipeline stage latencies,
+//!   conflict/abort causes, per-shard key-skew counters, queue
+//!   depth / group size distributions, and EBR/tracker/clock gauges —
+//!   one [`obs::MetricsSnapshot`] covers the whole pipeline. The
+//!   default constructors skip it all at one never-taken branch per
+//!   record site.
 //! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2, including
 //!   the ingest-backed NEW_ORDER firehose
 //!   ([`dbsim::run_new_order_firehose`]).
@@ -82,6 +92,7 @@ pub use dbsim;
 pub use ebr;
 pub use ingest;
 pub use lazylist;
+pub use obs;
 pub use skiplist;
 pub use store;
 pub use txn;
@@ -97,6 +108,7 @@ pub mod prelude {
     pub use ebr::{Collector, ReclaimMode};
     pub use ingest::{Ingest, IngestConfig, IngestOutcome, IngestStats, QueueFull, Ticket};
     pub use lazylist::{BundledLazyList, UnsafeLazyList};
+    pub use obs::{MetricsRegistry, MetricsSnapshot};
     pub use skiplist::{BundledSkipList, UnsafeSkipList};
     pub use store::{
         uniform_splits, BundledStore, CitrusStore, GroupReceipt, LazyListStore, ShardBackend,
