@@ -113,16 +113,21 @@ struct IngestObs {
     ticket_wait_ns: obs::Histogram,
     /// Submissions currently sitting in the shard queues.
     depth: obs::Gauge,
+    /// The store's flight recorder (group publish / linger fill / drain
+    /// scoop / queue-full events land in the same merged stream as the
+    /// commit pipeline's).
+    trace: Option<Arc<obs::TraceRecorder>>,
 }
 
 impl IngestObs {
-    fn new(registry: &obs::MetricsRegistry) -> Self {
+    fn new(registry: &obs::MetricsRegistry, trace: Option<Arc<obs::TraceRecorder>>) -> Self {
         IngestObs {
             queue_depth: registry.histogram("ingest.queue_depth"),
             group_size: registry.histogram("ingest.group_size"),
             linger_occupancy_pct: registry.histogram("ingest.linger_occupancy_pct"),
             ticket_wait_ns: registry.histogram("ingest.ticket_wait_ns"),
             depth: registry.gauge("ingest.depth"),
+            trace,
         }
     }
 }
@@ -329,7 +334,9 @@ where
             max_group_ops: cfg.max_group_ops.max(1),
             max_queue_depth: cfg.max_queue_depth.max(1),
             linger: cfg.linger,
-            obs: store.obs_registry().map(IngestObs::new),
+            obs: store
+                .obs_registry()
+                .map(|r| IngestObs::new(r, store.obs_trace().cloned())),
             groups: AtomicU64::new(0),
             submissions: AtomicU64::new(0),
             ops: AtomicU64::new(0),
@@ -480,6 +487,23 @@ where
                 "submitted to an ingest front-end that is shutting down"
             );
             if st.depth[shard] >= self.shared.max_queue_depth {
+                // Shed: note the rejection in the flight recorder *after*
+                // releasing the sync lock (the anomaly snapshot walks
+                // every ring). Producers have no store tid, so the event
+                // records under the full queue's shard id — the rings
+                // are multi-writer-safe.
+                drop(st);
+                if let Some(o) = &self.shared.obs {
+                    if let Some(tr) = &o.trace {
+                        tr.record(
+                            shard,
+                            obs::TraceKind::QueueFull,
+                            shard as u32,
+                            ops.len() as u64,
+                        );
+                        tr.note_anomaly(obs::AnomalyCause::QueueFull, shard);
+                    }
+                }
                 return Err(QueueFull { ops });
             }
             // Allocate the ticket only once accepted: the shed path runs
@@ -728,9 +752,25 @@ fn commit_group<K, V, S>(
         .fetch_max(total_ops as u64, Ordering::Relaxed);
     if let Some(o) = &shared.obs {
         let tid = handle.tid();
+        let occupancy = (100 * total_ops / shared.max_group_ops) as u64;
         o.group_size.record(tid, total_ops as u64);
-        o.linger_occupancy_pct
-            .record(tid, (100 * total_ops / shared.max_group_ops) as u64);
+        o.linger_occupancy_pct.record(tid, occupancy);
+        if let Some(tr) = &o.trace {
+            // A group may span every shard this committer owns, so the
+            // events carry no single shard.
+            tr.record(
+                tid,
+                obs::TraceKind::GroupPublish,
+                obs::trace::NO_SHARD,
+                total_ops as u64,
+            );
+            tr.record(
+                tid,
+                obs::TraceKind::LingerFill,
+                obs::trace::NO_SHARD,
+                occupancy,
+            );
+        }
     }
     for (si, (sub, applied)) in subs.iter().zip(outcomes).enumerate() {
         if let (Some(o), Some(t0)) = (&shared.obs, sub.enqueued) {
@@ -792,6 +832,14 @@ where
                 if let Some(o) = &shared.obs {
                     o.queue_depth.record(handle.tid(), subs.len() as u64);
                     o.depth.set(st.depth.iter().sum::<usize>() as i64);
+                    if let Some(tr) = &o.trace {
+                        tr.record(
+                            handle.tid(),
+                            obs::TraceKind::DrainScoop,
+                            obs::trace::NO_SHARD,
+                            subs.len() as u64,
+                        );
+                    }
                 }
             }
             if shared.max_queue_depth != usize::MAX {

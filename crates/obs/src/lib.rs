@@ -47,6 +47,12 @@
 
 #![deny(missing_docs)]
 
+pub mod timeseries;
+pub mod trace;
+
+pub use timeseries::{SkewReport, TimeseriesSampler, Window};
+pub use trace::{AnomalyCause, AnomalySnapshot, TraceEvent, TraceKind, TraceRecorder};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -279,7 +285,11 @@ impl HistogramSummary {
         self.buckets.iter().sum()
     }
 
-    /// Mean sample (`0.0` when empty).
+    /// Mean sample.
+    ///
+    /// **Empty-histogram contract** (`count == 0`, e.g. a per-window
+    /// delta with no samples): returns exactly `0.0` — never `NaN` —
+    /// so flattened snapshots and JSON exports stay finite.
     #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -289,8 +299,30 @@ impl HistogramSummary {
         }
     }
 
-    /// Upper bound of the bucket containing quantile `q` (in `0.0..=1.0`;
-    /// `0` when empty). Power-of-two buckets bound the answer within 2×.
+    /// This summary minus an `earlier` one of the same histogram
+    /// (per-bucket, count, and sum subtraction; saturating, so a
+    /// mismatched pair degrades to zeros instead of wrapping). The
+    /// result is itself a valid summary — the per-window shape
+    /// [`MetricsSnapshot::delta`] produces.
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSummary) -> HistogramSummary {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistogramSummary {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (in `0.0..=1.0`).
+    /// Power-of-two buckets bound the answer within 2×.
+    ///
+    /// **Empty-histogram contract** (`bucket_total() == 0`): returns
+    /// exactly `0`, for any `q` — empty per-window deltas flatten to
+    /// all-zero quantiles, never garbage.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.bucket_total();
@@ -357,6 +389,36 @@ impl MetricsSnapshot {
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
             .map(|i| &self.entries[i].1)
+    }
+
+    /// This snapshot minus an `earlier` one of the same registry — the
+    /// per-window shape the [`timeseries`] sampler (and any before/after
+    /// panel) works in. Counters and histograms subtract (saturating);
+    /// **gauges pass through** at their current level (a level has no
+    /// meaningful difference over a window). Entries only present here
+    /// pass through whole (instruments registered mid-run start from
+    /// zero); entries only present in `earlier` are dropped.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, v)| {
+                    let d = match (v, earlier.get(name)) {
+                        (SnapshotValue::Counter(c), Some(SnapshotValue::Counter(e))) => {
+                            SnapshotValue::Counter(c.saturating_sub(*e))
+                        }
+                        (SnapshotValue::Histogram(h), Some(SnapshotValue::Histogram(e))) => {
+                            SnapshotValue::Histogram(h.delta(e))
+                        }
+                        // Gauges, new instruments, kind mismatches.
+                        _ => v.clone(),
+                    };
+                    (name.clone(), d)
+                })
+                .collect(),
+        }
     }
 
     /// Flatten into `(name, value)` float metrics (the shape
@@ -697,6 +759,74 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, written, "final snapshot accounts every event");
         assert_eq!(s.bucket_total(), written);
+    }
+
+    /// Satellite: `count == 0` summaries (fresh histograms and empty
+    /// per-window deltas) must report exact zeros from every accessor —
+    /// no NaN, no garbage bounds — so JSON exports stay finite.
+    #[test]
+    fn empty_histogram_semantics_are_defined() {
+        let empty = HistogramSummary {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        };
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.mean().is_finite());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(empty.max_bound(), 0);
+        assert_eq!(empty.bucket_total(), 0);
+        // A delta of one histogram with itself is empty with the same
+        // guarantees.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.record(0, 500);
+        let s = h.summary();
+        let d = s.delta(&s);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.quantile(0.99), 0);
+    }
+
+    /// Satellite: snapshot deltas subtract counters and histograms and
+    /// pass gauges through.
+    #[test]
+    fn snapshot_delta_subtracts_counts_and_passes_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(0, 5);
+        g.set(10);
+        h.record(0, 8);
+        let earlier = reg.snapshot();
+        c.add(0, 3);
+        g.set(-2);
+        h.record(0, 8);
+        h.record(0, 100);
+        let late = reg.counter("late");
+        late.add(0, 7);
+        let d = reg.snapshot().delta(&earlier);
+        assert_eq!(d.get("c"), Some(&SnapshotValue::Counter(3)));
+        assert_eq!(d.get("g"), Some(&SnapshotValue::Gauge(-2)), "pass-through");
+        match d.get("h") {
+            Some(SnapshotValue::Histogram(s)) => {
+                assert_eq!(s.count, 2);
+                assert_eq!(s.sum, 108);
+                assert_eq!(s.bucket_total(), 2);
+                assert!(s.max_bound() >= 100);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Registered after the base snapshot: passes through whole.
+        assert_eq!(d.get("late"), Some(&SnapshotValue::Counter(7)));
+        // Deltas flatten finitely even when a histogram delta is empty.
+        let empty_delta = reg.snapshot().delta(&reg.snapshot());
+        for (name, v) in empty_delta.flatten("") {
+            assert!(v.is_finite(), "{name} not finite");
+        }
     }
 
     #[test]

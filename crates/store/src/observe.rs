@@ -11,7 +11,9 @@
 //!
 //! [`BundledStore::with_obs`]: crate::BundledStore::with_obs
 
-use obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+use obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceRecorder};
 
 /// The five commit-pipeline stages in pipeline order; stage `i`'s wall
 /// latency lands in the `store.pipeline.{stage}_ns` histogram (indexes
@@ -63,11 +65,22 @@ pub(crate) struct StoreObs {
     pub(crate) clock_value: Gauge,
     /// Total advance calls on the shared clock.
     pub(crate) clock_advances: Gauge,
+    /// The flight recorder (always on with `with_obs`; `None` only when
+    /// tracing was explicitly disabled via
+    /// [`crate::BundledStore::with_obs_trace_capacity`] with capacity 0
+    /// or the registry is inert). Event sites check this once — the
+    /// same never-taken-branch contract as the metric handles.
+    pub(crate) trace: Option<Arc<TraceRecorder>>,
 }
 
 impl StoreObs {
-    /// Register (or re-attach to) every store instrument in `registry`.
-    pub(crate) fn new(registry: &MetricsRegistry, shards: usize) -> Self {
+    /// Register (or re-attach to) every store instrument in `registry`,
+    /// attaching `trace` as the store's flight recorder.
+    pub(crate) fn new(
+        registry: &MetricsRegistry,
+        shards: usize,
+        trace: Option<Arc<TraceRecorder>>,
+    ) -> Self {
         let stage_ns =
             PIPELINE_STAGES.map(|s| registry.histogram(&format!("store.pipeline.{s}_ns")));
         StoreObs {
@@ -91,6 +104,7 @@ impl StoreObs {
             rq_active: registry.gauge("store.rq.active_queries"),
             clock_value: registry.gauge("store.clock.value"),
             clock_advances: registry.gauge("store.clock.advances"),
+            trace,
             registry: registry.clone(),
         }
     }

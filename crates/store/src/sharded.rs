@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use bundle::api::{ConcurrentSet, RangeQuerySet};
 use bundle::{Conflict, PrepareCursor, Recycler, RqContext, TxnValidateError};
 use ebr::ReclaimMode;
-use obs::{MetricsRegistry, MetricsSnapshot};
+use obs::{AnomalyCause, MetricsRegistry, MetricsSnapshot, TraceKind, TraceRecorder};
 
 use crate::backends::ShardBackend;
 use crate::handle::StoreHandle;
@@ -15,6 +15,12 @@ use crate::observe::StoreObs;
 use crate::snapshot::{ShardRead, TxnAborted};
 
 /// [`StoreObs::stage_ns`] indexes of the five pipeline stages.
+/// Conflict-retry attempt count at which the flight recorder snapshots
+/// an anomaly (once per transaction — the trigger fires on equality).
+/// By attempt 6 the pipeline has spun through its exponential backoff
+/// several times; that is a burst worth keeping the interleaving for.
+const CONFLICT_BURST_ANOMALY: u32 = 6;
+
 const STAGE_INTENTS: usize = 0;
 const STAGE_PREPARE: usize = 1;
 const STAGE_VALIDATE: usize = 2;
@@ -224,18 +230,44 @@ where
     /// store records into instruments registered in `registry` (commit
     /// pipeline stage latencies, conflict/abort counters by cause,
     /// per-shard op counters, cursor hint rates, and the sampled gauges
-    /// of [`BundledStore::obs_sample`]). Pass
-    /// [`MetricsRegistry::disabled`] for inert instruments, or use the
-    /// plain constructors to skip instrumentation entirely (one
-    /// never-taken branch per site — the production default).
+    /// of [`BundledStore::obs_sample`]), and — when the registry is
+    /// live — a flight recorder ([`BundledStore::obs_trace`]) captures
+    /// per-thread event rings around every pipeline stage, conflict, and
+    /// abort. Pass [`MetricsRegistry::disabled`] for inert instruments,
+    /// or use the plain constructors to skip instrumentation entirely
+    /// (one never-taken branch per site — the production default).
     pub fn with_obs(
         max_threads: usize,
         mode: ReclaimMode,
         splits: Vec<K>,
         registry: &MetricsRegistry,
     ) -> Self {
+        Self::with_obs_trace_capacity(
+            max_threads,
+            mode,
+            splits,
+            registry,
+            obs::trace::DEFAULT_RING_CAPACITY,
+        )
+    }
+
+    /// [`BundledStore::with_obs`] with an explicit per-thread flight-
+    /// recorder ring capacity (rounded up to a power of two).
+    /// `trace_capacity == 0` keeps the metrics but disables tracing —
+    /// what the `--check-obs-overhead` panel uses to price the two
+    /// instrumentation tiers separately. An inert registry never
+    /// traces.
+    pub fn with_obs_trace_capacity(
+        max_threads: usize,
+        mode: ReclaimMode,
+        splits: Vec<K>,
+        registry: &MetricsRegistry,
+        trace_capacity: usize,
+    ) -> Self {
         let mut store = Self::with_mode(max_threads, mode, splits);
-        store.obs = Some(StoreObs::new(registry, store.shards.len()));
+        let trace = (registry.is_enabled() && trace_capacity > 0)
+            .then(|| Arc::new(TraceRecorder::new(max_threads, trace_capacity)));
+        store.obs = Some(StoreObs::new(registry, store.shards.len(), trace));
         store
     }
 
@@ -533,6 +565,7 @@ where
         let mut attempt = 0u32;
         loop {
             let t = self.obs_now();
+            self.obs_stage_begin(STAGE_INTENTS, tid, attempt);
             // Phase 1: intents over every involved shard, in ascending
             // shard order (deadlock-free regardless of mode mix).
             let _intents: Vec<IntentGuard<'_>> = intent_shards
@@ -551,10 +584,12 @@ where
                 .collect();
             let t = self.obs_stage(STAGE_INTENTS, tid, t);
             // Phase 2: prepare every write.
+            self.obs_stage_begin(STAGE_PREPARE, tid, attempt);
             let mut prepared: Vec<(usize, S::Txn)> = Vec::with_capacity(intent_shards.len());
             let mut results = vec![false; ops.len()];
             let mut failure = None;
             let mut prepare_conflict = false;
+            let mut fail_shard = 0usize;
             'prepare: for (shard, range) in &groups {
                 let backend = &self.shards[*shard];
                 // Write-only pipelines (plain batches, group commits)
@@ -570,6 +605,7 @@ where
                     backend.txn_abort(txn);
                     failure = Some(TxnValidateError::Conflict);
                     prepare_conflict = true;
+                    fail_shard = *shard;
                     break 'prepare;
                 }
                 prepared.push((*shard, txn));
@@ -579,6 +615,7 @@ where
             // after all of this transaction's writes have staged.
             let validate_ran = failure.is_none();
             if failure.is_none() {
+                self.obs_stage_begin(STAGE_VALIDATE, tid, attempt);
                 for r in reads {
                     let pos = match prepared.iter().position(|(s, _)| *s == r.shard) {
                         Some(p) => p,
@@ -594,6 +631,7 @@ where
                         self.shards[r.shard].txn_validate(token, &r.low, &r.high, &r.entries)
                     {
                         failure = Some(e);
+                        fail_shard = r.shard;
                         break;
                     }
                 }
@@ -621,6 +659,17 @@ where
                             } else {
                                 o.conflicts_validate.incr(tid);
                             }
+                            if let Some(tr) = &o.trace {
+                                tr.record(
+                                    tid,
+                                    TraceKind::Conflict,
+                                    fail_shard as u32,
+                                    (u64::from(attempt) << 1) | u64::from(!prepare_conflict),
+                                );
+                                if attempt == CONFLICT_BURST_ANOMALY {
+                                    tr.note_anomaly(AnomalyCause::ConflictBurst, tid);
+                                }
+                            }
                         }
                         for _ in 0..(1u32 << attempt.min(10)) {
                             std::hint::spin_loop();
@@ -635,6 +684,15 @@ where
                         self.txn_validation_failures.fetch_add(1, Ordering::Relaxed);
                         if let Some(o) = &self.obs {
                             o.aborts_invalidated.incr(tid);
+                            if let Some(tr) = &o.trace {
+                                tr.record(
+                                    tid,
+                                    TraceKind::AbortInvalidated,
+                                    fail_shard as u32,
+                                    u64::from(attempt),
+                                );
+                                tr.note_anomaly(AnomalyCause::InvalidatedAbort, tid);
+                            }
                         }
                         return Err(TxnAborted);
                     }
@@ -645,12 +703,14 @@ where
             // must not advance the clock (an abort-equivalent no-op for
             // every observer); their serialization point is the validation
             // window, during which every read was re-checked and locked.
+            self.obs_stage_begin(STAGE_ADVANCE, tid, attempt);
             let ts = if groups.is_empty() {
                 self.ctx.read()
             } else {
                 self.ctx.advance(tid)
             };
             let t = self.obs_stage(STAGE_ADVANCE, tid, t);
+            self.obs_stage_begin(STAGE_FINALIZE, tid, attempt);
             // Phase 5: release every snapshot spinning on the pendings
             // (and every validation lock).
             for (s, txn) in prepared {
@@ -735,16 +795,32 @@ where
     }
 
     /// Record the elapsed time since `start` into pipeline-stage
-    /// histogram `stage` and return the start of the next stage.
+    /// histogram `stage` (plus a `StageEnd` flight-recorder event with
+    /// the same duration) and return the start of the next stage.
     #[inline]
     fn obs_stage(&self, stage: usize, tid: usize, start: Option<Instant>) -> Option<Instant> {
         match (&self.obs, start) {
             (Some(o), Some(t0)) => {
                 let now = Instant::now();
-                o.stage_ns[stage].record(tid, now.duration_since(t0).as_nanos() as u64);
+                let dur = now.duration_since(t0).as_nanos() as u64;
+                o.stage_ns[stage].record(tid, dur);
+                if let Some(tr) = &o.trace {
+                    tr.record(tid, TraceKind::StageEnd, stage as u32, dur);
+                }
                 Some(now)
             }
             _ => None,
+        }
+    }
+
+    /// Emit a `StageBegin` flight-recorder event (no-op without a
+    /// recorder; the event's payload is the attempt number).
+    #[inline]
+    fn obs_stage_begin(&self, stage: usize, tid: usize, attempt: u32) {
+        if let Some(o) = &self.obs {
+            if let Some(tr) = &o.trace {
+                tr.record(tid, TraceKind::StageBegin, stage as u32, u64::from(attempt));
+            }
         }
     }
 
@@ -756,12 +832,24 @@ where
         self.obs.as_ref().map(|o| &o.registry)
     }
 
+    /// The store's flight recorder, when built with
+    /// [`BundledStore::with_obs`] against a live registry — the `ingest`
+    /// front-end records its queue events here so one merged dump covers
+    /// the whole pipeline, and scenario binaries dump it at exit.
+    #[must_use]
+    pub fn obs_trace(&self) -> Option<&Arc<TraceRecorder>> {
+        self.obs.as_ref().and_then(|o| o.trace.as_ref())
+    }
+
     /// Record one application-level re-run of a read-write transaction
     /// closure after a [`TxnAborted`] (called by the `txn` crate's retry
     /// loop; a no-op without instrumentation).
     pub fn obs_note_rw_retry(&self, tid: usize) {
         if let Some(o) = &self.obs {
             o.rw_retries.incr(tid);
+            if let Some(tr) = &o.trace {
+                tr.record(tid, TraceKind::RwRetry, obs::trace::NO_SHARD, 0);
+            }
         }
     }
 

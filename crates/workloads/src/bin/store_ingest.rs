@@ -19,26 +19,32 @@
 //! assumed), and the mean group size. `--json` additionally writes one
 //! machine-readable record per configuration.
 //!
-//! A third **overhead panel** prices the observability layer: two
+//! A third **overhead panel** prices the observability layer: three
 //! identical single-threaded stores — one built plain (instrumentation
 //! disabled, the production default), one built over a live
-//! `obs::MetricsRegistry` — commit identical key-sorted groups of
-//! [`OVERHEAD_GROUP`] ops through `apply_grouped`, reporting
-//! `staging_ns_per_op` for each. `--check-obs-overhead` exits non-zero
-//! if the instrumented store regresses more than [`OVERHEAD_LIMIT`]
-//! over the plain one on any backend — and since the plain store *is*
-//! the disabled mode (every record site one never-taken branch), the
-//! gate bounds the disabled-mode cost from above by the full
-//! instrumentation cost.
+//! `obs::MetricsRegistry` with the flight recorder off (metrics only),
+//! one fully traced (metrics + flight recorder) — commit identical
+//! key-sorted groups of [`OVERHEAD_GROUP`] ops through `apply_grouped`,
+//! reporting `staging_ns_per_op` for each. `--check-obs-overhead` exits
+//! non-zero if the metrics-only store regresses more than
+//! [`OVERHEAD_LIMIT`] or the traced store more than
+//! [`TRACE_OVERHEAD_LIMIT`] over the plain one on any backend — and
+//! since the plain store *is* the disabled mode (every record site one
+//! never-taken branch), the gate bounds the disabled-mode cost from
+//! above by the full instrumentation cost.
 //!
 //! `--obs` additionally builds the ingest-path stores over a live
 //! registry, prints the metrics table after the last thread count of
 //! each backend (queue depth, group size, linger occupancy, ticket wait
 //! latency, plus the whole store pipeline), and merges the flattened
-//! `obs.*` metrics into the `--json` records.
+//! `obs.*` metrics into the `--json` records. `--trace <path>` dumps
+//! the flight recorder of the last ingest configuration as JSON lines;
+//! `--timeseries <ms>` samples every ingest run at the given cadence,
+//! prints one JSON line per window, and embeds the windows in the
+//! `--json` records — both imply `--obs`.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--check-obs-overhead]`
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--check-obs-overhead]`
 //! (default: all three backends). Thread counts come from
 //! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
 //! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
@@ -173,6 +179,14 @@ where
 /// pipeline depth; the window sweep sizes the batches themselves).
 const PIPELINE: usize = 4;
 
+/// Everything one ingest configuration produced.
+struct IngestRun {
+    result: RunResult,
+    snapshot: Option<obs::MetricsSnapshot>,
+    windows: Vec<obs::Window>,
+    trace: Option<Arc<obs::TraceRecorder>>,
+}
+
 /// Grouped path: workers submit the same puts through the ingest
 /// front-end as `window`-sized batch submissions, [`PIPELINE`] tickets in
 /// flight each.
@@ -183,20 +197,35 @@ fn run_ingest<S>(
     committers: usize,
     shards: usize,
     with_obs: bool,
-) -> (RunResult, Option<obs::MetricsSnapshot>)
+    timeseries: Option<Duration>,
+) -> IngestRun
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
     let splits = uniform_splits(shards, KEY_RANGE);
+    // One extra registered slot for the time-series sampler's dedicated
+    // session when sampling.
+    let slots = threads + committers + usize::from(timeseries.is_some());
     let store = Arc::new(if with_obs {
         BundledStore::<u64, u64, S>::with_obs(
-            threads + committers,
+            slots,
             store::ReclaimMode::Reclaim,
             splits,
             &obs::MetricsRegistry::new(),
         )
     } else {
-        BundledStore::<u64, u64, S>::new(threads + committers, splits)
+        BundledStore::<u64, u64, S>::new(slots, splits)
+    });
+    // Spawn the sampler before the prefill so its base snapshot sees zero
+    // counters and the window deltas sum to the final counter values. The
+    // registered handle gives the sampler thread its own dense tid.
+    let sampler = timeseries.filter(|_| with_obs).map(|every| {
+        let h = store.register();
+        obs::TimeseriesSampler::spawn(every, obs::timeseries::DEFAULT_WINDOW_CAPACITY, move || {
+            h.store()
+                .obs_snapshot(h.tid())
+                .expect("store built with obs")
+        })
     });
     {
         let h = store.register();
@@ -255,34 +284,46 @@ where
     let advances = store.context().advance_calls() - advances_before;
     let stats = ingest.stats();
     ingest.shutdown();
+    // Every mutator (workers, committers) is quiescent: the sampler's
+    // final partial window closes on the same counters the snapshot sees.
+    let windows = sampler
+        .map(obs::TimeseriesSampler::stop)
+        .unwrap_or_default();
     let snapshot = store.obs_snapshot(0);
-    (
-        RunResult {
+    IngestRun {
+        result: RunResult {
             ops_per_sec: total as f64 / elapsed,
             advances_per_op: advances as f64 / total.max(1) as f64,
             ops_per_group: stats.ops_per_group(),
         },
         snapshot,
-    )
+        windows,
+        trace: store.obs_trace().cloned(),
+    }
 }
 
-fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
+fn sweep(
+    kind: StructureKind,
+    with_obs: bool,
+    timeseries: Option<Duration>,
+    records: &mut Vec<RunRecord>,
+    last_trace: &mut Option<Arc<obs::TraceRecorder>>,
+) {
     let shards = shard_count();
     let dur = Duration::from_millis(duration_ms());
     let windows = windows();
     let mut last_snapshot = None;
     for &threads in &thread_counts() {
         let committers = committer_count(shards);
-        type IngestRuns = Vec<(usize, RunResult, Option<obs::MetricsSnapshot>)>;
-        let (direct, ingest_runs): (RunResult, IngestRuns) = match kind {
+        let (direct, ingest_runs): (RunResult, Vec<(usize, IngestRun)>) = match kind {
             StructureKind::StoreSkipList => run_kind::<skiplist::BundledSkipList<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs,
+                threads, dur, &windows, committers, shards, with_obs, timeseries,
             ),
             StructureKind::StoreCitrus => run_kind::<citrus::BundledCitrusTree<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs,
+                threads, dur, &windows, committers, shards, with_obs, timeseries,
             ),
             StructureKind::StoreList => run_kind::<lazylist::BundledLazyList<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs,
+                threads, dur, &windows, committers, shards, with_obs, timeseries,
             ),
             other => panic!("{other:?} is not a sharded store kind"),
         };
@@ -291,7 +332,14 @@ fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
             x: threads.to_string(),
             y: direct.ops_per_sec,
         }];
-        for (window, r, snapshot) in &ingest_runs {
+        for (window, run) in &ingest_runs {
+            let r = &run.result;
+            for w in &run.windows {
+                println!("{}", w.json_line());
+            }
+            if run.trace.is_some() {
+                *last_trace = run.trace.clone();
+            }
             points.push(Point {
                 series: format!("ingest w={window} ops/s"),
                 x: threads.to_string(),
@@ -307,7 +355,7 @@ fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
                 ("ops_per_group".into(), r.ops_per_group),
                 ("committers".into(), committers as f64),
             ];
-            if let Some(snap) = snapshot {
+            if let Some(snap) = &run.snapshot {
                 metrics.extend(snap.flatten("obs."));
                 last_snapshot = Some(snap.clone());
             }
@@ -318,6 +366,7 @@ fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
                 mix: format!("win-{window}"),
                 threads,
                 metrics,
+                windows: run.windows.iter().map(obs::Window::flatten).collect(),
             });
         }
         let title = format!(
@@ -326,7 +375,8 @@ fn sweep(kind: StructureKind, with_obs: bool, records: &mut Vec<RunRecord>) {
             kind.name()
         );
         print_series_table(&title, "threads", "puts per second", &points);
-        for (window, r, _) in &ingest_runs {
+        for (window, run) in &ingest_runs {
+            let r = &run.result;
             println!(
                 "  w={window}: {:.3}x direct, {:.4} clock advances/op (direct {:.4}), \
                  {:.1} ops/group",
@@ -359,10 +409,8 @@ fn run_kind<S>(
     committers: usize,
     shards: usize,
     with_obs: bool,
-) -> (
-    RunResult,
-    Vec<(usize, RunResult, Option<obs::MetricsSnapshot>)>,
-)
+    timeseries: Option<Duration>,
+) -> (RunResult, Vec<(usize, IngestRun)>)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
@@ -370,8 +418,10 @@ where
     let ingest_runs = windows
         .iter()
         .map(|&w| {
-            let (r, snap) = run_ingest::<S>(threads, dur, w, committers, shards, with_obs);
-            (w, r, snap)
+            (
+                w,
+                run_ingest::<S>(threads, dur, w, committers, shards, with_obs, timeseries),
+            )
         })
         .collect();
     (direct, ingest_runs)
@@ -382,52 +432,82 @@ where
 const OVERHEAD_GROUP: usize = 1024;
 
 /// Measured rounds of the overhead panel (plus one warmup); the gate
-/// takes the cleanest (lowest-ratio) round, de-noising the single-shot
-/// measurement.
+/// takes the **median** round's ratios, so a minority of noisy rounds
+/// (a scheduler hiccup, a page fault storm) cannot fail or pass the
+/// gate on its own.
 const OVERHEAD_ROUNDS: usize = 6;
 
-/// Maximum tolerated `enabled / disabled` staging-cost ratio (5%).
+/// Maximum tolerated `metrics-enabled / disabled` staging-cost ratio
+/// (5%).
 const OVERHEAD_LIMIT: f64 = 1.05;
 
-/// Nanoseconds per staged op with instrumentation absent and present.
+/// Maximum tolerated `traced / disabled` staging-cost ratio (10%): the
+/// flight recorder adds one seqlock ring write per pipeline stage on
+/// top of the metric records.
+const TRACE_OVERHEAD_LIMIT: f64 = 1.10;
+
+/// Nanoseconds per staged op and median ratios for the three
+/// instrumentation tiers of the overhead panel.
 struct OverheadResult {
     disabled_ns: f64,
     enabled_ns: f64,
+    traced_ns: f64,
+    /// Median per-round `enabled / disabled` ratio.
+    metrics_ratio: f64,
+    /// Median per-round `traced / disabled` ratio.
+    traced_ratio: f64,
 }
 
-/// The obs overhead panel: two identical single-threaded stores — one
+/// Upper median of an unsorted sample (total order via `f64::total_cmp`;
+/// the panel never produces NaN — durations are finite and the disabled
+/// denominator is clamped to ≥ 1 ns).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// The obs overhead panel: three identical single-threaded stores — one
 /// built plain (instrumentation **disabled**: the `obs` slot is `None`
 /// and every record site is one never-taken branch, the production
-/// default), one built over a live `obs::MetricsRegistry` (**enabled**:
-/// stage timestamps, histogram records, counter adds all active) — each
-/// commit identical key-sorted [`OVERHEAD_GROUP`]-op windows through
-/// the grouped pipeline. Odd keys are prefilled (shuffled insertion
-/// order for the Citrus tree so it is not a degenerate spine;
-/// descending for the lists); each round stages a contiguous window of
-/// fresh even keys in ascending order and then drains it again through
-/// removes, so both stores stay at baseline size and see identical
-/// state. Only the `apply_grouped` calls are timed. Each round runs
-/// both stores twice in mirrored order (disabled, enabled, enabled,
-/// disabled — flipped on odd rounds) and pairs the round-local minima,
-/// so a machine-load spike hits both sides of a ratio or neither; the
-/// gate takes the cleanest round's ratio. The enabled/disabled gap is
-/// the *full* instrumentation cost, which bounds the disabled-mode cost
-/// (the never-taken branches) from above — so the `--check-obs-overhead`
-/// gate `enabled <= OVERHEAD_LIMIT * disabled` pins the whole layer.
+/// default), one **metrics-only** (a live `obs::MetricsRegistry` with
+/// the flight recorder off: stage timestamps, histogram records,
+/// counter adds all active), one fully **traced** (metrics plus one
+/// ring write per pipeline stage) — each commit identical key-sorted
+/// [`OVERHEAD_GROUP`]-op windows through the grouped pipeline. Odd keys
+/// are prefilled (shuffled insertion order for the Citrus tree so it is
+/// not a degenerate spine; descending for the lists); each round stages
+/// a contiguous window of fresh even keys in ascending order and then
+/// drains it again through removes, so all stores stay at baseline size
+/// and see identical state. Only the `apply_grouped` calls are timed.
+/// Each round runs every store four times in two mirrored passes (d,
+/// m, t, t, m, d — then flipped) and pairs the round-local minima, so a
+/// machine-load spike hits both sides of a ratio or neither; the gate
+/// takes the **median** round's ratios. The metrics/disabled gap is the
+/// full metric-instrumentation cost, which bounds the disabled-mode
+/// cost (the never-taken branches) from above — so the
+/// `--check-obs-overhead` gates `metrics <= OVERHEAD_LIMIT * disabled`
+/// and `traced <= TRACE_OVERHEAD_LIMIT * disabled` pin the whole layer.
 fn run_overhead<S>(shards: usize, shuffle: bool) -> OverheadResult
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
-    let registry = obs::MetricsRegistry::new();
     let disabled = Arc::new(BundledStore::<u64, u64, S>::new(
         2,
         uniform_splits(shards, KEY_RANGE),
     ));
-    let enabled = Arc::new(BundledStore::<u64, u64, S>::with_obs(
+    // Metrics without the flight recorder: trace capacity 0.
+    let metrics_only = Arc::new(BundledStore::<u64, u64, S>::with_obs_trace_capacity(
         2,
         store::ReclaimMode::Reclaim,
         uniform_splits(shards, KEY_RANGE),
-        &registry,
+        &obs::MetricsRegistry::new(),
+        0,
+    ));
+    let traced = Arc::new(BundledStore::<u64, u64, S>::with_obs(
+        2,
+        store::ReclaimMode::Reclaim,
+        uniform_splits(shards, KEY_RANGE),
+        &obs::MetricsRegistry::new(),
     ));
     let mut prefill: Vec<u64> = (1..KEY_RANGE).step_by(2).collect();
     if shuffle {
@@ -439,10 +519,12 @@ where
         prefill.reverse();
     }
     let hd = disabled.register();
-    let he = enabled.register();
+    let hm = metrics_only.register();
+    let ht = traced.register();
     for &k in &prefill {
         hd.insert(k, k);
-        he.insert(k, k);
+        hm.insert(k, k);
+        ht.insert(k, k);
     }
     // Contiguous even slots per window; rounds rotate the window origin
     // so every measured window stages fresh keys into a clean region.
@@ -455,17 +537,13 @@ where
         let removes = keys.iter().map(|&k| TxnOp::Remove(k)).collect();
         (puts, removes)
     };
-    let mut best = OverheadResult {
-        disabled_ns: f64::INFINITY,
-        enabled_ns: f64::INFINITY,
-    };
-    let mut best_ratio = f64::INFINITY;
+    let mut rounds: Vec<(f64, f64, f64)> = Vec::with_capacity(OVERHEAD_ROUNDS);
     for round in 0..=(OVERHEAD_ROUNDS as u64) {
         let (puts, removes) = window(round);
         // A window stages fresh keys and then drains them, so one store
-        // can measure it repeatedly; mirrored ABBA order within a round
-        // means neither side systematically inherits the other's warm
-        // caches or eats a load spike alone.
+        // can measure it repeatedly; mirrored order within a round means
+        // no side systematically inherits the others' warm caches or
+        // eats a load spike alone.
         let measure = |h: &store::StoreHandle<u64, u64, S>| -> Duration {
             let t = Instant::now();
             let applied = h.apply_grouped(&puts);
@@ -477,44 +555,55 @@ where
             );
             elapsed
         };
-        let (d, e) = if round % 2 == 0 {
-            let d0 = measure(&hd);
-            let e0 = measure(&he);
-            let e1 = measure(&he);
-            let d1 = measure(&hd);
-            (d0.min(d1), e0.min(e1))
-        } else {
-            let e0 = measure(&he);
-            let d0 = measure(&hd);
-            let d1 = measure(&hd);
-            let e1 = measure(&he);
-            (d0.min(d1), e0.min(e1))
-        };
+        let (mut d, mut m, mut t) = (Duration::MAX, Duration::MAX, Duration::MAX);
+        for pass in 0..2u64 {
+            if (round + pass) % 2 == 0 {
+                d = d.min(measure(&hd));
+                m = m.min(measure(&hm));
+                t = t.min(measure(&ht));
+                t = t.min(measure(&ht));
+                m = m.min(measure(&hm));
+                d = d.min(measure(&hd));
+            } else {
+                t = t.min(measure(&ht));
+                m = m.min(measure(&hm));
+                d = d.min(measure(&hd));
+                d = d.min(measure(&hd));
+                m = m.min(measure(&hm));
+                t = t.min(measure(&ht));
+            }
+        }
         disabled.cleanup_bundles(1);
-        enabled.cleanup_bundles(1);
+        metrics_only.cleanup_bundles(1);
+        traced.cleanup_bundles(1);
         if round == 0 {
             continue; // warmup
         }
         let per_op = |t: Duration| t.as_nanos() as f64 / (2 * OVERHEAD_GROUP) as f64;
-        let (d_ns, e_ns) = (per_op(d), per_op(e));
-        let ratio = e_ns / d_ns.max(1.0);
-        if ratio < best_ratio {
-            best_ratio = ratio;
-            best = OverheadResult {
-                disabled_ns: d_ns,
-                enabled_ns: e_ns,
-            };
-        }
+        rounds.push((per_op(d), per_op(m), per_op(t)));
     }
-    best
+    OverheadResult {
+        disabled_ns: median(rounds.iter().map(|r| r.0).collect()),
+        enabled_ns: median(rounds.iter().map(|r| r.1).collect()),
+        traced_ns: median(rounds.iter().map(|r| r.2).collect()),
+        metrics_ratio: median(rounds.iter().map(|r| r.1 / r.0.max(1.0)).collect()),
+        traced_ratio: median(rounds.iter().map(|r| r.2 / r.0.max(1.0)).collect()),
+    }
 }
 
 /// Run and report the overhead panel for `kind`; returns `false` when
-/// the instrumented store regressed past [`OVERHEAD_LIMIT`] (the
+/// the metrics-only store regressed past [`OVERHEAD_LIMIT`] or the
+/// traced store past [`TRACE_OVERHEAD_LIMIT`] (the
 /// `--check-obs-overhead` regression signal).
+///
+/// A failed first attempt is retried once with fresh stores: on a
+/// one-core CI box a background hiccup (image pulls, log shipping) can
+/// poison a majority of rounds, which the per-run median cannot absorb
+/// — but it rarely spans two full panels, while a real regression fails
+/// both. The retried result is the one reported and gated.
 fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
     let shards = shard_count();
-    let r = match kind {
+    let run = || match kind {
         StructureKind::StoreSkipList => {
             run_overhead::<skiplist::BundledSkipList<u64, u64>>(shards, false)
         }
@@ -526,15 +615,31 @@ fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
         }
         other => panic!("{other:?} is not a sharded store kind"),
     };
-    let ratio = r.enabled_ns / r.disabled_ns.max(1.0);
+    let gate = |r: &OverheadResult| {
+        r.metrics_ratio <= OVERHEAD_LIMIT && r.traced_ratio <= TRACE_OVERHEAD_LIMIT
+    };
+    let mut r = run();
+    if !gate(&r) {
+        eprintln!(
+            "obs overhead panel [{}] over budget ({:.3}x metrics / {:.3}x traced); \
+             retrying once with fresh stores",
+            kind.name(),
+            r.metrics_ratio,
+            r.traced_ratio,
+        );
+        r = run();
+    }
     println!(
         "store_ingest [{}] obs overhead panel, {shards} shards, {OVERHEAD_GROUP}-op sorted \
          groups:\n  \
-         obs disabled {:.1} ns/op, obs enabled {:.1} ns/op — {:.3}x (limit {OVERHEAD_LIMIT}x)",
+         obs disabled {:.1} ns/op, metrics {:.1} ns/op — {:.3}x (limit {OVERHEAD_LIMIT}x), \
+         traced {:.1} ns/op — {:.3}x (limit {TRACE_OVERHEAD_LIMIT}x)",
         kind.name(),
         r.disabled_ns,
         r.enabled_ns,
-        ratio,
+        r.metrics_ratio,
+        r.traced_ns,
+        r.traced_ratio,
     );
     records.push(RunRecord {
         schema: SCHEMA_VERSION,
@@ -545,17 +650,24 @@ fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
         metrics: vec![
             ("staging_ns_per_op_disabled".into(), r.disabled_ns),
             ("staging_ns_per_op_enabled".into(), r.enabled_ns),
-            ("obs_overhead_ratio".into(), ratio),
+            ("staging_ns_per_op_traced".into(), r.traced_ns),
+            ("obs_overhead_ratio".into(), r.metrics_ratio),
+            ("obs_trace_overhead_ratio".into(), r.traced_ratio),
             ("group_size".into(), OVERHEAD_GROUP as f64),
         ],
+        windows: Vec::new(),
     });
-    let ok = r.enabled_ns <= r.disabled_ns * OVERHEAD_LIMIT;
+    let ok = gate(&r);
     if !ok {
         eprintln!(
-            "OBS OVERHEAD REGRESSION [{}]: enabled {:.1} ns/op exceeds {OVERHEAD_LIMIT}x \
-             disabled {:.1} ns/op",
+            "OBS OVERHEAD REGRESSION [{}]: metrics {:.1} ns/op at {:.3}x (limit \
+             {OVERHEAD_LIMIT}x), traced {:.1} ns/op at {:.3}x (limit {TRACE_OVERHEAD_LIMIT}x) \
+             over disabled {:.1} ns/op",
             kind.name(),
             r.enabled_ns,
+            r.metrics_ratio,
+            r.traced_ns,
+            r.traced_ratio,
             r.disabled_ns,
         );
     }
@@ -566,6 +678,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut kind_arg: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut timeseries: Option<Duration> = None;
     let mut with_obs = false;
     let mut check_overhead = false;
     let mut i = 0;
@@ -577,6 +691,28 @@ fn main() {
                     eprintln!("--json requires a path");
                     std::process::exit(2);
                 }
+                i += 2;
+            }
+            "--trace" => {
+                trace_path = args.get(i + 1).map(PathBuf::from);
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--timeseries" => {
+                timeseries = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .map(Duration::from_millis);
+                if timeseries.is_none() {
+                    eprintln!("--timeseries requires a window length in ms");
+                    std::process::exit(2);
+                }
+                with_obs = true;
                 i += 2;
             }
             "--obs" => {
@@ -609,9 +745,19 @@ fn main() {
     };
     let mut records = Vec::new();
     let mut overhead_ok = true;
+    let mut last_trace = None;
     for kind in kinds {
-        sweep(kind, with_obs, &mut records);
+        sweep(kind, with_obs, timeseries, &mut records, &mut last_trace);
         overhead_ok &= overhead_panel(kind, &mut records);
+    }
+    if let Some(path) = trace_path {
+        match workloads::write_trace_dump(&path, last_trace.as_deref()) {
+            Ok(lines) => println!("wrote {lines} trace lines to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = json_path {
         match write_json(&path, &records) {
@@ -627,7 +773,10 @@ fn main() {
         }
     }
     if check_overhead && !overhead_ok {
-        eprintln!("--check-obs-overhead: instrumentation cost regressed past the 5% budget");
+        eprintln!(
+            "--check-obs-overhead: instrumentation cost regressed past the budget \
+             (metrics 5%, traced 10%)"
+        );
         std::process::exit(1);
     }
 }

@@ -8,17 +8,26 @@
 //! (update traffic spread over independent lock domains) and what the
 //! cross-shard snapshot machinery costs on scans.
 //!
-//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>] [--obs]`
+//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>]`
 //! (`--json` writes one machine-readable record per configuration;
 //! `--obs` builds the store runs over a live `obs::MetricsRegistry`,
 //! prints the metrics table after the last configuration of each mix,
-//! and merges the flattened `obs.*` metrics into the `--json` records).
+//! and merges the flattened `obs.*` metrics into the `--json` records;
+//! `--trace` additionally dumps the flight recorder of the last store
+//! configuration as JSON lines — note this scenario drives *primitive*
+//! set ops, so the dump only carries events if the run hits a traced
+//! path (commit pipeline, conflicts, ingest); an empty dump here is
+//! normal, use `store_txn`/`store_ingest` for a populated one;
+//! `--timeseries` samples every store run
+//! at the given cadence, prints one JSON line per window, and embeds the
+//! windows in the `--json` records — both imply `--obs`).
 //! Thread counts come from `BUNDLE_THREADS`, duration from
 //! `BUNDLE_DURATION_MS`, shard counts from `BUNDLE_SHARDS`
 //! (comma-separated, default "1,2,4,8,16").
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use workloads::{
     duration_ms, make_obs_store_structure, make_store_structure, make_structure,
@@ -44,9 +53,11 @@ fn sweep(
     store_kind: StructureKind,
     baseline: StructureKind,
     with_obs: bool,
+    timeseries: Option<Duration>,
     records: &mut Vec<RunRecord>,
-) {
+) -> Option<Arc<obs::TraceRecorder>> {
     let key_range = store_kind.default_key_range();
+    let mut last_trace = None;
     for mix in [WorkloadMix::new(50, 40, 10), WorkloadMix::new(0, 0, 100)] {
         let mut points = Vec::new();
         let mut last_snapshot = None;
@@ -67,17 +78,38 @@ fn sweep(
                 mix: mix.label(),
                 threads,
                 metrics: vec![("mops".into(), t.mops())],
+                windows: Vec::new(),
             });
             for &shards in &shard_counts() {
                 let mut metrics = vec![("shards".into(), shards as f64)];
+                let mut windows = Vec::new();
                 let t = if with_obs {
                     let registry = obs::MetricsRegistry::new();
-                    let (s, sample) =
-                        make_obs_store_structure(store_kind, threads, shards, key_range, &registry);
-                    let t = run_workload(&s, &cfg);
-                    let snap = sample();
+                    // One extra reserved slot (tid = `threads`) for the
+                    // background sampler when sampling; the workload
+                    // workers drive tids 0..threads.
+                    let slots = threads + usize::from(timeseries.is_some());
+                    let parts =
+                        make_obs_store_structure(store_kind, slots, shards, key_range, &registry);
+                    let sampler = timeseries.map(|every| {
+                        obs::TimeseriesSampler::spawn(
+                            every,
+                            obs::timeseries::DEFAULT_WINDOW_CAPACITY,
+                            (parts.timeseries_source)(threads),
+                        )
+                    });
+                    let t = run_workload(&parts.set, &cfg);
+                    if let Some(sampler) = sampler {
+                        let ws = sampler.stop();
+                        for w in &ws {
+                            println!("{}", w.json_line());
+                        }
+                        windows = ws.iter().map(obs::Window::flatten).collect();
+                    }
+                    let snap = (parts.sampler)();
                     metrics.extend(snap.flatten("obs."));
                     last_snapshot = Some(snap);
+                    last_trace = parts.trace;
                     t
                 } else {
                     let s = make_store_structure(store_kind, threads, shards, key_range);
@@ -96,6 +128,7 @@ fn sweep(
                     mix: mix.label(),
                     threads,
                     metrics,
+                    windows,
                 });
             }
         }
@@ -115,12 +148,15 @@ fn sweep(
             &points,
         );
     }
+    last_trace
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut timeseries: Option<Duration> = None;
     let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +167,28 @@ fn main() {
                     eprintln!("--json requires a path");
                     std::process::exit(2);
                 }
+                i += 2;
+            }
+            "--trace" => {
+                trace_path = args.get(i + 1).map(PathBuf::from);
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--timeseries" => {
+                timeseries = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .map(Duration::from_millis);
+                if timeseries.is_none() {
+                    eprintln!("--timeseries requires a window length in ms");
+                    std::process::exit(2);
+                }
+                with_obs = true;
                 i += 2;
             }
             "--obs" => {
@@ -145,12 +203,13 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| "skiplist".into());
     let mut records = Vec::new();
-    match which.as_str() {
+    let trace = match which.as_str() {
         "skiplist" => sweep(
             "skiplist",
             StructureKind::StoreSkipList,
             StructureKind::SkipListBundle,
             with_obs,
+            timeseries,
             &mut records,
         ),
         "citrus" => sweep(
@@ -158,6 +217,7 @@ fn main() {
             StructureKind::StoreCitrus,
             StructureKind::CitrusBundle,
             with_obs,
+            timeseries,
             &mut records,
         ),
         "list" => sweep(
@@ -165,11 +225,21 @@ fn main() {
             StructureKind::StoreList,
             StructureKind::ListBundle,
             with_obs,
+            timeseries,
             &mut records,
         ),
         other => {
             eprintln!("unknown backend {other:?}; expected skiplist|citrus|list");
             std::process::exit(2);
+        }
+    };
+    if let Some(path) = trace_path {
+        match workloads::write_trace_dump(&path, trace.as_deref()) {
+            Ok(events) => println!("wrote {events} trace lines to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
     if let Some(path) = json_path {

@@ -17,14 +17,19 @@
 //! and the per-shard bundle-entry stats are printed after each run.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>] [--obs]`
+//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>]`
 //! (default: all three backends, all mixes). `--mix rw` selects the
 //! read-write mix only; `--json` additionally writes one machine-readable
 //! record per configuration; `--obs` builds each store over a live
 //! `obs::MetricsRegistry`, prints the metrics table after the last
 //! thread count of each mix (commit-pipeline stage latencies, conflict
 //! causes, per-shard skew, rw retries), and merges the flattened `obs.*`
-//! metrics into the `--json` records. Thread counts come from `BUNDLE_THREADS`,
+//! metrics into the `--json` records. `--trace <path>` dumps the flight
+//! recorder of the last configuration as JSON lines; `--timeseries <ms>`
+//! samples every run at the given cadence from a dedicated background
+//! thread, prints one JSON line per window (commit rate, conflict rate,
+//! per-shard skew), and embeds the windows in the `--json` records —
+//! both imply `--obs`. Thread counts come from `BUNDLE_THREADS`,
 //! duration from `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS`
 //! (single value; default [`workloads::DEFAULT_STORE_SHARDS`]).
 
@@ -115,27 +120,50 @@ struct MixResult {
     validation_failures: u64,
 }
 
+/// Everything one `run_mix` configuration produced.
+struct MixRun {
+    result: MixResult,
+    per_shard: Vec<usize>,
+    snapshot: Option<obs::MetricsSnapshot>,
+    windows: Vec<obs::Window>,
+    trace: Option<Arc<obs::TraceRecorder>>,
+}
+
 fn run_mix<S>(
     threads: usize,
     dur: Duration,
     mix: TxnMix,
     shards: usize,
     with_obs: bool,
-) -> (MixResult, Vec<usize>, Option<obs::MetricsSnapshot>)
+    timeseries: Option<Duration>,
+) -> MixRun
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
-    // One extra registered slot for the background recycler.
+    // Reserved slots beyond the workers: tid `threads` for the background
+    // recycler, tid `threads + 1` for the time-series sampler (only when
+    // sampling).
     let splits = uniform_splits(shards, KEY_RANGE);
+    let slots = threads + 1 + usize::from(timeseries.is_some());
     let store = Arc::new(if with_obs {
         BundledStore::<u64, u64, S>::with_obs(
-            threads + 1,
+            slots,
             store::ReclaimMode::Reclaim,
             splits,
             &obs::MetricsRegistry::new(),
         )
     } else {
-        BundledStore::<u64, u64, S>::new(threads + 1, splits)
+        BundledStore::<u64, u64, S>::new(slots, splits)
+    });
+    // Spawn the sampler before the prefill so its base snapshot sees zero
+    // counters: the per-window deltas then sum exactly to the final
+    // `store.shard<i>.ops` counters (the reconciliation the tests gate).
+    let sampler = timeseries.filter(|_| with_obs).map(|every| {
+        let st = Arc::clone(&store);
+        let tid = threads + 1;
+        obs::TimeseriesSampler::spawn(every, obs::timeseries::DEFAULT_WINDOW_CAPACITY, move || {
+            st.obs_snapshot(tid).expect("store built with obs")
+        })
     });
     // Prefill half the keyspace (the harness convention).
     {
@@ -213,11 +241,17 @@ where
     }
     let elapsed = start.elapsed().as_secs_f64();
     recycler.stop();
+    // Stop the sampler only after every mutator is quiescent: the final
+    // (partial) window then closes on the same counter values the final
+    // snapshot reports, so the window deltas reconcile exactly.
+    let windows = sampler
+        .map(obs::TimeseriesSampler::stop)
+        .unwrap_or_default();
     let stats = store.txn_stats();
     let per_shard = store.per_shard_bundle_entries(0);
     let snapshot = store.obs_snapshot(0);
-    (
-        MixResult {
+    MixRun {
+        result: MixResult {
             ops_per_sec: ops.load(Ordering::Relaxed) as f64 / elapsed,
             commits_per_sec: stats.commits as f64 / elapsed,
             conflicts: stats.conflicts,
@@ -225,14 +259,18 @@ where
         },
         per_shard,
         snapshot,
-    )
+        windows,
+        trace: store.obs_trace().cloned(),
+    }
 }
 
 fn sweep(
     kind: StructureKind,
     mix_filter: Option<&str>,
     with_obs: bool,
+    timeseries: Option<Duration>,
     records: &mut Vec<RunRecord>,
+    last_trace: &mut Option<Arc<obs::TraceRecorder>>,
 ) {
     let shards = shard_count();
     let dur = Duration::from_millis(duration_ms());
@@ -248,18 +286,31 @@ fn sweep(
         let mut shard_stats: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut last_snapshot = None;
         for &threads in &thread_counts() {
-            let (r, per_shard, snapshot) = match kind {
+            let run = match kind {
                 StructureKind::StoreSkipList => run_mix::<skiplist::BundledSkipList<u64, u64>>(
-                    threads, dur, mix, shards, with_obs,
+                    threads, dur, mix, shards, with_obs, timeseries,
                 ),
                 StructureKind::StoreCitrus => run_mix::<citrus::BundledCitrusTree<u64, u64>>(
-                    threads, dur, mix, shards, with_obs,
+                    threads, dur, mix, shards, with_obs, timeseries,
                 ),
                 StructureKind::StoreList => run_mix::<lazylist::BundledLazyList<u64, u64>>(
-                    threads, dur, mix, shards, with_obs,
+                    threads, dur, mix, shards, with_obs, timeseries,
                 ),
                 other => panic!("{other:?} is not a sharded store kind"),
             };
+            let MixRun {
+                result: r,
+                per_shard,
+                snapshot,
+                windows,
+                trace,
+            } = run;
+            for w in &windows {
+                println!("{}", w.json_line());
+            }
+            if trace.is_some() {
+                *last_trace = trace;
+            }
             points.push(Point {
                 series: "ops/s".into(),
                 x: threads.to_string(),
@@ -305,6 +356,7 @@ fn sweep(
                 mix: mix_label.into(),
                 threads,
                 metrics,
+                windows: windows.iter().map(obs::Window::flatten).collect(),
             });
             shard_stats.push((threads, per_shard));
         }
@@ -337,6 +389,8 @@ fn main() {
     let mut kind_arg: Option<String> = None;
     let mut mix_filter: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut timeseries: Option<Duration> = None;
     let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
@@ -355,6 +409,28 @@ fn main() {
                     eprintln!("--mix requires a label (e.g. rw or 50-40-10)");
                     std::process::exit(2);
                 }
+                i += 2;
+            }
+            "--trace" => {
+                trace_path = args.get(i + 1).map(PathBuf::from);
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--timeseries" => {
+                timeseries = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .map(Duration::from_millis);
+                if timeseries.is_none() {
+                    eprintln!("--timeseries requires a window length in ms");
+                    std::process::exit(2);
+                }
+                with_obs = true;
                 i += 2;
             }
             "--obs" => {
@@ -382,8 +458,25 @@ fn main() {
         },
     };
     let mut records = Vec::new();
+    let mut last_trace = None;
     for kind in kinds {
-        sweep(kind, mix_filter.as_deref(), with_obs, &mut records);
+        sweep(
+            kind,
+            mix_filter.as_deref(),
+            with_obs,
+            timeseries,
+            &mut records,
+            &mut last_trace,
+        );
+    }
+    if let Some(path) = trace_path {
+        match workloads::write_trace_dump(&path, last_trace.as_deref()) {
+            Ok(lines) => println!("wrote {lines} trace lines to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = json_path {
         match write_json(&path, &records) {

@@ -25,10 +25,12 @@ pub mod report;
 pub use config::{RunConfig, WorkloadMix};
 pub use driver::{run_workload, Throughput};
 pub use registry::{
-    make_obs_store_structure, make_store_structure, make_structure, ObsSampler, StructureKind,
-    ALL_KINDS, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
+    make_obs_store_structure, make_store_structure, make_structure, ObsSampler, ObsSnapshotSource,
+    ObsStoreParts, StructureKind, ALL_KINDS, DEFAULT_STORE_SHARDS, TXN_STORE_KINDS,
 };
-pub use report::{print_series_table, write_csv, write_json, Point, RunRecord, SCHEMA_VERSION};
+pub use report::{
+    print_series_table, write_csv, write_json, write_trace_dump, Point, RunRecord, SCHEMA_VERSION,
+};
 
 /// Thread counts to sweep, from `BUNDLE_THREADS` (default "1,2,4").
 pub fn thread_counts() -> Vec<usize> {

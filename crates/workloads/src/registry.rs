@@ -183,27 +183,59 @@ pub fn make_store_structure(
 /// store type behind [`DynSet`].
 pub type ObsSampler = Box<dyn Fn() -> obs::MetricsSnapshot + Send + Sync>;
 
+/// A snapshot source safe to hand to a background
+/// [`obs::TimeseriesSampler`]: it is pinned to a dedicated reserved
+/// thread slot, so its gauge refreshes never race a live worker's
+/// thread id.
+pub type ObsSnapshotSource = Box<dyn Fn() -> obs::MetricsSnapshot + Send + 'static>;
+
+/// The pieces of an obs-instrumented store the scenario bins drive,
+/// with the concrete backend erased behind [`DynSet`].
+pub struct ObsStoreParts {
+    /// The type-erased structure the workload runs against.
+    pub set: Arc<DynSet>,
+    /// Refreshes the store's gauges and snapshots the registry (tid 0 —
+    /// call from the coordinating thread, after or between runs).
+    pub sampler: ObsSampler,
+    /// The store's flight recorder (present whenever the registry is
+    /// live; scenario bins dump it behind `--trace`).
+    pub trace: Option<Arc<obs::TraceRecorder>>,
+    /// Builds a snapshot source for a background
+    /// [`obs::TimeseriesSampler`] pinned to the given **reserved**
+    /// thread slot — same contract as
+    /// [`store::BundledStore::spawn_recycler`]: the caller sizes the
+    /// store with an extra `max_threads` slot and guarantees no worker
+    /// uses that tid while the sampler runs.
+    pub timeseries_source: Box<dyn Fn(usize) -> ObsSnapshotSource>,
+}
+
 /// [`make_store_structure`] with observability: the store is built with
 /// [`store::BundledStore::with_obs`] so every layer records into
-/// instruments registered in `registry`. Returns the type-erased
-/// structure plus a sampler that refreshes the store's gauges and
-/// snapshots the registry. Panics for non-store kinds.
+/// instruments registered in `registry` (and into a flight recorder).
+/// Panics for non-store kinds.
 pub fn make_obs_store_structure(
     kind: StructureKind,
     max_threads: usize,
     shards: usize,
     key_range: u64,
     registry: &obs::MetricsRegistry,
-) -> (Arc<DynSet>, ObsSampler) {
-    fn erase<S>(store: Arc<store::BundledStore<u64, u64, S>>) -> (Arc<DynSet>, ObsSampler)
+) -> ObsStoreParts {
+    fn erase<S>(store: Arc<store::BundledStore<u64, u64, S>>) -> ObsStoreParts
     where
         S: store::ShardBackend<u64, u64> + Send + Sync + 'static,
     {
         let sampler = Arc::clone(&store);
-        (
-            store,
-            Box::new(move || sampler.obs_snapshot(0).expect("store built with obs")),
-        )
+        let trace = store.obs_trace().cloned();
+        let ts_store = Arc::clone(&store);
+        ObsStoreParts {
+            set: store,
+            sampler: Box::new(move || sampler.obs_snapshot(0).expect("store built with obs")),
+            trace,
+            timeseries_source: Box::new(move |tid| {
+                let store = Arc::clone(&ts_store);
+                Box::new(move || store.obs_snapshot(tid).expect("store built with obs"))
+            }),
+        }
     }
     let splits = uniform_splits(shards, key_range);
     match kind {

@@ -52,8 +52,10 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
 /// [`RunRecord`] serialization changes (fields added/renamed/removed) so
 /// downstream consumers can dispatch on `schema` instead of sniffing
 /// keys. History: 1 = original (implicit, no `schema` key); 2 = adds the
-/// `schema` field itself and the flattened `obs.*` metric namespace.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `schema` field itself and the flattened `obs.*` metric namespace;
+/// 3 = adds the `windows` array of per-window time-series summaries
+/// (empty unless the run sampled with `--timeseries`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One machine-readable benchmark run for `--json` output: a scenario
 /// binary records one `RunRecord` per (backend, mix, thread count)
@@ -74,6 +76,11 @@ pub struct RunRecord {
     pub threads: usize,
     /// Named numeric results.
     pub metrics: Vec<(String, f64)>,
+    /// Per-window time-series summaries (one inner vec per sampling
+    /// window, each the flattened `obs::timeseries::Window` shape —
+    /// `commits_per_s`, `conflict_rate`, `skew.max_share`,
+    /// `shard<i>.ops`, ...). Empty when the run did not sample.
+    pub windows: Vec<Vec<(String, f64)>>,
 }
 
 /// Serialize `records` as a JSON array to `path` (hand-rolled writer —
@@ -96,10 +103,39 @@ pub fn write_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Res
             let value = if value.is_finite() { *value } else { 0.0 };
             write!(f, ",{name:?}:{value}")?;
         }
+        write!(f, ",\"windows\":[")?;
+        for (wi, window) in r.windows.iter().enumerate() {
+            write!(f, "{}{{", if wi == 0 { "" } else { "," })?;
+            for (fi, (name, value)) in window.iter().enumerate() {
+                let value = if value.is_finite() { *value } else { 0.0 };
+                write!(f, "{}{name:?}:{value}", if fi == 0 { "" } else { "," })?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "]")?;
         writeln!(f, "}}{}", if i + 1 == records.len() { "" } else { "," })?;
     }
     writeln!(f, "]")?;
     Ok(())
+}
+
+/// Dump a store's flight recorder to `path` as JSON lines
+/// ([`obs::TraceRecorder::write_dump`]) and return the number of lines
+/// written. An absent recorder is an I/O error — the scenario binaries
+/// only call this when `--trace` forced a live registry, so `None`
+/// means the store was built without one.
+pub fn write_trace_dump(
+    path: &std::path::Path,
+    trace: Option<&obs::TraceRecorder>,
+) -> std::io::Result<usize> {
+    let trace = trace.ok_or_else(|| std::io::Error::other("no flight recorder attached"))?;
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut buf = Vec::new();
+    trace.write_dump(&mut buf)?;
+    std::fs::write(path, &buf)?;
+    Ok(buf.iter().filter(|&&b| b == b'\n').count())
 }
 
 /// Write the raw points as CSV under `target/experiments/<name>.csv` so the
@@ -131,6 +167,14 @@ mod tests {
                 mix: "rw-50-40-10".into(),
                 threads: 4,
                 metrics: vec![("ops_per_sec".into(), 1234.5), ("aborts".into(), f64::NAN)],
+                windows: vec![
+                    vec![
+                        ("window".into(), 0.0),
+                        ("commits_per_s".into(), 55.5),
+                        ("skew.max_share".into(), 0.5),
+                    ],
+                    vec![("window".into(), 1.0), ("commits_per_s".into(), f64::NAN)],
+                ],
             },
             RunRecord {
                 schema: SCHEMA_VERSION,
@@ -139,6 +183,7 @@ mod tests {
                 mix: "20-70-10".into(),
                 threads: 1,
                 metrics: vec![("commits_per_sec".into(), 10.0)],
+                windows: Vec::new(),
             },
         ];
         let path = std::path::PathBuf::from("target/experiments/unit_test_report.json");
@@ -146,15 +191,35 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("[\n"));
         assert!(content.trim_end().ends_with(']'));
-        assert!(content.contains("\"schema\":2,\"bench\":\"store_txn\""));
+        assert!(content.contains("\"schema\":3,\"bench\":\"store_txn\""));
         assert!(content.contains("\"mix\":\"rw-50-40-10\""));
         assert!(content.contains("\"ops_per_sec\":1234.5"));
         assert!(
             content.contains("\"aborts\":0"),
             "non-finite values are zeroed"
         );
-        // Exactly one separating comma between the two records.
-        assert_eq!(content.matches("},").count(), 1);
+        // Embedded windows: both summaries serialized, in order, with
+        // non-finite values zeroed; a run without sampling still carries
+        // the (empty) array so the key is always present.
+        assert!(content.contains(
+            "\"windows\":[{\"window\":0,\"commits_per_s\":55.5,\"skew.max_share\":0.5},"
+        ));
+        assert!(content.contains("{\"window\":1,\"commits_per_s\":0}]"));
+        assert!(content.contains("\"commits_per_sec\":10,\"windows\":[]"));
+    }
+
+    #[test]
+    fn trace_dump_written_with_line_count() {
+        let rec = obs::TraceRecorder::new(1, 8);
+        rec.record(0, obs::TraceKind::StageEnd, 0, 17);
+        rec.record(0, obs::TraceKind::Conflict, 3, 2);
+        let path = std::path::PathBuf::from("target/experiments/unit_test_trace.jsonl");
+        let lines = write_trace_dump(&path, Some(&rec)).unwrap();
+        assert_eq!(lines, 2);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("\"type\":\"event\""));
+        assert!(write_trace_dump(&path, None).is_err(), "absent recorder");
     }
 
     #[test]
