@@ -5,8 +5,8 @@
 //! round trip. Under update-heavy traffic — exactly where the paper shows
 //! bundles are cheapest — those two shared points become the bottleneck.
 //! This crate amortizes both: clients fire operations at per-shard
-//! submission queues and get back a waitable [`Ticket`]; dedicated
-//! **committer threads** drain the queues, coalesce compatible operations
+//! submission rings and get back a waitable [`Ticket`]; dedicated
+//! **committer threads** drain the rings, coalesce compatible operations
 //! from *different* sessions into one super-batch, and publish the whole
 //! group through [`store::BundledStore::apply_grouped`] — the store's
 //! existing intents → prepare → finalize pipeline, entered **once per
@@ -17,9 +17,9 @@
 //! A group is an atomic cut: every operation in it publishes at one
 //! commit timestamp, so any snapshot (range query, leased read,
 //! transaction) observes the group entirely or not at all. *Single-op*
-//! submissions on the same key land in the same per-shard queue and are
-//! serialized in queue order — the committer folds them into one
-//! effective staged op (see the `fold` module) and replays the queue
+//! submissions on the same key land in the same per-shard ring and are
+//! serialized in ring order — the committer folds them into one
+//! effective staged op (see the `fold` module) and replays the ring
 //! order to give each ticket its operation's individual outcome, exactly
 //! as if the operations had executed back-to-back at adjacent
 //! linearization points that happen to share a timestamp. Whole
@@ -27,8 +27,8 @@
 //! group, so they stay atomic like a
 //! [`store::BundledStore::apply_txn`] batch; a batch is *routed* by its
 //! first key's shard, so its other keys may serialize against same-key
-//! submissions in other committers' queues through the store's shard
-//! intent locks rather than through any one queue — the tickets'
+//! submissions in other committers' rings through the store's shard
+//! intent locks rather than through any one ring — the tickets'
 //! `(ts, seq)` metadata reports the order that actually resulted.
 //!
 //! ## Pipelining
@@ -41,22 +41,34 @@
 //! window size. An optional [`IngestConfig::linger`] adds a fixed epoch
 //! delay to grow groups further at the cost of latency.
 //!
+//! ## The submission path is lock-free
+//!
+//! Each shard's submission queue is a bounded lock-free MPSC ring
+//! ([`ring::MpscRing`]): a producer reserves a slot with one `fetch_add`
+//! and publishes with one release store — no lock, no condvar, no
+//! serialization against other producers beyond the two contended cache
+//! lines themselves. Blocking is layered *on top*, eventcount-style:
+//! sleep counters tell publishers and drains whether anyone is parked,
+//! so the uncontended hot path never touches the wake mutex.
+//!
 //! ## Backpressure
 //!
-//! [`IngestConfig::max_queue_depth`] bounds each shard's submission
-//! queue: when a committer falls behind, blocking submitters wait for a
-//! drain ([`Ingest::submit`] / [`Ingest::submit_batch`] /
-//! [`Ingest::submit_all`]) while [`Ingest::try_submit`] /
-//! [`Ingest::try_submit_batch`] shed load with [`QueueFull`] (handing
-//! the rejected ops back). The default is unbounded, matching the
-//! pre-backpressure behaviour.
+//! [`IngestConfig::max_queue_depth`] bounds each shard's ring, counted in
+//! **submissions** (a batch of *k* ops occupies one slot): when a
+//! committer falls behind, blocking submitters park on the slow-path
+//! waiter ([`Ingest::submit`] / [`Ingest::submit_batch`] /
+//! [`Ingest::submit_all`]) only when the ring is actually full, while
+//! [`Ingest::try_submit`] / [`Ingest::try_submit_batch`] shed load with
+//! [`QueueFull`] (handing the rejected ops back). The default depth is
+//! 1024 submissions per shard; rings are allocated eagerly, so the bound
+//! must be in `1..=`[`MAX_QUEUE_DEPTH`] ([`IngestConfig::validate`]).
 //!
 //! ## Sessions and shutdown
 //!
 //! Each committer registers one store session (a dense tid), so the store
 //! must be built with `max_threads >= producers + committers`.
 //! [`Ingest::flush`] blocks until every accepted submission has resolved;
-//! [`Ingest::shutdown`] (also run on drop) drains the queues, resolves
+//! [`Ingest::shutdown`] (also run on drop) drains the rings, resolves
 //! every outstanding ticket, and joins the committers. Submitting
 //! concurrently with — or after — `shutdown` is a contract violation and
 //! panics.
@@ -85,16 +97,22 @@
 //! ```
 
 mod fold;
+pub mod ring;
 mod ticket;
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use store::{BundledStore, ShardBackend, StoreHandle, TxnOp};
 
 pub use ticket::Ticket;
+
+/// Hard ceiling on [`IngestConfig::max_queue_depth`]: ring slots are
+/// allocated eagerly per shard, so an unbounded (or absurd) depth would
+/// try to materialize it. 64Ki submissions per shard is far beyond any
+/// useful backpressure point.
+pub const MAX_QUEUE_DEPTH: usize = 1 << 16;
 
 /// Front-end instrument handles, registered in the store's metrics
 /// registry when the store was built with observability
@@ -111,7 +129,8 @@ struct IngestObs {
     linger_occupancy_pct: obs::Histogram,
     /// Nanoseconds from a submission's enqueue to its ticket resolving.
     ticket_wait_ns: obs::Histogram,
-    /// Submissions currently sitting in the shard queues.
+    /// Submissions currently sitting in the shard rings (the summed ring
+    /// occupancy, sampled at each drain).
     depth: obs::Gauge,
     /// The store's flight recorder (group publish / linger fill / drain
     /// scoop / queue-full events land in the same merged stream as the
@@ -138,7 +157,7 @@ pub struct IngestConfig {
     /// Committer threads. Shard `i` is owned by committer
     /// `i % committers`, so values above the store's shard count are
     /// **clamped to the shard count** (a committer beyond that would own
-    /// no queue and idle forever). Each committer registers one store
+    /// no ring and idle forever). Each committer registers one store
     /// session; [`Ingest::committers`] reports the clamped count
     /// actually running.
     pub committers: usize,
@@ -150,15 +169,17 @@ pub struct IngestConfig {
     /// group grow beyond what accumulated naturally. Zero (the default)
     /// relies on commit-duration batching alone.
     pub linger: Duration,
-    /// Per-shard submission-queue depth bound, in *submissions* (a batch
-    /// counts once). When a queue is full, [`Ingest::submit`] /
-    /// [`Ingest::submit_batch`] / [`Ingest::submit_all`] **block** until
-    /// the owning committer drains it, and [`Ingest::try_submit`] /
-    /// [`Ingest::try_submit_batch`] return [`QueueFull`] instead — the
-    /// first slice of ingest backpressure: a producer fleet can no
-    /// longer grow the queues without bound while a committer falls
-    /// behind. The default (`usize::MAX`) is effectively unbounded;
-    /// values are clamped to at least 1.
+    /// Per-shard submission-ring depth bound, counted in **submissions**
+    /// — a batch of *k* ops occupies exactly one slot, the same unit the
+    /// `ingest.depth` gauge and [`QueueFull`] rejections use. When a
+    /// ring is full, [`Ingest::submit`] / [`Ingest::submit_batch`] /
+    /// [`Ingest::submit_all`] **block** until the owning committer
+    /// drains it, and [`Ingest::try_submit`] /
+    /// [`Ingest::try_submit_batch`] return [`QueueFull`] instead.
+    /// Must be in `1..=`[`MAX_QUEUE_DEPTH`] ([`IngestConfig::validate`]
+    /// panics otherwise — nothing is silently clamped); the default is
+    /// 1024. The ring rounds its slot count up to a power of two but
+    /// rejects at exactly this bound.
     pub max_queue_depth: usize,
 }
 
@@ -168,13 +189,34 @@ impl Default for IngestConfig {
             committers: 2,
             max_group_ops: 4096,
             linger: Duration::ZERO,
-            max_queue_depth: usize::MAX,
+            max_queue_depth: 1024,
         }
     }
 }
 
+impl IngestConfig {
+    /// Panic unless the configuration is spawnable:
+    /// [`IngestConfig::max_queue_depth`] must be in
+    /// `1..=`[`MAX_QUEUE_DEPTH`] (rings are allocated eagerly, so the
+    /// bound is enforced here instead of silently clamped at spawn).
+    /// Called by [`Ingest::spawn`]; public so configuration plumbing can
+    /// fail fast at parse time.
+    pub fn validate(&self) {
+        assert!(
+            self.max_queue_depth >= 1,
+            "IngestConfig::max_queue_depth must be at least 1 submission"
+        );
+        assert!(
+            self.max_queue_depth <= MAX_QUEUE_DEPTH,
+            "IngestConfig::max_queue_depth ({}) exceeds MAX_QUEUE_DEPTH ({MAX_QUEUE_DEPTH}): \
+             ring slots are allocated eagerly per shard",
+            self.max_queue_depth
+        );
+    }
+}
+
 /// A non-blocking submission was rejected because the target shard's
-/// queue is at [`IngestConfig::max_queue_depth`]; the rejected ops are
+/// ring is at [`IngestConfig::max_queue_depth`]; the rejected ops are
 /// handed back for the caller to retry, redirect, or shed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueFull<K, V> {
@@ -233,53 +275,73 @@ impl IngestStats {
     }
 }
 
+/// The ops of one submission. Single ops — the hottest submit path —
+/// ride inline with no heap allocation; only whole batches carry a Vec.
+enum Ops<K, V> {
+    /// A single operation ([`Ingest::submit`] / [`Ingest::try_submit`] /
+    /// [`Ingest::submit_all`]), stored inline.
+    One(TxnOp<K, V>),
+    /// A whole atomic batch ([`Ingest::submit_batch`] /
+    /// [`Ingest::try_submit_batch`]).
+    Many(Vec<TxnOp<K, V>>),
+}
+
+impl<K, V> Ops<K, V> {
+    fn as_slice(&self) -> &[TxnOp<K, V>] {
+        match self {
+            Ops::One(op) => std::slice::from_ref(op),
+            Ops::Many(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Ops::One(_) => 1,
+            Ops::Many(v) => v.len(),
+        }
+    }
+}
+
 /// One queued submission: the ops of one ticket.
 struct Submission<K, V> {
-    ops: Vec<TxnOp<K, V>>,
+    ops: Ops<K, V>,
     ticket: Arc<ticket::Oneshot<IngestOutcome>>,
-    /// The shard queue this submission occupies (depth accounting).
-    shard: usize,
     /// Enqueue time, recorded only under observability — the resolving
     /// committer turns it into a ticket-wait latency sample.
     enqueued: Option<Instant>,
 }
 
-/// One shard's submission queue.
-type ShardQueue<K, V> = Mutex<VecDeque<Submission<K, V>>>;
-
-/// Committer wake/flush bookkeeping (one mutex for all counters; every
-/// critical section is a few integer ops).
-struct SyncState {
-    /// Per-committer count of submissions enqueued since its last drain
-    /// (advisory wake signal; the queues themselves are the truth).
-    queued: Box<[u64]>,
-    /// Per-shard count of submissions currently sitting in the queue
-    /// (bounded by [`IngestConfig::max_queue_depth`]; decremented when
-    /// the committer pops, at which point the `space` condvar wakes
-    /// blocked submitters).
-    depth: Box<[usize]>,
-    /// Accepted-but-unresolved submissions (drives [`Ingest::flush`]).
-    in_flight: u64,
-    shutdown: bool,
-}
-
 struct Shared<K, V, S> {
     store: Arc<BundledStore<K, V, S>>,
-    /// One submission queue per shard; an op lands in the queue of the
-    /// shard owning its key, a batch in the queue of its first key's
-    /// shard. Same-key submissions therefore share a queue, which is what
-    /// makes "serialized by queue order" well-defined.
-    queues: Box<[ShardQueue<K, V>]>,
-    sync: Mutex<SyncState>,
+    /// One lock-free submission ring per shard; an op lands in the ring
+    /// of the shard owning its key, a batch in the ring of its first
+    /// key's shard. Same-key submissions therefore share a ring, which
+    /// is what makes "serialized by queue order" well-defined. Shard `i`
+    /// is consumed only by committer `i % committers` — the ring's
+    /// single-consumer contract.
+    rings: Box<[ring::MpscRing<Submission<K, V>>]>,
+    /// Backs the three condvars below. **Never** taken on the submit or
+    /// drain fast paths — only by parked threads and the notifiers that
+    /// observed (via the sleeper counters) someone parked.
+    wake: Mutex<()>,
+    /// Wakes committers parked with every owned ring empty.
     work: Condvar,
-    idle: Condvar,
-    /// Wakes submitters blocked on a full shard queue (paired with the
-    /// `sync` mutex; depth decrements happen under it, so a waiter that
-    /// observed a full queue under the lock cannot miss the wakeup).
+    /// Wakes submitters parked on a full ring.
     space: Condvar,
+    /// Wakes [`Ingest::flush`] when `in_flight` reaches zero.
+    idle: Condvar,
+    /// Committers parked on `work` (eventcount-style: a publisher skips
+    /// the wake mutex entirely while this reads zero).
+    work_sleepers: AtomicUsize,
+    /// Submitters parked on `space`.
+    space_sleepers: AtomicUsize,
+    /// Accepted-but-unresolved submissions (drives [`Ingest::flush`]).
+    /// Incremented *before* a submission is published to its ring, so a
+    /// committer can never resolve-and-decrement first.
+    in_flight: AtomicU64,
+    shutdown: AtomicBool,
     committers: usize,
     max_group_ops: usize,
-    max_queue_depth: usize,
     linger: Duration,
     obs: Option<IngestObs>,
     groups: AtomicU64,
@@ -290,8 +352,37 @@ struct Shared<K, V, S> {
 }
 
 impl<K, V, S> Shared<K, V, S> {
-    fn committer_of(&self, shard: usize) -> usize {
-        shard % self.committers
+    fn assert_live(&self) {
+        assert!(
+            !self.shutdown.load(Ordering::SeqCst),
+            "submitted to an ingest front-end that is shutting down"
+        );
+    }
+
+    /// Wake parked committers after publishing work. The Dekker pattern
+    /// against [`committer_wait`]: publish (release store in the ring) →
+    /// SeqCst fence → sleeper-count load, vs. sleeper-count RMW → SeqCst
+    /// fence → ring re-check. Whichever fence orders first, either the
+    /// publisher sees the sleeper (and notifies under the wake mutex the
+    /// sleeper holds until it waits) or the sleeper sees the work.
+    fn wake_committers(&self) {
+        fence(Ordering::SeqCst);
+        if self.work_sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.wake.lock().unwrap_or_else(|p| p.into_inner());
+            self.work.notify_all();
+        }
+    }
+
+    /// Record a shed rejection. Producers have no store tid, so the
+    /// event records under the full ring's shard id — the trace rings
+    /// are multi-writer-safe.
+    fn note_queue_full(&self, shard: usize, ops: usize) {
+        if let Some(o) = &self.obs {
+            if let Some(tr) = &o.trace {
+                tr.record(shard, obs::TraceKind::QueueFull, shard as u32, ops as u64);
+                tr.note_anomaly(obs::AnomalyCause::QueueFull, shard);
+            }
+        }
     }
 }
 
@@ -311,28 +402,28 @@ where
 {
     /// Spawn the committer threads over `store` and return the front-end.
     ///
-    /// Registers one store session per committer — the store must have
-    /// that many free `max_threads` slots, or this panics (sizing the
-    /// store for `producers + committers` is the caller's contract).
+    /// Validates `cfg` ([`IngestConfig::validate`]) and registers one
+    /// store session per committer — the store must have that many free
+    /// `max_threads` slots, or this panics (sizing the store for
+    /// `producers + committers` is the caller's contract).
     pub fn spawn(store: Arc<BundledStore<K, V, S>>, cfg: IngestConfig) -> Self {
+        cfg.validate();
         let committers = cfg.committers.clamp(1, store.shard_count());
         let shared = Arc::new(Shared {
-            queues: (0..store.shard_count())
-                .map(|_| Mutex::new(VecDeque::new()))
+            rings: (0..store.shard_count())
+                .map(|_| ring::MpscRing::with_bound(cfg.max_queue_depth))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
-            sync: Mutex::new(SyncState {
-                queued: vec![0; committers].into_boxed_slice(),
-                depth: vec![0; store.shard_count()].into_boxed_slice(),
-                in_flight: 0,
-                shutdown: false,
-            }),
+            wake: Mutex::new(()),
             work: Condvar::new(),
-            idle: Condvar::new(),
             space: Condvar::new(),
+            idle: Condvar::new(),
+            work_sleepers: AtomicUsize::new(0),
+            space_sleepers: AtomicUsize::new(0),
+            in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
             committers,
             max_group_ops: cfg.max_group_ops.max(1),
-            max_queue_depth: cfg.max_queue_depth.max(1),
             linger: cfg.linger,
             obs: store
                 .obs_registry()
@@ -389,46 +480,91 @@ where
         ticket
     }
 
-    /// Enqueue `ops` on `shard`'s queue under an already-held sync lock
-    /// (depth/queued/in_flight accounting and the enqueue are one atomic
-    /// step: `in_flight` must be incremented before the submission
-    /// becomes drainable, or a committer could commit it and decrement
-    /// first — u64 underflow, flush/shutdown accounting torn). Lock
-    /// order is sync -> queue everywhere; committers take the queue
-    /// locks without holding sync.
-    fn enqueue_locked(
+    /// Publish an accepted submission into its reserved ring slot and
+    /// return its ticket. `in_flight` is incremented *before* the slot
+    /// publishes (a committer could otherwise scoop, resolve, and
+    /// decrement first — u64 underflow, flush/shutdown accounting torn);
+    /// rejected reservations never touch it.
+    fn publish(
         &self,
-        st: &mut SyncState,
-        shard: usize,
-        ops: Vec<TxnOp<K, V>>,
-        slot: Arc<ticket::Oneshot<IngestOutcome>>,
-    ) {
-        st.depth[shard] += 1;
-        st.queued[self.shared.committer_of(shard)] += 1;
-        st.in_flight += 1;
-        self.shared.queues[shard]
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .push_back(Submission {
-                ops,
-                ticket: slot,
-                shard,
-                enqueued: self.shared.obs.as_ref().map(|_| Instant::now()),
-            });
+        reserved: ring::PushSlot<'_, Submission<K, V>>,
+        ops: Ops<K, V>,
+    ) -> Ticket<IngestOutcome> {
+        let slot = ticket::Oneshot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        reserved.publish(Submission {
+            ops,
+            ticket: slot,
+            enqueued: self.shared.obs.as_ref().map(|_| Instant::now()),
+        });
+        self.shared.wake_committers();
+        ticket
+    }
+
+    /// Reserve a slot on `shard`'s ring, parking on the backpressure
+    /// slow path while the ring is full. Panics on shutdown (both before
+    /// parking and on every wakeup — [`Ingest::shutdown`] wakes parked
+    /// submitters so they fail fast instead of deadlocking).
+    fn reserve_blocking(&self, shard: usize) -> ring::PushSlot<'_, Submission<K, V>> {
+        let sh = &*self.shared;
+        sh.assert_live();
+        if let Some(reserved) = sh.rings[shard].try_reserve() {
+            return reserved;
+        }
+        // Slow path: park eventcount-style. The sleeper count is
+        // incremented under the wake mutex and the ring is re-checked
+        // before every wait, so a drain that frees space either sees the
+        // sleeper (and notifies under the same mutex) or happened early
+        // enough for the re-check to see the space.
+        let mut guard = sh.wake.lock().unwrap_or_else(|p| p.into_inner());
+        sh.space_sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let reserved = loop {
+            if sh.shutdown.load(Ordering::SeqCst) {
+                sh.space_sleepers.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+                sh.assert_live(); // panics: live was just observed false
+                unreachable!("assert_live panics once shutdown is set");
+            }
+            if let Some(reserved) = sh.rings[shard].try_reserve() {
+                break reserved;
+            }
+            // Only already-published work frees the space being waited
+            // for, so nudge the committers before sleeping.
+            sh.work.notify_all();
+            guard = sh.space.wait(guard).unwrap_or_else(|p| p.into_inner());
+        };
+        sh.space_sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        reserved
     }
 
     /// Submit one operation; its ticket resolves with a single outcome
     /// bit when the operation's group commits. **Blocks** while the
-    /// target shard's queue is at [`IngestConfig::max_queue_depth`].
+    /// target shard's ring is at [`IngestConfig::max_queue_depth`]. The
+    /// hot path allocates nothing beyond the ticket — the op rides
+    /// inline in its ring slot.
     pub fn submit(&self, op: TxnOp<K, V>) -> Ticket<IngestOutcome> {
-        self.submit_batch(vec![op])
+        let shard = self.shared.store.shard_of(op.key());
+        let reserved = self.reserve_blocking(shard);
+        self.publish(reserved, Ops::One(op))
     }
 
     /// Non-blocking [`Ingest::submit`]: [`QueueFull`] (carrying the op
-    /// back) instead of blocking when the target shard's queue is at
-    /// capacity.
+    /// back) instead of blocking when the target shard's ring is at
+    /// capacity. The accept path is lock-free and allocates only the
+    /// ticket; the shed path costs one relaxed load.
     pub fn try_submit(&self, op: TxnOp<K, V>) -> Result<Ticket<IngestOutcome>, QueueFull<K, V>> {
-        self.try_submit_batch(vec![op])
+        self.shared.assert_live();
+        let shard = self.shared.store.shard_of(op.key());
+        match self.shared.rings[shard].try_reserve() {
+            Some(reserved) => Ok(self.publish(reserved, Ops::One(op))),
+            None => {
+                self.shared.note_queue_full(shard, 1);
+                Err(QueueFull { ops: vec![op] })
+            }
+        }
     }
 
     /// Submit a whole multi-key batch as one atomic unit: every op
@@ -436,42 +572,22 @@ where
     /// observes part of it (same guarantee as
     /// [`store::BundledStore::apply_txn`], amortized across the group).
     /// Duplicate keys inside the batch are legal and serialize in batch
-    /// order. An empty batch resolves immediately. **Blocks** while the
-    /// batch's target queue (its first key's shard) is at
+    /// order. An empty batch resolves immediately. The batch occupies
+    /// **one** ring slot regardless of its op count; **blocks** while
+    /// its target ring (its first key's shard) is at
     /// [`IngestConfig::max_queue_depth`].
     pub fn submit_batch(&self, ops: Vec<TxnOp<K, V>>) -> Ticket<IngestOutcome> {
-        let slot = ticket::Oneshot::new();
         if ops.is_empty() {
-            return self.empty_ticket(slot);
+            return self.empty_ticket(ticket::Oneshot::new());
         }
-        let ticket = Ticket::new(Arc::clone(&slot));
         let shard = self.shared.store.shard_of(ops[0].key());
-        {
-            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            loop {
-                assert!(
-                    !st.shutdown,
-                    "submitted to an ingest front-end that is shutting down"
-                );
-                if st.depth[shard] < self.shared.max_queue_depth {
-                    break;
-                }
-                // Backpressure: wait for the owning committer to drain.
-                st = self
-                    .shared
-                    .space
-                    .wait(st)
-                    .unwrap_or_else(|p| p.into_inner());
-            }
-            self.enqueue_locked(&mut st, shard, ops, slot);
-        }
-        self.shared.work.notify_all();
-        ticket
+        let reserved = self.reserve_blocking(shard);
+        self.publish(reserved, Ops::Many(ops))
     }
 
     /// Non-blocking [`Ingest::submit_batch`]: [`QueueFull`] (carrying the
     /// ops back for the caller to retry, redirect, or shed) instead of
-    /// blocking when the batch's target queue is at capacity.
+    /// blocking when the batch's target ring is at capacity.
     pub fn try_submit_batch(
         &self,
         ops: Vec<TxnOp<K, V>>,
@@ -479,109 +595,59 @@ where
         if ops.is_empty() {
             return Ok(self.empty_ticket(ticket::Oneshot::new()));
         }
+        self.shared.assert_live();
         let shard = self.shared.store.shard_of(ops[0].key());
-        let ticket = {
-            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            assert!(
-                !st.shutdown,
-                "submitted to an ingest front-end that is shutting down"
-            );
-            if st.depth[shard] >= self.shared.max_queue_depth {
-                // Shed: note the rejection in the flight recorder *after*
-                // releasing the sync lock (the anomaly snapshot walks
-                // every ring). Producers have no store tid, so the event
-                // records under the full queue's shard id — the rings
-                // are multi-writer-safe.
-                drop(st);
-                if let Some(o) = &self.shared.obs {
-                    if let Some(tr) = &o.trace {
-                        tr.record(
-                            shard,
-                            obs::TraceKind::QueueFull,
-                            shard as u32,
-                            ops.len() as u64,
-                        );
-                        tr.note_anomaly(obs::AnomalyCause::QueueFull, shard);
-                    }
-                }
-                return Err(QueueFull { ops });
+        match self.shared.rings[shard].try_reserve() {
+            Some(reserved) => Ok(self.publish(reserved, Ops::Many(ops))),
+            None => {
+                self.shared.note_queue_full(shard, ops.len());
+                Err(QueueFull { ops })
             }
-            // Allocate the ticket only once accepted: the shed path runs
-            // hottest exactly when producers spin-retry against a full
-            // queue, and it should cost nothing but the depth check.
-            let slot = ticket::Oneshot::new();
-            let ticket = Ticket::new(Arc::clone(&slot));
-            self.enqueue_locked(&mut st, shard, ops, slot);
-            ticket
-        };
-        self.shared.work.notify_all();
-        Ok(ticket)
+        }
     }
 
-    /// Submit many *independent* operations (one ticket each) with a
-    /// single bookkeeping round: the pipelined-producer fast path — push
-    /// a window, then wait the tickets. With a bounded queue this may
-    /// **block mid-window** (already-enqueued ops stay enqueued and keep
+    /// Submit many *independent* operations (one ticket each): the
+    /// pipelined-producer fast path — push a window, then wait the
+    /// tickets. Each op takes the same lock-free lane as
+    /// [`Ingest::submit`], so with a bounded ring this may **block
+    /// mid-window** (already-published ops stay published and keep
     /// committing, which is what frees the space being waited for).
     pub fn submit_all(
         &self,
         ops: impl IntoIterator<Item = TxnOp<K, V>>,
     ) -> Vec<Ticket<IngestOutcome>> {
-        let mut tickets = Vec::new();
-        {
-            // Same ordering discipline as `submit_batch`: accounting and
-            // enqueueing are one atomic step under the sync lock.
-            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            for op in ops {
-                let shard = self.shared.store.shard_of(op.key());
-                loop {
-                    assert!(
-                        !st.shutdown,
-                        "submitted to an ingest front-end that is shutting down"
-                    );
-                    if st.depth[shard] < self.shared.max_queue_depth {
-                        break;
-                    }
-                    // The committers only see already-enqueued work while
-                    // we wait, so nudge them before sleeping.
-                    self.shared.work.notify_all();
-                    st = self
-                        .shared
-                        .space
-                        .wait(st)
-                        .unwrap_or_else(|p| p.into_inner());
-                }
-                let slot = ticket::Oneshot::new();
-                tickets.push(Ticket::new(Arc::clone(&slot)));
-                self.enqueue_locked(&mut st, shard, vec![op], slot);
-            }
-        }
-        if !tickets.is_empty() {
-            self.shared.work.notify_all();
-        }
-        tickets
+        ops.into_iter().map(|op| self.submit(op)).collect()
     }
 
     /// Block until every submission accepted so far has resolved.
     pub fn flush(&self) {
-        let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-        while st.in_flight > 0 {
-            st = self.shared.idle.wait(st).unwrap_or_else(|p| p.into_inner());
+        if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut guard = self.shared.wake.lock().unwrap_or_else(|p| p.into_inner());
+        // The committer that decrements to zero takes the wake mutex
+        // before notifying, so a non-zero read under the mutex cannot
+        // miss its notification.
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+            guard = self
+                .shared
+                .idle
+                .wait(guard)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 
-    /// Drain every queue, resolve every outstanding ticket, and join the
+    /// Drain every ring, resolve every outstanding ticket, and join the
     /// committer threads. Idempotent; also runs on drop. All submissions
-    /// must happen-before this call (a racing submit panics).
+    /// must happen-before this call (a racing submit panics, including
+    /// submitters parked on a full ring — they are woken to fail fast).
     pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            st.shutdown = true;
+            let _g = self.shared.wake.lock().unwrap_or_else(|p| p.into_inner());
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
         }
-        self.shared.work.notify_all();
-        // Submitters blocked on a full queue wake up and panic (the
-        // shutdown contract forbids concurrent submissions).
-        self.shared.space.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
         for w in workers {
             w.join().expect("an ingest committer thread panicked");
@@ -606,12 +672,12 @@ impl<K, V, S> Ingest<K, V, S> {
 
 impl<K, V, S> Drop for Ingest<K, V, S> {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut st = self.shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            st.shutdown = true;
+            let _g = self.shared.wake.lock().unwrap_or_else(|p| p.into_inner());
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
         }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
         for w in workers {
             let _ = w.join();
@@ -628,11 +694,32 @@ impl<K, V, S> std::fmt::Debug for Ingest<K, V, S> {
     }
 }
 
-/// Pull queued submissions from the committer's owned shards, up to the
-/// soft op cap (the submission crossing the cap is taken whole). The
-/// scan starts at `owned[start]` and wraps: callers rotate `start` per
-/// round so that a sustained over-cap backlog on one shard cannot
-/// starve the committer's other queues.
+/// Park until one of this committer's rings has published work or
+/// shutdown is flagged; returns the shutdown flag. The fast path (work
+/// already visible) never touches the wake mutex — see
+/// [`Shared::wake_committers`] for the pairing.
+fn committer_wait<K, V, S>(shared: &Shared<K, V, S>, owned: &[usize]) -> bool {
+    let ready = || owned.iter().any(|&s| shared.rings[s].has_ready());
+    if shared.shutdown.load(Ordering::SeqCst) || ready() {
+        return shared.shutdown.load(Ordering::SeqCst);
+    }
+    let mut guard = shared.wake.lock().unwrap_or_else(|p| p.into_inner());
+    shared.work_sleepers.fetch_add(1, Ordering::SeqCst);
+    fence(Ordering::SeqCst);
+    while !shared.shutdown.load(Ordering::SeqCst) && !ready() {
+        guard = shared.work.wait(guard).unwrap_or_else(|p| p.into_inner());
+    }
+    shared.work_sleepers.fetch_sub(1, Ordering::SeqCst);
+    drop(guard);
+    shared.shutdown.load(Ordering::SeqCst)
+}
+
+/// Scoop queued submissions from the committer's owned shard rings, up
+/// to the soft op cap (the submission crossing the cap is taken whole).
+/// The scan starts at `owned[start]` and wraps: callers rotate `start`
+/// per round so that a sustained over-cap backlog on one shard cannot
+/// starve the committer's other rings. Each ring's published run is
+/// contiguous, so `pop`-until-`None` takes exactly the backlog.
 fn drain<K, V, S>(
     shared: &Shared<K, V, S>,
     owned: &[usize],
@@ -642,11 +729,12 @@ fn drain<K, V, S>(
     let mut ops = 0usize;
     for i in 0..owned.len() {
         let shard = owned[(start + i) % owned.len()];
-        let mut q = shared.queues[shard]
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
+        let ring = &shared.rings[shard];
         while ops < shared.max_group_ops {
-            match q.pop_front() {
+            // SAFETY: shard `s` is drained only by committer
+            // `s % committers` (`owned` is exactly that partition), so
+            // this thread is the ring's single consumer.
+            match unsafe { ring.pop() } {
                 Some(sub) => {
                     ops += sub.ops.len();
                     subs.push(sub);
@@ -681,7 +769,7 @@ fn commit_group<K, V, S>(
     // op on the committer, the serial heart of the front-end.
     let mut positions: Vec<(K, u32, u32)> = Vec::new();
     for (si, sub) in subs.iter().enumerate() {
-        for (oi, op) in sub.ops.iter().enumerate() {
+        for (oi, op) in sub.ops.as_slice().iter().enumerate() {
             positions.push((*op.key(), si as u32, oi as u32));
         }
     }
@@ -690,7 +778,8 @@ fn commit_group<K, V, S>(
     // One effective op per key; `runs[i]` is the positions range that
     // folded into `effective[i]`. Distinct keys (the common case under
     // uniform traffic) skip the fold entirely.
-    let op_at = |si: u32, oi: u32| -> &TxnOp<K, V> { &subs[si as usize].ops[oi as usize] };
+    let op_at =
+        |si: u32, oi: u32| -> &TxnOp<K, V> { &subs[si as usize].ops.as_slice()[oi as usize] };
     let mut effective: Vec<TxnOp<K, V>> = Vec::with_capacity(total_ops);
     let mut runs: Vec<(usize, usize)> = Vec::with_capacity(total_ops);
     let mut i = 0;
@@ -796,65 +885,58 @@ where
         .step_by(shared.committers)
         .collect();
     // Rotating drain origin: fairness across this committer's shards
-    // when one queue alone can fill a whole group.
+    // when one ring alone can fill a whole group.
     let mut rotate = 0usize;
     loop {
-        let shutdown = {
-            let mut st = shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            while st.queued[c] == 0 && !st.shutdown {
-                st = shared.work.wait(st).unwrap_or_else(|p| p.into_inner());
-            }
-            st.queued[c] = 0;
-            st.shutdown
-        };
+        let shutdown = committer_wait(shared, &owned);
         if !shared.linger.is_zero() && !shutdown {
             // Optional epoch: let the group grow before draining.
             std::thread::sleep(shared.linger);
-            shared.sync.lock().unwrap_or_else(|p| p.into_inner()).queued[c] = 0;
         }
-        // Drain until the owned queues are empty: while a group commits,
-        // producers refill the queues — natural group-commit batching.
+        // Drain until the owned rings are empty: while a group commits,
+        // producers refill the rings — natural group-commit batching.
         loop {
             let subs = drain(shared, &owned, rotate);
             rotate = (rotate + 1) % owned.len().max(1);
             if subs.is_empty() {
                 break;
             }
-            // Release the popped submissions' queue slots *before* the
-            // commit: backpressure bounds what sits in the queues, and
-            // producers refilling during the commit is exactly the
-            // batching this front-end exists for.
-            {
-                let mut st = shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-                for sub in &subs {
-                    st.depth[sub.shard] -= 1;
-                }
-                if let Some(o) = &shared.obs {
-                    o.queue_depth.record(handle.tid(), subs.len() as u64);
-                    o.depth.set(st.depth.iter().sum::<usize>() as i64);
-                    if let Some(tr) = &o.trace {
-                        tr.record(
-                            handle.tid(),
-                            obs::TraceKind::DrainScoop,
-                            obs::trace::NO_SHARD,
-                            subs.len() as u64,
-                        );
-                    }
-                }
-            }
-            if shared.max_queue_depth != usize::MAX {
+            // The pops above released the submissions' ring slots
+            // *before* the commit: backpressure bounds what sits in the
+            // rings, and producers refilling during the commit is
+            // exactly the batching this front-end exists for. Same
+            // Dekker pairing as `wake_committers`, against the parked
+            // submitters in `reserve_blocking`.
+            fence(Ordering::SeqCst);
+            if shared.space_sleepers.load(Ordering::SeqCst) > 0 {
+                let _g = shared.wake.lock().unwrap_or_else(|p| p.into_inner());
                 shared.space.notify_all();
+            }
+            if let Some(o) = &shared.obs {
+                o.queue_depth.record(handle.tid(), subs.len() as u64);
+                let occupancy: usize = shared.rings.iter().map(ring::MpscRing::occupancy).sum();
+                o.depth.set(occupancy as i64);
+                if let Some(tr) = &o.trace {
+                    tr.record(
+                        handle.tid(),
+                        obs::TraceKind::DrainScoop,
+                        obs::trace::NO_SHARD,
+                        subs.len() as u64,
+                    );
+                }
             }
             commit_group(shared, handle, &subs);
             let resolved = subs.len() as u64;
-            let mut st = shared.sync.lock().unwrap_or_else(|p| p.into_inner());
-            st.in_flight -= resolved;
-            if st.in_flight == 0 {
+            if shared.in_flight.fetch_sub(resolved, Ordering::SeqCst) == resolved {
+                // This decrement hit zero: flush may be parked. Take the
+                // wake mutex so a flusher that read non-zero is already
+                // inside its condvar wait.
+                let _g = shared.wake.lock().unwrap_or_else(|p| p.into_inner());
                 shared.idle.notify_all();
             }
         }
-        if shutdown {
-            // Queues verified empty by the drain above, and the shutdown
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Rings verified empty by the drain above, and the shutdown
             // contract forbids concurrent submits: nothing can arrive.
             break;
         }
@@ -908,7 +990,7 @@ mod tests {
 
     #[test]
     fn same_key_submissions_serialize_in_queue_order() {
-        // One committer and a pre-seeded queue make the group composition
+        // One committer and a pre-seeded ring make the group composition
         // deterministic: all four same-key ops fold into one group.
         let store = Arc::new(LazyListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
         store.insert(0, 10, 0);
@@ -1027,9 +1109,9 @@ mod tests {
     #[test]
     fn committers_beyond_shards_are_clamped_and_all_drain() {
         // Regression guard for the committer/shard mapping: a committer
-        // beyond the shard count would own no queue and sleep forever on
+        // beyond the shard count would own no ring and sleep forever on
         // its wake counter, so `spawn` must clamp — and every shard's
-        // queue must still be owned by a live committer.
+        // ring must still be owned by a live committer.
         let store = Arc::new(SkipListStore::<u64, u64>::new(4, uniform_splits(2, 100)));
         let ingest = Ingest::spawn(
             Arc::clone(&store),
@@ -1039,7 +1121,7 @@ mod tests {
             },
         );
         assert_eq!(ingest.committers(), 2, "clamped to the shard count");
-        // Ops landing on both shards commit (no orphaned queue).
+        // Ops landing on both shards commit (no orphaned ring).
         let t0 = ingest.submit(TxnOp::Put(10, 1));
         let t1 = ingest.submit(TxnOp::Put(60, 6));
         assert_eq!(t0.wait().applied, vec![true]);
@@ -1050,7 +1132,7 @@ mod tests {
 
     #[test]
     fn try_submit_sheds_load_when_the_queue_is_full() {
-        // One committer held back by a long linger: the queue fills to
+        // One committer held back by a long linger: the ring fills to
         // its 1-submission cap, so a second non-blocking submission must
         // bounce with its ops handed back.
         let store = Arc::new(LazyListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
@@ -1064,7 +1146,7 @@ mod tests {
             },
         );
         let t = ingest.submit(TxnOp::Put(10, 1));
-        // Same shard, queue at capacity, committer still lingering.
+        // Same shard, ring at capacity, committer still lingering.
         match ingest.try_submit(TxnOp::Put(11, 2)) {
             Err(QueueFull { ops }) => {
                 assert_eq!(ops, vec![TxnOp::Put(11, 2)], "rejected ops come back")
@@ -1087,7 +1169,7 @@ mod tests {
 
     #[test]
     fn blocking_submit_waits_for_space_and_loses_nothing() {
-        // A tiny queue bound with a producer fleet pushing far more than
+        // A tiny ring bound with a producer fleet pushing far more than
         // fits: every blocking submission must eventually land, and every
         // ticket must resolve (no drops, no deadlock, no lost wakeups).
         const PRODUCERS: usize = 4;
@@ -1138,6 +1220,94 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_wakes_a_submitter_parked_on_a_full_ring() {
+        // A producer parked on the backpressure slow path (depth-1 ring,
+        // committer lingering) must be woken by shutdown and fail fast
+        // with the shutdown panic — not deadlock against the join.
+        let store = Arc::new(SkipListStore::<u64, u64>::new(4, uniform_splits(1, 100)));
+        let ingest = Arc::new(Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 1,
+                max_queue_depth: 1,
+                linger: Duration::from_millis(400),
+                ..IngestConfig::default()
+            },
+        ));
+        let t = ingest.submit(TxnOp::Put(1, 1)); // fills the ring
+        let parked = {
+            let ingest = Arc::clone(&ingest);
+            std::thread::spawn(move || {
+                // Blocks: the ring is full until the linger expires, and
+                // shutdown arrives first.
+                let _ = ingest.submit(TxnOp::Put(2, 2));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        ingest.shutdown();
+        assert!(
+            parked.join().is_err(),
+            "the parked submitter must wake and panic on shutdown"
+        );
+        assert_eq!(t.wait().applied, vec![true], "the accepted op resolved");
+    }
+
+    #[test]
+    fn queue_depth_counts_submissions_not_ops() {
+        // Depth 2, committer lingering: two 4-op batches must both be
+        // accepted (8 ops, 2 submissions). If the bound counted ops, the
+        // second batch would bounce — and a committer drain racing in
+        // can only free space, never cause a spurious rejection.
+        let store = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(1, 100)));
+        let ingest = Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 1,
+                max_queue_depth: 2,
+                linger: Duration::from_millis(100),
+                ..IngestConfig::default()
+            },
+        );
+        let mk = |base: u64| (0..4).map(|i| TxnOp::Put(base + i, i)).collect::<Vec<_>>();
+        let t0 = ingest
+            .try_submit_batch(mk(0))
+            .expect("first batch occupies one slot");
+        let t1 = ingest
+            .try_submit_batch(mk(10))
+            .expect("second batch occupies the second slot: the unit is submissions");
+        assert_eq!(t0.wait().applied, vec![true; 4]);
+        assert_eq!(t1.wait().applied, vec![true; 4]);
+        ingest.shutdown();
+        assert_eq!(store.register().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_queue_depth_is_rejected_at_spawn() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
+        let _ = Ingest::spawn(
+            store,
+            IngestConfig {
+                max_queue_depth: 0,
+                ..IngestConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_QUEUE_DEPTH")]
+    fn oversized_queue_depth_is_rejected_at_spawn() {
+        let store = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(2, 100)));
+        let _ = Ingest::spawn(
+            store,
+            IngestConfig {
+                max_queue_depth: MAX_QUEUE_DEPTH + 1,
+                ..IngestConfig::default()
+            },
+        );
+    }
+
+    #[test]
     fn obs_instruments_the_front_end() {
         let reg = obs::MetricsRegistry::new();
         let store = Arc::new(SkipListStore::<u64, u64>::with_obs(
@@ -1172,7 +1342,8 @@ mod tests {
             Some(obs::SnapshotValue::Histogram(h)) => assert_eq!(h.sum, 40),
             _ => unreachable!(),
         }
-        // All submissions drained: the live-depth gauge reads zero.
+        // All submissions drained: the live-depth gauge (summed ring
+        // occupancy at the last drain) reads zero.
         assert_eq!(
             snap.get("ingest.depth"),
             Some(&obs::SnapshotValue::Gauge(0))
@@ -1186,5 +1357,103 @@ mod tests {
         assert!(ingest.shared.obs.is_none());
         assert_eq!(ingest.submit(TxnOp::Put(1, 1)).wait().applied, vec![true]);
         ingest.shutdown();
+    }
+
+    #[test]
+    fn ring_path_outcomes_replay_against_an_oracle() {
+        // The ticket-outcome oracle through the lock-free path: a seeded
+        // multi-producer mixed workload over a small hot key range,
+        // submitted via `try_submit` with handback-retry against a tiny
+        // ring. Sorting every outcome by its commit metadata `(ts, seq)`
+        // must yield a serial history a naive map replays exactly —
+        // per-op outcome bits and final store contents both. (Same-key
+        // ops share a shard, hence a ring, hence a committer, so the
+        // per-key projection of the `(ts, seq)` order is exactly the
+        // order the folds resolved them in.)
+        use std::collections::BTreeMap;
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 300;
+        const KEYS: u64 = 64;
+        let store = Arc::new(SkipListStore::<u64, u64>::new(3, uniform_splits(4, KEYS)));
+        let ingest = Arc::new(Ingest::spawn(
+            Arc::clone(&store),
+            IngestConfig {
+                committers: 2,
+                max_queue_depth: 4,
+                ..IngestConfig::default()
+            },
+        ));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ingest = Arc::clone(&ingest);
+                std::thread::spawn(move || {
+                    let mut rng = p.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1; // seeded
+                    let mut pending = Vec::new();
+                    for i in 0..PER_PRODUCER {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let k = rng % KEYS;
+                        let op = match rng % 3 {
+                            0 => TxnOp::Put(k, p * PER_PRODUCER + i),
+                            1 => TxnOp::Set(k, p),
+                            _ => TxnOp::Remove(k),
+                        };
+                        let ticket = loop {
+                            match ingest.try_submit(op.clone()) {
+                                Ok(t) => break t,
+                                Err(QueueFull { ops }) => {
+                                    // Handback exactness: the very op
+                                    // that bounced comes back; retry it.
+                                    assert_eq!(ops, vec![op.clone()]);
+                                    std::thread::yield_now();
+                                }
+                            }
+                        };
+                        pending.push((op, ticket));
+                    }
+                    pending
+                        .into_iter()
+                        .map(|(op, t)| (op, t.wait()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut history: Vec<(u64, u64, TxnOp<u64, u64>, bool)> = Vec::new();
+        for h in producers {
+            for (op, outcome) in h.join().unwrap() {
+                assert_eq!(outcome.applied.len(), 1);
+                history.push((outcome.ts, outcome.seq, op, outcome.applied[0]));
+            }
+        }
+        ingest.shutdown();
+        assert_eq!(history.len(), (PRODUCERS * PER_PRODUCER) as usize);
+        history.sort_by_key(|e| (e.0, e.1));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (ts, seq, op, applied) in &history {
+            let expect = match op {
+                TxnOp::Put(k, v) => {
+                    if model.contains_key(k) {
+                        false
+                    } else {
+                        model.insert(*k, *v);
+                        true
+                    }
+                }
+                TxnOp::Set(k, v) => model.insert(*k, *v).is_some(),
+                TxnOp::Remove(k) => model.remove(k).is_some(),
+            };
+            assert_eq!(
+                *applied, expect,
+                "op {op:?} at ({ts}, {seq}) diverged from the serial oracle"
+            );
+        }
+        // And the store's final contents are the model's.
+        let h = store.register();
+        assert_eq!(
+            h.range_query_vec(&0, &KEYS),
+            model.into_iter().collect::<Vec<_>>(),
+            "final store contents diverged from the serial oracle"
+        );
     }
 }

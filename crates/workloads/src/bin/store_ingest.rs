@@ -33,6 +33,17 @@
 //! never-taken branch), the gate bounds the disabled-mode cost from
 //! above by the full instrumentation cost.
 //!
+//! A fourth **submit-path panel** prices the submission queue itself:
+//! [`SUBMIT_PRODUCERS`] producer threads hammer non-blocking pushes
+//! against a deliberately slow consumer through two implementations of
+//! the same bounded queue — the pre-ring `Mutex<VecDeque>` + depth
+//! check, and the lock-free [`ingest::ring::MpscRing`] the front-end
+//! now uses — reporting `submit_ns_per_op` (mean wall time per push
+//! attempt, accepted or shed) for both and their ratio as
+//! `submit_speedup`. `--check-submit-path` exits non-zero if the ring
+//! path is slower than the locked path (median-of-rounds with one
+//! documented retry): the lock-free claim is measured, not assumed.
+//!
 //! `--obs` additionally builds the ingest-path stores over a live
 //! registry, prints the metrics table after the last thread count of
 //! each backend (queue depth, group size, linger occupancy, ticket wait
@@ -44,7 +55,7 @@
 //! `--json` records — both imply `--obs`.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--check-obs-overhead]`
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--check-obs-overhead] [--check-submit-path]`
 //! (default: all three backends). Thread counts come from
 //! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
 //! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
@@ -674,6 +685,242 @@ fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
     ok
 }
 
+/// Producer threads of the submit-path panel (the issue's acceptance
+/// criterion gates the ring at this fan-in).
+const SUBMIT_PRODUCERS: usize = 8;
+
+/// Depth bound of both queues under test — deep enough that accepts
+/// happen, shallow enough that the slow consumer keeps the queues mostly
+/// full (the shed path is the contended one).
+const SUBMIT_BOUND: usize = 64;
+
+/// Push attempts per producer per measured round.
+const SUBMIT_ATTEMPTS: u64 = 30_000;
+
+/// Measured rounds (plus one warmup); the gate takes the median round,
+/// so a minority of noisy rounds cannot fail or pass it alone.
+const SUBMIT_ROUNDS: usize = 5;
+
+/// Spin iterations the consumer burns per popped value — the
+/// "deliberately slow committer" that keeps the queues saturated.
+const SUBMIT_CONSUMER_SPINS: u32 = 128;
+
+/// The `--check-submit-path` floor: the ring must be at least this many
+/// times the locked path (1.0 = no regression; the point of the panel
+/// is that the measured ratio lands in the JSON artifact either way).
+const SUBMIT_SPEEDUP_FLOOR: f64 = 1.0;
+
+/// The submit-path panel's queue contract: multi-producer non-blocking
+/// push, single-consumer pop (the harness dedicates one consumer
+/// thread, mirroring the committer's shard ownership).
+trait SubmitQueue: Send + Sync + 'static {
+    /// Push, or report full (the value itself is irrelevant here — the
+    /// panel times the attempt, not the payload).
+    fn try_push(&self, v: u64) -> bool;
+    /// Pop the oldest value; called only from the single consumer.
+    fn pop_one(&self) -> Option<u64>;
+}
+
+/// The pre-ring submission queue shape: one mutex guarding a `VecDeque`
+/// plus a depth check — what every producer used to serialize on.
+struct LockedQueue {
+    q: std::sync::Mutex<std::collections::VecDeque<u64>>,
+    bound: usize,
+}
+
+impl SubmitQueue for LockedQueue {
+    fn try_push(&self, v: u64) -> bool {
+        let mut q = self.q.lock().expect("submit panel poisoned");
+        if q.len() >= self.bound {
+            false
+        } else {
+            q.push_back(v);
+            true
+        }
+    }
+
+    fn pop_one(&self) -> Option<u64> {
+        self.q.lock().expect("submit panel poisoned").pop_front()
+    }
+}
+
+/// The front-end's actual ring. `pop` is `unsafe` with a single-consumer
+/// contract; the panel upholds it by popping from exactly one thread.
+struct RingQueue(ingest::ring::MpscRing<u64>);
+
+impl SubmitQueue for RingQueue {
+    fn try_push(&self, v: u64) -> bool {
+        self.0.try_push(v).is_ok()
+    }
+
+    fn pop_one(&self) -> Option<u64> {
+        // SAFETY: `submit_round` calls `pop_one` from its single
+        // consumer thread only.
+        unsafe { self.0.pop() }
+    }
+}
+
+/// One round: [`SUBMIT_PRODUCERS`] threads each fire
+/// [`SUBMIT_ATTEMPTS`] back-to-back push attempts at `q` while one slow
+/// consumer drains it; returns mean nanoseconds per attempt across all
+/// producers (accepted and shed attempts both count — under a saturated
+/// queue the shed path *is* the contended submit path).
+fn submit_round<Q: SubmitQueue>(q: Arc<Q>) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let consumer = {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            match q.pop_one() {
+                Some(_) => {
+                    for _ in 0..SUBMIT_CONSUMER_SPINS {
+                        std::hint::spin_loop();
+                    }
+                }
+                None => {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        })
+    };
+    let producers: Vec<_> = (0..SUBMIT_PRODUCERS as u64)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                let t0 = Instant::now();
+                for i in 0..SUBMIT_ATTEMPTS {
+                    if q.try_push((p << 32) | i) {
+                        accepted += 1;
+                    }
+                }
+                (t0.elapsed(), accepted)
+            })
+        })
+        .collect();
+    let mut total_ns = 0.0;
+    let mut accepted = 0u64;
+    for h in producers {
+        let (elapsed, acc) = h.join().expect("submit panel producer panicked");
+        total_ns += elapsed.as_nanos() as f64;
+        accepted += acc;
+    }
+    stop.store(true, Ordering::Relaxed);
+    consumer.join().expect("submit panel consumer panicked");
+    assert!(accepted > 0, "the slow consumer must still accept pushes");
+    total_ns / (SUBMIT_PRODUCERS as u64 * SUBMIT_ATTEMPTS) as f64
+}
+
+/// Median ns-per-attempt for both queue implementations and their ratio.
+struct SubmitPathResult {
+    locked_ns: f64,
+    ring_ns: f64,
+    /// `locked_ns / ring_ns`: > 1 means the ring is faster.
+    speedup: f64,
+}
+
+fn run_submit_path() -> SubmitPathResult {
+    let mut locked = Vec::with_capacity(SUBMIT_ROUNDS);
+    let mut ring = Vec::with_capacity(SUBMIT_ROUNDS);
+    for round in 0..=SUBMIT_ROUNDS {
+        // Alternate the order per round so neither side systematically
+        // inherits warm caches or eats a load spike alone; round 0 warms
+        // up and is discarded.
+        let (l, r) = if round % 2 == 0 {
+            let l = submit_round(Arc::new(LockedQueue {
+                q: std::sync::Mutex::new(std::collections::VecDeque::new()),
+                bound: SUBMIT_BOUND,
+            }));
+            let r = submit_round(Arc::new(RingQueue(ingest::ring::MpscRing::with_bound(
+                SUBMIT_BOUND,
+            ))));
+            (l, r)
+        } else {
+            let r = submit_round(Arc::new(RingQueue(ingest::ring::MpscRing::with_bound(
+                SUBMIT_BOUND,
+            ))));
+            let l = submit_round(Arc::new(LockedQueue {
+                q: std::sync::Mutex::new(std::collections::VecDeque::new()),
+                bound: SUBMIT_BOUND,
+            }));
+            (l, r)
+        };
+        if round == 0 {
+            continue;
+        }
+        locked.push(l);
+        ring.push(r);
+    }
+    let locked_ns = median(locked);
+    let ring_ns = median(ring);
+    SubmitPathResult {
+        locked_ns,
+        ring_ns,
+        speedup: locked_ns / ring_ns.max(1e-9),
+    }
+}
+
+/// Run and report the submit-path panel; returns `false` when the ring
+/// came out slower than the locked baseline (the `--check-submit-path`
+/// regression signal). Like the overhead panel, a failed first attempt
+/// is retried once with fresh queues — a CI-box hiccup rarely spans two
+/// panels, a real regression fails both. The measurement is
+/// data-structure-level, so `kind` only labels the record.
+fn submit_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
+    let mut r = run_submit_path();
+    if r.speedup < SUBMIT_SPEEDUP_FLOOR {
+        eprintln!(
+            "submit-path panel [{}] below floor ({:.3}x); retrying once with fresh queues",
+            kind.name(),
+            r.speedup,
+        );
+        r = run_submit_path();
+    }
+    println!(
+        "store_ingest [{}] submit-path panel, {SUBMIT_PRODUCERS} producers, bound \
+         {SUBMIT_BOUND}:\n  \
+         locked Mutex<VecDeque> {:.1} ns/attempt, MPSC ring {:.1} ns/attempt — {:.3}x \
+         (floor {SUBMIT_SPEEDUP_FLOOR}x)",
+        kind.name(),
+        r.locked_ns,
+        r.ring_ns,
+        r.speedup,
+    );
+    records.push(RunRecord {
+        schema: SCHEMA_VERSION,
+        bench: "store_ingest".into(),
+        kind: kind.name().into(),
+        mix: "submit-path".into(),
+        threads: SUBMIT_PRODUCERS,
+        metrics: vec![
+            ("submit_ns_per_op_locked".into(), r.locked_ns),
+            ("submit_ns_per_op_ring".into(), r.ring_ns),
+            ("submit_speedup".into(), r.speedup),
+            ("submit_bound".into(), SUBMIT_BOUND as f64),
+            (
+                "submit_attempts".into(),
+                (SUBMIT_PRODUCERS as u64 * SUBMIT_ATTEMPTS) as f64,
+            ),
+        ],
+        windows: Vec::new(),
+    });
+    let ok = r.speedup >= SUBMIT_SPEEDUP_FLOOR;
+    if !ok {
+        eprintln!(
+            "SUBMIT PATH REGRESSION [{}]: ring {:.1} ns/attempt vs locked {:.1} ns/attempt \
+             ({:.3}x, floor {SUBMIT_SPEEDUP_FLOOR}x) at {SUBMIT_PRODUCERS} producers",
+            kind.name(),
+            r.ring_ns,
+            r.locked_ns,
+            r.speedup,
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut kind_arg: Option<String> = None;
@@ -682,6 +929,7 @@ fn main() {
     let mut timeseries: Option<Duration> = None;
     let mut with_obs = false;
     let mut check_overhead = false;
+    let mut check_submit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -723,6 +971,10 @@ fn main() {
                 check_overhead = true;
                 i += 1;
             }
+            "--check-submit-path" => {
+                check_submit = true;
+                i += 1;
+            }
             other => {
                 kind_arg = Some(other.to_string());
                 i += 1;
@@ -745,10 +997,12 @@ fn main() {
     };
     let mut records = Vec::new();
     let mut overhead_ok = true;
+    let mut submit_ok = true;
     let mut last_trace = None;
     for kind in kinds {
         sweep(kind, with_obs, timeseries, &mut records, &mut last_trace);
         overhead_ok &= overhead_panel(kind, &mut records);
+        submit_ok &= submit_panel(kind, &mut records);
     }
     if let Some(path) = trace_path {
         match workloads::write_trace_dump(&path, last_trace.as_deref()) {
@@ -776,6 +1030,13 @@ fn main() {
         eprintln!(
             "--check-obs-overhead: instrumentation cost regressed past the budget \
              (metrics 5%, traced 10%)"
+        );
+        std::process::exit(1);
+    }
+    if check_submit && !submit_ok {
+        eprintln!(
+            "--check-submit-path: the lock-free submission ring came out slower than the \
+             locked queue it replaced"
         );
         std::process::exit(1);
     }

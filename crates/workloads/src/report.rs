@@ -54,8 +54,11 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
 /// keys. History: 1 = original (implicit, no `schema` key); 2 = adds the
 /// `schema` field itself and the flattened `obs.*` metric namespace;
 /// 3 = adds the `windows` array of per-window time-series summaries
-/// (empty unless the run sampled with `--timeseries`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// (empty unless the run sampled with `--timeseries`);
+/// 4 = adds the `store_ingest` submit-path contention panel records
+/// (`mix` `"submit-path"` with `submit_ns_per_op_locked` /
+/// `submit_ns_per_op_ring` / `submit_speedup` metrics).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One machine-readable benchmark run for `--json` output: a scenario
 /// binary records one `RunRecord` per (backend, mix, thread count)
@@ -191,7 +194,7 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("[\n"));
         assert!(content.trim_end().ends_with(']'));
-        assert!(content.contains("\"schema\":3,\"bench\":\"store_txn\""));
+        assert!(content.contains("\"schema\":4,\"bench\":\"store_txn\""));
         assert!(content.contains("\"mix\":\"rw-50-40-10\""));
         assert!(content.contains("\"ops_per_sec\":1234.5"));
         assert!(
