@@ -1,0 +1,752 @@
+//! Live introspection over TCP: scrape a running store instead of
+//! waiting for exit-time JSON dumps.
+//!
+//! An [`ExportServer`] is a pure-std, thread-per-connection HTTP/1.0-ish
+//! server bound to one address. It owns no obs state of its own — the
+//! host process hands it closures over whatever it has wired up
+//! ([`ExportSources`]), so any subset of the obs stack is servable and a
+//! source that was never wired answers with an explicit `disabled`
+//! marker rather than a 404. Endpoints:
+//!
+//! | path              | body |
+//! |-------------------|------|
+//! | `/metrics`        | the registry snapshot in Prometheus text exposition format 0.0.4 |
+//! | `/snapshot.json`  | the flattened snapshot as one JSON object |
+//! | `/windows.json`   | the retained time-series windows (incl. skew reports), JSON array |
+//! | `/anomalies.json` | the retained flight-recorder anomaly snapshots, JSON array |
+//! | `/health.json`    | the [`HealthReport`](crate::health::HealthReport) |
+//! | `/`               | a plain-text index of the above |
+//!
+//! ## Prometheus mapping
+//!
+//! Dotted obs names sanitize to underscore families, and the dense
+//! `shard<i>` / `stage<i>` segments lift into labels — so
+//! `store.shard3.ops` becomes `store_shard_ops{shard="3"}` and every
+//! shard lands in **one** family instead of N. Histograms render the
+//! crate's power-of-two buckets as *cumulative* `_bucket` series with
+//! `le` set to each bucket's inclusive upper bound ([`bucket_bound`]),
+//! closed by `le="+Inf"`, plus `_sum` and `_count`. `_count` and the
+//! `+Inf` bucket both use [`HistogramSummary::bucket_total`], which by
+//! the crate's ordering contract never lags the bucket contents — a
+//! mid-flight scrape stays internally consistent.
+//!
+//! ## Threading
+//!
+//! One accept loop, one short-lived thread per connection. Scrapes
+//! serialize on the sources mutex, so the host can hand over snapshot
+//! closures bound to a single reserved store handle (EBR pinning wants
+//! distinct handles per concurrent caller — the mutex guarantees the
+//! server is at most one). Observability must not outlive the observed:
+//! dropping the server (or calling [`ExportServer::stop`]) wakes the
+//! accept loop with a self-connection and joins it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::timeseries::Window;
+use crate::trace::AnomalySnapshot;
+use crate::{bucket_bound, MetricsSnapshot, SnapshotValue, BUCKETS};
+
+/// Per-connection socket timeout: a stuck scraper must not pin a
+/// handler thread (or the sources mutex) forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The closures an [`ExportServer`] serves from. Every field is
+/// optional: unwired sources answer `/…` with a `disabled` marker.
+/// Build with the `with_*` methods:
+///
+/// ```ignore
+/// let sources = ExportSources::new()
+///     .with_snapshot(move || store_handle.obs_snapshot())
+///     .with_windows(move || reader.windows())
+///     .with_health(move || monitor.report())
+///     .with_build_info(vec![("schema".into(), "5".into())]);
+/// ```
+#[derive(Default)]
+pub struct ExportSources {
+    /// Full registry snapshot (should refresh sampled gauges first, the
+    /// way the store's `obs_snapshot` does).
+    pub snapshot: Option<Box<dyn Fn() -> MetricsSnapshot + Send>>,
+    /// Retained time-series windows, oldest first.
+    pub windows: Option<Box<dyn Fn() -> Vec<Window> + Send>>,
+    /// Retained flight-recorder anomaly snapshots.
+    pub anomalies: Option<Box<dyn Fn() -> Vec<AnomalySnapshot> + Send>>,
+    /// The health monitor's current report, rendered to JSON
+    /// (`HealthReport::json`).
+    pub health: Option<Box<dyn Fn() -> String + Send>>,
+    /// `(key, value)` pairs for the `store_build_info` info-style metric
+    /// (schema version, backend kind, …). Values must be label-safe
+    /// (no quotes/backslashes/newlines — ours are identifiers).
+    pub build_info: Vec<(String, String)>,
+}
+
+impl ExportSources {
+    /// Empty sources: every endpoint answers, all report `disabled`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the registry-snapshot source.
+    #[must_use]
+    pub fn with_snapshot(mut self, f: impl Fn() -> MetricsSnapshot + Send + 'static) -> Self {
+        self.snapshot = Some(Box::new(f));
+        self
+    }
+
+    /// Set the time-series windows source.
+    #[must_use]
+    pub fn with_windows(mut self, f: impl Fn() -> Vec<Window> + Send + 'static) -> Self {
+        self.windows = Some(Box::new(f));
+        self
+    }
+
+    /// Set the anomaly-snapshots source.
+    #[must_use]
+    pub fn with_anomalies(mut self, f: impl Fn() -> Vec<AnomalySnapshot> + Send + 'static) -> Self {
+        self.anomalies = Some(Box::new(f));
+        self
+    }
+
+    /// Set the health-report source (pre-rendered JSON).
+    #[must_use]
+    pub fn with_health(mut self, f: impl Fn() -> String + Send + 'static) -> Self {
+        self.health = Some(Box::new(f));
+        self
+    }
+
+    /// Set the `store_build_info` labels.
+    #[must_use]
+    pub fn with_build_info(mut self, kv: Vec<(String, String)>) -> Self {
+        self.build_info = kv;
+        self
+    }
+}
+
+/// A dotted obs name split into a Prometheus family plus extracted
+/// labels: `store.shard3.ops` → family `store_shard_ops`, label
+/// `shard="3"`.
+fn sanitize_name(name: &str) -> (String, Vec<(String, String)>) {
+    let mut family = String::with_capacity(name.len());
+    let mut labels = Vec::new();
+    for segment in name.split('.') {
+        // `shard<i>` / `stage<i>` segments become a bare word in the
+        // family plus an index label, so per-shard series share one
+        // metric family.
+        let split = segment
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i);
+        let lifted = match split {
+            Some(i) if i > 0 && segment[i..].bytes().all(|b| b.is_ascii_digit()) => {
+                let word = &segment[..i];
+                (word == "shard" || word == "stage")
+                    .then(|| (word.to_string(), segment[i..].to_string()))
+            }
+            _ => None,
+        };
+        let word = match &lifted {
+            Some((word, index)) => {
+                labels.push((word.clone(), index.clone()));
+                word.as_str()
+            }
+            None => segment,
+        };
+        if !family.is_empty() {
+            family.push('_');
+        }
+        for c in word.chars() {
+            family.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+        }
+    }
+    if family
+        .chars()
+        .next()
+        .is_none_or(|c| !c.is_ascii_alphabetic() && c != '_')
+    {
+        family.insert(0, '_');
+    }
+    (family, labels)
+}
+
+/// Render one label set as `{k="v",...}` (empty string when no labels).
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
+/// `labels` plus one extra pair (for `le`), rendered.
+fn render_labels_plus(labels: &[(String, String)], key: &str, value: &str) -> String {
+    let mut all = labels.to_vec();
+    all.push((key.to_string(), value.to_string()));
+    render_labels(&all)
+}
+
+/// A `le` bound in Prometheus form (`+Inf` for the saturating last
+/// bucket, else the inclusive integer bound).
+fn le_of(i: usize) -> String {
+    if i >= BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        bucket_bound(i).to_string()
+    }
+}
+
+/// Render a [`MetricsSnapshot`] in Prometheus text exposition format
+/// 0.0.4, with one `store_build_info{...} 1` info-style metric appended
+/// when `build_info` is non-empty. Families are grouped (a `# TYPE`
+/// line per family, every series of a family contiguous) and histogram
+/// buckets are cumulative. See the module docs for the name mapping.
+#[must_use]
+pub fn render_prometheus(snap: &MetricsSnapshot, build_info: &[(String, String)]) -> String {
+    // (type, lines) per family. Name-sorted snapshot entries do NOT
+    // yield contiguous families ("store.shard0.bundle_entries" /
+    // "store.shard0.ops" / "store.shard1.bundle_entries" interleave two
+    // families), so group through a map keyed by family name.
+    let mut families: std::collections::BTreeMap<String, (&'static str, Vec<String>)> =
+        std::collections::BTreeMap::new();
+    for (name, v) in &snap.entries {
+        let (family, labels) = sanitize_name(name);
+        match v {
+            SnapshotValue::Counter(c) => {
+                let line = format!("{family}{} {c}", render_labels(&labels));
+                families
+                    .entry(family)
+                    .or_insert_with(|| ("counter", Vec::new()))
+                    .1
+                    .push(line);
+            }
+            SnapshotValue::Gauge(g) => {
+                let line = format!("{family}{} {g}", render_labels(&labels));
+                families
+                    .entry(family)
+                    .or_insert_with(|| ("gauge", Vec::new()))
+                    .1
+                    .push(line);
+            }
+            SnapshotValue::Histogram(h) => {
+                // Cumulative buckets up to the highest non-empty one,
+                // then +Inf. `_count` uses bucket_total() so a
+                // mid-flight scrape's count never lags its buckets.
+                let total = h.bucket_total();
+                let mut lines = Vec::new();
+                let mut cum = 0u64;
+                let top = h.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+                for (i, b) in h.buckets.iter().enumerate().take(top + 1) {
+                    cum += b;
+                    if *b == 0 && i != top {
+                        continue; // empty interior buckets add no information
+                    }
+                    lines.push(format!(
+                        "{family}_bucket{} {cum}",
+                        render_labels_plus(&labels, "le", &le_of(i)),
+                    ));
+                }
+                lines.push(format!(
+                    "{family}_bucket{} {total}",
+                    render_labels_plus(&labels, "le", "+Inf"),
+                ));
+                lines.push(format!("{family}_sum{} {}", render_labels(&labels), h.sum));
+                lines.push(format!("{family}_count{} {total}", render_labels(&labels)));
+                families
+                    .entry(family)
+                    .or_insert_with(|| ("histogram", Vec::new()))
+                    .1
+                    .append(&mut lines);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (family, (kind, lines)) in &families {
+        out.push_str(&format!("# TYPE {family} {kind}\n"));
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !build_info.is_empty() {
+        let labels: Vec<(String, String)> = build_info.to_vec();
+        out.push_str("# TYPE store_build_info gauge\n");
+        out.push_str(&format!("store_build_info{} 1\n", render_labels(&labels)));
+    }
+    out
+}
+
+/// Flatten a snapshot into one JSON object (`/snapshot.json`'s body).
+fn snapshot_json(snap: &MetricsSnapshot) -> String {
+    let fields = snap
+        .flatten("")
+        .into_iter()
+        .map(|(name, v)| {
+            let v = if v.is_finite() { v } else { 0.0 };
+            format!("\"{name}\":{v}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{fields}}}")
+}
+
+/// Render the anomaly snapshots (`/anomalies.json`'s body).
+fn anomalies_json(anomalies: &[AnomalySnapshot]) -> String {
+    let items = anomalies
+        .iter()
+        .map(|a| {
+            let events = a
+                .events
+                .iter()
+                .map(crate::trace::TraceEvent::json_line)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"cause\":\"{}\",\"tid\":{},\"at_ns\":{},\"events\":[{events}]}}",
+                a.cause.as_str(),
+                a.tid,
+                a.at_ns,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{items}]")
+}
+
+struct Inner {
+    sources: Mutex<ExportSources>,
+    stop: AtomicBool,
+    start: Instant,
+    scrapes: AtomicU64,
+}
+
+/// The introspection server. See the module docs for endpoints and
+/// threading; construct with [`ExportServer::spawn`].
+pub struct ExportServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExportServer {
+    /// Bind `addr` (port 0 picks a free port — read it back with
+    /// [`ExportServer::local_addr`]) and start serving `sources`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        sources: ExportSources,
+    ) -> std::io::Result<ExportServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            sources: Mutex::new(sources),
+            stop: AtomicBool::new(false),
+            start: Instant::now(),
+            scrapes: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("obs-export".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if worker.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let h = Arc::clone(&worker);
+                    // Short-lived per-connection thread; detached — the
+                    // socket timeouts bound its lifetime.
+                    let _ = std::thread::Builder::new()
+                        .name("obs-export-conn".into())
+                        .spawn(move || h.handle(stream));
+                }
+            })
+            .expect("spawn obs-export thread");
+        Ok(ExportServer {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the actual port when spawned with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scrapes served so far (any endpoint).
+    #[must_use]
+    pub fn scrapes(&self) -> u64 {
+        self.inner.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Replace the served sources (a scenario harness reuses one server
+    /// across consecutive store instances: install each run's closures
+    /// right after the store is built).
+    pub fn install(&self, sources: ExportSources) {
+        *self.inner.sources.lock().unwrap_or_else(|p| p.into_inner()) = sources;
+    }
+
+    /// Stop accepting, wake the accept loop, and join it. In-flight
+    /// connection handlers finish on their own (bounded by the socket
+    /// timeouts). Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            // Wake the blocking accept with a throwaway connection.
+            if let Ok(s) = TcpStream::connect(self.addr) {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ExportServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl Inner {
+    fn handle(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // Read until the end of the request head (or cutoffs); only the
+        // request line matters.
+        let mut buf = [0u8; 2048];
+        let mut len = 0;
+        while len < buf.len() {
+            match stream.read(&mut buf[len..]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    len += n;
+                    if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let head = String::from_utf8_lossy(&buf[..len]);
+        let request_line = head.lines().next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let raw_path = parts.next().unwrap_or("");
+        // Strip any query string; scrapers may append one.
+        let path = raw_path.split('?').next().unwrap_or("");
+        if method != "GET" {
+            let _ = respond(&mut stream, 405, "text/plain; charset=utf-8", "GET only\n");
+            return;
+        }
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
+        let sources = self.sources.lock().unwrap_or_else(|p| p.into_inner());
+        let (status, content_type, body) = match path {
+            "/metrics" => {
+                let mut snap = sources
+                    .snapshot
+                    .as_ref()
+                    .map_or_else(|| MetricsSnapshot { entries: vec![] }, |f| f());
+                // Self-describing scrape extras: server uptime and
+                // scrape count, injected name-sorted so `get()` keeps
+                // working on the extended snapshot.
+                let uptime = self.start.elapsed().as_nanos() as u64;
+                for (name, v) in [
+                    (
+                        "obs.export.scrapes",
+                        SnapshotValue::Counter(self.scrapes.load(Ordering::Relaxed)),
+                    ),
+                    ("obs.uptime_ns", SnapshotValue::Gauge(uptime as i64)),
+                ] {
+                    let at = snap
+                        .entries
+                        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                        .unwrap_or_else(|i| i);
+                    snap.entries.insert(at, (name.to_string(), v));
+                }
+                (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(&snap, &sources.build_info),
+                )
+            }
+            "/snapshot.json" => {
+                let body = sources.snapshot.as_ref().map_or_else(
+                    || "{\"disabled\":true}".to_string(),
+                    |f| snapshot_json(&f()),
+                );
+                (200, "application/json", body)
+            }
+            "/windows.json" => {
+                let body = sources.windows.as_ref().map_or_else(
+                    || "{\"disabled\":true}".to_string(),
+                    |f| {
+                        let lines = f()
+                            .iter()
+                            .map(Window::json_line)
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("[{lines}]")
+                    },
+                );
+                (200, "application/json", body)
+            }
+            "/anomalies.json" => {
+                let body = sources.anomalies.as_ref().map_or_else(
+                    || "{\"disabled\":true}".to_string(),
+                    |f| anomalies_json(&f()),
+                );
+                (200, "application/json", body)
+            }
+            "/health.json" => {
+                let body = sources
+                    .health
+                    .as_ref()
+                    .map_or_else(|| "{\"disabled\":true}".to_string(), |f| f());
+                (200, "application/json", body)
+            }
+            "/" | "/index" => (
+                200,
+                "text/plain; charset=utf-8",
+                "obs introspection endpoints:\n  /metrics\n  /snapshot.json\n  /windows.json\n  \
+                 /anomalies.json\n  /health.json\n"
+                    .to_string(),
+            ),
+            _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+        };
+        drop(sources);
+        let _ = respond(&mut stream, status, content_type, &body);
+    }
+}
+
+/// Write one HTTP response and close.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    /// Satellite: dotted names sanitize, `shard<i>` / `stage<i>` lift
+    /// into labels, and other segments pass through underscored.
+    #[test]
+    fn name_sanitization_and_label_extraction() {
+        assert_eq!(
+            sanitize_name("store.shard3.ops"),
+            (
+                "store_shard_ops".to_string(),
+                vec![("shard".to_string(), "3".to_string())]
+            )
+        );
+        assert_eq!(
+            sanitize_name("store.shard10.bundle_entries"),
+            (
+                "store_shard_bundle_entries".to_string(),
+                vec![("shard".to_string(), "10".to_string())]
+            )
+        );
+        assert_eq!(
+            sanitize_name("ingest.queue_depth"),
+            ("ingest_queue_depth".to_string(), vec![])
+        );
+        // Digit suffixes only lift on the known dense words.
+        assert_eq!(sanitize_name("a.p99"), ("a_p99".to_string(), vec![]));
+        assert_eq!(
+            sanitize_name("x.stage2.lat"),
+            (
+                "x_stage_lat".to_string(),
+                vec![("stage".to_string(), "2".to_string())]
+            )
+        );
+        // Hostile characters degrade to underscores; leading digits get
+        // a guard underscore.
+        assert_eq!(sanitize_name("a-b.c d"), ("a_b_c_d".to_string(), vec![]));
+        assert_eq!(sanitize_name("9lives"), ("_9lives".to_string(), vec![]));
+    }
+
+    /// Satellite: histogram buckets render cumulative and monotone, the
+    /// `+Inf` bucket equals `_count`, and families group contiguously.
+    #[test]
+    fn prometheus_histograms_are_cumulative_and_families_contiguous() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("store.pipeline.finalize_ns");
+        for v in [1u64, 1, 3, 100, 5000] {
+            h.record(0, v);
+        }
+        reg.counter("store.shard0.ops").add(0, 7);
+        reg.counter("store.shard1.ops").add(0, 3);
+        // This counter family interleaves with shard ops in sorted
+        // entry order — the renderer must still group it contiguously.
+        reg.counter("store.shard0.bundle_entries").add(0, 2);
+        reg.counter("store.shard1.bundle_entries").add(0, 4);
+        let text = render_prometheus(&reg.snapshot(), &[]);
+
+        // Cumulative, monotone non-decreasing bucket counts ending in
+        // +Inf == _count.
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("store_pipeline_finalize_ns_bucket"))
+            .map(|l| {
+                let (series, v) = l.rsplit_once(' ').unwrap();
+                let le = series
+                    .split("le=\"")
+                    .nth(1)
+                    .unwrap()
+                    .trim_end_matches("\"}");
+                (le.to_string(), v.parse::<u64>().unwrap())
+            })
+            .collect();
+        assert!(buckets.len() >= 3, "{text}");
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "buckets not cumulative: {buckets:?}"
+        );
+        let (last_le, last_n) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf");
+        assert_eq!(*last_n, 5);
+        // le values (excluding +Inf) are strictly increasing bounds.
+        let les: Vec<u64> = buckets
+            .iter()
+            .filter(|(le, _)| le != "+Inf")
+            .map(|(le, _)| le.parse().unwrap())
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "{les:?}");
+        assert!(
+            text.contains("store_pipeline_finalize_ns_sum 5105"),
+            "{text}"
+        );
+        assert!(
+            text.contains("store_pipeline_finalize_ns_count 5"),
+            "{text}"
+        );
+
+        // Shard counters collapse into one labelled family…
+        assert!(text.contains("# TYPE store_shard_ops counter"), "{text}");
+        assert!(text.contains("store_shard_ops{shard=\"0\"} 7"), "{text}");
+        assert!(text.contains("store_shard_ops{shard=\"1\"} 3"), "{text}");
+        // …and every family's series sit contiguously under one # TYPE:
+        // a family name never reappears after a different family began.
+        let mut seen_families = Vec::new();
+        for l in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let fam = l.split_whitespace().nth(2).unwrap();
+            assert!(!seen_families.contains(&fam.to_string()), "{fam} repeated");
+            seen_families.push(fam.to_string());
+        }
+        let mut current = String::new();
+        for l in text.lines() {
+            if let Some(rest) = l.strip_prefix("# TYPE ") {
+                current = rest.split_whitespace().next().unwrap().to_string();
+            } else if !l.is_empty() {
+                let series = l.split([' ', '{']).next().unwrap();
+                assert!(
+                    series.starts_with(current.as_str()),
+                    "series {series} outside its family {current}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_info_renders_as_info_metric() {
+        let reg = MetricsRegistry::new();
+        let text = render_prometheus(
+            &reg.snapshot(),
+            &[
+                ("schema".to_string(), "5".to_string()),
+                ("backend".to_string(), "bundle".to_string()),
+            ],
+        );
+        assert!(
+            text.contains("store_build_info{schema=\"5\",backend=\"bundle\"} 1"),
+            "{text}"
+        );
+    }
+
+    /// Pure-std scrape of a live server over loopback.
+    #[test]
+    fn server_answers_every_endpoint_over_loopback() {
+        let reg = MetricsRegistry::new();
+        reg.counter("store.txn.commits").add(0, 42);
+        reg.histogram("store.pipeline.finalize_ns").record(0, 900);
+        let src = reg.clone();
+        let sources = ExportSources::new()
+            .with_snapshot(move || src.snapshot())
+            .with_windows(Vec::new)
+            .with_build_info(vec![("schema".to_string(), "5".to_string())]);
+        let server = ExportServer::spawn("127.0.0.1:0", sources).unwrap();
+        let addr = server.local_addr();
+
+        let get = |path: &str| -> (String, String) {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(
+                s,
+                "GET {path} HTTP/1.0\r\nHost: x\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            let (head, body) = out.split_once("\r\n\r\n").unwrap();
+            (head.to_string(), body.to_string())
+        };
+
+        let (head, body) = get("/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("store_txn_commits 42"), "{body}");
+        assert!(body.contains("store_pipeline_finalize_ns_bucket"), "{body}");
+        assert!(body.contains("obs_uptime_ns"), "{body}");
+        assert!(body.contains("obs_export_scrapes"), "{body}");
+        assert!(body.contains("store_build_info{schema=\"5\"} 1"), "{body}");
+
+        let (_, body) = get("/snapshot.json");
+        assert!(body.contains("\"store.txn.commits\":42"), "{body}");
+        let (_, body) = get("/windows.json?k=5");
+        assert_eq!(body, "[]", "query strings strip");
+        let (_, body) = get("/anomalies.json");
+        assert!(body.contains("disabled"), "unwired source: {body}");
+        let (_, body) = get("/health.json");
+        assert!(body.contains("disabled"), "unwired source: {body}");
+        let (head, _) = get("/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+        let (head, body) = get("/");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("/metrics"), "{body}");
+        assert!(server.scrapes() >= 7);
+
+        // install() swaps sources live.
+        server.install(ExportSources::new());
+        let (_, body) = get("/snapshot.json");
+        assert!(body.contains("disabled"), "{body}");
+        drop(server);
+        // Stopped server no longer accepts.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

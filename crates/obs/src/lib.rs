@@ -47,10 +47,14 @@
 
 #![deny(missing_docs)]
 
+pub mod export;
+pub mod health;
 pub mod timeseries;
 pub mod trace;
 
-pub use timeseries::{SkewReport, TimeseriesSampler, Window};
+pub use export::{ExportServer, ExportSources};
+pub use health::{HealthCheck, HealthLevel, HealthMonitor, HealthReport, SloPolicy};
+pub use timeseries::{SkewReport, TimeseriesSampler, Window, WindowsReader};
 pub use trace::{AnomalyCause, AnomalySnapshot, TraceEvent, TraceKind, TraceRecorder};
 
 use std::collections::BTreeMap;
@@ -206,9 +210,11 @@ fn bucket_index(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
-/// Inclusive upper bound of bucket `i` (what quantiles report).
+/// Inclusive upper bound of bucket `i` (what quantiles report, and what
+/// the Prometheus exposition in [`export`] uses as `le` bounds).
 #[inline]
-fn bucket_bound(i: usize) -> u64 {
+#[must_use]
+pub fn bucket_bound(i: usize) -> u64 {
     match i {
         0 => 0,
         _ if i >= BUCKETS - 1 => u64::MAX,

@@ -26,7 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::{MetricsSnapshot, SnapshotValue};
+use crate::{Gauge, MetricsSnapshot, SnapshotValue};
+
+/// The per-window callback [`TimeseriesSampler::spawn_with`] accepts
+/// (runs on the sampler thread, in window order).
+pub type WindowObserver = Box<dyn Fn(&Window) + Send>;
 
 /// Default ring capacity (windows retained).
 pub const DEFAULT_WINDOW_CAPACITY: usize = 512;
@@ -100,6 +104,11 @@ pub struct Window {
     /// `ingest.depth` gauge at window end (pass-through level, not a
     /// delta; `0` when the run has no ingest front-end).
     pub queue_depth: i64,
+    /// p99 of the `store.pipeline.finalize_ns` histogram *over this
+    /// window* (bucket upper bound, ns; `0` when the window recorded no
+    /// finalize samples) — the latency signal the health monitor's
+    /// `LatencyBurn` check consumes.
+    pub finalize_p99_ns: u64,
     /// Per-shard `store.shard<i>.ops` deltas, dense by shard index.
     pub shard_ops: Vec<u64>,
     /// Skew derived from [`Window::shard_ops`].
@@ -150,6 +159,10 @@ impl Window {
             Some(SnapshotValue::Gauge(g)) => *g,
             _ => 0,
         };
+        let finalize_p99_ns = match delta.get("store.pipeline.finalize_ns") {
+            Some(SnapshotValue::Histogram(h)) => h.quantile(0.99),
+            _ => 0,
+        };
         Window {
             index,
             start_ns,
@@ -167,6 +180,7 @@ impl Window {
                 conflicts as f64 / commits as f64
             },
             queue_depth,
+            finalize_p99_ns,
             skew: SkewReport::from_shard_ops(&shard_ops),
             shard_ops,
         }
@@ -187,6 +201,7 @@ impl Window {
         format!(
             "{{\"window\":{},\"start_ns\":{},\"dur_ns\":{},\"commits\":{},\"conflicts\":{},\
              \"commits_per_s\":{:.3},\"conflict_rate\":{:.6},\"queue_depth\":{},\
+             \"finalize_p99_ns\":{},\
              \"skew.max_share\":{:.6},\"skew.mean_share\":{:.6},\"skew.hottest_shard\":{hottest},\
              \"skew.total_ops\":{},\"shard_ops\":[{shard_ops}]}}",
             self.index,
@@ -197,6 +212,7 @@ impl Window {
             self.commits_per_s,
             self.conflict_rate,
             self.queue_depth,
+            self.finalize_p99_ns,
             self.skew.max_share,
             self.skew.mean_share,
             self.skew.total_ops,
@@ -217,6 +233,7 @@ impl Window {
             ("commits_per_s".to_string(), self.commits_per_s),
             ("conflict_rate".to_string(), self.conflict_rate),
             ("queue_depth".to_string(), self.queue_depth as f64),
+            ("finalize_p99_ns".to_string(), self.finalize_p99_ns as f64),
             ("skew.max_share".to_string(), self.skew.max_share),
             ("skew.mean_share".to_string(), self.skew.mean_share),
             (
@@ -250,6 +267,37 @@ impl Shared {
     }
 }
 
+/// A clonable read-only handle onto a sampler's window ring. Unlike the
+/// [`TimeseriesSampler`] itself (whose `stop()` consumes it), a reader
+/// can be handed to long-lived consumers — the export server's
+/// `/windows.json` closure — and keeps answering after the sampler
+/// stops (it sees the final ring contents, including the flushed
+/// partial window).
+#[derive(Clone)]
+pub struct WindowsReader {
+    shared: Arc<Shared>,
+}
+
+impl WindowsReader {
+    /// The retained windows, oldest first.
+    #[must_use]
+    pub fn windows(&self) -> Vec<Window> {
+        self.shared
+            .windows
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Windows evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
 /// A background sampling thread over one snapshot source. See the
 /// module docs for the windowing and reconciliation contract.
 pub struct TimeseriesSampler {
@@ -269,6 +317,23 @@ impl TimeseriesSampler {
         interval: Duration,
         capacity: usize,
         snapshot: impl Fn() -> MetricsSnapshot + Send + 'static,
+    ) -> TimeseriesSampler {
+        Self::spawn_with(interval, capacity, snapshot, None, None)
+    }
+
+    /// [`TimeseriesSampler::spawn`] plus the obs-v3 hooks: `observer`
+    /// runs on the sampler thread with each completed window *in order*
+    /// (including the final partial one) — this is where a
+    /// [`HealthMonitor`](crate::health::HealthMonitor) plugs in — and
+    /// `dropped_gauge` (e.g. `obs.timeseries.dropped_windows`) is kept
+    /// at the ring's eviction count after every window, so
+    /// self-observability losses are scrapable rather than silent.
+    pub fn spawn_with(
+        interval: Duration,
+        capacity: usize,
+        snapshot: impl Fn() -> MetricsSnapshot + Send + 'static,
+        observer: Option<WindowObserver>,
+        dropped_gauge: Option<Gauge>,
     ) -> TimeseriesSampler {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
@@ -302,13 +367,20 @@ impl TimeseriesSampler {
                     };
                     let now_ns = start.elapsed().as_nanos() as u64;
                     let cur = snapshot();
-                    worker.push(Window::from_snapshots(
+                    let w = Window::from_snapshots(
                         index,
                         prev_ns,
                         now_ns.saturating_sub(prev_ns),
                         &prev,
                         &cur,
-                    ));
+                    );
+                    if let Some(obs) = &observer {
+                        obs(&w);
+                    }
+                    worker.push(w);
+                    if let Some(g) = &dropped_gauge {
+                        g.set(worker.dropped.load(Ordering::Relaxed) as i64);
+                    }
                     index += 1;
                     prev = cur;
                     prev_ns = now_ns;
@@ -321,6 +393,15 @@ impl TimeseriesSampler {
         TimeseriesSampler {
             shared,
             handle: Some(handle),
+        }
+    }
+
+    /// A clonable read-only handle onto this sampler's window ring that
+    /// stays valid after [`TimeseriesSampler::stop`].
+    #[must_use]
+    pub fn reader(&self) -> WindowsReader {
+        WindowsReader {
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -444,6 +525,7 @@ mod tests {
             commits_per_s: 5.0,
             conflict_rate: 0.2,
             queue_depth: 3,
+            finalize_p99_ns: 4096,
             shard_ops: vec![4, 1],
             skew: SkewReport::from_shard_ops(&[4, 1]),
         };
@@ -453,6 +535,7 @@ mod tests {
             "\"commits_per_s\":5.000",
             "\"skew.max_share\":0.800000",
             "\"queue_depth\":3",
+            "\"finalize_p99_ns\":4096",
             "\"shard_ops\":[4,1]",
         ] {
             assert!(line.contains(field), "{field} missing from {line}");
@@ -504,6 +587,52 @@ mod tests {
         for (i, w) in windows.iter().enumerate() {
             assert_eq!(w.index, i as u64);
         }
+    }
+
+    #[test]
+    fn spawn_with_observer_sees_windows_in_order_and_reader_outlives_stop() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("store.txn.commits");
+        let fin = reg.histogram("store.pipeline.finalize_ns");
+        let src = reg.clone();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let dropped_gauge = reg.gauge("obs.timeseries.dropped_windows");
+        let sampler = TimeseriesSampler::spawn_with(
+            Duration::from_millis(5),
+            64,
+            move || src.snapshot(),
+            Some(Box::new(move |w: &Window| {
+                sink.lock().unwrap().push(w.index);
+            })),
+            Some(dropped_gauge.clone()),
+        );
+        let reader = sampler.reader();
+        for _ in 0..100 {
+            c.incr(0);
+            fin.record(0, 3_000);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let windows = sampler.stop();
+        // The observer saw every retained window, in order, including
+        // the final partial one.
+        let seen = seen.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            windows.iter().map(|w| w.index).collect::<Vec<_>>(),
+            "observer order matches the ring"
+        );
+        // The reader outlives stop() and sees the same ring.
+        assert_eq!(reader.windows(), windows);
+        assert_eq!(reader.dropped(), 0);
+        assert_eq!(dropped_gauge.value(), 0);
+        // The windows carry the finalize p99: every sample was 3000 ns,
+        // so whichever window(s) caught them report a p99 bucket bound
+        // covering 3000 (and windows without samples report 0).
+        assert!(
+            windows.iter().any(|w| w.finalize_p99_ns >= 3_000),
+            "finalize p99 missing from windows"
+        );
     }
 
     #[test]

@@ -92,6 +92,11 @@ pub enum TraceKind {
     /// A bounded ingest queue rejected a submission. `shard` is the full
     /// queue's shard; `payload` the rejected op count.
     QueueFull = 8,
+    /// A health check changed level (see `obs::health`). `shard` carries
+    /// the check index ([`HealthCheck`](crate::health::HealthCheck) as
+    /// `u32`); `payload` the new [`HealthLevel`](crate::health::HealthLevel)
+    /// as `u64` (0 = ok, 1 = warn, 2 = critical).
+    HealthTransition = 9,
 }
 
 impl TraceKind {
@@ -108,6 +113,7 @@ impl TraceKind {
             TraceKind::LingerFill => "linger_fill",
             TraceKind::DrainScoop => "drain_scoop",
             TraceKind::QueueFull => "queue_full",
+            TraceKind::HealthTransition => "health_transition",
         }
     }
 
@@ -122,6 +128,7 @@ impl TraceKind {
             6 => TraceKind::LingerFill,
             7 => TraceKind::DrainScoop,
             8 => TraceKind::QueueFull,
+            9 => TraceKind::HealthTransition,
             _ => return None,
         })
     }
@@ -177,6 +184,9 @@ pub enum AnomalyCause {
     ConflictBurst,
     /// A bounded ingest queue rejected a submission.
     QueueFull,
+    /// A health check escalated to `critical` (an SLO breach sustained
+    /// past the policy's hysteresis — see `obs::health`).
+    SloViolation,
 }
 
 impl AnomalyCause {
@@ -187,6 +197,7 @@ impl AnomalyCause {
             AnomalyCause::InvalidatedAbort => "invalidated_abort",
             AnomalyCause::ConflictBurst => "conflict_burst",
             AnomalyCause::QueueFull => "queue_full",
+            AnomalyCause::SloViolation => "slo_violation",
         }
     }
 }

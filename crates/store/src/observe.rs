@@ -65,6 +65,10 @@ pub(crate) struct StoreObs {
     pub(crate) clock_value: Gauge,
     /// Total advance calls on the shared clock.
     pub(crate) clock_advances: Gauge,
+    /// Anomalies the flight recorder has noted over its lifetime
+    /// (including those past the retention cap), sampled at snapshot
+    /// time — makes self-observability losses scrapable.
+    pub(crate) trace_anomalies: Gauge,
     /// The flight recorder (always on with `with_obs`; `None` only when
     /// tracing was explicitly disabled via
     /// [`crate::BundledStore::with_obs_trace_capacity`] with capacity 0
@@ -104,6 +108,7 @@ impl StoreObs {
             rq_active: registry.gauge("store.rq.active_queries"),
             clock_value: registry.gauge("store.clock.value"),
             clock_advances: registry.gauge("store.clock.advances"),
+            trace_anomalies: registry.gauge("obs.trace.anomalies"),
             trace,
             registry: registry.clone(),
         }

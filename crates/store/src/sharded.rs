@@ -874,6 +874,9 @@ where
         o.rq_active.set(self.ctx.active_rqs() as i64);
         o.clock_value.set(self.ctx.read() as i64);
         o.clock_advances.set(self.ctx.advance_calls() as i64);
+        if let Some(tr) = &o.trace {
+            o.trace_anomalies.set(tr.anomaly_total() as i64);
+        }
     }
 
     /// Sample the gauges ([`BundledStore::obs_sample`]) and snapshot

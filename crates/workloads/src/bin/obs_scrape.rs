@@ -1,0 +1,111 @@
+//! Minimal pure-std scrape client for the `--serve` introspection
+//! endpoint — the CI smoke steps use it instead of `curl` (the offline
+//! image has no HTTP tooling).
+//!
+//! Usage:
+//! `obs_scrape <host:port> <path> [--expect <substring>] [--retries <n>]`
+//!
+//! Connects to `<host:port>` (retrying while the serving process warms
+//! up), issues one `GET <path>` over HTTP/1.0, prints the response body
+//! to stdout, and exits non-zero when the status line is not `200 OK`
+//! or the body is missing a required `--expect` substring (repeatable).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Delay between connect attempts while the server warms up.
+const RETRY_DELAY: Duration = Duration::from_millis(100);
+
+/// Per-connection read/write deadline — a wedged server fails the
+/// scrape instead of hanging CI.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn connect(addr: &str, retries: u32) -> Result<TcpStream, std::io::Error> {
+    let mut last = None;
+    for attempt in 0..retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(RETRY_DELAY);
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+}
+
+fn scrape(addr: &str, path: &str, retries: u32) -> Result<(String, String), String> {
+    let mut stream = connect(addr, retries).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| format!("set timeouts: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response ({} bytes, no header end)", raw.len()))?;
+    let status = head.lines().next().unwrap_or_default().to_string();
+    Ok((status, body.to_string()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: obs_scrape <host:port> <path> [--expect <substring>] [--retries <n>]";
+    let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let mut expects: Vec<String> = Vec::new();
+    let mut retries: u32 = 50;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect" => {
+                let Some(s) = args.get(i + 1) else {
+                    eprintln!("--expect requires a substring\n{usage}");
+                    std::process::exit(2);
+                };
+                expects.push(s.clone());
+                i += 2;
+            }
+            "--retries" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--retries requires a count\n{usage}");
+                    std::process::exit(2);
+                };
+                retries = n;
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (status, body) = match scrape(addr, path, retries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs_scrape {addr}{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{body}");
+    if !status.contains("200") {
+        eprintln!("obs_scrape {addr}{path}: non-200 status {status:?}");
+        std::process::exit(1);
+    }
+    for want in &expects {
+        if !body.contains(want.as_str()) {
+            eprintln!("obs_scrape {addr}{path}: body is missing expected {want:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -52,10 +52,17 @@
 //! the flight recorder of the last ingest configuration as JSON lines;
 //! `--timeseries <ms>` samples every ingest run at the given cadence,
 //! prints one JSON line per window, and embeds the windows in the
-//! `--json` records — both imply `--obs`.
+//! `--json` records — both imply `--obs`. `--serve <addr>` (e.g.
+//! `127.0.0.1:0`) starts the live introspection endpoint (`/metrics`
+//! Prometheus text, `/snapshot.json`, `/windows.json`,
+//! `/anomalies.json`, `/health.json`) and prints
+//! `serving on <bound addr>`; `--slo <spec>` attaches an
+//! `obs::HealthMonitor` to the sampler and embeds its findings in the
+//! `--json` records (`health` array). Both imply `--obs`, and `--slo`
+//! defaults `--timeseries` to 100 ms when unset.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--check-obs-overhead] [--check-submit-path]`
+//! `cargo run --release -p workloads --bin store_ingest -- [store-skiplist|store-citrus|store-list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--serve <addr>] [--slo <spec>] [--check-obs-overhead] [--check-submit-path]`
 //! (default: all three backends). Thread counts come from
 //! `BUNDLE_THREADS`, duration from `BUNDLE_DURATION_MS`, shard count from
 //! `BUNDLE_SHARDS`, the window sweep from `BUNDLE_INGEST_WINDOWS`
@@ -195,12 +202,14 @@ struct IngestRun {
     result: RunResult,
     snapshot: Option<obs::MetricsSnapshot>,
     windows: Vec<obs::Window>,
+    health: Vec<obs::health::Finding>,
     trace: Option<Arc<obs::TraceRecorder>>,
 }
 
 /// Grouped path: workers submit the same puts through the ingest
 /// front-end as `window`-sized batch submissions, [`PIPELINE`] tickets in
 /// flight each.
+#[allow(clippy::too_many_arguments)]
 fn run_ingest<S>(
     threads: usize,
     dur: Duration,
@@ -209,14 +218,20 @@ fn run_ingest<S>(
     shards: usize,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
+    kind_name: &str,
 ) -> IngestRun
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
     let splits = uniform_splits(shards, KEY_RANGE);
-    // One extra registered slot for the time-series sampler's dedicated
-    // session when sampling.
-    let slots = threads + committers + usize::from(timeseries.is_some());
+    // One extra registered slot each for the time-series sampler's
+    // dedicated session when sampling and the export server's snapshot
+    // closure when serving (scrapes serialize on the server's sources
+    // mutex, so one registered handle is race-free).
+    let serving = server.is_some() && with_obs;
+    let slots = threads + committers + usize::from(timeseries.is_some()) + usize::from(serving);
     let store = Arc::new(if with_obs {
         BundledStore::<u64, u64, S>::with_obs(
             slots,
@@ -227,17 +242,72 @@ where
     } else {
         BundledStore::<u64, u64, S>::new(slots, splits)
     });
+    // The health monitor consumes each sampling window as it closes.
+    let monitor = slo.and_then(|policy| {
+        store.obs_registry().map(|registry| {
+            Arc::new(obs::HealthMonitor::new(
+                policy.clone(),
+                registry,
+                store.obs_trace().cloned(),
+            ))
+        })
+    });
     // Spawn the sampler before the prefill so its base snapshot sees zero
     // counters and the window deltas sum to the final counter values. The
     // registered handle gives the sampler thread its own dense tid.
     let sampler = timeseries.filter(|_| with_obs).map(|every| {
         let h = store.register();
-        obs::TimeseriesSampler::spawn(every, obs::timeseries::DEFAULT_WINDOW_CAPACITY, move || {
-            h.store()
-                .obs_snapshot(h.tid())
-                .expect("store built with obs")
-        })
+        let observer = monitor.as_ref().map(|m| {
+            let m = Arc::clone(m);
+            Box::new(move |w: &obs::Window| {
+                let _ = m.observe(w);
+            }) as obs::timeseries::WindowObserver
+        });
+        let dropped = store
+            .obs_registry()
+            .map(|r| r.gauge("obs.timeseries.dropped_windows"));
+        obs::TimeseriesSampler::spawn_with(
+            every,
+            obs::timeseries::DEFAULT_WINDOW_CAPACITY,
+            move || {
+                h.store()
+                    .obs_snapshot(h.tid())
+                    .expect("store built with obs")
+            },
+            observer,
+            dropped,
+        )
     });
+    // Install this run's sources before the prefill so scrapes answer
+    // for the whole run (the last run's sources stay installed after it
+    // ends, so post-run scrapes still answer).
+    if serving {
+        let server = server.expect("serving implies a server");
+        let h = store.register();
+        let mut sources = obs::ExportSources::new()
+            .with_snapshot(move || {
+                h.store()
+                    .obs_snapshot(h.tid())
+                    .expect("store built with obs")
+            })
+            .with_build_info(vec![
+                ("schema".into(), SCHEMA_VERSION.to_string()),
+                ("bench".into(), "store_ingest".into()),
+                ("backend".into(), kind_name.into()),
+            ]);
+        if let Some(s) = &sampler {
+            let reader = s.reader();
+            sources = sources.with_windows(move || reader.windows());
+        }
+        if let Some(tr) = store.obs_trace().cloned() {
+            sources = sources.with_anomalies(move || tr.anomalies());
+        }
+        if let Some(m) = &monitor {
+            let m = Arc::clone(m);
+            sources = sources.with_health(move || m.report().json());
+        }
+        server.install(sources);
+    }
     {
         let h = store.register();
         for k in (0..KEY_RANGE).step_by(2) {
@@ -309,14 +379,18 @@ where
         },
         snapshot,
         windows,
+        health: monitor.map(|m| m.report().findings).unwrap_or_default(),
         trace: store.obs_trace().cloned(),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     kind: StructureKind,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
     records: &mut Vec<RunRecord>,
     last_trace: &mut Option<Arc<obs::TraceRecorder>>,
 ) {
@@ -326,15 +400,16 @@ fn sweep(
     let mut last_snapshot = None;
     for &threads in &thread_counts() {
         let committers = committer_count(shards);
+        let name = kind.name();
         let (direct, ingest_runs): (RunResult, Vec<(usize, IngestRun)>) = match kind {
             StructureKind::StoreSkipList => run_kind::<skiplist::BundledSkipList<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs, timeseries,
+                threads, dur, &windows, committers, shards, with_obs, timeseries, slo, server, name,
             ),
             StructureKind::StoreCitrus => run_kind::<citrus::BundledCitrusTree<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs, timeseries,
+                threads, dur, &windows, committers, shards, with_obs, timeseries, slo, server, name,
             ),
             StructureKind::StoreList => run_kind::<lazylist::BundledLazyList<u64, u64>>(
-                threads, dur, &windows, committers, shards, with_obs, timeseries,
+                threads, dur, &windows, committers, shards, with_obs, timeseries, slo, server, name,
             ),
             other => panic!("{other:?} is not a sharded store kind"),
         };
@@ -347,6 +422,9 @@ fn sweep(
             let r = &run.result;
             for w in &run.windows {
                 println!("{}", w.json_line());
+            }
+            for f in &run.health {
+                println!("slo finding: {}", obs::health::finding_json(f));
             }
             if run.trace.is_some() {
                 *last_trace = run.trace.clone();
@@ -378,6 +456,7 @@ fn sweep(
                 threads,
                 metrics,
                 windows: run.windows.iter().map(obs::Window::flatten).collect(),
+                health: run.health.clone(),
             });
         }
         let title = format!(
@@ -413,6 +492,7 @@ fn sweep(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_kind<S>(
     threads: usize,
     dur: Duration,
@@ -421,6 +501,9 @@ fn run_kind<S>(
     shards: usize,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
+    kind_name: &str,
 ) -> (RunResult, Vec<(usize, IngestRun)>)
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
@@ -431,7 +514,10 @@ where
         .map(|&w| {
             (
                 w,
-                run_ingest::<S>(threads, dur, w, committers, shards, with_obs, timeseries),
+                run_ingest::<S>(
+                    threads, dur, w, committers, shards, with_obs, timeseries, slo, server,
+                    kind_name,
+                ),
             )
         })
         .collect();
@@ -667,6 +753,7 @@ fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
             ("group_size".into(), OVERHEAD_GROUP as f64),
         ],
         windows: Vec::new(),
+        health: Vec::new(),
     });
     let ok = gate(&r);
     if !ok {
@@ -906,6 +993,7 @@ fn submit_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
             ),
         ],
         windows: Vec::new(),
+        health: Vec::new(),
     });
     let ok = r.speedup >= SUBMIT_SPEEDUP_FLOOR;
     if !ok {
@@ -927,12 +1015,38 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut timeseries: Option<Duration> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut slo: Option<obs::SloPolicy> = None;
     let mut with_obs = false;
     let mut check_overhead = false;
     let mut check_submit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--serve" => {
+                serve_addr = args.get(i + 1).cloned();
+                if serve_addr.is_none() {
+                    eprintln!("--serve requires an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--slo" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("--slo requires a spec (key=value,... or \"\" for defaults)");
+                    std::process::exit(2);
+                };
+                match obs::SloPolicy::parse(spec) {
+                    Ok(p) => slo = Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+                with_obs = true;
+                i += 2;
+            }
             "--json" => {
                 json_path = args.get(i + 1).map(PathBuf::from);
                 if json_path.is_none() {
@@ -995,12 +1109,41 @@ fn main() {
             }
         },
     };
+    // The health monitor consumes sampling windows, so --slo without
+    // --timeseries turns sampling on at a 100 ms cadence.
+    if slo.is_some() && timeseries.is_none() {
+        timeseries = Some(Duration::from_millis(100));
+    }
+    // One server across every run; each run installs its own sources
+    // right after its store is built. The overhead and submit panels run
+    // with the server spawned but idle — the `--check-obs-overhead` gate
+    // holds with the endpoint up.
+    let server = serve_addr.map(|addr| {
+        match obs::ExportServer::spawn(addr.as_str(), obs::ExportSources::new()) {
+            Ok(s) => {
+                println!("serving on {}", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("--serve {addr}: bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let mut records = Vec::new();
     let mut overhead_ok = true;
     let mut submit_ok = true;
     let mut last_trace = None;
     for kind in kinds {
-        sweep(kind, with_obs, timeseries, &mut records, &mut last_trace);
+        sweep(
+            kind,
+            with_obs,
+            timeseries,
+            slo.as_ref(),
+            server.as_ref(),
+            &mut records,
+            &mut last_trace,
+        );
         overhead_ok &= overhead_panel(kind, &mut records);
         submit_ok &= submit_panel(kind, &mut records);
     }

@@ -8,7 +8,7 @@
 //! (update traffic spread over independent lock domains) and what the
 //! cross-shard snapshot machinery costs on scans.
 //!
-//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>]`
+//! Usage: `cargo run --release -p workloads --bin store_scaling [-- skiplist|citrus|list] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--serve <addr>] [--slo <spec>]`
 //! (`--json` writes one machine-readable record per configuration;
 //! `--obs` builds the store runs over a live `obs::MetricsRegistry`,
 //! prints the metrics table after the last configuration of each mix,
@@ -20,7 +20,14 @@
 //! normal, use `store_txn`/`store_ingest` for a populated one;
 //! `--timeseries` samples every store run
 //! at the given cadence, prints one JSON line per window, and embeds the
-//! windows in the `--json` records — both imply `--obs`).
+//! windows in the `--json` records — both imply `--obs`;
+//! `--serve <addr>` starts the live introspection endpoint (`/metrics`
+//! Prometheus text, `/snapshot.json`, `/windows.json`,
+//! `/anomalies.json`, `/health.json`) and prints
+//! `serving on <bound addr>`; `--slo <spec>` attaches an
+//! `obs::HealthMonitor` to the sampler and embeds its findings in the
+//! `--json` records — both imply `--obs`, and `--slo` defaults
+//! `--timeseries` to 100 ms when unset).
 //! Thread counts come from `BUNDLE_THREADS`, duration from
 //! `BUNDLE_DURATION_MS`, shard counts from `BUNDLE_SHARDS`
 //! (comma-separated, default "1,2,4,8,16").
@@ -48,12 +55,15 @@ fn shard_counts() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16])
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     label: &str,
     store_kind: StructureKind,
     baseline: StructureKind,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
     records: &mut Vec<RunRecord>,
 ) -> Option<Arc<obs::TraceRecorder>> {
     let key_range = store_kind.default_key_range();
@@ -79,25 +89,74 @@ fn sweep(
                 threads,
                 metrics: vec![("mops".into(), t.mops())],
                 windows: Vec::new(),
+                health: Vec::new(),
             });
             for &shards in &shard_counts() {
                 let mut metrics = vec![("shards".into(), shards as f64)];
                 let mut windows = Vec::new();
+                let mut health = Vec::new();
                 let t = if with_obs {
                     let registry = obs::MetricsRegistry::new();
-                    // One extra reserved slot (tid = `threads`) for the
-                    // background sampler when sampling; the workload
-                    // workers drive tids 0..threads.
-                    let slots = threads + usize::from(timeseries.is_some());
+                    // Extra reserved slots beyond the workload workers
+                    // (tids 0..threads): tid `threads` for the background
+                    // sampler when sampling, the next tid for the export
+                    // server's snapshot closure when serving (scrapes
+                    // serialize on the server's sources mutex, so one
+                    // reserved slot is race-free).
+                    let serving = server.is_some();
+                    let slots = threads + usize::from(timeseries.is_some()) + usize::from(serving);
                     let parts =
                         make_obs_store_structure(store_kind, slots, shards, key_range, &registry);
+                    // The health monitor consumes each sampling window as
+                    // it closes.
+                    let monitor = slo.map(|policy| {
+                        Arc::new(obs::HealthMonitor::new(
+                            policy.clone(),
+                            &registry,
+                            parts.trace.clone(),
+                        ))
+                    });
                     let sampler = timeseries.map(|every| {
-                        obs::TimeseriesSampler::spawn(
+                        let observer = monitor.as_ref().map(|m| {
+                            let m = Arc::clone(m);
+                            Box::new(move |w: &obs::Window| {
+                                let _ = m.observe(w);
+                            }) as obs::timeseries::WindowObserver
+                        });
+                        obs::TimeseriesSampler::spawn_with(
                             every,
                             obs::timeseries::DEFAULT_WINDOW_CAPACITY,
                             (parts.timeseries_source)(threads),
+                            observer,
+                            Some(registry.gauge("obs.timeseries.dropped_windows")),
                         )
                     });
+                    // Install this configuration's sources before the run
+                    // so scrapes answer while the workload hammers (the
+                    // last configuration's sources stay installed after).
+                    if let Some(server) = server {
+                        let server_tid = threads + usize::from(timeseries.is_some());
+                        let snapshot = (parts.timeseries_source)(server_tid);
+                        let mut sources = obs::ExportSources::new()
+                            .with_snapshot(snapshot)
+                            .with_build_info(vec![
+                                ("schema".into(), SCHEMA_VERSION.to_string()),
+                                ("bench".into(), "store_scaling".into()),
+                                ("backend".into(), label.into()),
+                            ]);
+                        if let Some(s) = &sampler {
+                            let reader = s.reader();
+                            sources = sources.with_windows(move || reader.windows());
+                        }
+                        if let Some(tr) = parts.trace.clone() {
+                            sources = sources.with_anomalies(move || tr.anomalies());
+                        }
+                        if let Some(m) = &monitor {
+                            let m = Arc::clone(m);
+                            sources = sources.with_health(move || m.report().json());
+                        }
+                        server.install(sources);
+                    }
                     let t = run_workload(&parts.set, &cfg);
                     if let Some(sampler) = sampler {
                         let ws = sampler.stop();
@@ -105,6 +164,12 @@ fn sweep(
                             println!("{}", w.json_line());
                         }
                         windows = ws.iter().map(obs::Window::flatten).collect();
+                    }
+                    if let Some(m) = monitor {
+                        health = m.report().findings;
+                        for f in &health {
+                            println!("slo finding: {}", obs::health::finding_json(f));
+                        }
                     }
                     let snap = (parts.sampler)();
                     metrics.extend(snap.flatten("obs."));
@@ -129,6 +194,7 @@ fn sweep(
                     threads,
                     metrics,
                     windows,
+                    health,
                 });
             }
         }
@@ -157,10 +223,36 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut timeseries: Option<Duration> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut slo: Option<obs::SloPolicy> = None;
     let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--serve" => {
+                serve_addr = args.get(i + 1).cloned();
+                if serve_addr.is_none() {
+                    eprintln!("--serve requires an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--slo" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("--slo requires a spec (key=value,... or \"\" for defaults)");
+                    std::process::exit(2);
+                };
+                match obs::SloPolicy::parse(spec) {
+                    Ok(p) => slo = Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+                with_obs = true;
+                i += 2;
+            }
             "--json" => {
                 json_path = args.get(i + 1).map(PathBuf::from);
                 if json_path.is_none() {
@@ -202,6 +294,25 @@ fn main() {
         }
     }
     let which = which.unwrap_or_else(|| "skiplist".into());
+    // The health monitor consumes sampling windows, so --slo without
+    // --timeseries turns sampling on at a 100 ms cadence.
+    if slo.is_some() && timeseries.is_none() {
+        timeseries = Some(Duration::from_millis(100));
+    }
+    // One server across every configuration; each installs its own
+    // sources right after its store is built.
+    let server = serve_addr.map(|addr| {
+        match obs::ExportServer::spawn(addr.as_str(), obs::ExportSources::new()) {
+            Ok(s) => {
+                println!("serving on {}", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("--serve {addr}: bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let mut records = Vec::new();
     let trace = match which.as_str() {
         "skiplist" => sweep(
@@ -210,6 +321,8 @@ fn main() {
             StructureKind::SkipListBundle,
             with_obs,
             timeseries,
+            slo.as_ref(),
+            server.as_ref(),
             &mut records,
         ),
         "citrus" => sweep(
@@ -218,6 +331,8 @@ fn main() {
             StructureKind::CitrusBundle,
             with_obs,
             timeseries,
+            slo.as_ref(),
+            server.as_ref(),
             &mut records,
         ),
         "list" => sweep(
@@ -226,6 +341,8 @@ fn main() {
             StructureKind::ListBundle,
             with_obs,
             timeseries,
+            slo.as_ref(),
+            server.as_ref(),
             &mut records,
         ),
         other => {

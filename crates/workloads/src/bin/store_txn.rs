@@ -17,7 +17,7 @@
 //! and the per-shard bundle-entry stats are printed after each run.
 //!
 //! Usage:
-//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>]`
+//! `cargo run --release -p workloads --bin store_txn -- [store-skiplist|store-citrus|store-list] [--mix <label>] [--json <path>] [--obs] [--trace <path>] [--timeseries <ms>] [--serve <addr>] [--slo <spec>]`
 //! (default: all three backends, all mixes). `--mix rw` selects the
 //! read-write mix only; `--json` additionally writes one machine-readable
 //! record per configuration; `--obs` builds each store over a live
@@ -29,9 +29,17 @@
 //! samples every run at the given cadence from a dedicated background
 //! thread, prints one JSON line per window (commit rate, conflict rate,
 //! per-shard skew), and embeds the windows in the `--json` records —
-//! both imply `--obs`. Thread counts come from `BUNDLE_THREADS`,
-//! duration from `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS`
-//! (single value; default [`workloads::DEFAULT_STORE_SHARDS`]).
+//! both imply `--obs`. `--serve <addr>` (e.g. `127.0.0.1:0`) starts the
+//! live introspection endpoint (`obs::export`: `/metrics` Prometheus
+//! text, `/snapshot.json`, `/windows.json`, `/anomalies.json`,
+//! `/health.json`) and prints `serving on <bound addr>`; `--slo <spec>`
+//! (comma-separated `key=value` over [`obs::SloPolicy`] defaults, `""`
+//! for the defaults) runs a health monitor over the sampling windows
+//! and embeds its findings in the `--json` records — both imply
+//! `--obs`, and `--slo` defaults `--timeseries` to 100 ms when unset.
+//! Thread counts come from `BUNDLE_THREADS`, duration from
+//! `BUNDLE_DURATION_MS`, shard count from `BUNDLE_SHARDS` (single
+//! value; default [`workloads::DEFAULT_STORE_SHARDS`]).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -126,9 +134,11 @@ struct MixRun {
     per_shard: Vec<usize>,
     snapshot: Option<obs::MetricsSnapshot>,
     windows: Vec<obs::Window>,
+    health: Vec<obs::health::Finding>,
     trace: Option<Arc<obs::TraceRecorder>>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_mix<S>(
     threads: usize,
     dur: Duration,
@@ -136,15 +146,21 @@ fn run_mix<S>(
     shards: usize,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
+    kind_name: &str,
 ) -> MixRun
 where
     S: ShardBackend<u64, u64> + Send + Sync + 'static,
 {
     // Reserved slots beyond the workers: tid `threads` for the background
     // recycler, tid `threads + 1` for the time-series sampler (only when
-    // sampling).
+    // sampling), and the next tid for the export server's snapshot
+    // closure (only when serving — scrapes serialize on the server's
+    // sources mutex, so one reserved handle is race-free).
     let splits = uniform_splits(shards, KEY_RANGE);
-    let slots = threads + 1 + usize::from(timeseries.is_some());
+    let serving = server.is_some() && with_obs;
+    let slots = threads + 1 + usize::from(timeseries.is_some()) + usize::from(serving);
     let store = Arc::new(if with_obs {
         BundledStore::<u64, u64, S>::with_obs(
             slots,
@@ -155,16 +171,66 @@ where
     } else {
         BundledStore::<u64, u64, S>::new(slots, splits)
     });
+    // The health monitor consumes each sampling window as it closes.
+    let monitor = slo.and_then(|policy| {
+        store.obs_registry().map(|registry| {
+            Arc::new(obs::HealthMonitor::new(
+                policy.clone(),
+                registry,
+                store.obs_trace().cloned(),
+            ))
+        })
+    });
     // Spawn the sampler before the prefill so its base snapshot sees zero
     // counters: the per-window deltas then sum exactly to the final
     // `store.shard<i>.ops` counters (the reconciliation the tests gate).
     let sampler = timeseries.filter(|_| with_obs).map(|every| {
         let st = Arc::clone(&store);
         let tid = threads + 1;
-        obs::TimeseriesSampler::spawn(every, obs::timeseries::DEFAULT_WINDOW_CAPACITY, move || {
-            st.obs_snapshot(tid).expect("store built with obs")
-        })
+        let observer = monitor.as_ref().map(|m| {
+            let m = Arc::clone(m);
+            Box::new(move |w: &obs::Window| {
+                let _ = m.observe(w);
+            }) as obs::timeseries::WindowObserver
+        });
+        let dropped = store
+            .obs_registry()
+            .map(|r| r.gauge("obs.timeseries.dropped_windows"));
+        obs::TimeseriesSampler::spawn_with(
+            every,
+            obs::timeseries::DEFAULT_WINDOW_CAPACITY,
+            move || st.obs_snapshot(tid).expect("store built with obs"),
+            observer,
+            dropped,
+        )
     });
+    // Install this run's sources before the prefill so scrapes answer
+    // for the whole run (the last run's sources stay installed after it
+    // ends, so post-run scrapes still answer).
+    if serving {
+        let server = server.expect("serving implies a server");
+        let server_tid = threads + 1 + usize::from(timeseries.is_some());
+        let st = Arc::clone(&store);
+        let mut sources = obs::ExportSources::new()
+            .with_snapshot(move || st.obs_snapshot(server_tid).expect("store built with obs"))
+            .with_build_info(vec![
+                ("schema".into(), SCHEMA_VERSION.to_string()),
+                ("bench".into(), "store_txn".into()),
+                ("backend".into(), kind_name.into()),
+            ]);
+        if let Some(s) = &sampler {
+            let reader = s.reader();
+            sources = sources.with_windows(move || reader.windows());
+        }
+        if let Some(tr) = store.obs_trace().cloned() {
+            sources = sources.with_anomalies(move || tr.anomalies());
+        }
+        if let Some(m) = &monitor {
+            let m = Arc::clone(m);
+            sources = sources.with_health(move || m.report().json());
+        }
+        server.install(sources);
+    }
     // Prefill half the keyspace (the harness convention).
     {
         let h = store.register();
@@ -260,15 +326,19 @@ where
         per_shard,
         snapshot,
         windows,
+        health: monitor.map(|m| m.report().findings).unwrap_or_default(),
         trace: store.obs_trace().cloned(),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     kind: StructureKind,
     mix_filter: Option<&str>,
     with_obs: bool,
     timeseries: Option<Duration>,
+    slo: Option<&obs::SloPolicy>,
+    server: Option<&obs::ExportServer>,
     records: &mut Vec<RunRecord>,
     last_trace: &mut Option<Arc<obs::TraceRecorder>>,
 ) {
@@ -286,15 +356,16 @@ fn sweep(
         let mut shard_stats: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut last_snapshot = None;
         for &threads in &thread_counts() {
+            let name = kind.name();
             let run = match kind {
                 StructureKind::StoreSkipList => run_mix::<skiplist::BundledSkipList<u64, u64>>(
-                    threads, dur, mix, shards, with_obs, timeseries,
+                    threads, dur, mix, shards, with_obs, timeseries, slo, server, name,
                 ),
                 StructureKind::StoreCitrus => run_mix::<citrus::BundledCitrusTree<u64, u64>>(
-                    threads, dur, mix, shards, with_obs, timeseries,
+                    threads, dur, mix, shards, with_obs, timeseries, slo, server, name,
                 ),
                 StructureKind::StoreList => run_mix::<lazylist::BundledLazyList<u64, u64>>(
-                    threads, dur, mix, shards, with_obs, timeseries,
+                    threads, dur, mix, shards, with_obs, timeseries, slo, server, name,
                 ),
                 other => panic!("{other:?} is not a sharded store kind"),
             };
@@ -303,10 +374,14 @@ fn sweep(
                 per_shard,
                 snapshot,
                 windows,
+                health,
                 trace,
             } = run;
             for w in &windows {
                 println!("{}", w.json_line());
+            }
+            for f in &health {
+                println!("slo finding: {}", obs::health::finding_json(f));
             }
             if trace.is_some() {
                 *last_trace = trace;
@@ -357,6 +432,7 @@ fn sweep(
                 threads,
                 metrics,
                 windows: windows.iter().map(obs::Window::flatten).collect(),
+                health,
             });
             shard_stats.push((threads, per_shard));
         }
@@ -391,10 +467,36 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut timeseries: Option<Duration> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut slo: Option<obs::SloPolicy> = None;
     let mut with_obs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--serve" => {
+                serve_addr = args.get(i + 1).cloned();
+                if serve_addr.is_none() {
+                    eprintln!("--serve requires an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }
+                with_obs = true;
+                i += 2;
+            }
+            "--slo" => {
+                let Some(spec) = args.get(i + 1) else {
+                    eprintln!("--slo requires a spec (key=value,... or \"\" for defaults)");
+                    std::process::exit(2);
+                };
+                match obs::SloPolicy::parse(spec) {
+                    Ok(p) => slo = Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+                with_obs = true;
+                i += 2;
+            }
             "--json" => {
                 json_path = args.get(i + 1).map(PathBuf::from);
                 if json_path.is_none() {
@@ -457,6 +559,25 @@ fn main() {
             }
         },
     };
+    // The health monitor consumes sampling windows, so --slo without
+    // --timeseries turns sampling on at a 100 ms cadence.
+    if slo.is_some() && timeseries.is_none() {
+        timeseries = Some(Duration::from_millis(100));
+    }
+    // One server across every run; each run installs its own sources
+    // right after its store is built.
+    let server = serve_addr.map(|addr| {
+        match obs::ExportServer::spawn(addr.as_str(), obs::ExportSources::new()) {
+            Ok(s) => {
+                println!("serving on {}", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("--serve {addr}: bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let mut records = Vec::new();
     let mut last_trace = None;
     for kind in kinds {
@@ -465,6 +586,8 @@ fn main() {
             mix_filter.as_deref(),
             with_obs,
             timeseries,
+            slo.as_ref(),
+            server.as_ref(),
             &mut records,
             &mut last_trace,
         );

@@ -57,8 +57,11 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
 /// (empty unless the run sampled with `--timeseries`);
 /// 4 = adds the `store_ingest` submit-path contention panel records
 /// (`mix` `"submit-path"` with `submit_ns_per_op_locked` /
-/// `submit_ns_per_op_ring` / `submit_speedup` metrics).
-pub const SCHEMA_VERSION: u32 = 4;
+/// `submit_ns_per_op_ring` / `submit_speedup` metrics);
+/// 5 = adds the `health` array of SLO findings (`obs::health` critical
+/// transitions; empty unless the run monitored with `--slo`) and the
+/// `finalize_p99_ns` field inside each `windows` entry.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One machine-readable benchmark run for `--json` output: a scenario
 /// binary records one `RunRecord` per (backend, mix, thread count)
@@ -84,6 +87,11 @@ pub struct RunRecord {
     /// `commits_per_s`, `conflict_rate`, `skew.max_share`,
     /// `shard<i>.ops`, ...). Empty when the run did not sample.
     pub windows: Vec<Vec<(String, f64)>>,
+    /// SLO findings (`obs::health` critical escalations, e.g. the
+    /// `hot_shard` resharding trigger) the run's health monitor
+    /// recorded. Empty when the run did not monitor (`--slo` unset) —
+    /// the key is always present, like `windows`.
+    pub health: Vec<obs::health::Finding>,
 }
 
 /// Serialize `records` as a JSON array to `path` (hand-rolled writer —
@@ -114,6 +122,12 @@ pub fn write_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Res
                 write!(f, "{}{name:?}:{value}", if fi == 0 { "" } else { "," })?;
             }
             write!(f, "}}")?;
+        }
+        write!(f, "]")?;
+        write!(f, ",\"health\":[")?;
+        for (fi, finding) in r.health.iter().enumerate() {
+            let sep = if fi == 0 { "" } else { "," };
+            write!(f, "{sep}{}", obs::health::finding_json(finding))?;
         }
         write!(f, "]")?;
         writeln!(f, "}}{}", if i + 1 == records.len() { "" } else { "," })?;
@@ -178,6 +192,14 @@ mod tests {
                     ],
                     vec![("window".into(), 1.0), ("commits_per_s".into(), f64::NAN)],
                 ],
+                health: vec![obs::health::Finding {
+                    check: obs::HealthCheck::HotShard,
+                    level: obs::HealthLevel::Critical,
+                    window: 7,
+                    value: 0.95,
+                    threshold: 0.8,
+                    shard: 3,
+                }],
             },
             RunRecord {
                 schema: SCHEMA_VERSION,
@@ -187,6 +209,7 @@ mod tests {
                 threads: 1,
                 metrics: vec![("commits_per_sec".into(), 10.0)],
                 windows: Vec::new(),
+                health: Vec::new(),
             },
         ];
         let path = std::path::PathBuf::from("target/experiments/unit_test_report.json");
@@ -194,7 +217,7 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("[\n"));
         assert!(content.trim_end().ends_with(']'));
-        assert!(content.contains("\"schema\":4,\"bench\":\"store_txn\""));
+        assert!(content.contains("\"schema\":5,\"bench\":\"store_txn\""));
         assert!(content.contains("\"mix\":\"rw-50-40-10\""));
         assert!(content.contains("\"ops_per_sec\":1234.5"));
         assert!(
@@ -209,6 +232,13 @@ mod tests {
         ));
         assert!(content.contains("{\"window\":1,\"commits_per_s\":0}]"));
         assert!(content.contains("\"commits_per_sec\":10,\"windows\":[]"));
+        // Health findings: serialized after windows; a run without a
+        // monitor still carries the (empty) array.
+        assert!(content.contains(
+            "\"health\":[{\"check\":\"hot_shard\",\"level\":\"critical\",\"window\":7,\
+             \"value\":0.95,\"threshold\":0.8,\"shard\":3}]"
+        ));
+        assert!(content.contains("\"windows\":[],\"health\":[]"));
     }
 
     #[test]
