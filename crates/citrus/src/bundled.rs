@@ -1,10 +1,11 @@
 //! The bundled Citrus-style binary search tree (§6).
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crossbeam_utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 
 use bundle::api::{ConcurrentSet, RangeQuerySet};
@@ -68,6 +69,21 @@ struct Located<K, V> {
     resumed: bool,
 }
 
+/// RAII token of one in-flight gated search (see
+/// [`BundledCitrusTree::enter_search`]): drop makes the gate even again
+/// (search finished). The release store pairs with the waiter's acquire
+/// loop so everything the search did happens-before the waiter's unlink.
+struct SearchGate<'a>(&'a AtomicU64);
+
+impl Drop for SearchGate<'_> {
+    fn drop(&mut self) {
+        self.0.store(
+            self.0.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Release,
+        );
+    }
+}
+
 /// Unbalanced internal BST (Citrus-style) with bundled child references and
 /// linearizable range queries.
 ///
@@ -80,6 +96,16 @@ pub struct BundledCitrusTree<K, V> {
     clock: Arc<GlobalTimestamp>,
     tracker: Arc<RqTracker>,
     collector: Collector,
+    /// Per-thread **search gates** (seqlock-style announcements: odd =
+    /// a newest-pointer search is in flight, even = idle), standing in
+    /// for the RCU read-side critical sections of the original Citrus.
+    /// Every [`Self::search`] / [`Self::search_spined`] descent runs
+    /// inside its thread's gate; a two-children remove calls
+    /// [`Self::wait_for_searchers`] — one grace period — before the
+    /// relocation's `sp.child` unlink, so no search that started on the
+    /// old path can observe the successor's slot emptied mid-descent
+    /// and miss the (still logically present) relocated key.
+    searchers: Box<[CachePadded<AtomicU64>]>,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for BundledCitrusTree<K, V> {}
@@ -120,6 +146,9 @@ where
             clock: Arc::clone(ctx.clock()),
             tracker: Arc::clone(ctx.tracker()),
             collector: Collector::new(max_threads, mode),
+            searchers: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -153,13 +182,65 @@ where
         self.collector.pin(tid)
     }
 
+    /// Enter `tid`'s search gate (odd = in flight). The `SeqCst` fence
+    /// pairs with the one in [`Self::wait_for_searchers`]: by the
+    /// store-buffering theorem, either the waiter observes this gate odd
+    /// (and waits the search out), or this search's subsequent pointer
+    /// loads observe everything the waiter published before its fence —
+    /// in particular the relocation's `pred.child` link, so the search
+    /// finds the relocated key at its new node and the pending unlink
+    /// cannot make it miss.
+    #[inline]
+    fn enter_search(&self, tid: usize) -> SearchGate<'_> {
+        let slot = &**self
+            .searchers
+            .get(tid)
+            .expect("tid out of range for this tree");
+        slot.store(
+            slot.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Relaxed,
+        );
+        fence(Ordering::SeqCst);
+        SearchGate(slot)
+    }
+
+    /// One grace period over the search gates: returns only when every
+    /// *other* thread's search that was in flight at the call has
+    /// finished (its gate value changed — the search exited, whether or
+    /// not a new one started; a later search is safe, see
+    /// [`Self::enter_search`]). Searches are wait-free and take no
+    /// locks, so this terminates even though the caller holds node
+    /// locks — which is exactly why the gates exist instead of waiting
+    /// on the EBR epoch (pins are held across blocking lock
+    /// acquisitions and for whole snapshot lifetimes; waiting on them
+    /// under locks would deadlock).
+    fn wait_for_searchers(&self, self_tid: usize) {
+        fence(Ordering::SeqCst);
+        for (tid, slot) in self.searchers.iter().enumerate() {
+            if tid == self_tid {
+                continue;
+            }
+            let seen = slot.load(Ordering::Acquire);
+            if seen & 1 == 1 {
+                while slot.load(Ordering::Acquire) == seen {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
     /// Wait-free search: returns `(pred, dir, curr)` where `curr` is the
     /// node holding `key` (or null) and `pred.child[dir]` was the link
     /// followed to reach it. The sentinel root's key is never compared.
     /// (Allocation-free fast path for the primitive operations; cursors
     /// use [`Self::search_spined`], which additionally maintains the
     /// resume spine.)
-    fn search(&self, key: &K) -> (*mut Node<K, V>, usize, *mut Node<K, V>) {
+    ///
+    /// The whole descent runs inside `tid`'s search gate — the RCU
+    /// read-side critical section a relocation's grace period waits out
+    /// (see [`Self::wait_for_searchers`]).
+    fn search(&self, tid: usize, key: &K) -> (*mut Node<K, V>, usize, *mut Node<K, V>) {
+        let _gate = self.enter_search(tid);
         let mut pred = self.root;
         let mut dir = LEFT;
         let mut curr = unsafe { &*pred }.child[LEFT].load(Ordering::Acquire);
@@ -188,7 +269,15 @@ where
     /// spine entry that goes stale after its unmarked check can only
     /// yield a stale position (an unlinked node's child pointers are not
     /// cleared), which the caller's under-lock validation catches.
-    fn search_spined(&self, key: &K, spine: &mut Vec<SpineEntry<K, V>>) -> Located<K, V> {
+    fn search_spined(
+        &self,
+        tid: usize,
+        key: &K,
+        spine: &mut Vec<SpineEntry<K, V>>,
+    ) -> Located<K, V> {
+        // Like Self::search, the descent (spine validation included) is
+        // one gated read-side critical section.
+        let _gate = self.enter_search(tid);
         // Validate the spine root-downwards and keep the usable prefix:
         // stop at the first entry that is off `key`'s path (interval
         // miss), holds the key itself (resume from its parent), or is
@@ -831,7 +920,9 @@ where
 {
     /// One search, resuming from the retained spine when possible.
     fn locate(&mut self, key: &K) -> Located<K, V> {
-        let loc = self.tree.search_spined(key, &mut self.spine);
+        let loc = self
+            .tree
+            .search_spined(self.txn.core.tid(), key, &mut self.spine);
         if loc.resumed {
             self.stats.hinted += 1;
         } else {
@@ -1062,6 +1153,13 @@ where
             succ_ref.marked.store(true, Ordering::SeqCst);
             pred_ref.child[dir].store(new_node, Ordering::SeqCst);
             if sp_moved {
+                // Same grace period as the primitive two-children remove
+                // (see ConcurrentSet::remove): the successor's old slot
+                // stays reachable, so wait out every in-flight gated
+                // search before emptying it. The staged locks are held
+                // until commit/abort, and searches take no locks, so the
+                // wait terminates.
+                tree.wait_for_searchers(txn.core.tid());
                 sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
             }
             txn.core.add_victim(curr);
@@ -1173,7 +1271,7 @@ where
     fn insert(&self, tid: usize, key: K, value: V) -> bool {
         let _guard = self.pin(tid);
         loop {
-            let (pred, dir, curr) = self.search(&key);
+            let (pred, dir, curr) = self.search(tid, &key);
             if !curr.is_null() {
                 let c = unsafe { &*curr };
                 if !c.marked.load(Ordering::Acquire) {
@@ -1212,7 +1310,7 @@ where
     fn remove(&self, tid: usize, key: &K) -> bool {
         let guard = self.pin(tid);
         loop {
-            let (pred, dir, curr) = self.search(key);
+            let (pred, dir, curr) = self.search(tid, key);
             if curr.is_null() {
                 return false;
             }
@@ -1326,10 +1424,24 @@ where
                 curr_ref.marked.store(true, Ordering::SeqCst);
                 succ_ref.marked.store(true, Ordering::SeqCst);
                 pred_ref.child[dir].store(new_node, Ordering::SeqCst);
-                if succ != right {
-                    sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
-                }
             });
+            if succ != right {
+                // The successor moves out of a slot that stays reachable:
+                // wait one grace period over the search gates before
+                // emptying it, so no search that entered via the old path
+                // finds `sp.child[LEFT]` already swung past the (still
+                // logically present) relocated key. Deliberately *outside*
+                // the linearize closure — snapshots spin on the pending
+                // bundle entries while it runs, and the wait must not
+                // stall them; the bundle entry for `sp.bundle[LEFT]` is
+                // already finalized at the commit timestamp, which is
+                // correct because fixed-timestamp traversals read bundles,
+                // not this lagging newest pointer (RCU old-path validity).
+                // All four locks are still held, so no competing update
+                // can touch the slot in between.
+                self.wait_for_searchers(tid);
+                sp_ref.child[LEFT].store(succ_right, Ordering::SeqCst);
+            }
             drop(succ_lock);
             drop(sp_lock);
             drop(curr_lock);
@@ -1344,14 +1456,26 @@ where
 
     fn contains(&self, tid: usize, key: &K) -> bool {
         let _guard = self.pin(tid);
-        let (_, _, curr) = self.search(key);
-        !curr.is_null() && !unsafe { &*curr }.marked.load(Ordering::Acquire)
+        let (_, _, curr) = self.search(tid, key);
+        // A *found* node answers true even if marked (RCU old-path
+        // validity, as in the original Citrus, whose reads never check
+        // the mark): a splice victim is only reachable while its remove
+        // is mid-critical-section — ordering this read before that
+        // remove is linearizable — and a relocation victim's key is
+        // still logically present (its copy is already linked, or the
+        // relocator is inside the same critical section), so answering
+        // absent there would be a linearizability violation, not a
+        // race-window nicety.
+        !curr.is_null()
     }
 
     fn get(&self, tid: usize, key: &K) -> Option<V> {
         let _guard = self.pin(tid);
-        let (_, _, curr) = self.search(key);
-        if !curr.is_null() && !unsafe { &*curr }.marked.load(Ordering::Acquire) {
+        let (_, _, curr) = self.search(tid, key);
+        if !curr.is_null() {
+            // Marked nodes answer too — see Self::contains. A victim's
+            // value is immutable once reachable (relocation copies it,
+            // never moves it), so the clone is sound under the EBR pin.
             unsafe { &*curr }.val.clone()
         } else {
             None
@@ -1975,5 +2099,111 @@ mod tests {
         let mut out = Vec::new();
         t.range_query(0, &0, &63, &mut out);
         assert_eq!(out.len(), 64);
+    }
+
+    /// The deterministic shape of the relocation race: removing 50 picks
+    /// successor 60 two links deep (succ_parent 75 != curr), so the
+    /// remove is an RCU copy + deferred `sp.child` unlink. The relocated
+    /// key must stay visible throughout.
+    #[test]
+    fn two_children_remove_relocates_without_losing_the_successor() {
+        let t = Tree::new(1);
+        for k in [50u64, 25, 75, 60, 85, 70] {
+            assert!(t.insert(0, k, k * 10));
+        }
+        assert!(t.remove(0, &50));
+        for k in [25u64, 60, 70, 75, 85] {
+            assert!(t.contains(0, &k), "{k} lost by the relocation");
+        }
+        assert_eq!(t.get(0, &60), Some(600), "relocated key keeps its value");
+        let mut out = Vec::new();
+        assert_eq!(t.range_query(0, &0, &100, &mut out), 5);
+        assert_eq!(
+            out.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![25, 60, 70, 75, 85]
+        );
+    }
+
+    #[test]
+    fn grace_period_waits_out_an_in_flight_search() {
+        let t = Arc::new(Tree::new(4));
+        let gate = t.enter_search(1);
+        let waited = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waiter = {
+            let (t, waited) = (Arc::clone(&t), Arc::clone(&waited));
+            std::thread::spawn(move || {
+                t.wait_for_searchers(0);
+                waited.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !waited.load(Ordering::SeqCst),
+            "grace period must not elapse while a search is in flight"
+        );
+        drop(gate);
+        waiter.join().unwrap();
+        assert!(waited.load(Ordering::SeqCst));
+        // And with all gates idle it returns immediately (the caller's
+        // own gate is skipped).
+        let _own = t.enter_search(2);
+        t.wait_for_searchers(2);
+    }
+
+    /// Stress the wait-free-search vs relocation race: a writer
+    /// repeatedly performs the deterministic two-children remove that
+    /// relocates key 60 while readers hammer `contains(60)`. Key 60 is
+    /// logically present for the entire odd phase, so any `contains`
+    /// call observing the same odd phase before and after must say so —
+    /// a miss means a search slipped past the relocation's unlink (the
+    /// race the search-gate grace period closes).
+    #[test]
+    fn relocated_key_never_flickers_under_concurrent_searches() {
+        const ROUNDS: u64 = 4000;
+        const READERS: usize = 3;
+        let t = Arc::new(Tree::new(1 + READERS));
+        let phase = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let (t, phase) = (Arc::clone(&t), Arc::clone(&phase));
+                std::thread::spawn(move || {
+                    let tid = 1 + r;
+                    let mut checked = 0u64;
+                    loop {
+                        let before = phase.load(Ordering::SeqCst);
+                        if before == u64::MAX {
+                            return checked;
+                        }
+                        let found = t.contains(tid, &60);
+                        let after = phase.load(Ordering::SeqCst);
+                        if before == after && before & 1 == 1 {
+                            assert!(
+                                found,
+                                "contains(60) missed the relocated key in phase {before}"
+                            );
+                            checked += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for round in 0..ROUNDS {
+            for k in [50u64, 25, 75, 60, 85, 70] {
+                assert!(t.insert(0, k, k));
+            }
+            phase.store(round * 2 + 1, Ordering::SeqCst);
+            // The relocation under test (succ 60, succ_parent 75).
+            assert!(t.remove(0, &50));
+            for k in [25u64, 75, 85, 70] {
+                assert!(t.remove(0, &k));
+            }
+            assert!(t.contains(0, &60));
+            phase.store(round * 2 + 2, Ordering::SeqCst);
+            assert!(t.remove(0, &60));
+        }
+        phase.store(u64::MAX, Ordering::SeqCst);
+        let verified: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        // Sanity: the readers actually raced the live phases.
+        assert!(verified > 0, "readers never observed a live phase");
     }
 }

@@ -67,11 +67,14 @@
 //!
 //! Each committer registers one store session (a dense tid), so the store
 //! must be built with `max_threads >= producers + committers`.
-//! [`Ingest::flush`] blocks until every accepted submission has resolved;
+//! [`Ingest::flush`] blocks until every accepted submission has resolved
+//! and — when the store carries a commit log (`crates/wal`) — fsyncs it,
+//! making `flush` the pipeline's durability barrier;
 //! [`Ingest::shutdown`] (also run on drop) drains the rings, resolves
-//! every outstanding ticket, and joins the committers. Submitting
-//! concurrently with — or after — `shutdown` is a contract violation and
-//! panics.
+//! every outstanding ticket, fsyncs the WAL tail, and joins the
+//! committers, so a clean shutdown never loses an acknowledged group.
+//! Submitting concurrently with — or after — `shutdown` is a contract
+//! violation and panics.
 //!
 //! ## Example
 //!
@@ -630,22 +633,30 @@ where
         ops.into_iter().map(|op| self.submit(op)).collect()
     }
 
-    /// Block until every submission accepted so far has resolved.
+    /// Block until every submission accepted so far has resolved, then
+    /// force the store's commit log — if one is attached — to stable
+    /// storage. `flush` is therefore the **durability barrier**: when it
+    /// returns, every accepted operation is resolved *and* its group is
+    /// on disk, regardless of the log's sync policy (under
+    /// `SyncPolicy::Always` each ticket already implied durability when
+    /// it resolved; under the batching policies this is where the
+    /// volatile tail gets paid down). Without a commit log the sync is
+    /// a no-op and `flush` only waits for resolution, as before.
     pub fn flush(&self) {
-        if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
-            return;
+        if self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+            let mut guard = self.shared.wake.lock().unwrap_or_else(|p| p.into_inner());
+            // The committer that decrements to zero takes the wake mutex
+            // before notifying, so a non-zero read under the mutex cannot
+            // miss its notification.
+            while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+                guard = self
+                    .shared
+                    .idle
+                    .wait(guard)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
         }
-        let mut guard = self.shared.wake.lock().unwrap_or_else(|p| p.into_inner());
-        // The committer that decrements to zero takes the wake mutex
-        // before notifying, so a non-zero read under the mutex cannot
-        // miss its notification.
-        while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
-            guard = self
-                .shared
-                .idle
-                .wait(guard)
-                .unwrap_or_else(|p| p.into_inner());
-        }
+        self.shared.store.sync_commit_log();
     }
 
     /// Drain every ring, resolve every outstanding ticket, and join the
@@ -949,6 +960,10 @@ where
         if shared.shutdown.load(Ordering::SeqCst) {
             // Rings verified empty by the drain above, and the shutdown
             // contract forbids concurrent submits: nothing can arrive.
+            // Fsync the WAL tail (no-op without a log) so a clean
+            // shutdown never loses an acknowledged group, whatever the
+            // sync policy.
+            shared.store.sync_commit_log();
             break;
         }
     }

@@ -102,6 +102,7 @@
 //! ```
 
 mod backends;
+mod commitlog;
 mod handle;
 mod observe;
 mod sharded;
@@ -109,6 +110,7 @@ mod snapshot;
 
 pub use backends::ShardBackend;
 pub use bundle::{Conflict, TxnValidateError};
+pub use commitlog::CommitLog;
 pub use ebr::ReclaimMode;
 pub use handle::StoreHandle;
 pub use observe::PIPELINE_STAGES;

@@ -171,6 +171,10 @@ pub struct BundledStore<K, V, S> {
     /// Observability handles ([`BundledStore::with_obs`]); `None` keeps
     /// every instrumentation site to one never-taken branch.
     obs: Option<StoreObs>,
+    /// Durability hook ([`BundledStore::attach_commit_log`]); `None` —
+    /// the default — keeps the commit pipeline to one never-taken
+    /// branch, exactly like disabled observability.
+    commit_log: Option<Arc<dyn crate::CommitLog<K, V>>>,
     _values: std::marker::PhantomData<V>,
 }
 
@@ -222,7 +226,33 @@ where
             group_commits: AtomicU64::new(0),
             grouped_ops: AtomicU64::new(0),
             obs: None,
+            commit_log: None,
             _values: std::marker::PhantomData,
+        }
+    }
+
+    /// Attach a write-ahead commit log. Every subsequent committing write
+    /// group is handed to `log` between validation and finalization (see
+    /// [`crate::CommitLog`]), so the durable prefix of the log is always
+    /// a prefix of the visible history.
+    ///
+    /// Takes `&mut self`: attach before wrapping the store in an `Arc`
+    /// and sharing it — a log cannot appear mid-flight.
+    pub fn attach_commit_log(&mut self, log: Arc<dyn crate::CommitLog<K, V>>) {
+        self.commit_log = Some(log);
+    }
+
+    /// The attached commit log, if any.
+    #[must_use]
+    pub fn commit_log(&self) -> Option<&Arc<dyn crate::CommitLog<K, V>>> {
+        self.commit_log.as_ref()
+    }
+
+    /// Force the attached commit log (if any) to stable storage. A no-op
+    /// without a log; see [`crate::CommitLog::sync`].
+    pub fn sync_commit_log(&self) {
+        if let Some(log) = &self.commit_log {
+            log.sync();
         }
     }
 
@@ -710,6 +740,21 @@ where
                 self.ctx.advance(tid)
             };
             let t = self.obs_stage(STAGE_ADVANCE, tid, t);
+            // Durability hook: log (and per sync policy, fsync) the group
+            // *before* any bundle entry is finalized. Concurrent readers
+            // are still spinning on the pendings, so an outcome can only
+            // become visible after its group is in the log — the durable
+            // prefix of the log is always a prefix of the visible
+            // history. With no log attached (the default) this is one
+            // never-taken branch. Log order is replay-correct: groups
+            // with overlapping shard sets hold conflicting intent locks
+            // across this call, so their log order matches their
+            // timestamp order; disjoint groups commute under replay.
+            if !groups.is_empty() {
+                if let Some(log) = &self.commit_log {
+                    log.log_group(tid, ts, ops, order, &results, &write_shards);
+                }
+            }
             self.obs_stage_begin(STAGE_FINALIZE, tid, attempt);
             // Phase 5: release every snapshot spinning on the pendings
             // (and every validation lock).

@@ -58,6 +58,21 @@
 //! timestamp (read-uncommitted, zero overhead). [`StoreTxnExt::snapshot_get`]
 //! / [`TxnStore::get`] are linearizable single-key snapshot reads.
 //!
+//! ## Durability
+//!
+//! A transaction's commit is durable exactly when the store carries a
+//! commit log (`crates/wal` attached via
+//! [`store::BundledStore::attach_commit_log`]): the commit pipeline logs
+//! the write set — under the transaction's single commit timestamp, the
+//! same `ts` reported in [`TxnReceipt`] — *before* finalizing any bundle
+//! entry, so the durable prefix of the log is always a prefix of the
+//! visible history. Under `SyncPolicy::Always`, `commit` returning means
+//! the transaction is on disk; under the batching policies, durability
+//! lags by at most the policy's group budget until the next sync barrier
+//! (`Ingest::flush`, shutdown, or segment rotation). Without a log
+//! (the default) commits are volatile and the pipeline pays one
+//! never-taken branch.
+//!
 //! ## Example
 //!
 //! ```

@@ -294,6 +294,7 @@ where
                 ("schema".into(), SCHEMA_VERSION.to_string()),
                 ("bench".into(), "store_ingest".into()),
                 ("backend".into(), kind_name.into()),
+                ("durability".into(), "off".into()),
             ]);
         if let Some(s) = &sampler {
             let reader = s.reader();
@@ -454,6 +455,7 @@ fn sweep(
                 kind: kind.name().into(),
                 mix: format!("win-{window}"),
                 threads,
+                durability: "off".into(),
                 metrics,
                 windows: run.windows.iter().map(obs::Window::flatten).collect(),
                 health: run.health.clone(),
@@ -744,6 +746,7 @@ fn overhead_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
         kind: kind.name().into(),
         mix: format!("obs-overhead-{OVERHEAD_GROUP}"),
         threads: 1,
+        durability: "off".into(),
         metrics: vec![
             ("staging_ns_per_op_disabled".into(), r.disabled_ns),
             ("staging_ns_per_op_enabled".into(), r.enabled_ns),
@@ -982,6 +985,7 @@ fn submit_panel(kind: StructureKind, records: &mut Vec<RunRecord>) -> bool {
         kind: kind.name().into(),
         mix: "submit-path".into(),
         threads: SUBMIT_PRODUCERS,
+        durability: "off".into(),
         metrics: vec![
             ("submit_ns_per_op_locked".into(), r.locked_ns),
             ("submit_ns_per_op_ring".into(), r.ring_ns),

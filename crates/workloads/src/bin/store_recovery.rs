@@ -1,0 +1,600 @@
+//! Crash-recovery scenario: group-commit ingestion over a [`wal::GroupWal`],
+//! a simulated kill at the durability boundary, and a full replay + verify
+//! pass — the end-to-end check that the durable prefix of the log is a
+//! prefix of the acknowledged history.
+//!
+//! The run, per backend:
+//!
+//! 1. Build an **empty** store (recovery rebuilds from the log alone, so
+//!    the run starts with nothing outside it), attach a [`wal::GroupWal`]
+//!    with the requested `--sync-policy`, and spawn the ingest front-end.
+//! 2. Producer threads submit put/set/remove batches over **disjoint key
+//!    stripes** (`key % producers == p`), waiting every ticket before the
+//!    next batch, and journal each acknowledged op — key, kind, value,
+//!    applied flag — in acknowledgment order. Striping means each key's
+//!    journal is its complete, totally-ordered history.
+//! 3. Once the store has committed `--kill-after` groups the producers
+//!    stop and the harness samples the WAL's **durable position without
+//!    flushing** — that sample is the crash point. The clean
+//!    `Ingest::shutdown` that follows fsyncs the tail like any orderly
+//!    exit, but the simulated kill ignores it: [`wal::WalRecovery::cut`]
+//!    truncates the log back to the sampled position (plus `--torn-bytes`
+//!    of torn frame past it, exercising mid-frame tears).
+//! 4. A fresh store (same splits) is rebuilt via
+//!    [`wal::WalRecovery::replay`] and verified three ways:
+//!    * **A (replay = decode)** — the recovered store's full range scan
+//!      equals a plain decode-and-fold of the cut log: replaying through
+//!      the real commit pipeline and folding the records by hand agree.
+//!    * **B (journal-prefix consistency)** — every key's recovered value
+//!      is reachable by folding some prefix of that key's acked journal:
+//!      recovery never invents state and never reorders a key's history.
+//!    * **C (`always` = lose nothing acked)** — under
+//!      [`wal::SyncPolicy::Always`] every acknowledged op survives: the
+//!      recovered store equals the fold of **every** journal in full.
+//!
+//! The binary exits non-zero if any check fails. `--json` writes one
+//! schema-6 record per backend with the `durability` field set to the
+//! policy label and (under `--obs`) the flattened `obs.*` snapshot —
+//! including the `wal.append_ns` / `wal.fsync_ns` / `wal.bytes` /
+//! `wal.groups` / `wal.recovery_replayed_groups` instruments. `--serve`
+//! starts the live introspection endpoint with the `durability` label on
+//! `store_build_info`.
+//!
+//! Usage:
+//! `cargo run --release -p workloads --bin store_recovery -- [store-skiplist|store-citrus|store-list] [--sync-policy always|every=N|off] [--kill-after G] [--torn-bytes B] [--producers N] [--json <path>] [--obs] [--serve <addr>]`
+//! (default: all three backends, `--sync-policy always`). Shard count
+//! comes from `BUNDLE_SHARDS`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingest::{Ingest, IngestConfig};
+use store::{uniform_splits, BundledStore, CommitLog, ShardBackend, TxnOp};
+use wal::{GroupWal, SyncPolicy, WalRecovery};
+use workloads::{
+    write_json, RunRecord, StructureKind, DEFAULT_STORE_SHARDS, SCHEMA_VERSION, TXN_STORE_KINDS,
+};
+
+/// Keyspace: deliberately small so same-key traffic is dense and the
+/// journals exercise applied/not-applied outcomes (duplicate puts,
+/// removes of absent keys) rather than only fresh inserts.
+const KEY_RANGE: u64 = 4096;
+
+/// Ops per submitted batch (one ticket, one group membership).
+const BATCH: usize = 8;
+
+/// Producers stop on their own after this long even if the group target
+/// was never reached (a safety valve for tiny `--kill-after` sweeps on
+/// loaded machines; the checks hold for whatever prefix was produced).
+const MAX_RUN: Duration = Duration::from_secs(10);
+
+fn shard_count() -> usize {
+    std::env::var("BUNDLE_SHARDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|t| t.trim().parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_STORE_SHARDS)
+}
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// One acknowledged operation of one producer's journal, in ack order.
+#[derive(Clone, Copy)]
+struct JournalOp {
+    key: u64,
+    /// 0 = put, 1 = set, 2 = remove (mirrors the WAL record kinds).
+    kind: u8,
+    value: u64,
+    applied: bool,
+}
+
+impl JournalOp {
+    /// Fold this op into a model state, honoring the journaled outcome.
+    /// A `Set` upsert always lands (its flag only reports whether the key
+    /// existed); `Put` and `Remove` take effect only when applied.
+    fn apply(&self, state: &mut BTreeMap<u64, u64>) {
+        match self.kind {
+            0 if self.applied => {
+                state.insert(self.key, self.value);
+            }
+            1 => {
+                state.insert(self.key, self.value);
+            }
+            2 if self.applied => {
+                state.remove(&self.key);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Everything the verification pass needs from one backend's run.
+struct RecoveryReport {
+    groups_committed: u64,
+    acked_ops: u64,
+    durable: wal::LogPosition,
+    tail: wal::LogPosition,
+    cut_bytes: u64,
+    stats: wal::RecoveryStats,
+    recovered_keys: usize,
+    failures: Vec<String>,
+    snapshot: Option<obs::MetricsSnapshot>,
+}
+
+struct Cli {
+    policy: SyncPolicy,
+    kill_after: u64,
+    torn_bytes: u64,
+    producers: usize,
+    with_obs: bool,
+}
+
+/// Run the write → kill → replay → verify sequence for one backend.
+fn run_backend<S>(kind_name: &str, cli: &Cli, server: Option<&obs::ExportServer>) -> RecoveryReport
+where
+    S: ShardBackend<u64, u64> + Send + Sync + 'static,
+{
+    let shards = shard_count();
+    let splits = uniform_splits(shards, KEY_RANGE);
+    let dir =
+        std::env::temp_dir().join(format!("store-recovery-{kind_name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Both stores (the killed original and the recovered one) share one
+    // registry so the final snapshot carries the write-side wal.* series
+    // and the replay counter together.
+    let registry = obs::MetricsRegistry::new();
+    let committers = shards.min(2);
+    let serving = server.is_some() && cli.with_obs;
+    let slots = cli.producers + committers + 2 + usize::from(serving);
+    let mut original = if cli.with_obs {
+        BundledStore::<u64, u64, S>::with_obs(
+            slots,
+            store::ReclaimMode::Reclaim,
+            splits.clone(),
+            &registry,
+        )
+    } else {
+        BundledStore::<u64, u64, S>::new(slots, splits.clone())
+    };
+    let mut wal = GroupWal::<u64, u64>::create(&dir, cli.policy).expect("create wal dir");
+    if cli.with_obs {
+        wal.attach_obs(&registry);
+    }
+    let wal = Arc::new(wal);
+    original.attach_commit_log(Arc::clone(&wal) as Arc<dyn CommitLog<u64, u64>>);
+    let original = Arc::new(original);
+
+    if serving {
+        let server = server.expect("serving implies a server");
+        let h = original.register();
+        server.install(
+            obs::ExportSources::new()
+                .with_snapshot(move || {
+                    h.store()
+                        .obs_snapshot(h.tid())
+                        .expect("store built with obs")
+                })
+                .with_build_info(vec![
+                    ("schema".into(), SCHEMA_VERSION.to_string()),
+                    ("bench".into(), "store_recovery".into()),
+                    ("backend".into(), kind_name.into()),
+                    ("durability".into(), cli.policy.label()),
+                ]),
+        );
+    }
+
+    let ingest = Arc::new(Ingest::spawn(
+        Arc::clone(&original),
+        IngestConfig {
+            committers,
+            ..IngestConfig::default()
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let producers: Vec<_> = (0..cli.producers)
+        .map(|p| {
+            let ingest = Arc::clone(&ingest);
+            let stop = Arc::clone(&stop);
+            let producers = cli.producers as u64;
+            std::thread::spawn(move || {
+                let mut seed = (p as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut journal: Vec<JournalOp> = Vec::new();
+                // Stripe: this producer owns exactly the keys congruent to
+                // p, so no other thread ever writes them and the journal
+                // is the key's total history.
+                let stripe = KEY_RANGE / producers;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut ops = Vec::with_capacity(BATCH);
+                    let mut meta = Vec::with_capacity(BATCH);
+                    for _ in 0..BATCH {
+                        let r = xorshift(&mut seed);
+                        let key = p as u64 + producers * (r % stripe);
+                        let value = r >> 13;
+                        let (kind, op) = match r % 3 {
+                            0 => (0, TxnOp::Put(key, value)),
+                            1 => (1, TxnOp::Set(key, value)),
+                            _ => (2, TxnOp::Remove(key)),
+                        };
+                        ops.push(op);
+                        meta.push((key, kind, value));
+                    }
+                    // One ticket per batch, waited immediately: every
+                    // journaled op was acknowledged, in journal order, and
+                    // each batch lands whole in a single group.
+                    let outcome = ingest.submit_batch(ops).wait();
+                    for ((key, kind, value), &applied) in
+                        meta.into_iter().zip(outcome.applied.iter())
+                    {
+                        journal.push(JournalOp {
+                            key,
+                            kind,
+                            value,
+                            applied,
+                        });
+                    }
+                }
+                journal
+            })
+        })
+        .collect();
+
+    // Kill trigger: watch the store's group-commit counter; the producers
+    // stop submitting once the target is reached (or MAX_RUN elapses).
+    let started = Instant::now();
+    loop {
+        let groups = original.txn_stats().group_commits;
+        if groups >= cli.kill_after || started.elapsed() >= MAX_RUN {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let journals: Vec<Vec<JournalOp>> = producers
+        .into_iter()
+        .map(|p| p.join().expect("producer panicked"))
+        .collect();
+
+    // The crash point: sample the durable position with NO flush — this
+    // is exactly what a kill here would preserve. The clean shutdown
+    // below fsyncs the tail (as documented on `Ingest::flush`), but the
+    // cut rewinds the file to this sample, so the orderly exit does not
+    // leak durability into the simulated crash.
+    let durable = wal.durable_position();
+    let tail = wal.position();
+    ingest.shutdown();
+    let groups_committed = original.txn_stats().group_commits;
+    let acked_ops: u64 = journals.iter().map(|j| j.len() as u64).sum();
+    drop(ingest);
+    drop(original);
+
+    let cut_bytes = WalRecovery::cut(&dir, durable, cli.torn_bytes).expect("cut log");
+
+    // Rebuild from the cut log through the real commit pipeline.
+    let recovered = Arc::new(if cli.with_obs {
+        BundledStore::<u64, u64, S>::with_obs(2, store::ReclaimMode::Reclaim, splits, &registry)
+    } else {
+        BundledStore::<u64, u64, S>::new(2, splits)
+    });
+    let stats = WalRecovery::replay(&dir, &recovered).expect("replay");
+    let handle = recovered.register();
+    let recovered_state: BTreeMap<u64, u64> =
+        handle.range_query_vec(&0, &u64::MAX).into_iter().collect();
+
+    let mut failures = Vec::new();
+
+    // Check A: replay through the pipeline == plain decode-and-fold of
+    // the cut log. The log is the oracle; the two consumers must agree.
+    let decoded = WalRecovery::scan::<u64, u64>(&dir).expect("scan");
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for record in &decoded.records {
+        for gop in &record.ops {
+            match &gop.op {
+                // A Set upsert always lands; Put and Remove only when
+                // their logged outcome says they applied.
+                TxnOp::Put(k, v) if gop.applied => {
+                    oracle.insert(*k, *v);
+                }
+                TxnOp::Set(k, v) => {
+                    oracle.insert(*k, *v);
+                }
+                TxnOp::Remove(k) if gop.applied => {
+                    oracle.remove(k);
+                }
+                _ => {}
+            }
+        }
+    }
+    if recovered_state != oracle {
+        failures.push(format!(
+            "check A: recovered store ({} keys) != decode-fold of cut log ({} keys)",
+            recovered_state.len(),
+            oracle.len()
+        ));
+    }
+
+    // Check B: every key's recovered value is the fold of SOME prefix of
+    // that key's acked journal (keys are striped, so the per-producer
+    // journal is the key's total history; batches land whole in one
+    // group, so recovery points align with journal prefixes).
+    let mut per_key: BTreeMap<u64, Vec<JournalOp>> = BTreeMap::new();
+    for op in journals.iter().flatten() {
+        per_key.entry(op.key).or_default().push(*op);
+    }
+    for (&key, history) in &per_key {
+        let recovered_value = recovered_state.get(&key).copied();
+        let mut state: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut reachable = state.get(&key).copied() == recovered_value;
+        for op in history {
+            op.apply(&mut state);
+            reachable |= state.get(&key).copied() == recovered_value;
+        }
+        if !reachable {
+            failures.push(format!(
+                "check B: key {key} recovered as {recovered_value:?}, unreachable by any \
+                 prefix of its {}-op acked journal",
+                history.len()
+            ));
+            if failures.len() > 8 {
+                break;
+            }
+        }
+    }
+    // Keys never acked must not exist (the log cannot invent keys, but a
+    // replay bug could smear a value across shard boundaries).
+    for key in recovered_state.keys() {
+        if !per_key.contains_key(key) {
+            failures.push(format!("check B: recovered key {key} was never submitted"));
+        }
+    }
+
+    // Check C: under Always every acknowledged op is durable — the
+    // recovered store must equal the fold of every journal in full.
+    if cli.policy == SyncPolicy::Always {
+        let mut full: BTreeMap<u64, u64> = BTreeMap::new();
+        for (_, history) in per_key {
+            for op in history {
+                op.apply(&mut full);
+            }
+        }
+        if recovered_state != full {
+            failures.push(format!(
+                "check C: policy=always but recovered store ({} keys) != full acked fold \
+                 ({} keys) — an acknowledged op was lost",
+                recovered_state.len(),
+                full.len()
+            ));
+        }
+    }
+
+    let snapshot = recovered.obs_snapshot(handle.tid());
+    RecoveryReport {
+        groups_committed,
+        acked_ops,
+        durable,
+        tail,
+        cut_bytes,
+        stats,
+        recovered_keys: recovered_state.len(),
+        failures,
+        snapshot,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind_arg: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut cli = Cli {
+        policy: SyncPolicy::Always,
+        kill_after: 64,
+        torn_bytes: 37,
+        producers: 3,
+        with_obs: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sync-policy" => {
+                cli.policy = match args.get(i + 1).and_then(|s| SyncPolicy::parse(s)) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("--sync-policy requires one of: always, every=N, off");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--kill-after" => {
+                cli.kill_after = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(g) => g,
+                    None => {
+                        eprintln!("--kill-after requires a group count");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--torn-bytes" => {
+                cli.torn_bytes = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!("--torn-bytes requires a byte count");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--producers" => {
+                cli.producers = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--producers requires a positive thread count");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--json" => {
+                json_path = args.get(i + 1).map(PathBuf::from);
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--serve" => {
+                serve_addr = args.get(i + 1).cloned();
+                if serve_addr.is_none() {
+                    eprintln!("--serve requires an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }
+                cli.with_obs = true;
+                i += 2;
+            }
+            "--obs" => {
+                cli.with_obs = true;
+                i += 1;
+            }
+            other => {
+                kind_arg = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let kinds: Vec<StructureKind> = match kind_arg.as_deref() {
+        None | Some("all") => TXN_STORE_KINDS.to_vec(),
+        Some(name) => match StructureKind::parse(name) {
+            Some(kind) if kind.is_store() => vec![kind],
+            _ => {
+                eprintln!(
+                    "unknown store kind {name:?}; expected one of: {}",
+                    TXN_STORE_KINDS.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let server = serve_addr.map(|addr| {
+        match obs::ExportServer::spawn(addr.as_str(), obs::ExportSources::new()) {
+            Ok(s) => {
+                println!("serving on {}", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("--serve {addr}: bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
+    let mut records = Vec::new();
+    let mut ok = true;
+    for kind in kinds {
+        let name = kind.name();
+        let report = match kind {
+            StructureKind::StoreSkipList => {
+                run_backend::<skiplist::BundledSkipList<u64, u64>>(name, &cli, server.as_ref())
+            }
+            StructureKind::StoreCitrus => {
+                run_backend::<citrus::BundledCitrusTree<u64, u64>>(name, &cli, server.as_ref())
+            }
+            StructureKind::StoreList => {
+                run_backend::<lazylist::BundledLazyList<u64, u64>>(name, &cli, server.as_ref())
+            }
+            other => panic!("{other:?} is not a sharded store kind"),
+        };
+        println!(
+            "store_recovery [{name}] policy={} groups={} acked_ops={} durable={}:{} \
+             tail={}:{} cut_bytes={} replayed_groups={} replayed_ops={} truncated_bytes={} \
+             recovered_keys={}",
+            cli.policy.label(),
+            report.groups_committed,
+            report.acked_ops,
+            report.durable.segment,
+            report.durable.bytes,
+            report.tail.segment,
+            report.tail.bytes,
+            report.cut_bytes,
+            report.stats.groups,
+            report.stats.ops,
+            report.stats.truncated_bytes,
+            report.recovered_keys,
+        );
+        for f in &report.failures {
+            eprintln!("store_recovery [{name}] FAILED {f}");
+            ok = false;
+        }
+        if report.failures.is_empty() {
+            println!(
+                "store_recovery [{name}] verified: replay==decode, journal-prefix \
+                 consistent{}",
+                if cli.policy == SyncPolicy::Always {
+                    ", nothing acked lost"
+                } else {
+                    ""
+                }
+            );
+        }
+        let mut metrics = vec![
+            ("groups_committed".into(), report.groups_committed as f64),
+            ("acked_ops".into(), report.acked_ops as f64),
+            ("kill_after".into(), cli.kill_after as f64),
+            ("torn_bytes".into(), cli.torn_bytes as f64),
+            ("durable_segment".into(), report.durable.segment as f64),
+            ("durable_bytes".into(), report.durable.bytes as f64),
+            ("cut_bytes".into(), report.cut_bytes as f64),
+            ("replayed_groups".into(), report.stats.groups as f64),
+            ("replayed_ops".into(), report.stats.ops as f64),
+            ("replayed_bytes".into(), report.stats.bytes as f64),
+            (
+                "replay_truncated_bytes".into(),
+                report.stats.truncated_bytes as f64,
+            ),
+            ("recovered_keys".into(), report.recovered_keys as f64),
+            (
+                "verify_ok".into(),
+                if report.failures.is_empty() { 1.0 } else { 0.0 },
+            ),
+        ];
+        if let Some(snap) = &report.snapshot {
+            metrics.extend(snap.flatten("obs."));
+        }
+        records.push(RunRecord {
+            schema: SCHEMA_VERSION,
+            bench: "store_recovery".into(),
+            kind: name.into(),
+            mix: format!("kill-{}", cli.kill_after),
+            threads: cli.producers,
+            durability: cli.policy.label(),
+            metrics,
+            windows: Vec::new(),
+            health: Vec::new(),
+        });
+    }
+    if let Some(path) = json_path {
+        match write_json(&path, &records) {
+            Ok(()) => println!(
+                "\nwrote {} run records to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

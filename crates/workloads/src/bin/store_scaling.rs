@@ -87,6 +87,7 @@ fn sweep(
                 kind: format!("{label}-baseline"),
                 mix: mix.label(),
                 threads,
+                durability: "off".into(),
                 metrics: vec![("mops".into(), t.mops())],
                 windows: Vec::new(),
                 health: Vec::new(),
@@ -143,6 +144,7 @@ fn sweep(
                                 ("schema".into(), SCHEMA_VERSION.to_string()),
                                 ("bench".into(), "store_scaling".into()),
                                 ("backend".into(), label.into()),
+                                ("durability".into(), "off".into()),
                             ]);
                         if let Some(s) = &sampler {
                             let reader = s.reader();
@@ -192,6 +194,7 @@ fn sweep(
                     kind: label.into(),
                     mix: mix.label(),
                     threads,
+                    durability: "off".into(),
                     metrics,
                     windows,
                     health,

@@ -217,6 +217,7 @@ where
                 ("schema".into(), SCHEMA_VERSION.to_string()),
                 ("bench".into(), "store_txn".into()),
                 ("backend".into(), kind_name.into()),
+                ("durability".into(), "off".into()),
             ]);
         if let Some(s) = &sampler {
             let reader = s.reader();
@@ -430,6 +431,7 @@ fn sweep(
                 kind: kind.name().into(),
                 mix: mix_label.into(),
                 threads,
+                durability: "off".into(),
                 metrics,
                 windows: windows.iter().map(obs::Window::flatten).collect(),
                 health,

@@ -60,8 +60,11 @@ pub fn print_series_table(title: &str, x_name: &str, y_name: &str, points: &[Poi
 /// `submit_ns_per_op_ring` / `submit_speedup` metrics);
 /// 5 = adds the `health` array of SLO findings (`obs::health` critical
 /// transitions; empty unless the run monitored with `--slo`) and the
-/// `finalize_p99_ns` field inside each `windows` entry.
-pub const SCHEMA_VERSION: u32 = 5;
+/// `finalize_p99_ns` field inside each `windows` entry;
+/// 6 = adds the `durability` field (the WAL sync-policy label — `"off"`,
+/// `"always"`, or `"every=N"`; `"off"` for runs without a commit log)
+/// so dashboards can segregate durable from volatile runs.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One machine-readable benchmark run for `--json` output: a scenario
 /// binary records one `RunRecord` per (backend, mix, thread count)
@@ -80,6 +83,10 @@ pub struct RunRecord {
     pub mix: String,
     /// Worker thread count.
     pub threads: usize,
+    /// Durability configuration of the run: the WAL sync-policy label
+    /// (`"always"`, `"every=N"`) or `"off"` when the store ran without
+    /// a commit log.
+    pub durability: String,
     /// Named numeric results.
     pub metrics: Vec<(String, f64)>,
     /// Per-window time-series summaries (one inner vec per sampling
@@ -107,8 +114,8 @@ pub fn write_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Res
     for (i, r) in records.iter().enumerate() {
         write!(
             f,
-            "  {{\"schema\":{},\"bench\":{:?},\"kind\":{:?},\"mix\":{:?},\"threads\":{}",
-            r.schema, r.bench, r.kind, r.mix, r.threads
+            "  {{\"schema\":{},\"bench\":{:?},\"kind\":{:?},\"mix\":{:?},\"threads\":{},\"durability\":{:?}",
+            r.schema, r.bench, r.kind, r.mix, r.threads, r.durability
         )?;
         for (name, value) in &r.metrics {
             let value = if value.is_finite() { *value } else { 0.0 };
@@ -183,6 +190,7 @@ mod tests {
                 kind: "store-skiplist".into(),
                 mix: "rw-50-40-10".into(),
                 threads: 4,
+                durability: "off".into(),
                 metrics: vec![("ops_per_sec".into(), 1234.5), ("aborts".into(), f64::NAN)],
                 windows: vec![
                     vec![
@@ -207,6 +215,7 @@ mod tests {
                 kind: "store-list".into(),
                 mix: "20-70-10".into(),
                 threads: 1,
+                durability: "always".into(),
                 metrics: vec![("commits_per_sec".into(), 10.0)],
                 windows: Vec::new(),
                 health: Vec::new(),
@@ -217,8 +226,10 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("[\n"));
         assert!(content.trim_end().ends_with(']'));
-        assert!(content.contains("\"schema\":5,\"bench\":\"store_txn\""));
+        assert!(content.contains("\"schema\":6,\"bench\":\"store_txn\""));
         assert!(content.contains("\"mix\":\"rw-50-40-10\""));
+        assert!(content.contains("\"threads\":4,\"durability\":\"off\""));
+        assert!(content.contains("\"threads\":1,\"durability\":\"always\""));
         assert!(content.contains("\"ops_per_sec\":1234.5"));
         assert!(
             content.contains("\"aborts\":0"),

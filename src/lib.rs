@@ -46,6 +46,14 @@
 //!   one [`obs::MetricsSnapshot`] covers the whole pipeline. The
 //!   default constructors skip it all at one never-taken branch per
 //!   record site.
+//! * [`wal`] — the **group-commit write-ahead log**: an append-only,
+//!   CRC-checksummed segment log ([`wal::GroupWal`]) a store attaches as
+//!   its [`store::CommitLog`]. Every published group is logged between
+//!   validation and finalization — while readers still spin on the
+//!   pending entries — so the durable prefix of the log is always a
+//!   prefix of the visible history; [`wal::SyncPolicy`] trades fsync
+//!   frequency for loss window, and [`wal::WalRecovery`] rebuilds a
+//!   fresh store from the log after a crash at any byte boundary.
 //! * [`dbsim`] — the DBx1000-style TPC-C substrate of §8.2, including
 //!   the ingest-backed NEW_ORDER firehose
 //!   ([`dbsim::run_new_order_firehose`]).
@@ -96,6 +104,7 @@ pub use obs;
 pub use skiplist;
 pub use store;
 pub use txn;
+pub use wal;
 pub use workloads;
 
 /// Convenient glob-importable set of the most commonly used items.
@@ -115,4 +124,5 @@ pub mod prelude {
         ShardRead, SkipListStore, StoreHandle, StoreSnapshot, TxnAborted, TxnOp, TxnStats,
     };
     pub use txn::{ReadWriteTxn, StoreTxnExt, TxnReceipt, TxnStore, WriteTxn};
+    pub use wal::{GroupWal, SyncPolicy, WalRecovery};
 }
